@@ -1,0 +1,65 @@
+//! Experiment E4 bench: the Section 7 constrained-problem procedure —
+//! binary search on ∆ over SBO for independent tasks and the direct
+//! ∆ = M/LB derivation with RLS∆ for DAGs — across memory budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sws_core::constrained::{solve_dag_with_memory_budget, solve_with_memory_budget};
+use sws_core::sbo::InnerAlgorithm;
+use sws_model::bounds::mmax_lower_bound;
+use sws_workloads::dagsets::{dag_workload, DagFamily};
+use sws_workloads::random::random_instance;
+use sws_workloads::rng::seeded_rng;
+use sws_workloads::TaskDistribution;
+
+fn bench_constrained(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constrained_budget");
+    group.sample_size(20);
+
+    let inst = random_instance(100, 4, TaskDistribution::AntiCorrelated, &mut seeded_rng(44));
+    let lb = mmax_lower_bound(inst.tasks(), inst.m());
+    for &beta in &[1.2f64, 2.0, 4.0] {
+        group.bench_with_input(
+            BenchmarkId::new("independent_beta", beta.to_string()),
+            &beta,
+            |b, &beta| {
+                b.iter(|| {
+                    black_box(
+                        solve_with_memory_budget(
+                            black_box(&inst),
+                            beta * lb,
+                            InnerAlgorithm::Lpt,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+
+    let dag = dag_workload(
+        DagFamily::GaussianElimination,
+        150,
+        4,
+        TaskDistribution::Uncorrelated,
+        &mut seeded_rng(45),
+    );
+    let dag_lb = mmax_lower_bound(dag.tasks(), dag.m());
+    for &beta in &[2.5f64, 3.0, 4.0] {
+        group.bench_with_input(
+            BenchmarkId::new("dag_beta", beta.to_string()),
+            &beta,
+            |b, &beta| {
+                b.iter(|| {
+                    black_box(solve_dag_with_memory_budget(black_box(&dag), beta * dag_lb).unwrap())
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_constrained);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 1 regeneration bench: exhaustive Pareto-front enumeration of the
+//! Section 4.1 adversarial instance and of slightly larger variants, plus
+//! the full figure pipeline (front + Gantt rendering).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sws_bench::figures::figure1;
+use sws_exact::pareto_enum::pareto_front;
+use sws_workloads::{lemma1_instance, lemma2_instance};
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_pareto");
+
+    group.bench_function("figure1_pipeline", |b| {
+        b.iter(|| black_box(figure1(black_box(1e-3))))
+    });
+
+    group.bench_function("front_lemma1_instance", |b| {
+        let inst = lemma1_instance(1e-3);
+        b.iter(|| black_box(pareto_front(black_box(&inst))))
+    });
+
+    // Larger adversarial instances stress the exhaustive enumerator that
+    // the figure relies on (the Lemma 2 family generalizes Figure 1).
+    for &(m, k) in &[(2usize, 3usize), (2, 5), (3, 3)] {
+        let inst = lemma2_instance(m, k, 1e-3);
+        group.bench_with_input(
+            BenchmarkId::new("front_lemma2_instance", format!("m{m}_k{k}_n{}", inst.n())),
+            &inst,
+            |b, inst| b.iter(|| black_box(pareto_front(black_box(inst)))),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

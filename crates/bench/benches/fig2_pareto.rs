@@ -1,0 +1,32 @@
+//! Figure 2 regeneration bench: Pareto-front enumeration of the Section
+//! 4.3 adversarial instance across the admissible `ε` range, plus the full
+//! figure pipeline with Gantt rendering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sws_bench::figures::figure2;
+use sws_exact::pareto_enum::pareto_front;
+use sws_workloads::lemma3_instance;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_pareto");
+
+    group.bench_function("figure2_pipeline", |b| {
+        b.iter(|| black_box(figure2(black_box(0.25))))
+    });
+
+    for &eps in &[0.1f64, 0.25, 0.45] {
+        let inst = lemma3_instance(eps);
+        group.bench_with_input(
+            BenchmarkId::new("front_lemma3_instance", format!("eps{eps}")),
+            &inst,
+            |b, inst| b.iter(|| black_box(pareto_front(black_box(inst)))),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 3 regeneration bench: generating the Lemma 2 impossibility
+//! staircases, the SBO trade-off curve and checking claimed ratio pairs
+//! against the impossibility domain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sws_bench::figures::figure3;
+use sws_core::bounds::{impossibility_frontier, sbo_tradeoff_curve, violates_impossibility};
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_frontier");
+
+    group.bench_function("figure3_pipeline_m6_k64", |b| {
+        b.iter(|| black_box(figure3(black_box(6), black_box(64), 0.125, 8.0)))
+    });
+
+    for &k in &[16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("frontier_m4", k), &k, |b, &k| {
+            b.iter(|| black_box(impossibility_frontier(black_box(4), k)))
+        });
+    }
+
+    group.bench_function("sbo_curve_65_samples", |b| {
+        b.iter(|| black_box(sbo_tradeoff_curve(0.125, 8.0, 65)))
+    });
+
+    group.bench_function("violation_check_inside", |b| {
+        b.iter(|| black_box(violates_impossibility(black_box(1.3), black_box(1.3), 6, 64)))
+    });
+    group.bench_function("violation_check_outside", |b| {
+        b.iter(|| black_box(violates_impossibility(black_box(2.1), black_box(2.1), 6, 64)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

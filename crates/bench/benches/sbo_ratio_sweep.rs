@@ -1,0 +1,58 @@
+//! Experiment E1 bench: SBO∆ over random independent-task workloads,
+//! comparing the inner single-objective schedulers and sweeping ∆.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use sws_core::sbo::{sbo, InnerAlgorithm, SboConfig};
+use sws_workloads::random::random_instance;
+use sws_workloads::rng::seeded_rng;
+use sws_workloads::TaskDistribution;
+
+fn bench_sbo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sbo_ratio_sweep");
+
+    // Core E1 cell: SBO with LPT inner algorithms over growing instances.
+    for &n in &[50usize, 200, 1_000] {
+        let inst =
+            random_instance(n, 8, TaskDistribution::AntiCorrelated, &mut seeded_rng(100 + n as u64));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("sbo_lpt_m8", n), &inst, |b, inst| {
+            let cfg = SboConfig::new(1.0, InnerAlgorithm::Lpt);
+            b.iter(|| black_box(sbo(black_box(inst), &cfg).unwrap()))
+        });
+    }
+
+    // Inner-algorithm comparison at a fixed size.
+    let inst = random_instance(100, 4, TaskDistribution::Uncorrelated, &mut seeded_rng(7));
+    for inner in [InnerAlgorithm::Graham, InnerAlgorithm::Lpt, InnerAlgorithm::Multifit] {
+        group.bench_with_input(
+            BenchmarkId::new("inner", inner.label()),
+            &inner,
+            |b, &inner| {
+                let cfg = SboConfig::new(1.0, inner);
+                b.iter(|| black_box(sbo(black_box(&inst), &cfg).unwrap()))
+            },
+        );
+    }
+    // The PTAS inner algorithm on a smaller instance (it is polynomial but
+    // far heavier than the list schedulers).
+    let small = random_instance(30, 3, TaskDistribution::Uncorrelated, &mut seeded_rng(8));
+    group.bench_function("inner/ptas_eps0.25_n30", |b| {
+        let cfg = SboConfig::corollary1(1.0, 0.25);
+        b.iter(|| black_box(sbo(black_box(&small), &cfg).unwrap()))
+    });
+
+    // ∆ sweep: the routing threshold changes, the cost should not.
+    for &delta in &[0.25f64, 1.0, 4.0] {
+        group.bench_with_input(BenchmarkId::new("delta", delta.to_string()), &delta, |b, &d| {
+            let cfg = SboConfig::new(d, InnerAlgorithm::Lpt);
+            b.iter(|| black_box(sbo(black_box(&inst), &cfg).unwrap()))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sbo);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Runs the measured-ratio experiments E1–E5 and prints their tables.
+//!
+//! ```text
+//! cargo run -p sws-bench --release --bin experiments -- [e1|e1c|e2|e3|e4|e5|all] [--smoke] [--out DIR]
+//! ```
+//!
+//! `--smoke` switches every experiment to its reduced grid (used by CI and
+//! the integration tests); `e1c` runs the Corollary 1 (PTAS-based) variant
+//! of E1. Without arguments every experiment runs on its full grid and CSV
+//! files are written under `results/`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sws_bench::{e1_sbo, e2_rls, e3_tri, e4_constrained, e5_scaling};
+use sws_bench::{render_table, write_csv, Table};
+
+struct Args {
+    which: Vec<String>,
+    smoke: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut which = Vec::new();
+    let mut smoke = false;
+    let mut out = Some(PathBuf::from("results"));
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "e1" | "e1c" | "e2" | "e3" | "e4" | "e5" | "all" => which.push(arg),
+            "--smoke" => smoke = true,
+            "--out" => {
+                let dir = args.next().ok_or("--out requires a directory argument")?;
+                out = Some(PathBuf::from(dir));
+            }
+            "--no-csv" => out = None,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    Ok(Args { which, smoke, out })
+}
+
+fn wants(args: &Args, id: &str) -> bool {
+    args.which.iter().any(|w| w == id || w == "all")
+}
+
+fn emit(table: &Table, out: &Option<PathBuf>) {
+    print!("{}", render_table(table));
+    if let Some(dir) = out {
+        match write_csv(table, dir) {
+            Ok(path) => println!("(csv written to {})\n", path.display()),
+            Err(err) => eprintln!("warning: could not write CSV: {err}"),
+        }
+    } else {
+        println!();
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: experiments [e1|e1c|e2|e3|e4|e5|all] [--smoke] [--out DIR] [--no-csv]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut all_within = true;
+
+    if wants(&args, "e1") {
+        let cfg = if args.smoke { e1_sbo::E1Config::smoke() } else { e1_sbo::E1Config::default() };
+        println!("Running E1 (SBO ratio sweep, {} cells)…", grid_size_e1(&cfg));
+        let rows = e1_sbo::run(&cfg);
+        all_within &= rows.iter().all(|r| r.within_guarantee);
+        emit(&e1_sbo::to_table(&rows), &args.out);
+    }
+
+    if wants(&args, "e1c") {
+        let mut cfg = e1_sbo::E1Config::corollary1(0.2);
+        if args.smoke {
+            cfg.task_counts = vec![15];
+            cfg.processor_counts = vec![2];
+            cfg.replications = 1;
+        }
+        println!("Running E1c (Corollary 1, PTAS inner algorithms)…");
+        let rows = e1_sbo::run(&cfg);
+        all_within &= rows.iter().all(|r| r.within_guarantee);
+        let mut table = e1_sbo::to_table(&rows);
+        table.title = "E1c SBO with PTAS inner algorithms".to_string();
+        emit(&table, &args.out);
+    }
+
+    if wants(&args, "e2") {
+        let cfg = if args.smoke { e2_rls::E2Config::smoke() } else { e2_rls::E2Config::default() };
+        println!("Running E2 (RLS DAG sweep)…");
+        let rows = e2_rls::run(&cfg);
+        all_within &= rows.iter().all(|r| r.within_guarantee);
+        emit(&e2_rls::to_table(&rows), &args.out);
+    }
+
+    if wants(&args, "e3") {
+        let cfg = if args.smoke { e3_tri::E3Config::smoke() } else { e3_tri::E3Config::default() };
+        println!("Running E3 (tri-objective sweep)…");
+        let rows = e3_tri::run(&cfg);
+        all_within &= rows.iter().all(|r| r.within_guarantee);
+        emit(&e3_tri::to_table(&rows), &args.out);
+    }
+
+    if wants(&args, "e4") {
+        let cfg = if args.smoke {
+            e4_constrained::E4Config::smoke()
+        } else {
+            e4_constrained::E4Config::default()
+        };
+        println!("Running E4 (constrained memory budgets)…");
+        let results = e4_constrained::run(&cfg);
+        emit(&e4_constrained::independent_table(&results.independent), &args.out);
+        emit(&e4_constrained::dag_table(&results.dag), &args.out);
+    }
+
+    if wants(&args, "e5") {
+        let cfg = if args.smoke {
+            e5_scaling::E5Config::smoke()
+        } else {
+            e5_scaling::E5Config::default()
+        };
+        println!("Running E5 (runtime scaling)…");
+        let rows = e5_scaling::run(&cfg);
+        emit(&e5_scaling::to_table(&rows), &args.out);
+    }
+
+    println!(
+        "All proven guarantees respected across the measured grids: {}",
+        if all_within { "yes" } else { "NO" }
+    );
+    if all_within {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn grid_size_e1(cfg: &e1_sbo::E1Config) -> usize {
+    cfg.distributions.len()
+        * cfg.inners.len()
+        * cfg.task_counts.len()
+        * cfg.processor_counts.len()
+        * cfg.deltas.len()
+}

@@ -1,0 +1,109 @@
+//! Regenerates the paper's three figures as ASCII tables, Gantt charts and
+//! CSV files.
+//!
+//! ```text
+//! cargo run -p sws-bench --release --bin figures -- [fig1|fig2|fig3|all] [--out DIR]
+//! ```
+//!
+//! Without arguments every figure is regenerated and CSV files are written
+//! under `results/`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sws_bench::figures::{figure1, figure2, figure3, sbo_reference_deltas};
+use sws_bench::{render_table, write_csv};
+
+struct Args {
+    which: String,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut which = "all".to_string();
+    let mut out = Some(PathBuf::from("results"));
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "fig1" | "fig2" | "fig3" | "all" => which = arg,
+            "--out" => {
+                let dir = args.next().ok_or("--out requires a directory argument")?;
+                out = Some(PathBuf::from(dir));
+            }
+            "--no-csv" => out = None,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args { which, out })
+}
+
+fn emit(table: &sws_bench::Table, out: &Option<PathBuf>) {
+    print!("{}", render_table(table));
+    if let Some(dir) = out {
+        match write_csv(table, dir) {
+            Ok(path) => println!("(csv written to {})\n", path.display()),
+            Err(err) => eprintln!("warning: could not write CSV: {err}"),
+        }
+    } else {
+        println!();
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: figures [fig1|fig2|fig3|all] [--out DIR] [--no-csv]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.which == "fig1" || args.which == "all" {
+        let fig = figure1(1e-3);
+        println!("Reproducing Figure 1 (Section 4.1 instance, eps = {}):\n", fig.eps);
+        emit(&fig.table(), &args.out);
+        for (i, entry) in fig.entries.iter().enumerate() {
+            println!("Pareto schedule P{i} (Cmax = {:.3}, Mmax = {:.3}):", entry.cmax, entry.mmax);
+            println!("{}", entry.gantt);
+        }
+        println!(
+            "matches the paper's stated points: {}\n",
+            if fig.matches_paper(1e-9) { "yes" } else { "NO" }
+        );
+    }
+
+    if args.which == "fig2" || args.which == "all" {
+        let fig = figure2(0.25);
+        println!("Reproducing Figure 2 (Section 4.3 instance, eps = {}):\n", fig.eps);
+        emit(&fig.table(), &args.out);
+        for (i, entry) in fig.entries.iter().enumerate() {
+            println!("Pareto schedule P{i} (Cmax = {:.3}, Mmax = {:.3}):", entry.cmax, entry.mmax);
+            println!("{}", entry.gantt);
+        }
+        println!(
+            "matches the paper's stated points: {}\n",
+            if fig.matches_paper(1e-9) { "yes" } else { "NO" }
+        );
+    }
+
+    if args.which == "fig3" || args.which == "all" {
+        let fig = figure3(6, 64, 0.125, 8.0);
+        println!("Reproducing Figure 3 (impossibility domain, m = 2..6, SBO curve):\n");
+        println!("{}", fig.ascii_plot(72, 24, 4.5, 3.5));
+        for &delta in &sbo_reference_deltas() {
+            println!(
+                "  SBO guarantee at ∆ = {delta}: ({:.3}, {:.3})",
+                1.0 + delta,
+                1.0 + 1.0 / delta
+            );
+        }
+        println!(
+            "SBO curve stays outside the impossibility domain: {}",
+            if fig.sbo_curve_outside_domain(6, 64) { "yes" } else { "NO" }
+        );
+        emit(&fig.table(), &args.out);
+    }
+
+    ExitCode::SUCCESS
+}

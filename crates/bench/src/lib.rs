@@ -1,0 +1,41 @@
+//! # sws-bench — experiment and figure regeneration harness
+//!
+//! The paper's evaluation is analytic: it contains three figures (the two
+//! Pareto-front illustrations of Section 4 and the impossibility-domain
+//! plot of Figure 3) and no tables. This crate regenerates each figure and
+//! complements them with the measured-ratio experiments E1–E5 listed in
+//! DESIGN.md, which exercise every algorithm the way an experimental
+//! section would:
+//!
+//! * [`figures`] — Figure 1, Figure 2 and Figure 3 data (Pareto fronts of
+//!   the adversarial instances, impossibility staircases, SBO∆ trade-off
+//!   curve) plus ASCII Gantt renderings;
+//! * [`e1_sbo`] — achieved ratios of SBO∆ over random workloads (checks
+//!   Properties 1–2 and Corollary 1);
+//! * [`e2_rls`] — achieved ratios of RLS∆ over DAG workloads and the
+//!   Lemma 4 marked-processor accounting (checks Corollaries 2–3);
+//! * [`e3_tri`] — the tri-objective extension on independent tasks
+//!   (checks Corollary 4);
+//! * [`e4_constrained`] — the Section 7 procedure for the original
+//!   memory-budget problem;
+//! * [`e5_scaling`] — wall-clock scaling measurements backing the
+//!   `O(n²m)` complexity claim;
+//! * [`table`] — ASCII-table and CSV rendering shared by the binaries.
+//!
+//! Two binaries drive the harness: `figures` regenerates the paper's
+//! figures and `experiments` runs E1–E5, both printing ASCII tables and
+//! optionally writing CSV files. One Criterion bench per experiment lives
+//! under `benches/`.
+
+pub mod e1_sbo;
+pub mod e2_rls;
+pub mod e3_tri;
+pub mod e4_constrained;
+pub mod e5_scaling;
+pub mod figures;
+pub mod table;
+
+pub use table::{render_table, write_csv, Table};
+
+/// Base seed shared by every experiment so entire runs are reproducible.
+pub const BASE_SEED: u64 = 0x5753_2008;

@@ -1,0 +1,188 @@
+//! ASCII-table and CSV rendering shared by the experiment binaries.
+//!
+//! Every experiment produces a [`Table`]: a header row plus data rows of
+//! strings. The binaries print the ASCII rendering to stdout and, when an
+//! output directory is given, also write the same rows as a CSV file so
+//! EXPERIMENTS.md can reference machine-readable artifacts.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular table of already-formatted cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title, used as the CSV file stem and printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows; every row must have `header.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (panics when the arity does not match the header).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row arity {} does not match header arity {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table rendered as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&csv_line(&self.header));
+        for row in &self.rows {
+            out.push_str(&csv_line(row));
+        }
+        out
+    }
+}
+
+fn csv_line(cells: &[String]) -> String {
+    let escaped: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    format!("{}\n", escaped.join(","))
+}
+
+/// Renders the table with aligned columns, a title line and a separator.
+pub fn render_table(table: &Table) -> String {
+    let mut widths: Vec<usize> = table.header.iter().map(|h| h.len()).collect();
+    for row in &table.rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} ==", table.title);
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let _ = writeln!(out, "{}", fmt_row(&table.header, &widths));
+    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in &table.rows {
+        let _ = writeln!(out, "{}", fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Writes the table as `<dir>/<slug(title)>.csv`, creating the directory
+/// when needed, and returns the path written.
+pub fn write_csv(table: &Table, dir: &Path) -> io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let stem: String = table
+        .title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect();
+    let path = dir.join(format!("{stem}.csv"));
+    fs::write(&path, table.to_csv())?;
+    Ok(path)
+}
+
+/// Formats a float with four decimals, the convention of every table.
+pub fn fmt4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float with two decimals (parameters such as ∆ or β).
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Sample", &["a", "bb", "ccc"]);
+        t.push_row(vec!["1".into(), "2".into(), "3".into()]);
+        t.push_row(vec!["x,y".into(), "long cell".into(), "z\"q\"".into()]);
+        t
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,bb,ccc");
+        assert_eq!(lines[2], "\"x,y\",long cell,\"z\"\"q\"\"\"");
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = render_table(&sample());
+        assert!(text.contains("== Sample =="));
+        // The widest cell of column 2 is "long cell" (9 chars); the header
+        // row must be padded accordingly.
+        let header_line = text.lines().nth(1).unwrap();
+        assert!(header_line.contains("bb       "));
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_programming_error() {
+        let mut t = Table::new("t", &["a", "b"]);
+        assert!(std::panic::catch_unwind(move || t.push_row(vec!["1".into()])).is_err());
+    }
+
+    #[test]
+    fn csv_files_land_in_the_requested_directory() {
+        let dir = std::env::temp_dir().join("sws_bench_table_test");
+        let path = write_csv(&sample(), &dir).unwrap();
+        assert!(path.ends_with("sample.csv"));
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a,bb,ccc"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn float_formatting_helpers() {
+        assert_eq!(fmt4(1.0 / 3.0), "0.3333");
+        assert_eq!(fmt2(2.5), "2.50");
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let t = Table::new("empty", &["a"]);
+        assert!(t.is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+}

@@ -1,0 +1,264 @@
+//! The inapproximability results of Section 4 as executable data.
+//!
+//! The paper proves that certain pairs of approximation ratios
+//! `(ratio on Cmax, ratio on Mmax)` cannot be achieved by any algorithm
+//! producing a single schedule:
+//!
+//! * **Lemma 1** — nothing better than `(1, 2)` or `(2, 1)`;
+//! * **Lemma 2** — for every `m, k ≥ 2` and `i ∈ {0..k}`, nothing better
+//!   than `(1 + i/(km), 1 + (m − 1)(1 − i/k))`; the family is continuous
+//!   in `i/k` and symmetric under swapping the two objectives;
+//! * **Lemma 3** — nothing better than `(3/2, 3/2)`.
+//!
+//! Figure 3 of the paper plots the impossibility domain for `m = 2..6`
+//! together with the trade-off curve `(1 + ∆, 1 + 1/∆)` achieved by SBO∆
+//! (Section 3). This module regenerates all of those series and offers a
+//! checker that tells whether a claimed ratio pair falls inside the
+//! impossible region.
+
+use sws_model::numeric::strictly_lt;
+
+/// A single impossibility witness: the ratio pair that no algorithm can
+/// beat, together with the instance parameters that prove it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImpossibilityWitness {
+    /// The ratio pair `(Cmax ratio, Mmax ratio)` that cannot be improved
+    /// upon simultaneously.
+    pub point: (f64, f64),
+    /// Which lemma the witness comes from.
+    pub lemma: Lemma,
+}
+
+/// The lemma a witness or frontier point originates from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lemma {
+    /// Lemma 1: the `(1, 2)` / `(2, 1)` corner points.
+    Lemma1,
+    /// Lemma 2 with parameters `(m, k, i)`.
+    Lemma2 { m: usize, k: usize, i: usize },
+    /// Lemma 3: the `(3/2, 3/2)` point.
+    Lemma3,
+}
+
+/// The two corner points of Lemma 1: no algorithm is better than `(1, 2)`
+/// or, symmetrically, `(2, 1)`.
+pub fn lemma1_points() -> [(f64, f64); 2] {
+    [(1.0, 2.0), (2.0, 1.0)]
+}
+
+/// The Lemma 2 ratio pair `(1 + i/(km), 1 + (m − 1)(1 − i/k))`.
+///
+/// # Panics
+/// Panics when `m < 2`, `k < 2` or `i > k` (outside the lemma's domain).
+pub fn lemma2_point(m: usize, k: usize, i: usize) -> (f64, f64) {
+    assert!(m >= 2 && k >= 2, "Lemma 2 requires m, k ≥ 2");
+    assert!(i <= k, "Lemma 2 requires i ∈ {{0..k}}");
+    (
+        1.0 + i as f64 / (k * m) as f64,
+        1.0 + (m - 1) as f64 * (1.0 - i as f64 / k as f64),
+    )
+}
+
+/// The Lemma 3 point: no algorithm is better than `(3/2, 3/2)`.
+pub fn lemma3_point() -> (f64, f64) {
+    (1.5, 1.5)
+}
+
+/// The Lemma 2 staircase for a fixed number of processors `m`: the ratio
+/// pairs for `i = 0..=k`, ordered by increasing `Cmax` ratio. This is one
+/// of the solid curves of Figure 3.
+pub fn impossibility_frontier(m: usize, k: usize) -> Vec<(f64, f64)> {
+    (0..=k).map(|i| lemma2_point(m, k, i)).collect()
+}
+
+/// The SBO∆ trade-off curve of Figure 3 (the dashed line): the guarantee
+/// pairs `(1 + ∆, 1 + 1/∆)` sampled at `samples` logarithmically spaced
+/// values of `∆ ∈ [delta_min, delta_max]`.
+pub fn sbo_tradeoff_curve(delta_min: f64, delta_max: f64, samples: usize) -> Vec<(f64, f64)> {
+    assert!(delta_min > 0.0 && delta_max >= delta_min, "need 0 < ∆min ≤ ∆max");
+    assert!(samples >= 2, "need at least two samples");
+    let log_lo = delta_min.ln();
+    let log_hi = delta_max.ln();
+    (0..samples)
+        .map(|j| {
+            let t = j as f64 / (samples - 1) as f64;
+            let delta = (log_lo + t * (log_hi - log_lo)).exp();
+            (1.0 + delta, 1.0 + 1.0 / delta)
+        })
+        .collect()
+}
+
+/// Checks whether a claimed guarantee `(cmax_ratio, mmax_ratio)` is
+/// impossible according to Lemmas 1–3, scanning Lemma 2 parameters up to
+/// `max_m` processors and granularity `max_k`. Both the pair and its
+/// swap are tested (the paper's results are symmetric). Returns the first
+/// witness found, or `None` when the pair is not (known to be) impossible.
+pub fn impossibility_witness(
+    cmax_ratio: f64,
+    mmax_ratio: f64,
+    max_m: usize,
+    max_k: usize,
+) -> Option<ImpossibilityWitness> {
+    let candidates = [(cmax_ratio, mmax_ratio), (mmax_ratio, cmax_ratio)];
+    for &(a, b) in &candidates {
+        // Lemma 3: strictly better than (3/2, 3/2) on both objectives.
+        if strictly_lt(a, 1.5) && strictly_lt(b, 1.5) {
+            return Some(ImpossibilityWitness { point: lemma3_point(), lemma: Lemma::Lemma3 });
+        }
+        // Lemma 1 is the (m = 2, i = 0) / (i = k) end of Lemma 2 but is
+        // kept explicit for clarity of the witnesses.
+        if strictly_lt(a, 1.0) && strictly_lt(b, 2.0) {
+            return Some(ImpossibilityWitness { point: (1.0, 2.0), lemma: Lemma::Lemma1 });
+        }
+        // Lemma 2 family.
+        for m in 2..=max_m.max(2) {
+            for k in 2..=max_k.max(2) {
+                for i in 0..=k {
+                    let (x, y) = lemma2_point(m, k, i);
+                    if strictly_lt(a, x) && strictly_lt(b, y) {
+                        return Some(ImpossibilityWitness {
+                            point: (x, y),
+                            lemma: Lemma::Lemma2 { m, k, i },
+                        });
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// True when the claimed guarantee pair is impossible according to
+/// Lemmas 1–3 (see [`impossibility_witness`]).
+pub fn violates_impossibility(
+    cmax_ratio: f64,
+    mmax_ratio: f64,
+    max_m: usize,
+    max_k: usize,
+) -> bool {
+    impossibility_witness(cmax_ratio, mmax_ratio, max_m, max_k).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sbo::sbo_guarantee;
+
+    #[test]
+    fn lemma2_specializes_to_lemma1_on_two_processors() {
+        // m = 2, i = 0: (1, 1 + (2-1)·1) = (1, 2).
+        assert_eq!(lemma2_point(2, 4, 0), (1.0, 2.0));
+        // i = k: (1 + 1/m, 1) — close to but weaker than (2, 1); Lemma 1's
+        // symmetric point comes from swapping the objectives.
+        let (c, m) = lemma2_point(2, 4, 4);
+        assert!((c - 1.5).abs() < 1e-12);
+        assert_eq!(m, 1.0);
+    }
+
+    #[test]
+    fn lemma2_matches_the_adversarial_instance_pareto_points() {
+        // The ratio pair must equal the Pareto point of the Section 4.2
+        // instance divided by the optimum (C* = 1, M* = k + ε → k as ε→0).
+        for &(m, k) in &[(2usize, 3usize), (3, 4), (5, 6)] {
+            for i in 0..=k {
+                let (rc, rm) = lemma2_point(m, k, i);
+                let (pc, pm) = sws_workloads::adversarial::lemma2_pareto_point(m, k, i, 1e-12);
+                assert!((rc - pc / 1.0).abs() < 1e-9);
+                if i < k {
+                    assert!((rm - pm / k as f64).abs() < 1e-9, "m={m} k={k} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_is_monotone_in_the_trade_off() {
+        let frontier = impossibility_frontier(4, 16);
+        assert_eq!(frontier.len(), 17);
+        for w in frontier.windows(2) {
+            assert!(w[0].0 <= w[1].0, "Cmax ratios must be non-decreasing");
+            assert!(w[0].1 >= w[1].1, "Mmax ratios must be non-increasing");
+        }
+        // Ends: i = 0 gives (1, m) and i = k gives (1 + 1/m, 1).
+        assert_eq!(frontier[0], (1.0, 4.0));
+        assert!((frontier[16].0 - 1.25).abs() < 1e-12);
+        assert_eq!(frontier[16].1, 1.0);
+    }
+
+    #[test]
+    fn the_three_halves_point_is_impossible_to_beat() {
+        let w = impossibility_witness(1.4, 1.4, 6, 8).unwrap();
+        assert_eq!(w.lemma, Lemma::Lemma3);
+        assert!(violates_impossibility(1.49, 1.49, 2, 2));
+        assert!(!violates_impossibility(1.5, 1.5, 6, 64));
+    }
+
+    #[test]
+    fn lemma1_corners_are_impossible_to_beat() {
+        assert!(violates_impossibility(0.999, 1.999, 2, 2));
+        // Symmetric check.
+        assert!(violates_impossibility(1.999, 0.999, 2, 2));
+        // On two processors exactly (1, 2) is on the border, not inside.
+        assert!(!violates_impossibility(1.0, 2.0, 2, 64));
+        // With more processors Lemma 2 strengthens the bound: even (1, 2)
+        // becomes unachievable (the m = 3 staircase reaches (1, 3)).
+        assert!(violates_impossibility(1.0, 2.0, 3, 64));
+    }
+
+    #[test]
+    fn an_exact_algorithm_on_both_objectives_is_impossible() {
+        assert!(violates_impossibility(1.0 - 1e-6, 1.0, 6, 16));
+        assert!(violates_impossibility(1.0, 1.0 + 1e-6, 6, 16));
+    }
+
+    #[test]
+    fn large_m_makes_low_cmax_ratios_require_large_memory_ratios() {
+        // With m = 6 and a fine staircase (large k) the region near the
+        // Cmax-optimal axis requires memory ratios approaching 6: a
+        // claimed (0.999, 5.9) guarantee is impossible.
+        assert!(violates_impossibility(0.999, 5.9, 6, 64));
+        // ... but possible as soon as the memory ratio reaches 6.
+        assert!(!violates_impossibility(1.0, 6.0, 6, 64));
+    }
+
+    #[test]
+    fn sbo_guarantees_never_fall_in_the_impossible_region() {
+        // The paper draws the (1 + ∆, 1 + 1/∆) curve strictly outside the
+        // impossibility domain; verify over a wide ∆ sweep against a fine
+        // Lemma 2 discretization.
+        for &delta in &[0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+            let (gc, gm) = sbo_guarantee(delta, 1.0, 1.0);
+            assert!(
+                !violates_impossibility(gc, gm, 6, 64),
+                "SBO guarantee ({gc}, {gm}) for ∆ = {delta} claimed impossible"
+            );
+        }
+    }
+
+    #[test]
+    fn tradeoff_curve_spans_the_requested_delta_range() {
+        let curve = sbo_tradeoff_curve(0.25, 4.0, 9);
+        assert_eq!(curve.len(), 9);
+        assert!((curve[0].0 - 1.25).abs() < 1e-9);
+        assert!((curve[0].1 - 5.0).abs() < 1e-9);
+        assert!((curve[8].0 - 5.0).abs() < 1e-9);
+        assert!((curve[8].1 - 1.25).abs() < 1e-9);
+        // ∆ = 1 sits in the middle of the symmetric sweep.
+        assert!((curve[4].0 - 2.0).abs() < 1e-9);
+        assert!((curve[4].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tradeoff_curve_rejects_bad_parameters() {
+        assert!(std::panic::catch_unwind(|| sbo_tradeoff_curve(0.0, 1.0, 4)).is_err());
+        assert!(std::panic::catch_unwind(|| sbo_tradeoff_curve(2.0, 1.0, 4)).is_err());
+        assert!(std::panic::catch_unwind(|| sbo_tradeoff_curve(1.0, 2.0, 1)).is_err());
+    }
+
+    #[test]
+    fn lemma2_domain_is_enforced() {
+        assert!(std::panic::catch_unwind(|| lemma2_point(1, 2, 0)).is_err());
+        assert!(std::panic::catch_unwind(|| lemma2_point(2, 1, 0)).is_err());
+        assert!(std::panic::catch_unwind(|| lemma2_point(2, 2, 3)).is_err());
+    }
+}

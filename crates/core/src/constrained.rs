@@ -1,0 +1,434 @@
+//! Solving the original constrained problem (Section 7 of the paper):
+//! minimize `Cmax` subject to `Mmax ≤ M`.
+//!
+//! Deciding whether *any* schedule satisfies `Mmax ≤ M` is the decision
+//! version of `P ∥ Cmax` and therefore strongly NP-complete, so the
+//! constrained problem admits no polynomial approximation algorithm
+//! (Section 2.2). The paper's concluding remarks describe how the
+//! bi-objective machinery still gives a practical procedure:
+//!
+//! * **Precedence constraints** — compute the Graham memory lower bound
+//!   `LB`, set `∆ = M / LB` and run RLS∆. The result is guaranteed to use
+//!   at most `∆·LB = M` memory and, when `∆ > 2`, its makespan is within
+//!   `2 + 1/(∆−2) − (∆−1)/(m(∆−2))` of the optimum. Because RLS∆ is a
+//!   thresholding algorithm, no other parameter value can produce a
+//!   better feasible schedule.
+//! * **Independent tasks** — a parameter that always yields a feasible
+//!   solution can be computed, and the solution can then be tentatively
+//!   improved by a binary search on the parameter. This module implements
+//!   that search on top of SBO∆ (larger `∆` favours memory), keeping the
+//!   feasible schedule with the smallest makespan.
+//!
+//! The only instances the procedure cannot handle are those where the
+//! budget is so tight that fitting the tasks at all is the hard part —
+//! exactly the cases the paper says are hopeless to guarantee.
+
+use sws_dag::DagInstance;
+use sws_model::bounds::mmax_lower_bound;
+use sws_model::error::ModelError;
+use sws_model::numeric::approx_le;
+use sws_model::objectives::ObjectivePoint;
+use sws_model::schedule::{Assignment, TimedSchedule};
+use sws_model::Instance;
+
+use crate::rls::{rls, rls_guarantee, RlsConfig};
+use crate::sbo::{sbo, InnerAlgorithm, SboConfig};
+
+/// Number of refinement steps of the binary search on `∆`.
+const BINARY_SEARCH_STEPS: usize = 40;
+
+/// Outcome of the constrained procedure on independent tasks.
+#[derive(Debug, Clone)]
+pub enum ConstrainedOutcome {
+    /// A schedule meeting the memory budget was found.
+    Feasible {
+        /// The assignment meeting `Mmax ≤ budget`.
+        assignment: Assignment,
+        /// Its objective values.
+        point: ObjectivePoint,
+        /// The `∆` that produced it (`f64::INFINITY` when only the pure
+        /// memory-oriented schedule fits).
+        delta: f64,
+        /// Number of SBO∆ evaluations performed by the search.
+        evaluations: usize,
+    },
+    /// The budget is below the largest single task: no schedule can ever
+    /// fit, on any number of processors.
+    ProvablyInfeasible {
+        /// The largest storage requirement of a single task.
+        max_storage: f64,
+    },
+    /// The heuristics could not meet the budget. Feasibility is left open:
+    /// deciding it exactly is NP-complete, which is precisely why the
+    /// paper turns the constraint into an objective.
+    NotFound {
+        /// The smallest `Mmax` any evaluated schedule achieved.
+        best_mmax: f64,
+        /// Number of SBO∆ evaluations performed by the search.
+        evaluations: usize,
+    },
+}
+
+impl ConstrainedOutcome {
+    /// True for the [`ConstrainedOutcome::Feasible`] variant.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, ConstrainedOutcome::Feasible { .. })
+    }
+
+    /// The achieved makespan, when feasible.
+    pub fn makespan(&self) -> Option<f64> {
+        match self {
+            ConstrainedOutcome::Feasible { point, .. } => Some(point.cmax),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of the constrained procedure on precedence-constrained tasks.
+#[derive(Debug, Clone)]
+pub enum DagConstrainedOutcome {
+    /// RLS∆ produced a schedule meeting the budget, with a proven
+    /// makespan guarantee.
+    Feasible {
+        /// The schedule meeting `Mmax ≤ budget`.
+        schedule: TimedSchedule,
+        /// Its objective values.
+        point: ObjectivePoint,
+        /// The derived parameter `∆ = budget / LB`.
+        delta: f64,
+        /// The proven makespan ratio `2 + 1/(∆−2) − (∆−1)/(m(∆−2))`.
+        makespan_guarantee: f64,
+    },
+    /// The budget is below the largest single task: provably infeasible.
+    ProvablyInfeasible {
+        /// The largest storage requirement of a single task.
+        max_storage: f64,
+    },
+    /// The derived `∆ = budget / LB` is at most 2, so RLS∆ cannot run and
+    /// the paper's procedure offers no guarantee (the "difficult to fit"
+    /// regime of Section 7).
+    NoGuarantee {
+        /// The derived parameter `budget / LB ≤ 2`.
+        delta: f64,
+    },
+}
+
+impl DagConstrainedOutcome {
+    /// True for the [`DagConstrainedOutcome::Feasible`] variant.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, DagConstrainedOutcome::Feasible { .. })
+    }
+
+    /// The achieved makespan, when feasible.
+    pub fn makespan(&self) -> Option<f64> {
+        match self {
+            DagConstrainedOutcome::Feasible { point, .. } => Some(point.cmax),
+            _ => None,
+        }
+    }
+}
+
+/// Solves `min Cmax  s.t.  Mmax ≤ budget` on independent tasks by a
+/// binary search on the SBO∆ parameter (Section 7).
+///
+/// `inner` is the single-objective scheduler handed to SBO∆; LPT is a good
+/// default. Returns an error only for invalid inner-algorithm parameters.
+pub fn solve_with_memory_budget(
+    inst: &Instance,
+    budget: f64,
+    inner: InnerAlgorithm,
+) -> Result<ConstrainedOutcome, ModelError> {
+    if inst.n() == 0 {
+        let assignment = Assignment::zeroed(0, inst.m())?;
+        return Ok(ConstrainedOutcome::Feasible {
+            point: ObjectivePoint::of_assignment(inst, &assignment),
+            assignment,
+            delta: 1.0,
+            evaluations: 0,
+        });
+    }
+    let max_storage = inst.tasks().max_storage();
+    if !approx_le(max_storage, budget) {
+        return Ok(ConstrainedOutcome::ProvablyInfeasible { max_storage });
+    }
+
+    let mut evaluations = 0usize;
+    let mut best: Option<(f64, ObjectivePoint, Assignment)> = None; // (delta, point, assignment)
+    let mut best_mmax = f64::INFINITY;
+
+    let consider = |delta: f64,
+                        point: ObjectivePoint,
+                        assignment: Assignment,
+                        best: &mut Option<(f64, ObjectivePoint, Assignment)>,
+                        best_mmax: &mut f64| {
+        *best_mmax = best_mmax.min(point.mmax);
+        if approx_le(point.mmax, budget) {
+            let better = match best {
+                None => true,
+                Some((_, bp, _)) => point.cmax < bp.cmax,
+            };
+            if better {
+                *best = Some((delta, point, assignment));
+            }
+        }
+    };
+
+    // The pure memory-oriented schedule (∆ → ∞) is the feasibility
+    // fallback the paper alludes to: if even it exceeds the budget the
+    // procedure gives up.
+    let fallback = sbo(inst, &SboConfig::new(1e12, inner))?;
+    evaluations += 1;
+    let fallback_point = fallback.objective(inst);
+    consider(f64::INFINITY, fallback_point, fallback.assignment, &mut best, &mut best_mmax);
+    if best.is_none() {
+        return Ok(ConstrainedOutcome::NotFound { best_mmax, evaluations });
+    }
+
+    // Binary search for the smallest ∆ whose SBO∆ schedule still fits the
+    // budget: smaller ∆ favours the makespan, larger ∆ favours memory.
+    let mut lo = 1e-6f64;
+    let mut hi = 1e6f64;
+    for _ in 0..BINARY_SEARCH_STEPS {
+        let mid = (lo * hi).sqrt();
+        let result = sbo(inst, &SboConfig::new(mid, inner))?;
+        evaluations += 1;
+        let point = result.objective(inst);
+        consider(mid, point, result.assignment, &mut best, &mut best_mmax);
+        if approx_le(point.mmax, budget) {
+            // Feasible at mid: try smaller ∆ for a better makespan.
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+
+    let (delta, point, assignment) = best.expect("fallback guaranteed one feasible schedule");
+    Ok(ConstrainedOutcome::Feasible { assignment, point, delta, evaluations })
+}
+
+/// Solves `min Cmax  s.t.  Mmax ≤ budget` on a precedence-constrained
+/// instance by deriving `∆ = budget / LB` and running RLS∆ (Section 7).
+pub fn solve_dag_with_memory_budget(
+    inst: &DagInstance,
+    budget: f64,
+) -> Result<DagConstrainedOutcome, ModelError> {
+    if inst.n() == 0 {
+        let schedule = TimedSchedule::new(vec![], vec![], inst.m())?;
+        return Ok(DagConstrainedOutcome::Feasible {
+            point: ObjectivePoint::of_timed_tasks(inst.tasks(), &schedule),
+            schedule,
+            delta: f64::INFINITY,
+            makespan_guarantee: 1.0,
+        });
+    }
+    let max_storage = inst.tasks().max_storage();
+    if !approx_le(max_storage, budget) {
+        return Ok(DagConstrainedOutcome::ProvablyInfeasible { max_storage });
+    }
+
+    let lb = mmax_lower_bound(inst.tasks(), inst.m());
+    let delta = if lb > 0.0 { budget / lb } else { f64::INFINITY };
+    if delta <= 2.0 {
+        return Ok(DagConstrainedOutcome::NoGuarantee { delta });
+    }
+    // Guard against non-finite ∆ for all-zero storage instances: any
+    // comfortably large finite value leaves the restriction inactive.
+    let delta = if delta.is_finite() { delta } else { 1e12 };
+    let result = rls(inst, &RlsConfig::new(delta))?;
+    let point = ObjectivePoint::of_timed_tasks(inst.tasks(), &result.schedule);
+    debug_assert!(approx_le(point.mmax, budget));
+    Ok(DagConstrainedOutcome::Feasible {
+        schedule: result.schedule,
+        point,
+        delta,
+        makespan_guarantee: rls_guarantee(delta, inst.m()).0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_dag::TaskGraph;
+    use sws_exact::pareto_enum::best_cmax_under_memory_budget;
+    use sws_model::bounds::cmax_lower_bound;
+    use sws_model::validate::validate_assignment;
+    use sws_workloads::dagsets::{dag_workload, DagFamily};
+    use sws_workloads::random::random_instance;
+    use sws_workloads::rng::seeded_rng;
+    use sws_workloads::TaskDistribution;
+
+    fn workload(n: usize, m: usize, seed: u64) -> Instance {
+        random_instance(n, m, TaskDistribution::AntiCorrelated, &mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn budget_below_the_largest_task_is_provably_infeasible() {
+        let inst = Instance::from_ps(&[1.0, 1.0], &[5.0, 3.0], 2).unwrap();
+        let out = solve_with_memory_budget(&inst, 4.0, InnerAlgorithm::Lpt).unwrap();
+        match out {
+            ConstrainedOutcome::ProvablyInfeasible { max_storage } => {
+                assert_eq!(max_storage, 5.0)
+            }
+            other => panic!("expected ProvablyInfeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_budgets_recover_the_unconstrained_makespan_schedule() {
+        let inst = workload(30, 4, 1);
+        let total = inst.total_storage();
+        let out = solve_with_memory_budget(&inst, total, InnerAlgorithm::Lpt).unwrap();
+        let lpt_point =
+            ObjectivePoint::of_assignment(&inst, &sws_listsched::lpt_cmax(&inst));
+        match out {
+            ConstrainedOutcome::Feasible { point, .. } => {
+                // With the budget = Σ s_i every schedule fits, so the search
+                // should find a makespan at least as good as plain LPT.
+                assert!(point.cmax <= lpt_point.cmax + 1e-9);
+                assert!(point.mmax <= total + 1e-9);
+            }
+            other => panic!("expected Feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn feasible_solutions_respect_the_budget_and_are_valid() {
+        for seed in 0..6u64 {
+            let inst = workload(24, 3, seed);
+            let lb = mmax_lower_bound(inst.tasks(), inst.m());
+            for beta in [1.2, 1.5, 2.0, 3.0] {
+                let budget = beta * lb;
+                let out =
+                    solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt).unwrap();
+                if let ConstrainedOutcome::Feasible { assignment, point, .. } = out {
+                    validate_assignment(&inst, &assignment, Some(budget)).unwrap();
+                    assert!(point.mmax <= budget + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn never_beats_the_exact_constrained_optimum() {
+        // On an instance small enough for exhaustive enumeration, the
+        // heuristic's makespan can never undercut the true constrained
+        // optimum, and its memory always fits the budget.
+        let inst = workload(9, 2, 7);
+        let lb = mmax_lower_bound(inst.tasks(), inst.m());
+        for beta in [1.1, 1.3, 1.6, 2.0, 3.0] {
+            let budget = beta * lb;
+            let exact = best_cmax_under_memory_budget(&inst, budget);
+            let out = solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt).unwrap();
+            if let ConstrainedOutcome::Feasible { point, .. } = out {
+                assert!(point.mmax <= budget + 1e-9);
+                let exact = exact.expect("a heuristic-feasible budget is exactly feasible");
+                assert!(
+                    point.cmax + 1e-9 >= exact,
+                    "budget {beta}·LB: heuristic {} beat the optimum {exact}",
+                    point.cmax
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_the_exact_trade_off_on_a_tiny_instance() {
+        // Figure 1 instance: budget 1.5 forces the (3/2, 1 + ε) point.
+        let inst = sws_workloads::lemma1_instance(1e-3);
+        let exact = best_cmax_under_memory_budget(&inst, 1.5).unwrap();
+        let out = solve_with_memory_budget(&inst, 1.5, InnerAlgorithm::Lpt).unwrap();
+        match out {
+            ConstrainedOutcome::Feasible { point, .. } => {
+                assert!(point.mmax <= 1.5 + 1e-9);
+                // The heuristic cannot beat the exact optimum.
+                assert!(point.cmax + 1e-9 >= exact);
+            }
+            other => panic!("expected Feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn impossible_budgets_are_reported_not_found_or_infeasible() {
+        // Budget above max s_i but below the Graham lower bound Σs_i/m:
+        // no schedule exists, but proving it is NP-hard — the procedure
+        // must simply report failure.
+        let inst = Instance::from_ps(&[1.0; 4], &[3.0, 3.0, 3.0, 3.0], 2).unwrap();
+        let out = solve_with_memory_budget(&inst, 4.0, InnerAlgorithm::Lpt).unwrap();
+        match out {
+            ConstrainedOutcome::NotFound { best_mmax, .. } => assert!(best_mmax > 4.0),
+            ConstrainedOutcome::ProvablyInfeasible { .. } => {
+                panic!("budget exceeds max task size, not provably infeasible")
+            }
+            ConstrainedOutcome::Feasible { point, .. } => {
+                panic!("no schedule fits 4.0, yet got Mmax = {}", point.mmax)
+            }
+        }
+    }
+
+    #[test]
+    fn dag_budget_derives_delta_and_meets_the_budget() {
+        let mut rng = seeded_rng(3);
+        for family in [DagFamily::LayeredRandom, DagFamily::GaussianElimination] {
+            let inst = dag_workload(family, 80, 4, TaskDistribution::Uncorrelated, &mut rng);
+            let lb = mmax_lower_bound(inst.tasks(), inst.m());
+            let budget = 3.0 * lb;
+            let out = solve_dag_with_memory_budget(&inst, budget).unwrap();
+            match out {
+                DagConstrainedOutcome::Feasible {
+                    point,
+                    delta,
+                    makespan_guarantee,
+                    ..
+                } => {
+                    assert!((delta - 3.0).abs() < 1e-9);
+                    assert!(point.mmax <= budget + 1e-9);
+                    let lb_c = cmax_lower_bound(inst.tasks(), inst.m())
+                        .max(inst.graph().critical_path_length());
+                    assert!(point.cmax <= makespan_guarantee * lb_c + 1e-9);
+                }
+                other => panic!("expected Feasible, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dag_budget_at_or_below_twice_the_bound_gives_no_guarantee() {
+        let inst = DagInstance::new(
+            TaskGraph::from_edges(
+                sws_model::task::TaskSet::from_ps(&[1.0, 2.0, 3.0], &[2.0, 2.0, 2.0]).unwrap(),
+                &[(0, 1), (1, 2)],
+            )
+            .unwrap(),
+            2,
+        )
+        .unwrap();
+        let lb = mmax_lower_bound(inst.tasks(), 2);
+        let out = solve_dag_with_memory_budget(&inst, 1.5 * lb).unwrap();
+        assert!(matches!(out, DagConstrainedOutcome::NoGuarantee { .. }));
+        let out = solve_dag_with_memory_budget(&inst, 1.0).unwrap();
+        assert!(matches!(out, DagConstrainedOutcome::ProvablyInfeasible { .. }));
+    }
+
+    #[test]
+    fn empty_instances_are_trivially_feasible() {
+        let inst = Instance::from_ps(&[], &[], 2).unwrap();
+        let out = solve_with_memory_budget(&inst, 0.0, InnerAlgorithm::Graham).unwrap();
+        assert!(out.is_feasible());
+        assert_eq!(out.makespan(), Some(0.0));
+        let dag = DagInstance::new(TaskGraph::new(inst.tasks().clone()), 2).unwrap();
+        let out = solve_dag_with_memory_budget(&dag, 0.0).unwrap();
+        assert!(out.is_feasible());
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let inst = workload(10, 2, 9);
+        let out = solve_with_memory_budget(&inst, inst.total_storage(), InnerAlgorithm::Graham)
+            .unwrap();
+        assert!(out.is_feasible());
+        assert!(out.makespan().unwrap() > 0.0);
+        let none = ConstrainedOutcome::NotFound { best_mmax: 1.0, evaluations: 3 };
+        assert!(!none.is_feasible());
+        assert_eq!(none.makespan(), None);
+    }
+}

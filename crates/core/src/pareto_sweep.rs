@@ -1,0 +1,204 @@
+//! Approximate Pareto-front generation by sweeping the trade-off
+//! parameter ∆.
+//!
+//! The paper deliberately chooses the *absolute approximation* route over
+//! Pareto-set approximation (Section 6), arguing that a human decision
+//! maker is needed to pick from a Pareto set but that "all algorithms we
+//! provide can be tuned using the ∆ parameter". This module operationalizes
+//! that remark: it sweeps ∆ over a geometric grid, runs SBO∆ (independent
+//! tasks) or RLS∆ (DAGs) for every value, and keeps the non-dominated
+//! objective points. The result is a practical approximate trade-off
+//! curve a user can pick from — exactly the decision-support tool the
+//! paper's discussion implies, without any additional theory.
+
+use sws_dag::DagInstance;
+use sws_model::error::ModelError;
+use sws_model::objectives::ObjectivePoint;
+use sws_model::pareto::ParetoFront;
+use sws_model::schedule::{Assignment, TimedSchedule};
+use sws_model::Instance;
+
+use crate::rls::{rls, RlsConfig};
+use crate::sbo::{sbo, InnerAlgorithm, SboConfig};
+
+/// One point of an approximate trade-off curve, tagged with the parameter
+/// that produced it.
+#[derive(Debug, Clone)]
+pub struct SweepPoint<S> {
+    /// The ∆ value that produced this schedule.
+    pub delta: f64,
+    /// The achieved objective values.
+    pub point: ObjectivePoint,
+    /// The schedule itself (an [`Assignment`] for independent tasks, a
+    /// [`TimedSchedule`] for DAGs).
+    pub schedule: S,
+}
+
+/// A geometric grid of `samples` values of ∆ spanning
+/// `[delta_min, delta_max]`.
+pub fn delta_grid(delta_min: f64, delta_max: f64, samples: usize) -> Vec<f64> {
+    assert!(delta_min > 0.0 && delta_max >= delta_min, "need 0 < ∆min ≤ ∆max");
+    assert!(samples >= 1, "need at least one sample");
+    if samples == 1 {
+        return vec![delta_min];
+    }
+    let lo = delta_min.ln();
+    let hi = delta_max.ln();
+    (0..samples)
+        .map(|j| (lo + j as f64 / (samples - 1) as f64 * (hi - lo)).exp())
+        .collect()
+}
+
+/// Sweeps SBO∆ over a geometric ∆ grid and returns the non-dominated
+/// achieved points, sorted by increasing makespan.
+///
+/// The two pure single-objective schedules (`∆ → 0` and `∆ → ∞` limits)
+/// are always included, so the curve spans the full trade-off range the
+/// inner algorithm can reach.
+pub fn sbo_sweep(
+    inst: &Instance,
+    inner: InnerAlgorithm,
+    delta_min: f64,
+    delta_max: f64,
+    samples: usize,
+) -> Result<Vec<SweepPoint<Assignment>>, ModelError> {
+    let mut deltas = delta_grid(delta_min, delta_max, samples);
+    deltas.push(1e-9); // effectively π₁ only
+    deltas.push(1e9); // effectively π₂ only
+    let mut front: ParetoFront<(f64, Assignment)> = ParetoFront::new();
+    for delta in deltas {
+        let result = sbo(inst, &SboConfig::new(delta, inner))?;
+        let point = result.objective(inst);
+        front.offer(point, (delta, result.assignment));
+    }
+    let mut points: Vec<SweepPoint<Assignment>> = front
+        .into_sorted()
+        .into_iter()
+        .map(|(point, (delta, schedule))| SweepPoint { delta, point, schedule })
+        .collect();
+    points.sort_by(|a, b| sws_model::numeric::total_cmp(a.point.cmax, b.point.cmax));
+    Ok(points)
+}
+
+/// Sweeps RLS∆ over a geometric ∆ grid (all values must exceed 2) and
+/// returns the non-dominated achieved points, sorted by increasing
+/// makespan.
+pub fn rls_sweep(
+    inst: &DagInstance,
+    config: &RlsConfig,
+    delta_min: f64,
+    delta_max: f64,
+    samples: usize,
+) -> Result<Vec<SweepPoint<TimedSchedule>>, ModelError> {
+    if !(delta_min > 2.0) {
+        return Err(ModelError::InvalidParameter {
+            name: "delta_min",
+            value: delta_min,
+            constraint: "∆ > 2",
+        });
+    }
+    let mut front: ParetoFront<(f64, TimedSchedule)> = ParetoFront::new();
+    for delta in delta_grid(delta_min, delta_max, samples) {
+        let result = rls(inst, &RlsConfig { delta, order: config.order })?;
+        let point = ObjectivePoint::of_timed_tasks(inst.tasks(), &result.schedule);
+        front.offer(point, (delta, result.schedule));
+    }
+    let mut points: Vec<SweepPoint<TimedSchedule>> = front
+        .into_sorted()
+        .into_iter()
+        .map(|(point, (delta, schedule))| SweepPoint { delta, point, schedule })
+        .collect();
+    points.sort_by(|a, b| sws_model::numeric::total_cmp(a.point.cmax, b.point.cmax));
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_exact::pareto_enum::pareto_front;
+    use sws_model::validate::validate_assignment;
+    use sws_workloads::dagsets::{dag_workload, DagFamily};
+    use sws_workloads::random::random_instance;
+    use sws_workloads::rng::seeded_rng;
+    use sws_workloads::TaskDistribution;
+
+    #[test]
+    fn delta_grid_spans_the_requested_range_geometrically() {
+        let grid = delta_grid(0.25, 4.0, 5);
+        assert_eq!(grid.len(), 5);
+        assert!((grid[0] - 0.25).abs() < 1e-9);
+        assert!((grid[4] - 4.0).abs() < 1e-9);
+        assert!((grid[2] - 1.0).abs() < 1e-9);
+        assert_eq!(delta_grid(3.0, 8.0, 1), vec![3.0]);
+        assert!(std::panic::catch_unwind(|| delta_grid(2.0, 1.0, 3)).is_err());
+    }
+
+    #[test]
+    fn sbo_sweep_returns_a_mutually_non_dominated_curve() {
+        let inst =
+            random_instance(30, 4, TaskDistribution::AntiCorrelated, &mut seeded_rng(51));
+        let curve = sbo_sweep(&inst, InnerAlgorithm::Lpt, 0.125, 8.0, 9).unwrap();
+        assert!(!curve.is_empty());
+        for w in curve.windows(2) {
+            assert!(w[0].point.cmax <= w[1].point.cmax + 1e-9);
+            if w[1].point.cmax > w[0].point.cmax + 1e-9 {
+                assert!(
+                    w[0].point.mmax + 1e-9 >= w[1].point.mmax,
+                    "curve must trade memory for time"
+                );
+            }
+        }
+        for p in &curve {
+            validate_assignment(&inst, &p.schedule, None).unwrap();
+        }
+    }
+
+    #[test]
+    fn sbo_sweep_endpoints_match_the_single_objective_schedules() {
+        let inst = random_instance(25, 3, TaskDistribution::Uncorrelated, &mut seeded_rng(52));
+        let curve = sbo_sweep(&inst, InnerAlgorithm::Lpt, 0.25, 4.0, 7).unwrap();
+        let lpt_c = ObjectivePoint::of_assignment(&inst, &sws_listsched::lpt_cmax(&inst));
+        let lpt_m = ObjectivePoint::of_assignment(&inst, &sws_listsched::lpt_mmax(&inst));
+        // The best makespan on the curve is at least as good as the pure
+        // makespan schedule's (it is included in the sweep), and likewise
+        // for memory.
+        assert!(curve.first().unwrap().point.cmax <= lpt_c.cmax + 1e-9);
+        assert!(curve.last().unwrap().point.mmax <= lpt_m.mmax + 1e-9);
+    }
+
+    #[test]
+    fn sbo_sweep_is_dominated_by_the_exact_front_but_not_absurdly_far() {
+        let inst = random_instance(10, 2, TaskDistribution::AntiCorrelated, &mut seeded_rng(53));
+        let exact = pareto_front(&inst);
+        let curve = sbo_sweep(&inst, InnerAlgorithm::Lpt, 0.125, 8.0, 17).unwrap();
+        for p in &curve {
+            // Every heuristic point is covered by (weakly dominated by a
+            // member of) the exact front.
+            assert!(exact.covers(&p.point));
+        }
+    }
+
+    #[test]
+    fn rls_sweep_produces_feasible_trade_offs_on_dags() {
+        let mut rng = seeded_rng(54);
+        let inst =
+            dag_workload(DagFamily::GaussianElimination, 80, 4, TaskDistribution::Bimodal, &mut rng);
+        let curve = rls_sweep(&inst, &RlsConfig::new(3.0), 2.1, 10.0, 8).unwrap();
+        assert!(!curve.is_empty());
+        for w in curve.windows(2) {
+            assert!(w[0].point.cmax <= w[1].point.cmax + 1e-9);
+            if w[1].point.cmax > w[0].point.cmax + 1e-9 {
+                assert!(w[0].point.mmax + 1e-9 >= w[1].point.mmax);
+            }
+        }
+        // Every point came from an admissible parameter value.
+        assert!(curve.iter().all(|p| p.delta > 2.0));
+    }
+
+    #[test]
+    fn rls_sweep_rejects_delta_min_at_or_below_two() {
+        let mut rng = seeded_rng(55);
+        let inst = dag_workload(DagFamily::Diamond, 30, 3, TaskDistribution::Correlated, &mut rng);
+        assert!(rls_sweep(&inst, &RlsConfig::new(3.0), 2.0, 5.0, 4).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! End-to-end evaluation pipelines shared by the examples, the
+//! integration tests and the benchmark harness.
+//!
+//! A pipeline runs an algorithm, replays the produced schedule through the
+//! discrete-event simulator (which independently re-checks feasibility,
+//! precedence and memory accounting), computes the reference point —
+//! exact optimum when the instance is small enough for the exhaustive
+//! solvers, Graham lower bounds otherwise — and packages everything into
+//! an [`EvaluationReport`] with achieved-versus-guaranteed ratios.
+
+use sws_dag::DagInstance;
+use sws_exact::branch_bound::optimal_point;
+use sws_model::bounds::LowerBounds;
+use sws_model::error::ModelError;
+use sws_model::objectives::{ObjectivePoint, TriObjectivePoint};
+use sws_model::ratio::{RatioReport, Reference};
+use sws_model::Instance;
+use sws_simulator::{simulate_assignment, simulate_dag_schedule};
+
+use crate::rls::{rls, RlsConfig, RlsResult};
+use crate::sbo::{sbo, SboConfig, SboResult};
+
+/// Instances with at most this many tasks (and a manageable `m^n`) use
+/// the exact branch-and-bound optimum as the reference point.
+const EXACT_REFERENCE_MAX_N: usize = 14;
+/// Upper limit on `m^n` for the exact reference.
+const EXACT_REFERENCE_MAX_STATES: f64 = 1e7;
+
+/// The aggregate outcome of one evaluated algorithm run.
+#[derive(Debug, Clone)]
+pub struct EvaluationReport {
+    /// Short algorithm label (`"sbo"`, `"rls"`, …) plus its parameters.
+    pub algorithm: String,
+    /// Achieved objective values.
+    pub point: ObjectivePoint,
+    /// Achieved tri-objective values (sum of completion times included)
+    /// when the schedule carries timing information.
+    pub tri: Option<TriObjectivePoint>,
+    /// Lower bounds of the instance (`ΣC_i` entry is the exact SPT value
+    /// for independent tasks).
+    pub lower_bounds: LowerBounds,
+    /// Achieved-versus-reference ratios with the proven guarantee attached.
+    pub ratio: RatioReport,
+    /// Average processor utilization reported by the simulator.
+    pub utilization: f64,
+    /// Peak memory reported by the simulator (must equal `point.mmax`).
+    pub simulated_peak_memory: f64,
+    /// Number of tasks and processors, for experiment logs.
+    pub n: usize,
+    /// Number of processors.
+    pub m: usize,
+}
+
+impl EvaluationReport {
+    /// True when the achieved ratios respect the proven guarantee.
+    pub fn within_guarantee(&self) -> bool {
+        self.ratio.within_guarantee()
+    }
+
+    /// One CSV-ish line for experiment logs.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{}, n={}, m={}, Cmax={:.4}, Mmax={:.4}, ratios=({:.4}, {:.4}), guarantee={}",
+            self.algorithm,
+            self.n,
+            self.m,
+            self.point.cmax,
+            self.point.mmax,
+            self.ratio.cmax_ratio,
+            self.ratio.mmax_ratio,
+            match self.ratio.guarantee {
+                Some((gc, gm)) => format!("({gc:.4}, {gm:.4})"),
+                None => "none".to_string(),
+            }
+        )
+    }
+}
+
+/// Chooses the reference point of an independent-task instance: the exact
+/// per-objective optimum when the exhaustive solver is affordable, the
+/// Graham lower bounds otherwise.
+pub fn reference_point(inst: &Instance) -> (ObjectivePoint, Reference) {
+    let states = (inst.m() as f64).powi(inst.n() as i32);
+    if inst.n() <= EXACT_REFERENCE_MAX_N && states <= EXACT_REFERENCE_MAX_STATES {
+        (optimal_point(inst), Reference::Optimum)
+    } else {
+        let lb = LowerBounds::of_instance(inst);
+        (ObjectivePoint::new(lb.cmax, lb.mmax), Reference::LowerBound)
+    }
+}
+
+/// Runs SBO∆, simulates the resulting assignment and reports
+/// achieved-versus-guaranteed ratios.
+pub fn evaluate_sbo(
+    inst: &Instance,
+    config: &SboConfig,
+) -> Result<(EvaluationReport, SboResult), ModelError> {
+    let result = sbo(inst, config)?;
+    let sim = simulate_assignment(inst, &result.assignment, None)?;
+    let point = result.objective(inst);
+    let (reference, kind) = reference_point(inst);
+    let ratio = RatioReport::new(point, reference, kind, Some(result.guarantee));
+    let lower_bounds = LowerBounds::of_instance(inst);
+    let report = EvaluationReport {
+        algorithm: format!("sbo(∆={}, inner={})", config.delta, config.inner.label()),
+        point,
+        tri: Some(TriObjectivePoint::new(point.cmax, point.mmax, sim.sum_completion)),
+        lower_bounds,
+        ratio,
+        utilization: sim.utilization,
+        simulated_peak_memory: sim.peak_memory,
+        n: inst.n(),
+        m: inst.m(),
+    };
+    Ok((report, result))
+}
+
+/// Runs RLS∆ on a precedence-constrained instance, simulates the schedule
+/// (re-checking precedence and the memory cap) and reports
+/// achieved-versus-guaranteed ratios against the critical-path-aware
+/// lower bounds.
+pub fn evaluate_rls(
+    inst: &DagInstance,
+    config: &RlsConfig,
+) -> Result<(EvaluationReport, RlsResult), ModelError> {
+    let result = rls(inst, config)?;
+    let sim = simulate_dag_schedule(inst, &result.schedule, Some(result.memory_cap.max(result.lb)))?;
+    let point = result.objective(inst.tasks());
+    let cp = inst.graph().critical_path_length();
+    let lower_bounds = LowerBounds::with_critical_path(inst.tasks(), inst.m(), cp);
+    let reference = ObjectivePoint::new(lower_bounds.cmax, lower_bounds.mmax);
+    let ratio = RatioReport::new(point, reference, Reference::LowerBound, Some(result.guarantee));
+    let report = EvaluationReport {
+        algorithm: format!("rls(∆={}, order={})", config.delta, config.order.label()),
+        point,
+        tri: Some(TriObjectivePoint::new(point.cmax, point.mmax, sim.sum_completion)),
+        lower_bounds,
+        ratio,
+        utilization: sim.utilization,
+        simulated_peak_memory: sim.peak_memory,
+        n: inst.n(),
+        m: inst.m(),
+    };
+    Ok((report, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sbo::InnerAlgorithm;
+    use sws_workloads::dagsets::{dag_workload, DagFamily};
+    use sws_workloads::random::random_instance;
+    use sws_workloads::rng::seeded_rng;
+    use sws_workloads::TaskDistribution;
+
+    #[test]
+    fn small_instances_get_an_exact_reference() {
+        let inst = random_instance(8, 2, TaskDistribution::Uncorrelated, &mut seeded_rng(1));
+        let (_, kind) = reference_point(&inst);
+        assert_eq!(kind, Reference::Optimum);
+        let big = random_instance(200, 8, TaskDistribution::Uncorrelated, &mut seeded_rng(1));
+        let (_, kind) = reference_point(&big);
+        assert_eq!(kind, Reference::LowerBound);
+    }
+
+    #[test]
+    fn sbo_report_is_internally_consistent() {
+        let inst = random_instance(10, 3, TaskDistribution::AntiCorrelated, &mut seeded_rng(2));
+        let (report, result) =
+            evaluate_sbo(&inst, &SboConfig::new(1.0, InnerAlgorithm::Lpt)).unwrap();
+        // Simulator and analytic evaluation must agree.
+        assert!((report.simulated_peak_memory - report.point.mmax).abs() < 1e-9);
+        assert_eq!(report.n, 10);
+        assert_eq!(report.m, 3);
+        assert!(report.utilization > 0.0 && report.utilization <= 1.0 + 1e-12);
+        assert_eq!(report.point, result.objective(&inst));
+        assert!(report.summary_line().contains("sbo"));
+    }
+
+    #[test]
+    fn sbo_guarantee_is_respected_against_the_exact_optimum() {
+        // With the exact reference the within_guarantee check is a true
+        // approximation-ratio verification of Properties 1 and 2.
+        for seed in 0..8u64 {
+            let inst =
+                random_instance(9, 3, TaskDistribution::AntiCorrelated, &mut seeded_rng(seed));
+            for &delta in &[0.5, 1.0, 2.0] {
+                let (report, _) =
+                    evaluate_sbo(&inst, &SboConfig::new(delta, InnerAlgorithm::Lpt)).unwrap();
+                assert_eq!(report.ratio.reference_kind, Reference::Optimum);
+                assert!(
+                    report.within_guarantee(),
+                    "seed {seed}, ∆ {delta}: {}",
+                    report.summary_line()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rls_report_checks_the_memory_cap_through_the_simulator() {
+        let mut rng = seeded_rng(3);
+        let inst = dag_workload(DagFamily::ForkJoin, 60, 4, TaskDistribution::Bimodal, &mut rng);
+        let (report, result) = evaluate_rls(&inst, &RlsConfig::new(2.5)).unwrap();
+        assert!(report.point.mmax <= 2.5 * result.lb + 1e-9);
+        assert!(report.within_guarantee(), "{}", report.summary_line());
+        assert!(report.tri.unwrap().sum_ci > 0.0);
+    }
+
+    #[test]
+    fn rls_reports_hold_across_dag_families() {
+        let mut rng = seeded_rng(4);
+        for family in DagFamily::all() {
+            let inst = dag_workload(family, 50, 3, TaskDistribution::Uncorrelated, &mut rng);
+            let (report, _) = evaluate_rls(&inst, &RlsConfig::new(3.0)).unwrap();
+            assert!(
+                report.within_guarantee(),
+                "{}: {}",
+                family.label(),
+                report.summary_line()
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_propagate_as_errors() {
+        let inst = random_instance(6, 2, TaskDistribution::Correlated, &mut seeded_rng(5));
+        assert!(evaluate_sbo(&inst, &SboConfig::new(0.0, InnerAlgorithm::Graham)).is_err());
+        let mut rng = seeded_rng(6);
+        let dag = dag_workload(DagFamily::Diamond, 20, 2, TaskDistribution::Correlated, &mut rng);
+        assert!(evaluate_rls(&dag, &RlsConfig::new(2.0)).is_err());
+    }
+}

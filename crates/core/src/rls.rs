@@ -1,0 +1,497 @@
+//! RLS∆ — Restricted List Scheduling (Algorithm 2 of the paper) for
+//! precedence-constrained tasks.
+//!
+//! The algorithm first computes the Graham lower bound on the optimal
+//! memory consumption, `LB = max(max_i s_i, Σ s_i / m)`, and then never
+//! lets a processor's cumulative memory exceed `∆·LB`. Subject to that
+//! restriction it behaves like Graham list scheduling: among the ready
+//! tasks it repeatedly schedules the one that can start the soonest on the
+//! least-loaded *admissible* processor.
+//!
+//! The analysis (Lemmas 4 and 5, Corollaries 2 and 3) shows that for
+//! `∆ > 2`
+//!
+//! * at most `⌊m/(∆−1)⌋` processors are ever "marked" (passed over because
+//!   of the memory restriction),
+//! * the schedule is `∆`-approximate on `Mmax`, and
+//! * the schedule is `(2 + 1/(∆−2) − (∆−1)/(m(∆−2)))`-approximate on
+//!   `Cmax`.
+//!
+//! The paper's pseudo-code leaves the order in which ties between equally
+//! ready tasks are broken free ("an arbitrary total ordering of tasks");
+//! [`PriorityOrder`] exposes the orderings used by the evaluation,
+//! including the SPT order required by the Section 5.2 tri-objective
+//! extension.
+
+use sws_dag::{DagInstance, TaskGraph};
+use sws_listsched::priority::{
+    hlf_priority, index_priority, largest_storage_priority, lpt_priority, spt_priority,
+    PriorityRank,
+};
+use sws_model::bounds::mmax_lower_bound;
+use sws_model::error::ModelError;
+use sws_model::numeric::approx_le;
+use sws_model::objectives::ObjectivePoint;
+use sws_model::schedule::TimedSchedule;
+use sws_model::task::TaskSet;
+use sws_model::Instance;
+
+/// Tie-breaking order used by RLS∆ when several tasks can start at the
+/// same earliest time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PriorityOrder {
+    /// Task index order — the paper's "arbitrary total ordering".
+    #[default]
+    Index,
+    /// Shortest Processing Time first — the order required by the
+    /// tri-objective extension (Corollary 4).
+    Spt,
+    /// Longest Processing Time first.
+    Lpt,
+    /// Highest (bottom) Level First — critical-path-aware priority,
+    /// the classical HLF/HLFET rule.
+    BottomLevel,
+    /// Largest storage requirement first — packs memory-hungry tasks
+    /// early, an ablation of the memory restriction.
+    LargestStorage,
+}
+
+impl PriorityOrder {
+    /// Every order, in the order used by the experiment tables.
+    pub fn all() -> [PriorityOrder; 5] {
+        [
+            PriorityOrder::Index,
+            PriorityOrder::Spt,
+            PriorityOrder::Lpt,
+            PriorityOrder::BottomLevel,
+            PriorityOrder::LargestStorage,
+        ]
+    }
+
+    /// A short label for experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PriorityOrder::Index => "index",
+            PriorityOrder::Spt => "spt",
+            PriorityOrder::Lpt => "lpt",
+            PriorityOrder::BottomLevel => "bottom-level",
+            PriorityOrder::LargestStorage => "largest-storage",
+        }
+    }
+
+    /// Builds the rank vector (lower rank = preferred) for a graph.
+    pub fn rank(&self, graph: &TaskGraph) -> PriorityRank {
+        match self {
+            PriorityOrder::Index => index_priority(graph.n()),
+            PriorityOrder::Spt => spt_priority(graph),
+            PriorityOrder::Lpt => lpt_priority(graph),
+            PriorityOrder::BottomLevel => hlf_priority(graph),
+            PriorityOrder::LargestStorage => largest_storage_priority(graph),
+        }
+    }
+}
+
+/// Configuration of one RLS∆ run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RlsConfig {
+    /// The memory degradation factor `∆ > 2`: no processor may use more
+    /// than `∆·LB` memory.
+    pub delta: f64,
+    /// Tie-breaking order among equally ready tasks.
+    pub order: PriorityOrder,
+}
+
+impl RlsConfig {
+    /// Creates a configuration with the paper's arbitrary (index) order.
+    pub fn new(delta: f64) -> Self {
+        RlsConfig { delta, order: PriorityOrder::Index }
+    }
+
+    /// Replaces the tie-breaking order.
+    pub fn with_order(mut self, order: PriorityOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// The Corollary 4 configuration: SPT tie-breaking.
+    pub fn spt(delta: f64) -> Self {
+        RlsConfig { delta, order: PriorityOrder::Spt }
+    }
+}
+
+/// The output of RLS∆.
+#[derive(Debug, Clone)]
+pub struct RlsResult {
+    /// The produced schedule `(π, σ)`.
+    pub schedule: TimedSchedule,
+    /// The Graham memory lower bound `LB = max(max_i s_i, Σ s_i / m)`.
+    pub lb: f64,
+    /// The memory cap enforced on every processor, `∆·LB`.
+    pub memory_cap: f64,
+    /// Which processors were marked during the run (passed over at least
+    /// once because placing the candidate task would exceed the cap).
+    pub marked: Vec<bool>,
+    /// The proven guarantee `(2 + 1/(∆−2) − (∆−1)/(m(∆−2)), ∆)` — ratios
+    /// to `C*max` and `M*max` (Corollary 3).
+    pub guarantee: (f64, f64),
+    /// The configuration the result was produced with.
+    pub config: RlsConfig,
+}
+
+impl RlsResult {
+    /// Objective values of the schedule against a task set.
+    pub fn objective(&self, tasks: &TaskSet) -> ObjectivePoint {
+        ObjectivePoint::of_timed_tasks(tasks, &self.schedule)
+    }
+
+    /// Number of marked processors.
+    pub fn marked_count(&self) -> usize {
+        self.marked.iter().filter(|&&b| b).count()
+    }
+
+    /// The Lemma 4 bound on the number of marked processors,
+    /// `⌊m/(∆−1)⌋`.
+    pub fn marked_bound(&self) -> usize {
+        lemma4_marked_bound(self.schedule.m(), self.config.delta)
+    }
+}
+
+/// The Lemma 4 bound on the number of marked processors: `⌊m/(∆−1)⌋`.
+pub fn lemma4_marked_bound(m: usize, delta: f64) -> usize {
+    (m as f64 / (delta - 1.0)).floor() as usize
+}
+
+/// The Corollary 3 guarantee of RLS∆ on `m` processors:
+/// `(2 + 1/(∆−2) − (∆−1)/(m(∆−2)), ∆)` for `∆ > 2`.
+pub fn rls_guarantee(delta: f64, m: usize) -> (f64, f64) {
+    assert!(delta > 2.0, "the RLS guarantee requires ∆ > 2");
+    let m = m as f64;
+    (2.0 + 1.0 / (delta - 2.0) - (delta - 1.0) / (m * (delta - 2.0)), delta)
+}
+
+/// Runs RLS∆ (Algorithm 2) on a precedence-constrained instance.
+///
+/// Returns an error when `∆ ≤ 2`: Lemma 4 shows that smaller values may
+/// mark every processor, leaving some task impossible to place.
+pub fn rls(inst: &DagInstance, config: &RlsConfig) -> Result<RlsResult, ModelError> {
+    if !(config.delta > 2.0) || !config.delta.is_finite() {
+        return Err(ModelError::InvalidParameter {
+            name: "delta",
+            value: config.delta,
+            constraint: "∆ > 2",
+        });
+    }
+
+    let graph = inst.graph();
+    let tasks = inst.tasks();
+    let n = graph.n();
+    let m = inst.m();
+    let rank = config.order.rank(graph);
+
+    // LB = max(max_i s_i, Σ s_i / m), the Graham lower bound on M*max.
+    let lb = if n == 0 { 0.0 } else { mmax_lower_bound(tasks, m) };
+    let cap = config.delta * lb;
+
+    let mut load = vec![0.0f64; m];
+    let mut memsize = vec![0.0f64; m];
+    let mut marked = vec![false; m];
+    let mut scheduled = vec![false; n];
+    let mut completion = vec![0.0f64; n];
+    let mut remaining_preds: Vec<usize> = (0..n).map(|i| graph.in_degree(i)).collect();
+    let mut proc_of = vec![0usize; n];
+    let mut start = vec![0.0f64; n];
+
+    for _round in 0..n {
+        // For every ready task, find the least-loaded processor whose
+        // memory stays within ∆·LB, and the earliest start time there.
+        // `best` holds (ready time, tie-break rank, task, processor).
+        let mut best: Option<(f64, usize, usize, usize)> = None;
+        for i in 0..n {
+            if scheduled[i] || remaining_preds[i] != 0 {
+                continue;
+            }
+            let s_i = tasks.get(i).s;
+            let choice = admissible_argmin(&load, &memsize, s_i, cap);
+            let j = match choice {
+                Some(j) => j,
+                // Mathematically impossible for ∆ > 2 (the Lemma 4
+                // counting argument), but guard against degenerate
+                // floating-point inputs rather than looping forever.
+                None => {
+                    return Err(ModelError::MemoryExceeded {
+                        proc: 0,
+                        used: memsize.iter().cloned().fold(0.0, f64::max) + s_i,
+                        capacity: cap,
+                    })
+                }
+            };
+            // "for analysis only": mark every processor that was less
+            // loaded than the chosen one — it was skipped because of the
+            // memory restriction.
+            for (q, &l) in load.iter().enumerate() {
+                if l < load[j] && !approx_le(memsize[q] + s_i, cap) {
+                    marked[q] = true;
+                }
+            }
+            let pred_ready = graph
+                .preds(i)
+                .iter()
+                .map(|&p| completion[p])
+                .fold(0.0f64, f64::max);
+            let ready = pred_ready.max(load[j]);
+            let candidate = (ready, rank[i], i, j);
+            let better = match best {
+                None => true,
+                Some(cur) => {
+                    candidate.0 < cur.0 - 1e-15
+                        || (sws_model::numeric::approx_eq(candidate.0, cur.0)
+                            && candidate.1 < cur.1)
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        let (ready, _rank, i, j) =
+            best.expect("an acyclic graph always has a ready task while tasks remain");
+        proc_of[i] = j;
+        start[i] = ready;
+        completion[i] = ready + tasks.get(i).p;
+        load[j] = completion[i];
+        memsize[j] += tasks.get(i).s;
+        scheduled[i] = true;
+        for &v in graph.succs(i) {
+            remaining_preds[v] -= 1;
+        }
+    }
+
+    let schedule = TimedSchedule::new(proc_of, start, m)?;
+    Ok(RlsResult {
+        schedule,
+        lb,
+        memory_cap: cap,
+        marked,
+        guarantee: rls_guarantee(config.delta, m),
+        config: *config,
+    })
+}
+
+/// Runs RLS∆ on an *independent-task* instance (the tri-objective setting
+/// of Section 5.2 and the constrained-problem procedure of Section 7).
+pub fn rls_independent(inst: &Instance, config: &RlsConfig) -> Result<RlsResult, ModelError> {
+    let graph = TaskGraph::new(inst.tasks().clone());
+    let dag = DagInstance::new(graph, inst.m())?;
+    rls(&dag, config)
+}
+
+/// Index of the least-loaded processor whose memory stays within `cap`
+/// after adding `s`; ties broken towards the lowest index. `None` when no
+/// processor is admissible.
+fn admissible_argmin(load: &[f64], memsize: &[f64], s: f64, cap: f64) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for q in 0..load.len() {
+        if !approx_le(memsize[q] + s, cap) {
+            continue;
+        }
+        match best {
+            None => best = Some(q),
+            Some(b) => {
+                if load[q] < load[b] {
+                    best = Some(q);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_dag::generators::{chain::chain, forkjoin::fork_join, gauss::gaussian_elimination};
+    use sws_model::bounds::cmax_lower_bound_prec;
+    use sws_model::validate::validate_timed;
+    use sws_workloads::dagsets::{dag_workload, DagFamily};
+    use sws_workloads::rng::seeded_rng;
+    use sws_workloads::TaskDistribution;
+
+    fn check_feasible(inst: &DagInstance, result: &RlsResult) {
+        validate_timed(
+            inst.tasks(),
+            inst.m(),
+            &result.schedule,
+            inst.graph().all_preds(),
+            Some(result.memory_cap.max(result.lb)),
+        )
+        .expect("RLS schedule must be feasible and respect the memory cap");
+    }
+
+    #[test]
+    fn rejects_delta_at_or_below_two() {
+        let inst = DagInstance::new(chain(3), 2).unwrap();
+        for delta in [2.0, 1.0, 0.0, -3.0, f64::NAN] {
+            assert!(rls(&inst, &RlsConfig::new(delta)).is_err(), "∆ = {delta} must be rejected");
+        }
+        assert!(rls(&inst, &RlsConfig::new(2.0 + 1e-9)).is_ok());
+    }
+
+    #[test]
+    fn chain_is_executed_sequentially_regardless_of_the_cap() {
+        let inst = DagInstance::new(chain(6), 3).unwrap();
+        let result = rls(&inst, &RlsConfig::new(3.0)).unwrap();
+        check_feasible(&inst, &result);
+        assert!((result.schedule.cmax(inst.tasks()) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_cap_is_respected_on_every_processor() {
+        let mut rng = seeded_rng(11);
+        for family in DagFamily::all() {
+            let inst = dag_workload(family, 80, 4, TaskDistribution::AntiCorrelated, &mut rng);
+            for &delta in &[2.25, 3.0, 4.5] {
+                let result = rls(&inst, &RlsConfig::new(delta)).unwrap();
+                check_feasible(&inst, &result);
+                let mmax = result.objective(inst.tasks()).mmax;
+                assert!(
+                    mmax <= delta * result.lb + 1e-9,
+                    "{}: Mmax {} exceeds ∆·LB {}",
+                    family.label(),
+                    mmax,
+                    delta * result.lb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corollary_3_makespan_bound_holds_against_the_lower_bound() {
+        let mut rng = seeded_rng(12);
+        for family in [DagFamily::LayeredRandom, DagFamily::GaussianElimination, DagFamily::Fft] {
+            for &m in &[2usize, 4, 8] {
+                let inst = dag_workload(family, 120, m, TaskDistribution::Uncorrelated, &mut rng);
+                for &delta in &[2.5, 3.0, 5.0] {
+                    let result = rls(&inst, &RlsConfig::new(delta)).unwrap();
+                    let cp = inst.graph().critical_path_length();
+                    let lb_c = cmax_lower_bound_prec(inst.tasks(), m, cp);
+                    let cmax = result.schedule.cmax(inst.tasks());
+                    let (gc, _gm) = result.guarantee;
+                    assert!(
+                        cmax <= gc * lb_c * (1.0 + 1e-9) + 1e-9,
+                        "{} m={m} ∆={delta}: cmax {cmax} > {gc}·{lb_c}",
+                        family.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_4_marked_processor_bound_holds() {
+        let mut rng = seeded_rng(13);
+        for &m in &[3usize, 6, 12] {
+            let inst =
+                dag_workload(DagFamily::LayeredRandom, 150, m, TaskDistribution::Bimodal, &mut rng);
+            for &delta in &[2.25, 2.5, 3.0, 4.0] {
+                let result = rls(&inst, &RlsConfig::new(delta)).unwrap();
+                assert!(
+                    result.marked_count() <= result.marked_bound(),
+                    "m={m} ∆={delta}: {} marked > bound {}",
+                    result.marked_count(),
+                    result.marked_bound()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_delta_reduces_to_plain_list_scheduling() {
+        // With an enormous cap the restriction never bites, so the result
+        // must match the unrestricted Graham DAG list scheduler.
+        let inst = DagInstance::new(gaussian_elimination(6), 3).unwrap();
+        let result = rls(&inst, &RlsConfig::new(1e9)).unwrap();
+        let unrestricted = sws_listsched::dag_list_schedule(
+            &inst,
+            &sws_listsched::priority::index_priority(inst.n()),
+        );
+        assert!(
+            (result.schedule.cmax(inst.tasks()) - unrestricted.cmax(inst.tasks())).abs() < 1e-9
+        );
+        assert_eq!(result.marked_count(), 0);
+    }
+
+    #[test]
+    fn independent_wrapper_matches_the_dag_path() {
+        let inst = Instance::from_ps(
+            &[5.0, 3.0, 8.0, 1.0, 2.0, 7.0],
+            &[2.0, 9.0, 1.0, 6.0, 4.0, 3.0],
+            3,
+        )
+        .unwrap();
+        let via_wrapper = rls_independent(&inst, &RlsConfig::new(3.0)).unwrap();
+        let dag = DagInstance::new(TaskGraph::new(inst.tasks().clone()), 3).unwrap();
+        let via_dag = rls(&dag, &RlsConfig::new(3.0)).unwrap();
+        assert_eq!(via_wrapper.schedule, via_dag.schedule);
+        let point = via_wrapper.objective(inst.tasks());
+        assert!(point.mmax <= 3.0 * via_wrapper.lb + 1e-9);
+    }
+
+    #[test]
+    fn spt_order_schedules_short_tasks_first_on_independent_tasks() {
+        let inst = Instance::from_ps(&[9.0, 1.0, 5.0], &[1.0, 1.0, 1.0], 1).unwrap();
+        let result = rls_independent(&inst, &RlsConfig::spt(4.0)).unwrap();
+        // On a single machine SPT starts the shortest task first.
+        assert_eq!(result.schedule.start(1), 0.0);
+        assert!(result.schedule.start(0) > result.schedule.start(2));
+    }
+
+    #[test]
+    fn fork_join_respects_precedence_under_a_tight_cap() {
+        let graph = fork_join(2, 5).with_costs(|i| sws_model::task::Task {
+            p: 1.0 + (i % 3) as f64,
+            s: 1.0 + (i % 4) as f64,
+        });
+        let inst = DagInstance::new(graph, 3).unwrap();
+        let result = rls(&inst, &RlsConfig::new(2.25)).unwrap();
+        check_feasible(&inst, &result);
+    }
+
+    #[test]
+    fn guarantee_formula_matches_the_paper() {
+        // ∆ = 3, m = 4: 2 + 1 − 2/(4·1) = 2.5.
+        let (gc, gm) = rls_guarantee(3.0, 4);
+        assert!((gc - 2.5).abs() < 1e-12);
+        assert_eq!(gm, 3.0);
+        // Substituting ∆ = 2 + ∆' must match the alternative form
+        // (2 + 1/∆' − (∆'+1)/(m·∆'), 2 + ∆').
+        let dprime = 1.5;
+        let (gc2, gm2) = rls_guarantee(2.0 + dprime, 5);
+        assert!((gc2 - (2.0 + 1.0 / dprime - (dprime + 1.0) / (5.0 * dprime))).abs() < 1e-12);
+        assert!((gm2 - (2.0 + dprime)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marked_bound_formula() {
+        assert_eq!(lemma4_marked_bound(10, 3.0), 5);
+        assert_eq!(lemma4_marked_bound(10, 6.0), 2);
+        assert_eq!(lemma4_marked_bound(4, 2.5), 2);
+    }
+
+    #[test]
+    fn empty_instance_yields_an_empty_schedule() {
+        let inst = DagInstance::new(TaskGraph::new(TaskSet::from_ps(&[], &[]).unwrap()), 2)
+            .unwrap();
+        let result = rls(&inst, &RlsConfig::new(3.0)).unwrap();
+        assert_eq!(result.schedule.n(), 0);
+        assert_eq!(result.lb, 0.0);
+    }
+
+    #[test]
+    fn all_priority_orders_produce_feasible_schedules() {
+        let mut rng = seeded_rng(14);
+        let inst = dag_workload(DagFamily::Lu, 60, 4, TaskDistribution::Correlated, &mut rng);
+        for order in PriorityOrder::all() {
+            let result = rls(&inst, &RlsConfig::new(3.0).with_order(order)).unwrap();
+            check_feasible(&inst, &result);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Independent tasks (no precedence) as a degenerate task graph.
+
+use crate::graph::TaskGraph;
+
+/// `n` independent unit tasks — the Section 3 model expressed as a task
+/// graph with no edges, so the DAG algorithms (RLS∆) can be run on
+/// independent-task instances and compared with SBO∆.
+pub fn independent(n: usize) -> TaskGraph {
+    TaskGraph::unit(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_graph_has_no_edges() {
+        let g = independent(6);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_independent());
+        assert_eq!(g.critical_path_length(), 1.0);
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        assert_eq!(independent(0).n(), 0);
+    }
+}

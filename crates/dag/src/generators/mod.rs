@@ -1,0 +1,65 @@
+//! Synthetic task-graph generators.
+//!
+//! Every generator returns a [`crate::graph::TaskGraph`] whose structure
+//! follows a classical parallel-application pattern; tasks carry unit
+//! costs (`p = s = 1`) unless the generator has a natural cost model
+//! (Gaussian elimination, LU, FFT scale their task costs with the block
+//! they operate on). Randomized cost assignment for the evaluation
+//! harness lives in `sws-workloads`, which combines these topologies with
+//! (p, s) distributions via [`crate::graph::TaskGraph::with_costs`].
+//!
+//! | Generator | Pattern | Paper motivation |
+//! |-----------|---------|------------------|
+//! | [`chain`] | single dependence chain | worst case for parallelism, critical-path = total work |
+//! | [`independent`] | no edges | the Section 3 independent-task model |
+//! | [`forkjoin`] | repeated fork–join stages | embedded streaming pipelines |
+//! | [`tree`] | in-/out-trees | reductions / broadcasts |
+//! | [`diamond`] | 2-D stencil grid | wavefront computations |
+//! | [`gauss`] | Gaussian elimination | the "large physics applications" of the introduction |
+//! | [`lu`] | blocked LU factorization | scientific computing workloads |
+//! | [`fft`] | FFT butterfly | SoC signal-processing codes |
+//! | [`layered`] | random layered DAG | synthetic application mixes |
+//! | [`erdos`] | ordered Erdős–Rényi DAG | unstructured task graphs |
+
+pub mod chain;
+pub mod diamond;
+pub mod erdos;
+pub mod fft;
+pub mod forkjoin;
+pub mod gauss;
+pub mod independent;
+pub mod layered;
+pub mod lu;
+pub mod tree;
+
+#[cfg(test)]
+mod generator_properties {
+    use crate::analysis::structurally_sound;
+    use crate::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Every generator must produce an acyclic, structurally sound graph.
+    #[test]
+    fn all_generators_produce_sound_dags() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let graphs = vec![
+            ("chain", chain(12)),
+            ("independent", independent(9)),
+            ("fork_join", fork_join(3, 4)),
+            ("in_tree", in_tree(3, 2)),
+            ("out_tree", out_tree(3, 3)),
+            ("diamond", diamond_grid(4, 5)),
+            ("gauss", gaussian_elimination(5)),
+            ("lu", lu_factorization(4)),
+            ("fft", fft_butterfly(3)),
+            ("layered", layered_random(40, 5, 0.3, &mut rng)),
+            ("erdos", layered_erdos(30, 0.1, &mut rng)),
+        ];
+        for (name, g) in graphs {
+            assert!(g.n() > 0, "{name} produced an empty graph");
+            assert!(g.topological_order().is_ok(), "{name} produced a cyclic graph");
+            assert!(structurally_sound(&g), "{name} is structurally unsound");
+        }
+    }
+}

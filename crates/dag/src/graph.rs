@@ -1,0 +1,389 @@
+//! The task-graph adjacency structure and DAG instances.
+
+use serde::{Deserialize, Serialize};
+
+use sws_model::error::ModelError;
+use sws_model::task::{Task, TaskSet};
+
+/// A directed task graph: tasks (with processing time and storage
+/// requirement) plus precedence edges `u → v` meaning "v cannot start
+/// before u completes".
+///
+/// The structure stores both predecessor and successor adjacency lists so
+/// the list scheduler can query readiness in O(in-degree).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    tasks: TaskSet,
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+impl TaskGraph {
+    /// Creates a graph with the given tasks and no edges.
+    pub fn new(tasks: TaskSet) -> Self {
+        let n = tasks.len();
+        TaskGraph { tasks, preds: vec![Vec::new(); n], succs: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Creates a graph of `n` unit tasks (`p = s = 1`) and no edges;
+    /// convenient for structural tests.
+    pub fn unit(n: usize) -> Self {
+        let tasks = TaskSet::new(vec![Task::new_unchecked(1.0, 1.0); n])
+            .expect("unit tasks are always valid");
+        TaskGraph::new(tasks)
+    }
+
+    /// Builds a graph from tasks and an edge list.
+    pub fn from_edges(tasks: TaskSet, edges: &[(usize, usize)]) -> Result<Self, ModelError> {
+        let mut g = TaskGraph::new(tasks);
+        for &(u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The task set.
+    #[inline]
+    pub fn tasks(&self) -> &TaskSet {
+        &self.tasks
+    }
+
+    /// Task by index.
+    #[inline]
+    pub fn task(&self, i: usize) -> Task {
+        self.tasks.get(i)
+    }
+
+    /// Predecessors of task `i`.
+    #[inline]
+    pub fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Successors of task `i`.
+    #[inline]
+    pub fn succs(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// The full predecessor lists, in the shape expected by
+    /// `sws_model::validate::validate_timed`.
+    #[inline]
+    pub fn all_preds(&self) -> &[Vec<usize>] {
+        &self.preds
+    }
+
+    /// Adds the precedence edge `u → v`. Self-loops are rejected; parallel
+    /// edges are ignored (idempotent).
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), ModelError> {
+        let n = self.n();
+        if u >= n {
+            return Err(ModelError::ProcessorOutOfRange { task: u, proc: u, m: n });
+        }
+        if v >= n {
+            return Err(ModelError::ProcessorOutOfRange { task: v, proc: v, m: n });
+        }
+        if u == v {
+            return Err(ModelError::CyclicPrecedence);
+        }
+        if self.succs[u].contains(&v) {
+            return Ok(());
+        }
+        self.succs[u].push(v);
+        self.preds[v].push(u);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Iterates over every edge `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// Tasks with no predecessors.
+    pub fn sources(&self) -> Vec<usize> {
+        (0..self.n()).filter(|&i| self.preds[i].is_empty()).collect()
+    }
+
+    /// Tasks with no successors.
+    pub fn sinks(&self) -> Vec<usize> {
+        (0..self.n()).filter(|&i| self.succs[i].is_empty()).collect()
+    }
+
+    /// In-degree of task `i`.
+    #[inline]
+    pub fn in_degree(&self, i: usize) -> usize {
+        self.preds[i].len()
+    }
+
+    /// Out-degree of task `i`.
+    #[inline]
+    pub fn out_degree(&self, i: usize) -> usize {
+        self.succs[i].len()
+    }
+
+    /// Whether the graph has no edges at all (independent tasks).
+    pub fn is_independent(&self) -> bool {
+        self.edge_count == 0
+    }
+
+    /// A topological order of the tasks, or an error if the graph has a
+    /// cycle (delegates to [`crate::topo::topological_order`]).
+    pub fn topological_order(&self) -> Result<Vec<usize>, ModelError> {
+        crate::topo::topological_order(self)
+    }
+
+    /// Length of the critical path (delegates to
+    /// [`crate::levels::critical_path`]); `0.0` for an empty graph.
+    pub fn critical_path_length(&self) -> f64 {
+        crate::levels::critical_path(self)
+    }
+
+    /// Returns a copy of the graph with new task costs but the same
+    /// structure. `f(i)` provides the task for node `i`.
+    pub fn with_costs<F: FnMut(usize) -> Task>(&self, mut f: F) -> TaskGraph {
+        let tasks: Vec<Task> = (0..self.n()).map(|i| f(i)).collect();
+        let tasks = TaskSet::new(tasks).expect("cost function produced invalid task");
+        TaskGraph {
+            tasks,
+            preds: self.preds.clone(),
+            succs: self.succs.clone(),
+            edge_count: self.edge_count,
+        }
+    }
+
+    /// The transitive reduction is not needed by the algorithms, but the
+    /// generators occasionally produce redundant edges; this removes any
+    /// edge `u → v` for which a longer path `u ⇝ v` exists. Runs in
+    /// O(n·(n+e)) which is fine for generator-sized graphs.
+    pub fn transitive_reduction(&self) -> TaskGraph {
+        let order = self
+            .topological_order()
+            .expect("transitive reduction requires an acyclic graph");
+        let n = self.n();
+        // reach[u] = set of vertices reachable from u via paths of length >= 2
+        // computed bottom-up in reverse topological order.
+        let mut reach: Vec<Vec<bool>> = vec![vec![false; n]; n];
+        for &u in order.iter().rev() {
+            for &v in &self.succs[u] {
+                // everything reachable from v is reachable from u via >= 2 hops
+                let (ru, rv) = {
+                    // split borrow
+                    let (a, b) = if u < v {
+                        let (l, r) = reach.split_at_mut(v);
+                        (&mut l[u], &r[0])
+                    } else {
+                        let (l, r) = reach.split_at_mut(u);
+                        (&mut r[0], &l[v])
+                    };
+                    (a, b)
+                };
+                for w in 0..n {
+                    if rv[w] {
+                        ru[w] = true;
+                    }
+                }
+                ru[v] = true;
+            }
+        }
+        // An edge u -> v is redundant if some other successor w of u reaches v.
+        let mut reduced = TaskGraph::new(self.tasks.clone());
+        for u in 0..n {
+            for &v in &self.succs[u] {
+                let redundant = self.succs[u]
+                    .iter()
+                    .any(|&w| w != v && reach[w][v]);
+                if !redundant {
+                    reduced.add_edge(u, v).expect("edge indices already validated");
+                }
+            }
+        }
+        reduced
+    }
+}
+
+/// A precedence-constrained instance: a task graph plus the number of
+/// identical processors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagInstance {
+    graph: TaskGraph,
+    m: usize,
+}
+
+impl DagInstance {
+    /// Builds an instance; fails when `m = 0` or the graph is cyclic.
+    pub fn new(graph: TaskGraph, m: usize) -> Result<Self, ModelError> {
+        if m == 0 {
+            return Err(ModelError::NoProcessors);
+        }
+        crate::topo::topological_order(&graph)?;
+        Ok(DagInstance { graph, m })
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The task graph.
+    #[inline]
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// The task set.
+    #[inline]
+    pub fn tasks(&self) -> &TaskSet {
+        self.graph.tasks()
+    }
+
+    /// The independent-task relaxation of this instance (same tasks and
+    /// processors, precedence dropped) — used by lower bounds and by the
+    /// SBO∆ comparison baselines.
+    pub fn relaxation(&self) -> sws_model::Instance {
+        sws_model::Instance::new(self.graph.tasks().clone(), self.m)
+            .expect("m > 0 checked at construction")
+    }
+
+    /// Returns a copy with a different processor count.
+    pub fn with_processors(&self, m: usize) -> Result<DagInstance, ModelError> {
+        DagInstance::new(self.graph.clone(), m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut g = TaskGraph::unit(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(1, 3).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g
+    }
+
+    #[test]
+    fn adjacency_lists_are_consistent() {
+        let g = diamond();
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.succs(0), &[1, 2]);
+        assert_eq!(g.preds(3), &[1, 2]);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![3]);
+    }
+
+    #[test]
+    fn parallel_edges_are_idempotent() {
+        let mut g = TaskGraph::unit(2);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_and_out_of_range_edges_are_rejected() {
+        let mut g = TaskGraph::unit(2);
+        assert!(g.add_edge(0, 0).is_err());
+        assert!(g.add_edge(0, 5).is_err());
+        assert!(g.add_edge(7, 1).is_err());
+    }
+
+    #[test]
+    fn edges_iterator_lists_every_edge_once() {
+        let g = diamond();
+        let mut edges: Vec<(usize, usize)> = g.edges().collect();
+        edges.sort();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn with_costs_preserves_structure() {
+        let g = diamond();
+        let g2 = g.with_costs(|i| Task::new_unchecked(i as f64 + 1.0, 2.0));
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.task(2).p, 3.0);
+        assert_eq!(g2.task(2).s, 2.0);
+    }
+
+    #[test]
+    fn transitive_reduction_removes_shortcut_edges() {
+        // 0 -> 1 -> 2 plus the redundant shortcut 0 -> 2.
+        let mut g = TaskGraph::unit(3);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(0, 2).unwrap();
+        let r = g.transitive_reduction();
+        let mut edges: Vec<(usize, usize)> = r.edges().collect();
+        edges.sort();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn transitive_reduction_keeps_diamond_intact() {
+        let g = diamond();
+        let r = g.transitive_reduction();
+        assert_eq!(r.edge_count(), 4);
+    }
+
+    #[test]
+    fn dag_instance_rejects_zero_processors_and_cycles() {
+        let g = diamond();
+        assert!(DagInstance::new(g.clone(), 0).is_err());
+        assert!(DagInstance::new(g, 2).is_ok());
+    }
+
+    #[test]
+    fn relaxation_drops_precedence_but_keeps_tasks() {
+        let inst = DagInstance::new(diamond(), 3).unwrap();
+        let relaxed = inst.relaxation();
+        assert_eq!(relaxed.n(), 4);
+        assert_eq!(relaxed.m(), 3);
+    }
+
+    #[test]
+    fn from_edges_builds_the_same_graph_as_incremental_insertion() {
+        let a = diamond();
+        let b = TaskGraph::from_edges(
+            a.tasks().clone(),
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph_is_independent() {
+        let g = TaskGraph::unit(5);
+        assert!(g.is_independent());
+        assert_eq!(g.sources().len(), 5);
+        assert_eq!(g.sinks().len(), 5);
+    }
+}

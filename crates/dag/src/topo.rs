@@ -1,0 +1,121 @@
+//! Topological ordering and cycle detection (Kahn's algorithm).
+
+use sws_model::error::ModelError;
+
+use crate::graph::TaskGraph;
+
+/// Computes a topological order of the task graph using Kahn's algorithm.
+/// Among ready tasks the one with the smallest index is emitted first, so
+/// the order is deterministic.
+///
+/// Returns [`ModelError::CyclicPrecedence`] if the graph has a cycle.
+pub fn topological_order(graph: &TaskGraph) -> Result<Vec<usize>, ModelError> {
+    let n = graph.n();
+    let mut in_deg: Vec<usize> = (0..n).map(|i| graph.in_degree(i)).collect();
+    // A binary heap would give O(e log n); a sorted ready list kept as a
+    // BinaryHeap of Reverse(index) keeps determinism with small overhead.
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&i| in_deg[i] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(u)) = ready.pop() {
+        order.push(u);
+        for &v in graph.succs(u) {
+            in_deg[v] -= 1;
+            if in_deg[v] == 0 {
+                ready.push(std::cmp::Reverse(v));
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(ModelError::CyclicPrecedence);
+    }
+    Ok(order)
+}
+
+/// Whether the graph is acyclic.
+pub fn is_acyclic(graph: &TaskGraph) -> bool {
+    topological_order(graph).is_ok()
+}
+
+/// Verifies that `order` is a valid topological order of `graph`: it is a
+/// permutation of `0..n` and every edge goes forward.
+pub fn is_topological_order(graph: &TaskGraph, order: &[usize]) -> bool {
+    let n = graph.n();
+    if order.len() != n {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (rank, &v) in order.iter().enumerate() {
+        if v >= n || pos[v] != usize::MAX {
+            return false;
+        }
+        pos[v] = rank;
+    }
+    graph.edges().all(|(u, v)| pos[u] < pos[v])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraph;
+
+    #[test]
+    fn chain_is_ordered_front_to_back() {
+        let mut g = TaskGraph::unit(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(2, 3).unwrap();
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert!(is_topological_order(&g, &order));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = TaskGraph::unit(3);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(2, 0).unwrap();
+        assert!(matches!(topological_order(&g), Err(ModelError::CyclicPrecedence)));
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn independent_tasks_come_out_in_index_order() {
+        let g = TaskGraph::unit(5);
+        assert_eq!(topological_order(&g).unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn order_respects_every_edge_of_a_diamond() {
+        let mut g = TaskGraph::unit(4);
+        // Reverse-looking indices: 3 -> 1, 3 -> 2, 1 -> 0, 2 -> 0.
+        g.add_edge(3, 1).unwrap();
+        g.add_edge(3, 2).unwrap();
+        g.add_edge(1, 0).unwrap();
+        g.add_edge(2, 0).unwrap();
+        let order = topological_order(&g).unwrap();
+        assert!(is_topological_order(&g, &order));
+        assert_eq!(order[0], 3);
+        assert_eq!(order[3], 0);
+    }
+
+    #[test]
+    fn validator_rejects_bad_orders() {
+        let mut g = TaskGraph::unit(3);
+        g.add_edge(0, 1).unwrap();
+        assert!(!is_topological_order(&g, &[1, 0, 2]));
+        assert!(!is_topological_order(&g, &[0, 1]));
+        assert!(!is_topological_order(&g, &[0, 0, 1]));
+        assert!(!is_topological_order(&g, &[0, 1, 5]));
+    }
+
+    #[test]
+    fn empty_graph_has_empty_order() {
+        let g = TaskGraph::unit(0);
+        assert_eq!(topological_order(&g).unwrap(), Vec::<usize>::new());
+        assert!(is_acyclic(&g));
+    }
+}

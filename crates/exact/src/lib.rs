@@ -1,0 +1,32 @@
+//! # sws-exact
+//!
+//! Exact solvers for small instances of `P | p_j, s_j | Cmax, Mmax`, used
+//! by the reproduction to
+//!
+//! * measure the true approximation ratios of SBO∆, RLS∆ and the
+//!   baselines (experiments E1–E4 of DESIGN.md), and
+//! * regenerate the Pareto-optimal schedules of the paper's adversarial
+//!   instances (Figures 1 and 2).
+//!
+//! Modules:
+//!
+//! * [`branch_bound`] — optimal single-objective partitioning (minimum
+//!   `Cmax`, and by symmetry minimum `Mmax`) by depth-first branch and
+//!   bound with symmetry breaking,
+//! * [`dp`] — a subset-sum dynamic program for the two-machine case, used
+//!   to cross-check the branch and bound,
+//! * [`pareto_enum`] — exhaustive enumeration of the bi-objective Pareto
+//!   front over all assignments (with processor-symmetry pruning).
+//!
+//! All solvers are exponential in the worst case and intended for
+//! instances of roughly `n ≤ 16`; they assert nothing about larger inputs
+//! but become slow.
+
+pub mod branch_bound;
+pub mod brute;
+pub mod dp;
+pub mod pareto_enum;
+
+pub use branch_bound::{optimal_cmax, optimal_mmax, optimal_point};
+pub use brute::{brute_optimal_cmax, brute_pareto_front};
+pub use pareto_enum::pareto_front;

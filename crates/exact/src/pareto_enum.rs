@@ -1,0 +1,195 @@
+//! Exhaustive enumeration of the bi-objective Pareto front.
+//!
+//! Enumerates every assignment of the instance's tasks to its processors
+//! (with first-use symmetry breaking so permuting identical machines is
+//! not re-explored) and maintains the Pareto front of `(Cmax, Mmax)`
+//! points. This is the tool used to regenerate the paper's Figures 1
+//! and 2 and to compute true Pareto fronts for the ratio experiments on
+//! small instances.
+
+use sws_model::objectives::ObjectivePoint;
+use sws_model::pareto::ParetoFront;
+use sws_model::schedule::Assignment;
+use sws_model::Instance;
+
+/// Practical size guard: `m^n` explodes quickly; the enumerator refuses
+/// clearly hopeless inputs instead of hanging.
+const MAX_STATES: f64 = 5e7;
+
+/// Enumerates every assignment (up to machine renaming) and returns the
+/// Pareto front of objective points, each tagged with one assignment that
+/// achieves it.
+///
+/// # Panics
+/// Panics when `m^n` exceeds an internal safety limit (~5·10⁷ states).
+pub fn pareto_front(inst: &Instance) -> ParetoFront<Assignment> {
+    let n = inst.n();
+    let m = inst.m();
+    let states = (m as f64).powi(n as i32);
+    assert!(
+        states <= MAX_STATES,
+        "exhaustive enumeration would need {states:.2e} states; reduce n or m"
+    );
+
+    let mut front: ParetoFront<Assignment> = ParetoFront::new();
+    if n == 0 {
+        let asg = Assignment::zeroed(0, m).expect("m > 0");
+        front.offer(ObjectivePoint::new(0.0, 0.0), asg);
+        return front;
+    }
+
+    let mut current = vec![0usize; n];
+    let mut loads = vec![0.0f64; m];
+    let mut mems = vec![0.0f64; m];
+
+    fn recurse(
+        inst: &Instance,
+        k: usize,
+        used: usize,
+        current: &mut Vec<usize>,
+        loads: &mut Vec<f64>,
+        mems: &mut Vec<f64>,
+        front: &mut ParetoFront<Assignment>,
+    ) {
+        let n = inst.n();
+        let m = inst.m();
+        if k == n {
+            let point = ObjectivePoint::new(
+                loads.iter().copied().fold(0.0, f64::max),
+                mems.iter().copied().fold(0.0, f64::max),
+            );
+            if !front.covers(&point) {
+                let mut asg = Assignment::zeroed(n, m).expect("m > 0");
+                for (i, &q) in current.iter().enumerate() {
+                    asg.assign(i, q).expect("q < m");
+                }
+                front.offer(point, asg);
+            }
+            return;
+        }
+        // Symmetry breaking: the next task may go to any machine already
+        // used, or to exactly one fresh machine (machine index `used`).
+        let limit = (used + 1).min(m);
+        for q in 0..limit {
+            current[k] = q;
+            loads[q] += inst.p(k);
+            mems[q] += inst.s(k);
+            recurse(inst, k + 1, used.max(q + 1), current, loads, mems, front);
+            loads[q] -= inst.p(k);
+            mems[q] -= inst.s(k);
+        }
+    }
+
+    recurse(inst, 0, 0, &mut current, &mut loads, &mut mems, &mut front);
+    front
+}
+
+/// The best makespan achievable when the memory consumption is constrained
+/// to stay at or below `budget` — computed from the exhaustive front.
+/// Returns `None` when no schedule satisfies the budget (which cannot
+/// happen for `budget ≥ Σ s_i`).
+pub fn best_cmax_under_memory_budget(inst: &Instance, budget: f64) -> Option<f64> {
+    let front = pareto_front(inst);
+    front
+        .iter()
+        .filter(|(pt, _)| pt.mmax <= budget + 1e-12)
+        .map(|(pt, _)| pt.cmax)
+        .min_by(|a, b| sws_model::numeric::total_cmp(*a, *b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_model::numeric::approx_eq;
+
+    #[test]
+    fn reproduces_the_two_pareto_points_of_figure_1() {
+        // Section 4.1: p = [1, 1/2, 1/2], s = [eps, 1, 1], m = 2.
+        let eps = 0.001;
+        let inst = Instance::from_ps(&[1.0, 0.5, 0.5], &[eps, 1.0, 1.0], 2).unwrap();
+        let front = pareto_front(&inst);
+        let points = front.points();
+        assert_eq!(points.len(), 2);
+        assert!(approx_eq(points[0].cmax, 1.0) && approx_eq(points[0].mmax, 2.0));
+        assert!(approx_eq(points[1].cmax, 1.5) && approx_eq(points[1].mmax, 1.0 + eps));
+    }
+
+    #[test]
+    fn reproduces_the_three_pareto_points_of_figure_2() {
+        // Section 4.3: p = [1, eps, 1 - eps], s = [eps, 1, 1 - eps], m = 2.
+        let eps = 0.25;
+        let inst =
+            Instance::from_ps(&[1.0, eps, 1.0 - eps], &[eps, 1.0, 1.0 - eps], 2).unwrap();
+        let front = pareto_front(&inst);
+        let points = front.points();
+        assert_eq!(points.len(), 3);
+        // (1, 2 - eps), (1 + eps, 1 + eps), (2 - eps, 1).
+        assert!(approx_eq(points[0].cmax, 1.0) && approx_eq(points[0].mmax, 2.0 - eps));
+        assert!(approx_eq(points[1].cmax, 1.0 + eps) && approx_eq(points[1].mmax, 1.0 + eps));
+        assert!(approx_eq(points[2].cmax, 2.0 - eps) && approx_eq(points[2].mmax, 1.0));
+    }
+
+    #[test]
+    fn front_extremes_match_the_single_objective_optima() {
+        let inst = Instance::from_ps(
+            &[3.0, 1.0, 4.0, 1.0, 5.0],
+            &[2.0, 7.0, 1.0, 8.0, 2.0],
+            2,
+        )
+        .unwrap();
+        let front = pareto_front(&inst);
+        let best_c = front.best_cmax().unwrap().0.cmax;
+        let best_m = front.best_mmax().unwrap().0.mmax;
+        assert!(approx_eq(best_c, crate::branch_bound::optimal_cmax(&inst)));
+        assert!(approx_eq(best_m, crate::branch_bound::optimal_mmax(&inst)));
+    }
+
+    #[test]
+    fn every_front_assignment_achieves_its_point() {
+        let inst = Instance::from_ps(
+            &[2.0, 1.0, 3.0, 1.5],
+            &[1.0, 2.0, 1.0, 2.5],
+            2,
+        )
+        .unwrap();
+        let front = pareto_front(&inst);
+        for (pt, asg) in front.iter() {
+            let actual = ObjectivePoint::of_assignment(&inst, asg);
+            assert!(approx_eq(actual.cmax, pt.cmax));
+            assert!(approx_eq(actual.mmax, pt.mmax));
+        }
+    }
+
+    #[test]
+    fn memory_budget_query_interpolates_the_front() {
+        let eps = 0.001;
+        let inst = Instance::from_ps(&[1.0, 0.5, 0.5], &[eps, 1.0, 1.0], 2).unwrap();
+        // Loose budget: the makespan-optimal point (1, 2) qualifies.
+        assert!(approx_eq(
+            best_cmax_under_memory_budget(&inst, 2.5).unwrap(),
+            1.0
+        ));
+        // Tight budget: only the (3/2, 1 + eps) point qualifies.
+        assert!(approx_eq(
+            best_cmax_under_memory_budget(&inst, 1.5).unwrap(),
+            1.5
+        ));
+        // Infeasible budget: nothing fits below the max task size.
+        assert!(best_cmax_under_memory_budget(&inst, 0.5).is_none());
+    }
+
+    #[test]
+    fn empty_instance_has_a_single_zero_point() {
+        let inst = Instance::from_ps(&[], &[], 2).unwrap();
+        let front = pareto_front(&inst);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front.points()[0], ObjectivePoint::new(0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unreasonably_large_enumerations_are_refused() {
+        let inst = Instance::from_ps(&[1.0; 40], &[1.0; 40], 8).unwrap();
+        let _ = pareto_front(&inst);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests of the exact solvers: the branch-and-bound
+//! optimum agrees with an independent exhaustive search, the two-machine
+//! DP agrees with both, and the Pareto-front enumerator produces exactly
+//! the set of non-dominated objective vectors.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sws_exact::branch_bound::{optimal_cmax, optimal_mmax, optimal_partition, optimal_point};
+use sws_exact::dp::{optimal_two_machine_int, optimal_two_machine_scaled};
+use sws_exact::pareto_enum::{best_cmax_under_memory_budget, pareto_front};
+use sws_model::objectives::{cmax_of_assignment, ObjectivePoint};
+use sws_model::validate::validate_assignment;
+use sws_model::Instance;
+
+/// Plain exhaustive search over all m^n assignments, the independent
+/// reference the faster solvers are checked against.
+fn exhaustive_cmax(weights: &[f64], m: usize) -> f64 {
+    let n = weights.len();
+    let mut best = f64::INFINITY;
+    let states = (m as u64).pow(n as u32);
+    for code in 0..states {
+        let mut c = code;
+        let mut loads = vec![0.0; m];
+        for &w in weights {
+            loads[(c % m as u64) as usize] += w;
+            c /= m as u64;
+        }
+        best = best.min(loads.into_iter().fold(0.0, f64::max));
+    }
+    best
+}
+
+/// Exhaustive bi-objective Pareto front (no symmetry breaking, no
+/// pruning), used to validate the smarter enumerator.
+fn exhaustive_front(inst: &Instance) -> Vec<ObjectivePoint> {
+    let n = inst.n();
+    let m = inst.m();
+    let states = (m as u64).pow(n as u32);
+    let mut points = Vec::new();
+    for code in 0..states {
+        let mut c = code;
+        let mut loads = vec![0.0; m];
+        let mut mems = vec![0.0; m];
+        for i in 0..n {
+            let q = (c % m as u64) as usize;
+            loads[q] += inst.p(i);
+            mems[q] += inst.s(i);
+            c /= m as u64;
+        }
+        points.push(ObjectivePoint::new(
+            loads.into_iter().fold(0.0, f64::max),
+            mems.into_iter().fold(0.0, f64::max),
+        ));
+    }
+    // Keep only the non-dominated ones.
+    let mut front: Vec<ObjectivePoint> = Vec::new();
+    for p in &points {
+        let dominated = points.iter().any(|q| {
+            (q.cmax < p.cmax - 1e-9 && q.mmax <= p.mmax + 1e-9)
+                || (q.cmax <= p.cmax + 1e-9 && q.mmax < p.mmax - 1e-9)
+        });
+        if !dominated && !front.iter().any(|q| (q.cmax - p.cmax).abs() < 1e-9 && (q.mmax - p.mmax).abs() < 1e-9) {
+            front.push(*p);
+        }
+    }
+    front.sort_by(|a, b| sws_model::numeric::total_cmp(a.cmax, b.cmax));
+    front
+}
+
+fn tiny_instance() -> impl Strategy<Value = Instance> {
+    (2usize..=3, 2usize..=7).prop_flat_map(|(m, n)| {
+        (vec(0.5f64..10.0, n), vec(0.5f64..10.0, n), Just(m))
+            .prop_map(|(p, s, m)| Instance::from_ps(&p, &s, m).expect("valid draws"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Branch and bound matches the plain exhaustive optimum and returns a
+    /// witness partition achieving it.
+    #[test]
+    fn branch_and_bound_matches_exhaustive_search(inst in tiny_instance()) {
+        let weights: Vec<f64> = (0..inst.n()).map(|i| inst.p(i)).collect();
+        let reference = exhaustive_cmax(&weights, inst.m());
+        let via_bb = optimal_cmax(&inst);
+        prop_assert!((via_bb - reference).abs() < 1e-9);
+        let (value, witness) = optimal_partition(&weights, inst.m());
+        prop_assert!((value - reference).abs() < 1e-9);
+        validate_assignment(&inst, &witness, None).unwrap();
+        prop_assert!((cmax_of_assignment(inst.tasks(), &witness) - value).abs() < 1e-9);
+        // The memory optimum is the makespan optimum of the swapped instance.
+        prop_assert!((optimal_mmax(&inst) - optimal_cmax(&inst.swapped())).abs() < 1e-9);
+    }
+
+    /// The two-machine subset-sum DP agrees with branch and bound for
+    /// integer weights.
+    #[test]
+    fn two_machine_dp_matches_branch_and_bound(
+        weights in vec(1u64..40, 2..12),
+    ) {
+        let float: Vec<f64> = weights.iter().map(|&w| w as f64).collect();
+        let inst = Instance::from_ps(&float, &vec![1.0; float.len()], 2).unwrap();
+        let dp = optimal_two_machine_int(&weights);
+        prop_assert!((dp as f64 - optimal_cmax(&inst)).abs() < 1e-9);
+        // The scaled variant at unit quantum agrees exactly on integers.
+        let scaled = optimal_two_machine_scaled(&float, 1.0);
+        prop_assert!((scaled - dp as f64).abs() < 1e-9);
+    }
+
+    /// The Pareto enumerator returns exactly the non-dominated set, each
+    /// tagged with an assignment achieving its point, and its extremes are
+    /// the single-objective optima.
+    #[test]
+    fn pareto_enumerator_matches_the_exhaustive_front(inst in tiny_instance()) {
+        let front = pareto_front(&inst);
+        let reference = exhaustive_front(&inst);
+        let mut points = front.points();
+        points.sort_by(|a, b| sws_model::numeric::total_cmp(a.cmax, b.cmax));
+        prop_assert_eq!(points.len(), reference.len(),
+            "front sizes differ: {:?} vs {:?}", points, reference);
+        for (a, b) in points.iter().zip(&reference) {
+            prop_assert!((a.cmax - b.cmax).abs() < 1e-9);
+            prop_assert!((a.mmax - b.mmax).abs() < 1e-9);
+        }
+        for (pt, asg) in front.iter() {
+            validate_assignment(&inst, asg, None).unwrap();
+            let achieved = ObjectivePoint::of_assignment(&inst, asg);
+            prop_assert!((achieved.cmax - pt.cmax).abs() < 1e-9);
+            prop_assert!((achieved.mmax - pt.mmax).abs() < 1e-9);
+        }
+        let opt = optimal_point(&inst);
+        prop_assert!((front.best_cmax().unwrap().0.cmax - opt.cmax).abs() < 1e-9);
+        prop_assert!((front.best_mmax().unwrap().0.mmax - opt.mmax).abs() < 1e-9);
+    }
+
+    /// The budget query walks the front correctly: it is monotone in the
+    /// budget, infeasible below the smallest front memory, and equal to the
+    /// unconstrained optimum for huge budgets.
+    #[test]
+    fn budget_queries_are_monotone_and_consistent(inst in tiny_instance()) {
+        let front = pareto_front(&inst);
+        let min_mem = front.best_mmax().unwrap().0.mmax;
+        let max_mem = front.best_cmax().unwrap().0.mmax;
+        prop_assert!(best_cmax_under_memory_budget(&inst, min_mem * 0.99 - 1e-6).is_none());
+        let unconstrained = best_cmax_under_memory_budget(&inst, max_mem + 1.0).unwrap();
+        prop_assert!((unconstrained - optimal_cmax(&inst)).abs() < 1e-9);
+        let mut last = f64::INFINITY;
+        let mut budget = min_mem;
+        while budget <= max_mem + 1e-9 {
+            if let Some(best) = best_cmax_under_memory_budget(&inst, budget + 1e-9) {
+                prop_assert!(best <= last + 1e-9);
+                last = best;
+            }
+            budget += (max_mem - min_mem).max(1.0) / 4.0;
+        }
+    }
+}
+
+#[test]
+fn known_partition_instances() {
+    // Classic PARTITION-style instance: perfectly splittable.
+    let inst = Instance::from_ps(&[3.0, 1.0, 1.0, 2.0, 2.0, 1.0], &[1.0; 6], 2).unwrap();
+    assert!((optimal_cmax(&inst) - 5.0).abs() < 1e-9);
+    // Not splittable: 3 jobs of 2 on 2 machines.
+    let odd = Instance::from_ps(&[2.0, 2.0, 2.0], &[1.0; 3], 2).unwrap();
+    assert!((optimal_cmax(&odd) - 4.0).abs() < 1e-9);
+    // Integer DP on the same data.
+    assert_eq!(optimal_two_machine_int(&[2, 2, 2]), 4);
+    assert_eq!(optimal_two_machine_int(&[3, 1, 1, 2, 2, 1]), 5);
+}

@@ -1,0 +1,186 @@
+//! Graham list scheduling under precedence constraints.
+//!
+//! This is the unconstrained ancestor of the paper's RLS∆ (Algorithm 2):
+//! repeatedly pick, among the ready tasks, the one that can start the
+//! soonest (ties broken by a priority rank) and place it on the least
+//! loaded processor. Graham's classical analysis gives a `2 − 1/m`
+//! guarantee on the makespan against `max(Σp_i/m, critical path)`.
+//!
+//! The implementation deliberately mirrors the structure of Algorithm 2 in
+//! the paper (without the memory restriction) so that RLS∆ in `sws-core`
+//! differs from it only by the `memsize[j] + s_i ≤ ∆·LB` filter.
+
+use sws_dag::DagInstance;
+use sws_model::schedule::TimedSchedule;
+
+use crate::priority::PriorityRank;
+
+/// List scheduling with precedence constraints.
+///
+/// `priority` gives the tie-break rank of every task (lower = preferred);
+/// pass [`crate::priority::index_priority`] for the paper's "arbitrary"
+/// order or [`crate::priority::hlf_priority`] for critical-path first.
+pub fn dag_list_schedule(inst: &DagInstance, priority: &PriorityRank) -> TimedSchedule {
+    let graph = inst.graph();
+    let n = graph.n();
+    let m = inst.m();
+    assert_eq!(priority.len(), n, "priority rank must cover every task");
+
+    let mut load = vec![0.0f64; m];
+    let mut completion = vec![0.0f64; n];
+    let mut scheduled = vec![false; n];
+    let mut remaining_preds: Vec<usize> = (0..n).map(|i| graph.in_degree(i)).collect();
+    let mut proc_of = vec![0usize; n];
+    let mut start = vec![0.0f64; n];
+
+    for _round in 0..n {
+        // Among ready (all predecessors completed, not yet scheduled)
+        // tasks, compute the earliest possible start on the least loaded
+        // processor and keep the task minimizing it.
+        let mut best: Option<(f64, usize, usize)> = None; // (start, rank, task)
+        for i in 0..n {
+            if scheduled[i] || remaining_preds[i] != 0 {
+                continue;
+            }
+            let q = argmin(&load);
+            let pred_ready = graph
+                .preds(i)
+                .iter()
+                .map(|&p| completion[p])
+                .fold(0.0f64, f64::max);
+            let ready = pred_ready.max(load[q]);
+            let candidate = (ready, priority[i], i);
+            let better = match best {
+                None => true,
+                Some(cur) => {
+                    candidate.0 < cur.0 - 1e-15
+                        || (approx(candidate.0, cur.0) && candidate.1 < cur.1)
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        let (ready, _rank, i) = best.expect("an acyclic graph always has a ready task");
+        let q = argmin(&load);
+        proc_of[i] = q;
+        start[i] = ready;
+        completion[i] = ready + graph.task(i).p;
+        load[q] = completion[i];
+        scheduled[i] = true;
+        for &v in graph.succs(i) {
+            remaining_preds[v] -= 1;
+        }
+    }
+
+    TimedSchedule::new(proc_of, start, m).expect("constructed schedule is well formed")
+}
+
+fn argmin(values: &[f64]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v < values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn approx(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// The Graham guarantee for precedence-constrained list scheduling,
+/// measured against `Σp_i/m + critical path ≤ 2·C*max`: the makespan is at
+/// most `(2 − 1/m)·C*max`.
+pub fn dag_list_guarantee(m: usize) -> f64 {
+    2.0 - 1.0 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::{hlf_priority, index_priority};
+    use sws_dag::prelude::*;
+    use sws_model::bounds::cmax_lower_bound_prec;
+    use sws_model::validate::validate_timed;
+
+    fn check(inst: &DagInstance, sched: &TimedSchedule) {
+        let preds = inst.graph().all_preds();
+        validate_timed(inst.tasks(), inst.m(), sched, preds, None)
+            .expect("list schedule must be feasible");
+    }
+
+    #[test]
+    fn chain_is_executed_sequentially() {
+        let inst = DagInstance::new(chain(5), 3).unwrap();
+        let sched = dag_list_schedule(&inst, &index_priority(5));
+        check(&inst, &sched);
+        assert!((sched.cmax(inst.tasks()) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_tasks_reduce_to_graham() {
+        let inst = DagInstance::new(independent(8), 4).unwrap();
+        let sched = dag_list_schedule(&inst, &index_priority(8));
+        check(&inst, &sched);
+        assert!((sched.cmax(inst.tasks()) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fork_join_uses_the_available_parallelism() {
+        // 1 fork + 4 parallel + 1 join on 2 processors: 1 + 2 + 1 = 4.
+        let inst = DagInstance::new(fork_join(1, 4), 2).unwrap();
+        let sched = dag_list_schedule(&inst, &index_priority(inst.n()));
+        check(&inst, &sched);
+        assert!((sched.cmax(inst.tasks()) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_graham_bound_on_every_generator_family() {
+        let graphs = vec![
+            gaussian_elimination(5),
+            lu_factorization(3),
+            fft_butterfly(3),
+            diamond_grid(4, 4),
+            out_tree(4, 2),
+        ];
+        for g in graphs {
+            for &m in &[2usize, 4, 8] {
+                let inst = DagInstance::new(g.clone(), m).unwrap();
+                let priority = hlf_priority(inst.graph());
+                let sched = dag_list_schedule(&inst, &priority);
+                check(&inst, &sched);
+                let cp = inst.graph().critical_path_length();
+                let lb = cmax_lower_bound_prec(inst.tasks(), m, cp);
+                let cmax = sched.cmax(inst.tasks());
+                assert!(
+                    cmax <= dag_list_guarantee(m) * lb * (1.0 + 1e-9) + 1e-9,
+                    "Graham bound violated: cmax = {cmax}, lb = {lb}, m = {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hlf_priority_never_worse_than_graham_bound_on_diamond() {
+        let inst = DagInstance::new(diamond_grid(6, 6), 3).unwrap();
+        let sched = dag_list_schedule(&inst, &hlf_priority(inst.graph()));
+        check(&inst, &sched);
+        let cp = inst.graph().critical_path_length();
+        let lb = cmax_lower_bound_prec(inst.tasks(), 3, cp);
+        assert!(sched.cmax(inst.tasks()) <= dag_list_guarantee(3) * lb + 1e-9);
+    }
+
+    #[test]
+    fn no_processor_is_idle_while_work_is_ready() {
+        // Structural check of the Graham property on a small instance:
+        // with independent tasks and m = 2, both processors must be busy
+        // until the last task starts.
+        let inst = DagInstance::new(independent(6), 2).unwrap();
+        let sched = dag_list_schedule(&inst, &index_priority(6));
+        let busy: f64 = sched.busy(inst.tasks()).iter().sum();
+        assert!((busy - inst.tasks().total_work()).abs() < 1e-9);
+        assert!((sched.cmax(inst.tasks()) - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Longest Processing Time first (LPT).
+//!
+//! LPT is Graham list scheduling with the tasks considered in decreasing
+//! weight order; its approximation ratio for `P ∥ Cmax` improves to
+//! `4/3 − 1/(3m)`. It is the natural "reasonable effort" inner algorithm
+//! for SBO∆ when the full PTAS is too slow.
+
+use sws_model::schedule::Assignment;
+use sws_model::Instance;
+
+use crate::graham::list_schedule;
+
+/// Indices of the tasks sorted by decreasing weight (ties by index).
+pub fn lpt_order(weights: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        sws_model::numeric::total_cmp(weights[b], weights[a]).then(a.cmp(&b))
+    });
+    order
+}
+
+/// LPT scheduling for the makespan objective.
+/// Guarantee: `Cmax ≤ (4/3 − 1/(3m))·C*max`.
+pub fn lpt_cmax(inst: &Instance) -> Assignment {
+    let weights: Vec<f64> = (0..inst.n()).map(|i| inst.p(i)).collect();
+    let order = lpt_order(&weights);
+    list_schedule(&weights, inst.m(), &order)
+}
+
+/// LPT scheduling for the memory objective (sorts by decreasing `s_i`).
+/// Guarantee: `Mmax ≤ (4/3 − 1/(3m))·M*max`.
+pub fn lpt_mmax(inst: &Instance) -> Assignment {
+    let weights: Vec<f64> = (0..inst.n()).map(|i| inst.s(i)).collect();
+    let order = lpt_order(&weights);
+    list_schedule(&weights, inst.m(), &order)
+}
+
+/// The LPT guarantee `4/3 − 1/(3m)`.
+pub fn lpt_guarantee(m: usize) -> f64 {
+    4.0 / 3.0 - 1.0 / (3.0 * m as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_model::bounds::{cmax_lower_bound, mmax_lower_bound};
+    use sws_model::objectives::{cmax_of_assignment, mmax_of_assignment};
+    use sws_model::validate::validate_assignment;
+
+    #[test]
+    fn order_is_decreasing() {
+        let order = lpt_order(&[1.0, 5.0, 3.0, 5.0]);
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn lpt_beats_plain_list_scheduling_on_the_anomaly_instance() {
+        let m = 4usize;
+        let mut p = vec![1.0; m * (m - 1)];
+        p.push(m as f64);
+        let s = vec![1.0; p.len()];
+        let inst = Instance::from_ps(&p, &s, m).unwrap();
+        let asg = lpt_cmax(&inst);
+        let cmax = cmax_of_assignment(inst.tasks(), &asg);
+        // LPT places the long task first and achieves the optimum m.
+        assert!((cmax - m as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_the_lpt_bound_on_random_style_instance() {
+        let inst = Instance::from_ps(
+            &[7.0, 9.0, 2.0, 4.0, 6.0, 1.0, 8.0, 5.0, 3.0],
+            &[1.0; 9],
+            3,
+        )
+        .unwrap();
+        let asg = lpt_cmax(&inst);
+        assert!(validate_assignment(&inst, &asg, None).is_ok());
+        let cmax = cmax_of_assignment(inst.tasks(), &asg);
+        let lb = cmax_lower_bound(inst.tasks(), inst.m());
+        assert!(cmax <= lpt_guarantee(inst.m()) * lb + 1e-9);
+    }
+
+    #[test]
+    fn memory_variant_sorts_by_storage() {
+        let inst = Instance::from_ps(
+            &[1.0, 1.0, 1.0, 1.0],
+            &[10.0, 1.0, 9.0, 2.0],
+            2,
+        )
+        .unwrap();
+        let asg = lpt_mmax(&inst);
+        let mmax = mmax_of_assignment(inst.tasks(), &asg);
+        // Perfect split: {10, 1} and {9, 2} -> 11.
+        assert!((mmax - 11.0).abs() < 1e-9);
+        let lb = mmax_lower_bound(inst.tasks(), inst.m());
+        assert!(mmax <= lpt_guarantee(2) * lb + 1e-9);
+    }
+
+    #[test]
+    fn guarantee_formula() {
+        assert!((lpt_guarantee(1) - 1.0).abs() < 1e-12);
+        assert!((lpt_guarantee(2) - (4.0 / 3.0 - 1.0 / 6.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,119 @@
+//! Priority orders for list scheduling under precedence constraints.
+//!
+//! The paper's RLS∆ uses "an arbitrary total ordering of tasks to break
+//! ties"; this module provides the classical choices so the evaluation can
+//! compare them (and so the Section 5.2 tri-objective variant can plug in
+//! SPT).
+
+use sws_dag::TaskGraph;
+
+/// A total order over tasks, expressed as a rank per task: the task with
+/// the *smallest* rank wins ties.
+pub type PriorityRank = Vec<usize>;
+
+/// Converts an explicit order (first = highest priority) into ranks.
+pub fn rank_of_order(order: &[usize]) -> PriorityRank {
+    let mut rank = vec![usize::MAX; order.len()];
+    for (r, &task) in order.iter().enumerate() {
+        rank[task] = r;
+    }
+    rank
+}
+
+/// Index order: task 0 first. This is the "arbitrary" order of the paper.
+pub fn index_priority(n: usize) -> PriorityRank {
+    (0..n).collect()
+}
+
+/// Highest Level First (critical-path priority): tasks with the largest
+/// bottom level first — the classical DAG list-scheduling heuristic.
+pub fn hlf_priority(graph: &TaskGraph) -> PriorityRank {
+    let bottom = sws_dag::levels::bottom_levels(graph);
+    let mut order: Vec<usize> = (0..graph.n()).collect();
+    order.sort_by(|&a, &b| {
+        sws_model::numeric::total_cmp(bottom[b], bottom[a]).then(a.cmp(&b))
+    });
+    rank_of_order(&order)
+}
+
+/// Shortest Processing Time priority (used by the tri-objective extension
+/// on independent tasks, Corollary 4).
+pub fn spt_priority(graph: &TaskGraph) -> PriorityRank {
+    let mut order: Vec<usize> = (0..graph.n()).collect();
+    order.sort_by(|&a, &b| {
+        sws_model::numeric::total_cmp(graph.task(a).p, graph.task(b).p).then(a.cmp(&b))
+    });
+    rank_of_order(&order)
+}
+
+/// Longest Processing Time priority.
+pub fn lpt_priority(graph: &TaskGraph) -> PriorityRank {
+    let mut order: Vec<usize> = (0..graph.n()).collect();
+    order.sort_by(|&a, &b| {
+        sws_model::numeric::total_cmp(graph.task(b).p, graph.task(a).p).then(a.cmp(&b))
+    });
+    rank_of_order(&order)
+}
+
+/// Largest storage requirement first — a memory-aware tie break that tends
+/// to spread big-memory tasks before processors fill up.
+pub fn largest_storage_priority(graph: &TaskGraph) -> PriorityRank {
+    let mut order: Vec<usize> = (0..graph.n()).collect();
+    order.sort_by(|&a, &b| {
+        sws_model::numeric::total_cmp(graph.task(b).s, graph.task(a).s).then(a.cmp(&b))
+    });
+    rank_of_order(&order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_model::task::{Task, TaskSet};
+
+    fn weighted_chain() -> TaskGraph {
+        let tasks = TaskSet::new(vec![
+            Task::new_unchecked(1.0, 5.0),
+            Task::new_unchecked(3.0, 1.0),
+            Task::new_unchecked(2.0, 3.0),
+        ])
+        .unwrap();
+        TaskGraph::from_edges(tasks, &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn rank_of_order_inverts_the_permutation() {
+        let rank = rank_of_order(&[2, 0, 1]);
+        assert_eq!(rank, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn index_priority_is_identity() {
+        assert_eq!(index_priority(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hlf_priority_follows_bottom_levels() {
+        let g = weighted_chain();
+        // Bottom levels: task0 = 6, task1 = 5, task2 = 2 -> order 0, 1, 2.
+        let rank = hlf_priority(&g);
+        assert_eq!(rank, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn spt_and_lpt_priorities_are_reversed() {
+        let g = weighted_chain();
+        let spt = spt_priority(&g);
+        let lpt = lpt_priority(&g);
+        // p = [1, 3, 2]: SPT order 0, 2, 1 -> ranks [0, 2, 1];
+        // LPT order 1, 2, 0 -> ranks [2, 0, 1].
+        assert_eq!(spt, vec![0, 2, 1]);
+        assert_eq!(lpt, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn storage_priority_prefers_heavy_tasks() {
+        let g = weighted_chain();
+        // s = [5, 1, 3] -> order 0, 2, 1 -> ranks [0, 2, 1].
+        assert_eq!(largest_storage_priority(&g), vec![0, 2, 1]);
+    }
+}

@@ -1,0 +1,76 @@
+//! # sws-model
+//!
+//! Problem model for *Scheduling with Storage Constraints*
+//! (Saule, Dutot, Mounié — IPDPS 2008).
+//!
+//! The paper studies the bi-objective problem `P | p_j, s_j | Cmax, Mmax`:
+//! `n` tasks must be assigned to `m` identical processors, where task `i`
+//! has a processing time `p_i` and a storage requirement `s_i`. The two
+//! objectives minimized simultaneously are
+//!
+//! * **makespan** `Cmax` — the largest per-processor sum of processing
+//!   times (with precedence constraints: the largest completion time), and
+//! * **maximum cumulative memory** `Mmax` — the largest per-processor sum
+//!   of storage requirements.
+//!
+//! This crate provides the shared vocabulary used by every other crate of
+//! the reproduction:
+//!
+//! * [`task`] — tasks and task sets,
+//! * [`instance`] — independent-task instances,
+//! * [`schedule`] — assignments (mapping only) and timed schedules,
+//! * [`objectives`] — objective evaluation and objective-space points,
+//! * [`bounds`] — the lower bounds used throughout the paper,
+//! * [`pareto`] — Pareto dominance and front maintenance,
+//! * [`validate`] — feasibility checks,
+//! * [`ratio`] — approximation-ratio accounting,
+//! * [`numeric`] — tolerant floating-point comparisons.
+//!
+//! # Quick example
+//!
+//! ```
+//! use sws_model::prelude::*;
+//!
+//! // The first adversarial instance of the paper (Section 4.1):
+//! // p = [1, 1/2, 1/2], s = [eps, 1, 1], two processors.
+//! let eps = 1e-3;
+//! let inst = Instance::from_ps(&[1.0, 0.5, 0.5], &[eps, 1.0, 1.0], 2).unwrap();
+//!
+//! // Schedule task 0 alone on processor 0, tasks 1 and 2 on processor 1.
+//! let asg = Assignment::new(vec![0, 1, 1], 2).unwrap();
+//! let pt = ObjectivePoint::of_assignment(&inst, &asg);
+//! assert!((pt.cmax - 1.0).abs() < 1e-12);
+//! assert!((pt.mmax - 2.0).abs() < 1e-12);
+//! ```
+
+pub mod bounds;
+pub mod error;
+pub mod instance;
+pub mod numeric;
+pub mod objectives;
+pub mod pareto;
+pub mod ratio;
+pub mod schedule;
+pub mod task;
+pub mod validate;
+
+pub use error::ModelError;
+pub use instance::Instance;
+pub use objectives::{ObjectivePoint, TriObjectivePoint};
+pub use pareto::ParetoFront;
+pub use schedule::{Assignment, TimedSchedule};
+pub use task::{Task, TaskId};
+
+/// Convenient glob import of the most frequently used items.
+pub mod prelude {
+    pub use crate::bounds::{cmax_lower_bound, mmax_lower_bound, LowerBounds};
+    pub use crate::error::ModelError;
+    pub use crate::instance::Instance;
+    pub use crate::numeric::{approx_eq, approx_ge, approx_le, REL_TOL};
+    pub use crate::objectives::{ObjectivePoint, TriObjectivePoint};
+    pub use crate::pareto::{dominates, ParetoFront};
+    pub use crate::ratio::{RatioReport, TriRatioReport};
+    pub use crate::schedule::{Assignment, TimedSchedule};
+    pub use crate::task::{Task, TaskId};
+    pub use crate::validate::{validate_assignment, validate_timed};
+}

@@ -1,0 +1,129 @@
+//! Tolerant floating-point comparisons.
+//!
+//! Processing times and storage requirements are modelled as `f64` so that
+//! the paper's `ε`-instances (Section 4) can be expressed directly. All
+//! feasibility checks and guarantee checks therefore need a small relative
+//! tolerance; this module centralizes it so every crate compares numbers
+//! the same way.
+
+/// Default relative tolerance used by the comparison helpers.
+pub const REL_TOL: f64 = 1e-9;
+
+/// Default absolute tolerance used when both operands are close to zero.
+pub const ABS_TOL: f64 = 1e-12;
+
+/// Scale factor applied to the larger magnitude operand when deriving the
+/// comparison slack.
+#[inline]
+fn slack(a: f64, b: f64) -> f64 {
+    let mag = a.abs().max(b.abs());
+    ABS_TOL.max(REL_TOL * mag)
+}
+
+/// `a == b` up to the module tolerance.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= slack(a, b)
+}
+
+/// `a <= b` up to the module tolerance.
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + slack(a, b)
+}
+
+/// `a >= b` up to the module tolerance.
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a + slack(a, b) >= b
+}
+
+/// `a < b` strictly, i.e. not even approximately equal.
+#[inline]
+pub fn strictly_lt(a: f64, b: f64) -> bool {
+    a < b && !approx_eq(a, b)
+}
+
+/// `a > b` strictly, i.e. not even approximately equal.
+#[inline]
+pub fn strictly_gt(a: f64, b: f64) -> bool {
+    a > b && !approx_eq(a, b)
+}
+
+/// Total order for finite floats (panics on NaN); used to sort tasks by
+/// processing time or storage requirement.
+#[inline]
+pub fn total_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b)
+        .expect("NaN encountered in scheduling data")
+}
+
+/// Returns the maximum of a non-empty iterator of finite floats, or `0.0`
+/// for an empty iterator (the natural identity for makespan-style maxima).
+pub fn max_or_zero<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
+    iter.into_iter().fold(0.0, f64::max)
+}
+
+/// Kahan-compensated summation: the per-processor load sums feed directly
+/// into approximation-ratio checks, so we avoid naive accumulation error on
+/// long task lists.
+pub fn kahan_sum<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
+    let mut sum = 0.0;
+    let mut c = 0.0;
+    for x in iter {
+        let y = x - c;
+        let t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_within_relative_tolerance() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(approx_eq(1e6, 1e6 * (1.0 + 1e-10)));
+        assert!(!approx_eq(1.0, 1.0001));
+    }
+
+    #[test]
+    fn le_and_ge_are_tolerant_at_the_boundary() {
+        assert!(approx_le(1.0 + 1e-12, 1.0));
+        assert!(approx_ge(1.0 - 1e-12, 1.0));
+        assert!(!approx_le(1.01, 1.0));
+        assert!(!approx_ge(0.99, 1.0));
+    }
+
+    #[test]
+    fn strict_comparisons_exclude_near_equality() {
+        assert!(strictly_lt(0.5, 1.0));
+        assert!(!strictly_lt(1.0, 1.0 + 1e-13));
+        assert!(strictly_gt(2.0, 1.0));
+        assert!(!strictly_gt(1.0 + 1e-13, 1.0));
+    }
+
+    #[test]
+    fn kahan_sum_matches_exact_sum_on_adversarial_input() {
+        // 1.0 followed by many tiny values that naive summation would drop.
+        let mut values = vec![1.0];
+        values.extend(std::iter::repeat(1e-16).take(10_000));
+        let s = kahan_sum(values.iter().copied());
+        assert!((s - (1.0 + 1e-12)).abs() < 1e-13);
+    }
+
+    #[test]
+    fn max_or_zero_handles_empty_input() {
+        assert_eq!(max_or_zero(std::iter::empty()), 0.0);
+        assert_eq!(max_or_zero(vec![0.25, 3.0, 1.5]), 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn total_cmp_rejects_nan() {
+        let _ = total_cmp(f64::NAN, 1.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests of the model layer: objective evaluation, Pareto
+//! dominance, lower bounds, schedule validation and the numeric helpers.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sws_model::bounds::{cmax_lower_bound, mmax_lower_bound, sum_ci_lower_bound, LowerBounds};
+use sws_model::numeric::{approx_eq, approx_le, kahan_sum, max_or_zero};
+use sws_model::objectives::ObjectivePoint;
+use sws_model::pareto::{ideal_point, nadir_point, ParetoFront};
+use sws_model::schedule::Assignment;
+use sws_model::task::TaskSet;
+use sws_model::validate::{check_memory, validate_assignment, validate_timed};
+use sws_model::Instance;
+
+/// An instance together with an arbitrary complete assignment of its
+/// tasks.
+fn instance_and_assignment(
+    max_n: usize,
+    max_m: usize,
+) -> impl Strategy<Value = (Instance, Assignment)> {
+    (1usize..=max_m, 1usize..=max_n).prop_flat_map(move |(m, n)| {
+        (
+            vec(0.0f64..100.0, n),
+            vec(0.0f64..100.0, n),
+            vec(0usize..m, n),
+            Just(m),
+        )
+            .prop_map(|(p, s, procs, m)| {
+                let inst = Instance::from_ps(&p, &s, m).expect("valid draws");
+                let asg = Assignment::new(procs, m).expect("procs < m");
+                (inst, asg)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cmax/Mmax of an assignment are the max over per-processor sums, so
+    /// they are bounded by the total and by any single processor's load.
+    #[test]
+    fn objectives_are_maxima_of_per_processor_sums((inst, asg) in instance_and_assignment(30, 5)) {
+        let loads = asg.loads(inst.tasks());
+        let mems = asg.memory(inst.tasks());
+        let point = ObjectivePoint::of_assignment(&inst, &asg);
+        prop_assert!(approx_eq(point.cmax, loads.iter().cloned().fold(0.0, f64::max)));
+        prop_assert!(approx_eq(point.mmax, mems.iter().cloned().fold(0.0, f64::max)));
+        prop_assert!(approx_le(point.cmax, inst.total_work()));
+        prop_assert!(approx_le(point.mmax, inst.total_storage()));
+        // Per-processor sums account every task exactly once.
+        prop_assert!(approx_eq(loads.iter().sum::<f64>(), inst.total_work()));
+        prop_assert!(approx_eq(mems.iter().sum::<f64>(), inst.total_storage()));
+    }
+
+    /// The Graham lower bounds never exceed the value of any actual
+    /// schedule, and they are monotone in the number of processors.
+    #[test]
+    fn lower_bounds_are_sound_and_monotone((inst, asg) in instance_and_assignment(25, 5)) {
+        let point = ObjectivePoint::of_assignment(&inst, &asg);
+        let lb = LowerBounds::of_instance(&inst);
+        prop_assert!(approx_le(lb.cmax, point.cmax) || inst.n() == 0);
+        prop_assert!(approx_le(lb.mmax, point.mmax) || inst.n() == 0);
+        if inst.m() > 1 {
+            let fewer = inst.with_processors(inst.m() - 1).unwrap();
+            prop_assert!(cmax_lower_bound(fewer.tasks(), fewer.m()) + 1e-12
+                >= cmax_lower_bound(inst.tasks(), inst.m()));
+            prop_assert!(mmax_lower_bound(fewer.tasks(), fewer.m()) + 1e-12
+                >= mmax_lower_bound(inst.tasks(), inst.m()));
+            prop_assert!(sum_ci_lower_bound(fewer.tasks(), fewer.m()) + 1e-9
+                >= sum_ci_lower_bound(inst.tasks(), inst.m()));
+        }
+    }
+
+    /// The ΣCi bound equals the ΣCi of the schedule that places tasks in
+    /// SPT order round-robin style, and it is at least the total work.
+    #[test]
+    fn sum_ci_bound_is_at_least_total_work((inst, _) in instance_and_assignment(25, 5)) {
+        let bound = sum_ci_lower_bound(inst.tasks(), inst.m());
+        prop_assert!(bound + 1e-9 >= inst.total_work());
+        // With a single machine it equals the sorted prefix-sum value.
+        let single = sum_ci_lower_bound(inst.tasks(), 1);
+        let mut ps: Vec<f64> = (0..inst.n()).map(|i| inst.p(i)).collect();
+        ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut acc = 0.0;
+        let mut manual = 0.0;
+        for p in ps {
+            acc += p;
+            manual += acc;
+        }
+        prop_assert!(approx_eq(single, manual));
+    }
+
+    /// Swapping the two task dimensions swaps the objective point and
+    /// leaves validation unaffected.
+    #[test]
+    fn swapping_dimensions_swaps_objectives((inst, asg) in instance_and_assignment(20, 4)) {
+        let p = ObjectivePoint::of_assignment(&inst, &asg);
+        let q = ObjectivePoint::of_assignment(&inst.swapped(), &asg);
+        prop_assert!(approx_eq(p.cmax, q.mmax));
+        prop_assert!(approx_eq(p.mmax, q.cmax));
+        prop_assert!(validate_assignment(&inst.swapped(), &asg, None).is_ok());
+    }
+
+    /// The timed schedule built from an assignment reproduces the same
+    /// objective values and passes full validation (no overlap, no
+    /// precedence constraints, memory within Mmax itself).
+    #[test]
+    fn into_timed_round_trips_objectives((inst, asg) in instance_and_assignment(25, 4)) {
+        let timed = asg.into_timed(inst.tasks());
+        let pa = ObjectivePoint::of_assignment(&inst, &asg);
+        let pt = ObjectivePoint::of_timed(&inst, &timed);
+        prop_assert!(approx_eq(pa.cmax, pt.cmax));
+        prop_assert!(approx_eq(pa.mmax, pt.mmax));
+        let preds: Vec<Vec<usize>> = vec![Vec::new(); inst.n()];
+        prop_assert!(validate_timed(inst.tasks(), inst.m(), &timed, &preds, Some(pa.mmax)).is_ok());
+        // The memory check fails as soon as the capacity drops strictly
+        // below the achieved maximum (when it is positive).
+        if pa.mmax > 1e-6 {
+            prop_assert!(check_memory(inst.tasks(), &asg, pa.mmax * 0.99).is_err());
+        }
+        prop_assert_eq!(timed.assignment(), asg);
+    }
+
+    /// Pareto-front invariants: no element dominates another, every offered
+    /// point is covered, and the ideal/nadir points bracket the front.
+    #[test]
+    fn pareto_front_is_mutually_non_dominated(
+        points in vec((0.1f64..100.0, 0.1f64..100.0), 1..40)
+    ) {
+        let mut front: ParetoFront<usize> = ParetoFront::new();
+        let objective_points: Vec<ObjectivePoint> =
+            points.iter().map(|&(c, m)| ObjectivePoint::new(c, m)).collect();
+        for (i, pt) in objective_points.iter().enumerate() {
+            front.offer(*pt, i);
+        }
+        prop_assert!(!front.is_empty());
+        let kept = front.points();
+        for a in &kept {
+            for b in &kept {
+                // No kept point may be strictly better than another on
+                // both objectives.
+                prop_assert!(!(a.cmax < b.cmax - 1e-9 && a.mmax < b.mmax - 1e-9));
+            }
+        }
+        // Every input point is weakly dominated by some front member.
+        for pt in &objective_points {
+            prop_assert!(front.covers(pt), "front does not cover {pt}");
+        }
+        // Ideal and nadir points bracket every front point.
+        let ideal = ideal_point(&kept).unwrap();
+        let nadir = nadir_point(&kept).unwrap();
+        for pt in &kept {
+            prop_assert!(ideal.cmax <= pt.cmax + 1e-12 && ideal.mmax <= pt.mmax + 1e-12);
+            prop_assert!(nadir.cmax + 1e-12 >= pt.cmax && nadir.mmax + 1e-12 >= pt.mmax);
+        }
+        // The best-Cmax and best-Mmax entries agree with the ideal point.
+        prop_assert!(approx_eq(front.best_cmax().unwrap().0.cmax, ideal.cmax));
+        prop_assert!(approx_eq(front.best_mmax().unwrap().0.mmax, ideal.mmax));
+    }
+
+    /// Numeric helpers: Kahan summation matches naive summation within
+    /// tolerance on benign inputs and max_or_zero never goes negative.
+    #[test]
+    fn numeric_helpers_behave(values in vec(0.0f64..1e6, 0..200)) {
+        let kahan = kahan_sum(values.iter().copied());
+        let naive: f64 = values.iter().sum();
+        prop_assert!((kahan - naive).abs() <= 1e-6 * naive.max(1.0));
+        prop_assert!(max_or_zero(values.iter().copied()) >= 0.0);
+        prop_assert!(max_or_zero(std::iter::empty()) == 0.0);
+    }
+}
+
+#[test]
+fn validate_rejects_wrong_processor_counts_and_incomplete_assignments() {
+    let inst = Instance::from_ps(&[1.0, 2.0], &[1.0, 1.0], 2).unwrap();
+    let short = Assignment::new(vec![0], 2).unwrap();
+    assert!(validate_assignment(&inst, &short, None).is_err());
+    let wrong_m = Assignment::new(vec![0, 1, 2], 3).unwrap();
+    assert!(validate_assignment(&inst, &wrong_m, None).is_err());
+}
+
+#[test]
+fn task_set_rejects_invalid_costs() {
+    assert!(TaskSet::from_ps(&[1.0, -1.0], &[1.0, 1.0]).is_err());
+    assert!(TaskSet::from_ps(&[1.0, f64::NAN], &[1.0, 1.0]).is_err());
+    assert!(TaskSet::from_ps(&[1.0], &[f64::INFINITY]).is_err());
+    assert!(TaskSet::from_ps(&[1.0, 2.0], &[1.0]).is_err());
+}

@@ -1,0 +1,276 @@
+//! Minimum-bin packing of the rounded large jobs by a dynamic program
+//! over machine configurations.
+//!
+//! A *configuration* is a multiset of large-job size classes that fits in
+//! one bin of capacity `d` (at most `⌊1/ε⌋` jobs). The DP searches, by
+//! breadth-first layers over residual class counts, the smallest number of
+//! configurations (bins) whose union covers every large job. This is the
+//! standard Hochbaum–Shmoys construction; the state space is
+//! `Π_j (n_j + 1)` which is polynomial for fixed `ε`.
+
+use std::collections::HashMap;
+
+use crate::rounding::Rounding;
+
+/// A single-bin configuration: how many jobs of each size class it holds.
+pub type Config = Vec<u16>;
+
+/// Enumerates every feasible bin configuration (including the empty one is
+/// excluded): `Σ c_j ≤ max_per_bin`, `Σ c_j · size_j ≤ capacity`,
+/// `c_j ≤ counts_j`.
+pub fn enumerate_configs(r: &Rounding, capacity: f64) -> Vec<Config> {
+    let k = r.class_count();
+    let mut configs = Vec::new();
+    let mut current: Config = vec![0; k];
+    fn recurse(
+        r: &Rounding,
+        capacity: f64,
+        class: usize,
+        used: usize,
+        load: f64,
+        current: &mut Config,
+        out: &mut Vec<Config>,
+    ) {
+        if class == r.class_count() {
+            if current.iter().any(|&c| c > 0) {
+                out.push(current.clone());
+            }
+            return;
+        }
+        let max_count = r.counts[class]
+            .min(r.max_per_bin - used)
+            .min(if r.sizes[class] > 0.0 {
+                ((capacity - load) / r.sizes[class]).floor().max(0.0) as usize
+            } else {
+                r.counts[class]
+            });
+        for c in 0..=max_count {
+            current[class] = c as u16;
+            recurse(
+                r,
+                capacity,
+                class + 1,
+                used + c,
+                load + c as f64 * r.sizes[class],
+                current,
+                out,
+            );
+        }
+        current[class] = 0;
+    }
+    if k > 0 {
+        recurse(r, capacity, 0, 0, 0.0, &mut current, &mut configs);
+    }
+    configs
+}
+
+/// Packs the large jobs of `r` into the minimum number of bins of capacity
+/// `r.deadline` (using rounded sizes). Returns, for each bin, the list of
+/// *original job indices* it holds, or `None` when more than `max_bins`
+/// bins are required.
+pub fn pack_large_min_bins(r: &Rounding, max_bins: usize) -> Option<Vec<Vec<usize>>> {
+    if r.large.is_empty() {
+        return Some(Vec::new());
+    }
+    // A single large job wider than the capacity can never be packed.
+    if r.sizes.iter().any(|&s| s > r.deadline + 1e-12) {
+        return None;
+    }
+    let configs = enumerate_configs(r, r.deadline);
+    if configs.is_empty() {
+        return None;
+    }
+    let initial: Config = r.counts.iter().map(|&c| c as u16).collect();
+    let zero: Config = vec![0; r.class_count()];
+
+    // Breadth-first search by number of bins used.
+    let mut parent: HashMap<Config, (Config, usize)> = HashMap::new();
+    let mut frontier = vec![initial.clone()];
+    let mut visited: HashMap<Config, usize> = HashMap::new();
+    visited.insert(initial.clone(), 0);
+    let mut bins_used = 0usize;
+
+    'outer: while !frontier.is_empty() {
+        if visited.contains_key(&zero) {
+            break;
+        }
+        bins_used += 1;
+        if bins_used > max_bins {
+            return None;
+        }
+        let mut next = Vec::new();
+        for state in frontier {
+            for (ci, cfg) in configs.iter().enumerate() {
+                if cfg.iter().zip(state.iter()).all(|(&c, &s)| c <= s) {
+                    let new_state: Config =
+                        state.iter().zip(cfg.iter()).map(|(&s, &c)| s - c).collect();
+                    if !visited.contains_key(&new_state) {
+                        visited.insert(new_state.clone(), bins_used);
+                        parent.insert(new_state.clone(), (state.clone(), ci));
+                        if new_state == zero {
+                            next.push(new_state);
+                            break 'outer;
+                        }
+                        next.push(new_state);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    if !visited.contains_key(&zero) {
+        return None;
+    }
+
+    // Reconstruct the chosen configurations.
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut cursor = zero;
+    while cursor != initial {
+        let (prev, ci) = parent.get(&cursor).expect("path exists").clone();
+        chosen.push(ci);
+        cursor = prev;
+    }
+
+    // Distribute actual job indices to bins according to the chosen
+    // configurations: jobs of each class are handed out in order.
+    let mut jobs_by_class: Vec<Vec<usize>> = vec![Vec::new(); r.class_count()];
+    for (k, &job) in r.large.iter().enumerate() {
+        jobs_by_class[r.size_class[k]].push(job);
+    }
+    let mut next_in_class = vec![0usize; r.class_count()];
+    let mut bins = Vec::with_capacity(chosen.len());
+    for &ci in &chosen {
+        let cfg = &configs[ci];
+        let mut bin = Vec::new();
+        for (class, &cnt) in cfg.iter().enumerate() {
+            for _ in 0..cnt {
+                bin.push(jobs_by_class[class][next_in_class[class]]);
+                next_in_class[class] += 1;
+            }
+        }
+        bins.push(bin);
+    }
+    Some(bins)
+}
+
+/// First Fit Decreasing fallback: packs the large jobs by their *true*
+/// weights into bins of capacity `capacity`, using at most `max_bins`
+/// bins. Used when the configuration state space is too large for the DP.
+pub fn pack_large_ffd(
+    weights: &[f64],
+    r: &Rounding,
+    capacity: f64,
+    max_bins: usize,
+) -> Option<Vec<Vec<usize>>> {
+    let mut jobs: Vec<usize> = r.large.clone();
+    jobs.sort_by(|&a, &b| sws_model::numeric::total_cmp(weights[b], weights[a]));
+    let mut bins: Vec<Vec<usize>> = Vec::new();
+    let mut loads: Vec<f64> = Vec::new();
+    for job in jobs {
+        let mut placed = false;
+        for (b, load) in loads.iter_mut().enumerate() {
+            if *load + weights[job] <= capacity + 1e-12 {
+                *load += weights[job];
+                bins[b].push(job);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            if bins.len() == max_bins {
+                return None;
+            }
+            bins.push(vec![job]);
+            loads.push(weights[job]);
+        }
+    }
+    Some(bins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_exactly_the_feasible_configs() {
+        // eps = 0.3, d = 5: threshold 1.5, so both the 2.0 jobs and the
+        // 3.0 job are large. Rounded sizes: 1.8 (2 jobs) and 2.7 (1 job);
+        // max_per_bin = 3.
+        let weights = [2.0, 2.0, 3.0];
+        let r = Rounding::new(&weights, 5.0, 0.3);
+        let cfgs = enumerate_configs(&r, 5.0);
+        // Feasible non-empty configs: (1,0), (2,0), (0,1), (1,1).
+        assert_eq!(cfgs.len(), 4);
+        assert!(cfgs.contains(&vec![1, 1]));
+        assert!(!cfgs.contains(&vec![2, 1])); // load 6.3 exceeds the capacity
+    }
+
+    #[test]
+    fn min_bins_for_a_perfect_fit() {
+        // Four jobs of size 2 into bins of capacity 4 -> 2 bins
+        // (eps = 0.4 keeps the 2.0 jobs above the large threshold 1.6).
+        let weights = [2.0, 2.0, 2.0, 2.0];
+        let r = Rounding::new(&weights, 4.0, 0.4);
+        let bins = pack_large_min_bins(&r, 10).unwrap();
+        assert_eq!(bins.len(), 2);
+        let mut all: Vec<usize> = bins.into_iter().flatten().collect();
+        all.sort();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bin_limit_is_respected() {
+        let weights = [2.0, 2.0, 2.0, 2.0];
+        let r = Rounding::new(&weights, 4.0, 0.4);
+        assert!(pack_large_min_bins(&r, 1).is_none());
+        assert!(pack_large_min_bins(&r, 2).is_some());
+    }
+
+    #[test]
+    fn oversized_job_is_unpackable() {
+        let weights = [5.0, 1.0];
+        let r = Rounding::new(&weights, 4.0, 0.5);
+        assert!(pack_large_min_bins(&r, 10).is_none());
+    }
+
+    #[test]
+    fn no_large_jobs_means_zero_bins() {
+        let weights = [0.1, 0.1];
+        let r = Rounding::new(&weights, 10.0, 0.5);
+        assert_eq!(pack_large_min_bins(&r, 3).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn dp_beats_or_matches_ffd() {
+        // A classical case where FFD wastes a bin: sizes 4,4,4,6,6,6 with
+        // capacity 10 -> optimal 3 bins (4+6 each), FFD also finds 3 here;
+        // use a harder mix: 5,5,4,4,3,3 capacity 12 -> optimal 2 bins
+        // (5+4+3 twice).
+        let weights = [5.0, 5.0, 4.0, 4.0, 3.0, 3.0];
+        let r = Rounding::new(&weights, 12.0, 0.25);
+        let dp = pack_large_min_bins(&r, 10).unwrap();
+        assert_eq!(dp.len(), 2);
+        let ffd = pack_large_ffd(&weights, &r, 12.0, 10).unwrap();
+        assert!(dp.len() <= ffd.len());
+    }
+
+    #[test]
+    fn reconstruction_covers_each_large_job_exactly_once() {
+        let weights = [3.0, 2.5, 2.0, 2.0, 3.5, 0.1];
+        let r = Rounding::new(&weights, 6.0, 0.3);
+        let bins = pack_large_min_bins(&r, 10).unwrap();
+        let mut seen: Vec<usize> = bins.into_iter().flatten().collect();
+        seen.sort();
+        assert_eq!(seen, r.large);
+    }
+
+    #[test]
+    fn ffd_fallback_respects_capacity_and_limit() {
+        let weights = [3.0, 3.0, 3.0, 3.0];
+        let r = Rounding::new(&weights, 6.0, 0.4);
+        let bins = pack_large_ffd(&weights, &r, 6.0, 2).unwrap();
+        assert_eq!(bins.len(), 2);
+        assert!(pack_large_ffd(&weights, &r, 6.0, 1).is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! The dual-approximation test: "is there a schedule of makespan at most
+//! `(1 + ε)·d`?"
+
+use sws_model::schedule::Assignment;
+
+use crate::config_dp::{pack_large_ffd, pack_large_min_bins};
+use crate::rounding::Rounding;
+
+/// Above this configuration-DP state-space size the packing falls back to
+/// FFD (the guarantee then degrades gracefully; callers are told through
+/// [`crate::search::PtasOutcome::exact_packing`]).
+pub const STATE_SPACE_LIMIT: usize = 2_000_000;
+
+/// Result of one dual test.
+#[derive(Debug, Clone)]
+pub struct DualResult {
+    /// The produced assignment.
+    pub assignment: Assignment,
+    /// Whether the large jobs were packed by the exact configuration DP
+    /// (`true`) or by the FFD fallback (`false`).
+    pub exact_packing: bool,
+}
+
+/// Tries to build a schedule of makespan at most `(1 + ε)·d` for the given
+/// weights on `m` machines. Returns `None` when the test certifies that no
+/// schedule of makespan `d` exists (hence `d < OPT`).
+pub fn dual_test(weights: &[f64], m: usize, d: f64, eps: f64) -> Option<DualResult> {
+    assert!(m > 0, "need at least one machine");
+    let r = Rounding::new(weights, d, eps);
+
+    // Pack the large jobs into at most m bins of (rounded) capacity d.
+    let (bins, exact_packing) = if r.state_space() <= STATE_SPACE_LIMIT {
+        match pack_large_min_bins(&r, m) {
+            Some(b) => (b, true),
+            None => return None,
+        }
+    } else {
+        // FFD on the true weights with capacity (1+eps)·d: if even this
+        // relaxed packing fails, reject the deadline. (FFD never uses more
+        // than (11/9)OPT + 1 bins, so rejections here are still sound for
+        // the binary search in the sense that they only make the final
+        // deadline slightly larger.)
+        match pack_large_ffd(weights, &r, d * (1.0 + eps), m) {
+            Some(b) => (b, false),
+            None => return None,
+        }
+    };
+
+    let mut asg = Assignment::zeroed(weights.len(), m).expect("m > 0");
+    let mut load = vec![0.0f64; m];
+    for (q, bin) in bins.iter().enumerate() {
+        for &job in bin {
+            asg.assign(job, q).expect("q < m because at most m bins were used");
+            load[q] += weights[job];
+        }
+    }
+
+    // Greedily add the small jobs: always to the machine with the smallest
+    // load, but only machines whose load is still at most d may receive
+    // new work. If every machine exceeds d the total volume proves d < OPT.
+    for &job in &r.small {
+        let q = (0..m)
+            .min_by(|&a, &b| sws_model::numeric::total_cmp(load[a], load[b]))
+            .expect("m > 0");
+        if load[q] > d + 1e-12 {
+            return None;
+        }
+        asg.assign(job, q).expect("q < m");
+        load[q] += weights[job];
+    }
+
+    Some(DualResult { assignment: asg, exact_packing })
+}
+
+/// The makespan bound certified by a successful dual test: `(1 + ε)·d`.
+pub fn certified_makespan(d: f64, eps: f64) -> f64 {
+    (1.0 + eps) * d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_model::objectives::cmax_of_assignment;
+    use sws_model::task::TaskSet;
+
+    fn makespan(weights: &[f64], asg: &Assignment) -> f64 {
+        let tasks = TaskSet::from_ps(weights, &vec![0.0; weights.len()]).unwrap();
+        cmax_of_assignment(&tasks, asg)
+    }
+
+    #[test]
+    fn accepts_a_feasible_deadline_and_respects_the_bound() {
+        let weights = [3.0, 3.0, 2.0, 2.0, 1.0, 1.0];
+        // OPT on 2 machines is 6.
+        let res = dual_test(&weights, 2, 6.0, 0.25).expect("6 is feasible");
+        assert!(res.exact_packing);
+        assert!(makespan(&weights, &res.assignment) <= certified_makespan(6.0, 0.25) + 1e-9);
+    }
+
+    #[test]
+    fn rejects_an_infeasible_deadline() {
+        let weights = [4.0, 4.0, 4.0];
+        // Two machines cannot reach makespan 4 with three jobs of size 4.
+        assert!(dual_test(&weights, 2, 4.0, 0.25).is_none());
+        assert!(dual_test(&weights, 2, 8.0, 0.25).is_some());
+    }
+
+    #[test]
+    fn all_small_jobs_are_spread_evenly() {
+        let weights = [0.5; 8];
+        let res = dual_test(&weights, 4, 1.0, 0.5).expect("feasible");
+        let ms = makespan(&weights, &res.assignment);
+        assert!((ms - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn certified_makespan_formula() {
+        assert!((certified_makespan(10.0, 0.2) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_machine_always_accepts_total_work() {
+        let weights = [1.0, 2.0, 3.0];
+        let res = dual_test(&weights, 1, 6.0, 0.5).expect("total work fits");
+        assert!((makespan(&weights, &res.assignment) - 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,40 @@
+//! # sws-ptas
+//!
+//! Hochbaum–Shmoys dual-approximation PTAS for `P ∥ Cmax`
+//! (*Using dual approximation algorithms for scheduling problems*, JACM
+//! 1987) — the "known PTAS" that Corollary 1 of *Scheduling with Storage
+//! Constraints* plugs into SBO∆ to obtain the
+//! `(1 + ∆ + ε, 1 + 1/∆ + ε)` family of algorithms.
+//!
+//! The scheme answers the dual question "can the jobs be scheduled with
+//! makespan at most `(1 + ε)·d`?" for a guessed deadline `d`:
+//!
+//! 1. jobs larger than `ε·d` are *large*; their sizes are rounded down to
+//!    multiples of `ε²·d`, leaving at most `⌈1/ε²⌉` distinct sizes with at
+//!    most `⌊1/ε⌋` large jobs per machine ([`rounding`]);
+//! 2. the rounded large jobs are packed into the minimum number of bins of
+//!    capacity `d` by a dynamic program over machine configurations
+//!    ([`config_dp`]); if more than `m` bins are needed, no schedule of
+//!    makespan `d` exists;
+//! 3. small jobs are added greedily to machines whose load is below `d`
+//!    ([`dual`]);
+//! 4. a binary search over `d ∈ [LB, 2·LB]` finds the smallest deadline
+//!    the dual test accepts ([`search`]), yielding a schedule of makespan
+//!    at most `(1 + ε)·C*max`.
+//!
+//! Because makespan and cumulative memory are interchangeable objectives
+//! on independent tasks, [`search::ptas_mmax`] runs the same machinery on
+//! the storage requirements.
+//!
+//! For inputs whose configuration space would be unreasonably large the
+//! packing step falls back to First Fit Decreasing; the fallback is
+//! reported in the returned [`search::PtasOutcome`] so callers (and the
+//! experiment harness) know when the strict `(1+ε)` guarantee is replaced
+//! by the FFD guarantee.
+
+pub mod config_dp;
+pub mod dual;
+pub mod rounding;
+pub mod search;
+
+pub use search::{ptas_cmax, ptas_mmax, ptas_schedule, PtasOutcome};

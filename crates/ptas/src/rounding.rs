@@ -1,0 +1,143 @@
+//! Large/small job classification and size rounding for the dual test.
+
+/// The classification of the jobs for a guessed deadline `d` and accuracy
+/// `ε`.
+#[derive(Debug, Clone)]
+pub struct Rounding {
+    /// The guessed deadline.
+    pub deadline: f64,
+    /// The accuracy parameter.
+    pub eps: f64,
+    /// Indices of the large jobs (`w_i > ε·d`).
+    pub large: Vec<usize>,
+    /// Indices of the small jobs (`w_i ≤ ε·d`).
+    pub small: Vec<usize>,
+    /// Distinct rounded sizes of the large jobs, ascending.
+    pub sizes: Vec<f64>,
+    /// For each large job (parallel to `large`), the index into `sizes` of
+    /// its rounded size.
+    pub size_class: Vec<usize>,
+    /// Number of large jobs in each size class.
+    pub counts: Vec<usize>,
+    /// Maximum number of large jobs that can share a machine, `⌊1/ε⌋`
+    /// (each large job exceeds `ε·d`, the bin capacity is `d`).
+    pub max_per_bin: usize,
+}
+
+impl Rounding {
+    /// Classifies and rounds the job weights for deadline `d`.
+    ///
+    /// Rounding: each large weight is rounded *down* to the nearest
+    /// multiple of `ε²·d`. A bin of rounded capacity `d` then corresponds
+    /// to a true load of at most `d·(1 + ε)` because a bin holds at most
+    /// `1/ε` large jobs and each contributes at most `ε²·d` of rounding
+    /// error.
+    pub fn new(weights: &[f64], deadline: f64, eps: f64) -> Rounding {
+        assert!(deadline > 0.0, "deadline must be positive");
+        assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0, 1)");
+        let threshold = eps * deadline;
+        let quantum = eps * eps * deadline;
+        let mut large = Vec::new();
+        let mut small = Vec::new();
+        for (i, &w) in weights.iter().enumerate() {
+            if w > threshold {
+                large.push(i);
+            } else {
+                small.push(i);
+            }
+        }
+        // Rounded size of a large job, as an integer number of quanta to
+        // keep the size classes exact.
+        let quanta_of = |w: f64| -> u64 { (w / quantum).floor() as u64 };
+        let mut distinct: Vec<u64> = large.iter().map(|&i| quanta_of(weights[i])).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let sizes: Vec<f64> = distinct.iter().map(|&q| q as f64 * quantum).collect();
+        let size_class: Vec<usize> = large
+            .iter()
+            .map(|&i| {
+                let q = quanta_of(weights[i]);
+                distinct.binary_search(&q).expect("class exists by construction")
+            })
+            .collect();
+        let mut counts = vec![0usize; sizes.len()];
+        for &c in &size_class {
+            counts[c] += 1;
+        }
+        let max_per_bin = (1.0 / eps).floor() as usize;
+        Rounding { deadline, eps, large, small, sizes, size_class, counts, max_per_bin }
+    }
+
+    /// Number of distinct large-job size classes.
+    pub fn class_count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Number of large jobs.
+    pub fn large_count(&self) -> usize {
+        self.large.len()
+    }
+
+    /// Estimated size of the configuration-DP state space,
+    /// `Π_j (counts_j + 1)`, saturating at `usize::MAX`.
+    pub fn state_space(&self) -> usize {
+        self.counts
+            .iter()
+            .fold(1usize, |acc, &c| acc.saturating_mul(c + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_splits_at_eps_d() {
+        let weights = [0.4, 1.0, 2.0, 0.5, 3.0];
+        let r = Rounding::new(&weights, 4.0, 0.25);
+        // threshold = 1.0: jobs strictly above 1.0 are large.
+        assert_eq!(r.large, vec![2, 4]);
+        assert_eq!(r.small, vec![0, 1, 3]);
+        assert_eq!(r.max_per_bin, 4);
+    }
+
+    #[test]
+    fn rounding_is_downward_and_groups_close_sizes() {
+        // quantum = eps^2 * d = 0.25; weights 1.05 and 1.2 both round to 1.0.
+        let weights = [1.05, 1.2, 2.3];
+        let r = Rounding::new(&weights, 4.0, 0.25);
+        assert_eq!(r.class_count(), 2);
+        assert!((r.sizes[0] - 1.0).abs() < 1e-12);
+        assert!((r.sizes[1] - 2.25).abs() < 1e-12);
+        assert_eq!(r.counts, vec![2, 1]);
+        // Rounded size never exceeds the true size.
+        for (k, &job) in r.large.iter().enumerate() {
+            assert!(r.sizes[r.size_class[k]] <= weights[job] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_small_jobs_yield_empty_classes() {
+        let weights = [0.1, 0.2, 0.3];
+        let r = Rounding::new(&weights, 10.0, 0.5);
+        assert!(r.large.is_empty());
+        assert_eq!(r.class_count(), 0);
+        assert_eq!(r.state_space(), 1);
+    }
+
+    #[test]
+    fn state_space_is_product_of_counts_plus_one() {
+        let weights = [2.0, 2.0, 3.0, 3.0, 3.0];
+        // eps = 0.4, d = 4: threshold 1.6 so every job is large; the 2.0
+        // jobs and 3.0 jobs fall into two distinct rounded classes.
+        let r = Rounding::new(&weights, 4.0, 0.4);
+        // classes: {2 jobs, 3 jobs} -> (2+1)*(3+1) = 12.
+        assert_eq!(r.state_space(), 12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_eps_is_rejected() {
+        let _ = Rounding::new(&[1.0], 1.0, 1.5);
+    }
+}

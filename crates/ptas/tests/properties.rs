@@ -1,0 +1,173 @@
+//! Property-based tests of the Hochbaum–Shmoys dual-approximation PTAS:
+//! the produced schedules are feasible, respect the `(1 + ε)` bound
+//! against an exact optimum on small instances, and the internal rounding
+//! and dual-test machinery behaves consistently.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sws_model::bounds::cmax_lower_bound;
+use sws_model::objectives::{cmax_of_assignment, mmax_of_assignment};
+use sws_model::validate::validate_assignment;
+use sws_model::Instance;
+use sws_ptas::dual::{certified_makespan, dual_test};
+use sws_ptas::rounding::Rounding;
+use sws_ptas::{ptas_cmax, ptas_mmax, ptas_schedule};
+
+/// Exhaustive optimal makespan for tiny weight vectors.
+fn brute_force_cmax(weights: &[f64], m: usize) -> f64 {
+    fn recurse(weights: &[f64], k: usize, loads: &mut Vec<f64>, best: &mut f64) {
+        if k == weights.len() {
+            *best = best.min(loads.iter().cloned().fold(0.0, f64::max));
+            return;
+        }
+        if loads.iter().cloned().fold(0.0, f64::max) >= *best {
+            return;
+        }
+        for q in 0..loads.len() {
+            loads[q] += weights[k];
+            recurse(weights, k + 1, loads, best);
+            loads[q] -= weights[k];
+            if k == 0 {
+                break;
+            }
+        }
+    }
+    let mut loads = vec![0.0; m];
+    let mut best = f64::INFINITY;
+    recurse(weights, 0, &mut loads, &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The PTAS always produces a complete, valid assignment whose
+    /// makespan is no better than the Graham lower bound and no worse than
+    /// its own certified value (up to the documented FFD fallback).
+    #[test]
+    fn ptas_output_is_feasible_and_internally_consistent(
+        p in vec(0.1f64..50.0, 1..40),
+        m in 1usize..6,
+        eps in 0.1f64..0.6,
+    ) {
+        let s: Vec<f64> = p.iter().map(|x| x * 0.5 + 1.0).collect();
+        let inst = Instance::from_ps(&p, &s, m).unwrap();
+        let out = ptas_cmax(&inst, eps);
+        validate_assignment(&inst, &out.assignment, None).unwrap();
+        let cmax = cmax_of_assignment(inst.tasks(), &out.assignment);
+        let lb = cmax_lower_bound(inst.tasks(), m);
+        prop_assert!(cmax + 1e-9 >= lb, "a schedule below the lower bound is impossible");
+        // The accepted deadline is bracketed by [LB, 2·LB].
+        prop_assert!(out.deadline + 1e-9 >= lb);
+        prop_assert!(out.deadline <= 2.0 * lb + 1e-9);
+        if out.exact_packing {
+            prop_assert!(cmax <= out.certified_value() + 1e-6,
+                "cmax {} above the certified value {}", cmax, out.certified_value());
+        }
+        // Whatever happens (including the FFD fallback into bins inflated
+        // to (1+ε)·d with d ≤ 2·LB), a coarse safety bound always holds.
+        prop_assert!(cmax <= (1.0 + eps) * 2.0 * lb + 1e-6);
+    }
+
+    /// Against the exact optimum on tiny instances the (1 + ε) bound holds
+    /// whenever the exact configuration DP was used throughout.
+    #[test]
+    fn ptas_respects_one_plus_eps_on_small_instances(
+        p in vec(0.5f64..20.0, 2..9),
+        m in 2usize..4,
+        eps in 0.15f64..0.5,
+    ) {
+        let s = vec![1.0; p.len()];
+        let inst = Instance::from_ps(&p, &s, m).unwrap();
+        let out = ptas_cmax(&inst, eps);
+        let cmax = cmax_of_assignment(inst.tasks(), &out.assignment);
+        let opt = brute_force_cmax(&p, m);
+        if out.exact_packing {
+            prop_assert!(
+                cmax <= (1.0 + eps) * opt * (1.0 + 1e-6) + 1e-6,
+                "cmax {} > (1+{}) × OPT {}", cmax, eps, opt
+            );
+        }
+        prop_assert!(cmax + 1e-9 >= opt);
+    }
+
+    /// The memory-objective variant is the exact mirror of the makespan
+    /// variant on the swapped instance.
+    #[test]
+    fn ptas_mmax_mirrors_ptas_cmax(
+        p in vec(0.5f64..20.0, 1..25),
+        m in 1usize..5,
+    ) {
+        let s: Vec<f64> = p.iter().rev().cloned().collect();
+        let inst = Instance::from_ps(&p, &s, m).unwrap();
+        let a = ptas_mmax(&inst, 0.3);
+        let b = ptas_cmax(&inst.swapped(), 0.3);
+        let mem_a = mmax_of_assignment(inst.tasks(), &a.assignment);
+        let cmax_b = cmax_of_assignment(inst.swapped().tasks(), &b.assignment);
+        prop_assert!((mem_a - cmax_b).abs() < 1e-9);
+        prop_assert!((a.deadline - b.deadline).abs() < 1e-9);
+    }
+
+    /// The dual test is monotone: if it accepts a deadline it also accepts
+    /// every larger deadline, and its packing respects the inflated bins.
+    #[test]
+    fn dual_test_is_monotone_and_respects_bins(
+        p in vec(0.5f64..20.0, 1..20),
+        m in 1usize..5,
+        eps in 0.2f64..0.5,
+    ) {
+        let total: f64 = p.iter().sum();
+        let maxp = p.iter().cloned().fold(0.0, f64::max);
+        let lb = (total / m as f64).max(maxp);
+        // d = 2·LB is always accepted (a Graham schedule fits).
+        let accepted = dual_test(&p, m, 2.0 * lb, eps);
+        prop_assert!(accepted.is_some());
+        let res = accepted.unwrap();
+        let tasks = sws_model::task::TaskSet::from_ps(&p, &vec![1.0; p.len()]).unwrap();
+        let cmax = cmax_of_assignment(&tasks, &res.assignment);
+        prop_assert!(cmax <= certified_makespan(2.0 * lb, eps) + 1e-6);
+        // If some deadline d is accepted then 1.5·d is accepted as well.
+        if let Some(_) = dual_test(&p, m, 1.2 * lb, eps) {
+            prop_assert!(dual_test(&p, m, 1.8 * lb, eps).is_some());
+        }
+    }
+
+    /// Rounding: the number of large jobs and size classes stays within the
+    /// 1/ε² bound that makes the configuration DP polynomial.
+    #[test]
+    fn rounding_respects_its_class_bounds(
+        p in vec(0.5f64..30.0, 1..40),
+        eps in 0.15f64..0.6,
+    ) {
+        let maxp = p.iter().cloned().fold(0.0, f64::max);
+        let deadline = maxp.max(p.iter().sum::<f64>() / 2.0);
+        let r = Rounding::new(&p, deadline, eps);
+        prop_assert!(r.large_count() <= p.len());
+        // Size classes are bounded by ~1/ε² + 1 (the classical bucketing).
+        let class_bound = (1.0 / (eps * eps)).ceil() as usize + 2;
+        prop_assert!(r.class_count() <= class_bound,
+            "{} classes exceeds the 1/ε² bound {}", r.class_count(), class_bound);
+        prop_assert!(r.state_space() >= 1);
+    }
+}
+
+#[test]
+fn ptas_certified_value_is_meaningful_on_a_known_instance() {
+    // Five jobs of size 2 on two machines: OPT = 6.
+    let inst = Instance::from_ps(&[2.0; 5], &[1.0; 5], 2).unwrap();
+    let out = ptas_cmax(&inst, 0.2);
+    let cmax = cmax_of_assignment(inst.tasks(), &out.assignment);
+    assert!(cmax <= 1.2 * 6.0 + 1e-6);
+    assert!(out.certified_value() + 1e-9 >= cmax || !out.exact_packing);
+}
+
+#[test]
+fn degenerate_inputs_are_handled() {
+    let empty = ptas_schedule(&[], 3, 0.3);
+    assert_eq!(empty.assignment.n(), 0);
+    let zeros = ptas_schedule(&[0.0, 0.0, 0.0], 2, 0.3);
+    assert_eq!(zeros.assignment.n(), 3);
+    let single = ptas_schedule(&[5.0], 4, 0.2);
+    assert_eq!(single.assignment.n(), 1);
+}

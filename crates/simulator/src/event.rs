@@ -1,0 +1,100 @@
+//! Time-ordered simulation events.
+
+use std::cmp::Ordering;
+
+use serde::{Deserialize, Serialize};
+
+/// What happens at an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A task starts executing on a processor.
+    Start,
+    /// A task finishes executing on a processor.
+    Finish,
+}
+
+/// One simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Simulation time of the event.
+    pub time: f64,
+    /// Task concerned.
+    pub task: usize,
+    /// Processor concerned.
+    pub proc: usize,
+    /// Start or finish.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates a start event.
+    pub fn start(time: f64, task: usize, proc: usize) -> Self {
+        Event { time, task, proc, kind: EventKind::Start }
+    }
+
+    /// Creates a finish event.
+    pub fn finish(time: f64, task: usize, proc: usize) -> Self {
+        Event { time, task, proc, kind: EventKind::Finish }
+    }
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    /// Events are ordered by time; at equal times finishes are processed
+    /// before starts (so a processor freed at `t` can host a task starting
+    /// at `t`), and ties after that break by task index for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .partial_cmp(&other.time)
+            .expect("event times are finite")
+            .then_with(|| kind_rank(self.kind).cmp(&kind_rank(other.kind)))
+            .then_with(|| self.task.cmp(&other.task))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn kind_rank(kind: EventKind) -> u8 {
+    match kind {
+        EventKind::Finish => 0,
+        EventKind::Start => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_sort_by_time() {
+        let mut events = vec![
+            Event::start(2.0, 0, 0),
+            Event::finish(1.0, 1, 0),
+            Event::start(0.5, 2, 1),
+        ];
+        events.sort();
+        assert_eq!(events[0].task, 2);
+        assert_eq!(events[1].task, 1);
+        assert_eq!(events[2].task, 0);
+    }
+
+    #[test]
+    fn finish_precedes_start_at_the_same_time() {
+        let mut events = vec![Event::start(1.0, 0, 0), Event::finish(1.0, 1, 0)];
+        events.sort();
+        assert_eq!(events[0].kind, EventKind::Finish);
+        assert_eq!(events[1].kind, EventKind::Start);
+    }
+
+    #[test]
+    fn equal_time_and_kind_break_ties_by_task() {
+        let mut events = vec![Event::start(1.0, 5, 0), Event::start(1.0, 3, 1)];
+        events.sort();
+        assert_eq!(events[0].task, 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! ASCII Gantt charts with memory annotations.
+//!
+//! Figures 1 and 2 of the paper draw schedules as Gantt charts where the
+//! rectangle length is the processing time and a label gives the task's
+//! memory consumption. This module renders the same picture in plain text
+//! so the figure-regeneration binary can print it.
+
+use sws_model::schedule::TimedSchedule;
+use sws_model::task::TaskSet;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct GanttOptions {
+    /// Total character width of the time axis.
+    pub width: usize,
+    /// Whether to append per-processor totals (busy time and memory).
+    pub totals: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions { width: 60, totals: true }
+    }
+}
+
+/// Renders a timed schedule as an ASCII Gantt chart. Every processor gets
+/// one lane; each task is drawn as `[ t<id>:s=<mem> ]` scaled to its
+/// processing time; idle periods are drawn with dots.
+pub fn render_gantt(tasks: &TaskSet, schedule: &TimedSchedule, opts: &GanttOptions) -> String {
+    let m = schedule.m();
+    let makespan = schedule.cmax(tasks).max(1e-12);
+    let scale = opts.width as f64 / makespan;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time axis: 0 .. {makespan:.3} ({} chars)\n",
+        opts.width
+    ));
+    for q in 0..m {
+        let mut lane = String::new();
+        let mut cursor = 0usize;
+        let mut mem_total = 0.0;
+        let mut busy_total = 0.0;
+        // Tasks of this processor ordered by start time.
+        let mut lane_tasks: Vec<usize> =
+            (0..schedule.n()).filter(|&i| schedule.proc_of(i) == q).collect();
+        lane_tasks.sort_by(|&a, &b| {
+            sws_model::numeric::total_cmp(schedule.start(a), schedule.start(b))
+        });
+        for i in lane_tasks {
+            let t = tasks.get(i);
+            mem_total += t.s;
+            busy_total += t.p;
+            let start_col = (schedule.start(i) * scale).round() as usize;
+            let end_col = ((schedule.start(i) + t.p) * scale).round() as usize;
+            while cursor < start_col {
+                lane.push('.');
+                cursor += 1;
+            }
+            let label = format!("t{i}:s={:.2}", t.s);
+            let body_len = end_col.saturating_sub(start_col).max(label.len() + 2);
+            let mut body = String::with_capacity(body_len);
+            body.push('[');
+            body.push_str(&label);
+            while body.len() + 1 < body_len {
+                body.push(' ');
+            }
+            body.push(']');
+            lane.push_str(&body);
+            cursor += body.len();
+        }
+        if opts.totals {
+            out.push_str(&format!(
+                "P{q:<2} |{lane}|  busy = {busy_total:.3}, mem = {mem_total:.3}\n"
+            ));
+        } else {
+            out.push_str(&format!("P{q:<2} |{lane}|\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_model::schedule::Assignment;
+
+    fn figure1_setup() -> (TaskSet, TimedSchedule) {
+        // The first Pareto-optimal schedule of Figure 1: task 0 alone on
+        // P0, tasks 1 and 2 on P1.
+        let tasks = TaskSet::from_ps(&[1.0, 0.5, 0.5], &[0.001, 1.0, 1.0]).unwrap();
+        let asg = Assignment::new(vec![0, 1, 1], 2).unwrap();
+        let sched = asg.into_timed(&tasks);
+        (tasks, sched)
+    }
+
+    #[test]
+    fn renders_one_lane_per_processor() {
+        let (tasks, sched) = figure1_setup();
+        let text = render_gantt(&tasks, &sched, &GanttOptions::default());
+        assert_eq!(text.lines().count(), 3); // header + 2 lanes
+        assert!(text.contains("P0"));
+        assert!(text.contains("P1"));
+    }
+
+    #[test]
+    fn labels_contain_task_ids_and_memory() {
+        let (tasks, sched) = figure1_setup();
+        let text = render_gantt(&tasks, &sched, &GanttOptions::default());
+        assert!(text.contains("t0:s=0.00"));
+        assert!(text.contains("t1:s=1.00"));
+        assert!(text.contains("t2:s=1.00"));
+    }
+
+    #[test]
+    fn totals_report_busy_time_and_memory() {
+        let (tasks, sched) = figure1_setup();
+        let text = render_gantt(&tasks, &sched, &GanttOptions::default());
+        assert!(text.contains("busy = 1.000, mem = 0.001"));
+        assert!(text.contains("busy = 1.000, mem = 2.000"));
+    }
+
+    #[test]
+    fn totals_can_be_disabled() {
+        let (tasks, sched) = figure1_setup();
+        let text = render_gantt(
+            &tasks,
+            &sched,
+            &GanttOptions { width: 40, totals: false },
+        );
+        assert!(!text.contains("busy ="));
+    }
+
+    #[test]
+    fn empty_schedule_renders_without_panicking() {
+        let tasks = TaskSet::from_ps(&[], &[]).unwrap();
+        let sched = TimedSchedule::new(vec![], vec![], 2).unwrap();
+        let text = render_gantt(&tasks, &sched, &GanttOptions::default());
+        assert!(text.contains("P0"));
+        assert!(text.contains("P1"));
+    }
+}

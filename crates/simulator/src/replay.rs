@@ -1,0 +1,103 @@
+//! One-call helpers to simulate schedules produced by the algorithms.
+
+use sws_dag::DagInstance;
+use sws_model::error::ModelError;
+use sws_model::schedule::{Assignment, TimedSchedule};
+use sws_model::Instance;
+
+use crate::engine::{SimulationEngine, SimulationReport};
+
+/// Simulates an assignment of independent tasks (each processor runs its
+/// tasks back to back in index order).
+pub fn simulate_assignment(
+    inst: &Instance,
+    asg: &Assignment,
+    memory_capacity: Option<f64>,
+) -> Result<SimulationReport, ModelError> {
+    let timed = asg.into_timed(inst.tasks());
+    let preds: Vec<Vec<usize>> = vec![Vec::new(); inst.n()];
+    SimulationEngine::new().replay(inst.tasks(), inst.m(), &timed, &preds, memory_capacity)
+}
+
+/// Simulates an arbitrary timed schedule of independent tasks.
+pub fn simulate_timed(
+    inst: &Instance,
+    schedule: &TimedSchedule,
+    memory_capacity: Option<f64>,
+) -> Result<SimulationReport, ModelError> {
+    let preds: Vec<Vec<usize>> = vec![Vec::new(); inst.n()];
+    SimulationEngine::new().replay(inst.tasks(), inst.m(), schedule, &preds, memory_capacity)
+}
+
+/// Simulates a timed schedule of a precedence-constrained instance,
+/// verifying the precedence constraints along the way.
+pub fn simulate_dag_schedule(
+    inst: &DagInstance,
+    schedule: &TimedSchedule,
+    memory_capacity: Option<f64>,
+) -> Result<SimulationReport, ModelError> {
+    SimulationEngine::new().replay(
+        inst.tasks(),
+        inst.m(),
+        schedule,
+        inst.graph().all_preds(),
+        memory_capacity,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_listsched::priority::hlf_priority;
+    use sws_listsched::{dag_list_schedule, graham_cmax, spt_schedule};
+    use sws_dag::prelude::*;
+
+    #[test]
+    fn graham_schedules_replay_cleanly() {
+        let inst = Instance::from_ps(
+            &[3.0, 1.0, 4.0, 1.0, 5.0, 9.0],
+            &[2.0, 7.0, 1.0, 8.0, 2.0, 8.0],
+            3,
+        )
+        .unwrap();
+        let asg = graham_cmax(&inst);
+        let rep = simulate_assignment(&inst, &asg, None).unwrap();
+        let expected = sws_model::objectives::cmax_of_assignment(inst.tasks(), &asg);
+        assert!((rep.makespan - expected).abs() < 1e-9);
+        let expected_mem = sws_model::objectives::mmax_of_assignment(inst.tasks(), &asg);
+        assert!((rep.peak_memory - expected_mem).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spt_schedules_replay_and_report_sum_completion() {
+        let inst = Instance::from_ps(&[4.0, 2.0, 7.0, 1.0], &[1.0; 4], 2).unwrap();
+        let sched = spt_schedule(&inst);
+        let rep = simulate_timed(&inst, &sched, None).unwrap();
+        assert!((rep.sum_completion - sched.sum_completion(inst.tasks())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dag_list_schedules_replay_with_precedence_checking() {
+        let dag = DagInstance::new(gaussian_elimination(5), 3).unwrap();
+        let sched = dag_list_schedule(&dag, &hlf_priority(dag.graph()));
+        let rep = simulate_dag_schedule(&dag, &sched, None).unwrap();
+        assert!((rep.makespan - sched.cmax(dag.tasks())).abs() < 1e-9);
+        assert!(rep.utilization > 0.0 && rep.utilization <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn capacity_violations_are_reported_through_the_same_path() {
+        let inst = Instance::from_ps(&[1.0, 1.0], &[5.0, 5.0], 1).unwrap();
+        let asg = Assignment::new(vec![0, 0], 1).unwrap();
+        assert!(simulate_assignment(&inst, &asg, Some(12.0)).is_ok());
+        assert!(simulate_assignment(&inst, &asg, Some(9.0)).is_err());
+    }
+
+    #[test]
+    fn peak_concurrency_never_exceeds_processor_count() {
+        let dag = DagInstance::new(fft_butterfly(3), 4).unwrap();
+        let sched = dag_list_schedule(&dag, &hlf_priority(dag.graph()));
+        let rep = simulate_dag_schedule(&dag, &sched, None).unwrap();
+        assert!(rep.trace.peak_concurrency() <= 4);
+    }
+}

@@ -1,0 +1,127 @@
+//! The paper's adversarial instances (Section 4).
+//!
+//! These instances drive the inapproximability results and are the inputs
+//! of Figures 1 and 2; the evaluation harness re-enumerates their Pareto
+//! fronts with `sws-exact` and checks the claimed objective values.
+
+use sws_model::Instance;
+
+/// The first instance (Section 4.1, Figure 1): two processors, three
+/// tasks with `p = [1, 1/2, 1/2]` and `s = [ε, 1, 1]`.
+///
+/// Its Pareto-optimal points are `(1, 2)` and `(3/2, 1 + ε)`, which proves
+/// Lemma 1: no algorithm is better than `(1, 2)` (or `(2, 1)` by
+/// symmetry).
+pub fn lemma1_instance(eps: f64) -> Instance {
+    assert!(eps > 0.0, "the paper's ε must be positive");
+    Instance::from_ps(&[1.0, 0.5, 0.5], &[eps, 1.0, 1.0], 2)
+        .expect("constants are valid")
+}
+
+/// The `m`-processor family (Section 4.2): `m − 1` "long" tasks with
+/// `p = 1, s = ε` and `k·m` "heavy" tasks with `p = 1/(km), s = 1`.
+///
+/// The optimal makespan is 1 and the optimal memory consumption is
+/// `k + ε`; Pareto-optimal solution `i ∈ {0..k}` has makespan `1 + i/(km)`
+/// and memory `k + (k − i)(m − 1)` (except `i = k` whose memory is
+/// `k + ε`), which proves Lemma 2.
+pub fn lemma2_instance(m: usize, k: usize, eps: f64) -> Instance {
+    assert!(m >= 2 && k >= 2, "Lemma 2 requires m, k >= 2");
+    assert!(eps > 0.0, "the paper's ε must be positive");
+    let n = k * m + m - 1;
+    let mut p = Vec::with_capacity(n);
+    let mut s = Vec::with_capacity(n);
+    for _ in 0..(m - 1) {
+        p.push(1.0);
+        s.push(eps);
+    }
+    for _ in 0..(k * m) {
+        p.push(1.0 / (k * m) as f64);
+        s.push(1.0);
+    }
+    Instance::from_ps(&p, &s, m).expect("constants are valid")
+}
+
+/// The objective point of the `i`-th Pareto-optimal solution of the
+/// Lemma 2 instance (`i ∈ {0..k}`), as derived in Section 4.2:
+/// makespan `1 + i/(km)`, memory `k + (k − i)(m − 1)` for `i < k` and
+/// `k + ε` for `i = k`.
+pub fn lemma2_pareto_point(m: usize, k: usize, i: usize, eps: f64) -> (f64, f64) {
+    assert!(i <= k, "solution index i ranges over 0..=k");
+    let cmax = 1.0 + i as f64 / (k * m) as f64;
+    let mmax = if i == k {
+        k as f64 + eps
+    } else {
+        (k + (k - i) * (m - 1)) as f64
+    };
+    (cmax, mmax)
+}
+
+/// The second two-processor instance (Section 4.3, Figure 2): three tasks
+/// with `p = [1, ε, 1 − ε]` and `s = [ε, 1, 1 − ε]`.
+///
+/// Its Pareto-optimal points are `(1, 2 − ε)`, `(1 + ε, 1 + ε)` and
+/// `(2 − ε, 1)`; with `ε` close to `1/2` this proves Lemma 3: no algorithm
+/// is better than `(3/2, 3/2)`.
+pub fn lemma3_instance(eps: f64) -> Instance {
+    assert!(eps > 0.0 && eps < 0.5, "Lemma 3 needs 0 < ε < 1/2");
+    Instance::from_ps(&[1.0, eps, 1.0 - eps], &[eps, 1.0, 1.0 - eps], 2)
+        .expect("constants are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_model::bounds::{cmax_lower_bound, mmax_lower_bound};
+
+    #[test]
+    fn lemma1_instance_matches_the_paper_constants() {
+        let inst = lemma1_instance(0.01);
+        assert_eq!(inst.n(), 3);
+        assert_eq!(inst.m(), 2);
+        assert_eq!(inst.p(0), 1.0);
+        assert_eq!(inst.s(2), 1.0);
+        assert!((inst.total_work() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma2_instance_has_km_plus_m_minus_1_tasks() {
+        for &(m, k) in &[(2usize, 2usize), (3, 4), (5, 3)] {
+            let inst = lemma2_instance(m, k, 1e-3);
+            assert_eq!(inst.n(), k * m + m - 1);
+            assert_eq!(inst.m(), m);
+            // Total work: (m-1)·1 + km·(1/km) = m.
+            assert!((inst.total_work() - m as f64).abs() < 1e-9);
+            // Optimal makespan is 1 (each processor gets one unit of work),
+            // so the lower bound must not exceed 1.
+            assert!(cmax_lower_bound(inst.tasks(), m) <= 1.0 + 1e-9);
+            // Optimal memory is k + eps; the Graham bound is k + small.
+            assert!(mmax_lower_bound(inst.tasks(), m) <= k as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn lemma2_pareto_points_match_the_formulas() {
+        let (c0, m0) = lemma2_pareto_point(3, 4, 0, 1e-3);
+        assert!((c0 - 1.0).abs() < 1e-12);
+        assert!((m0 - (4 + 4 * 2) as f64).abs() < 1e-12);
+        let (ck, mk) = lemma2_pareto_point(3, 4, 4, 1e-3);
+        assert!((ck - (1.0 + 4.0 / 12.0)).abs() < 1e-12);
+        assert!((mk - 4.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma3_instance_matches_the_paper_constants() {
+        let inst = lemma3_instance(0.25);
+        assert_eq!(inst.n(), 3);
+        assert!((inst.total_work() - 2.0).abs() < 1e-12);
+        assert!((inst.total_storage() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(std::panic::catch_unwind(|| lemma1_instance(0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| lemma2_instance(1, 2, 0.1)).is_err());
+        assert!(std::panic::catch_unwind(|| lemma3_instance(0.7)).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Grid-computing-style workload.
+//!
+//! The paper's other motivation is scientific computation on grids where
+//! intermediate *results* must be stored on the worker that produced them
+//! (the ATLAS production example of the introduction). Jobs are long,
+//! their output sizes are heavy-tailed, and mean completion time matters
+//! (Section 5.2's third objective exists for exactly this scenario).
+
+use rand::Rng;
+
+use sws_model::task::{Task, TaskSet};
+use sws_model::Instance;
+
+use crate::rng::WorkloadRng;
+
+/// Configuration of the grid workload.
+#[derive(Debug, Clone, Copy)]
+pub struct GridWorkloadConfig {
+    /// Number of analysis jobs.
+    pub jobs: usize,
+    /// Number of worker nodes.
+    pub workers: usize,
+    /// Shape parameter of the heavy-tailed output-size distribution
+    /// (larger = heavier tail). Must be positive.
+    pub tail: f64,
+}
+
+impl GridWorkloadConfig {
+    /// A default production-batch-sized workload.
+    pub fn default_batch(workers: usize) -> Self {
+        GridWorkloadConfig { jobs: 120, workers, tail: 1.5 }
+    }
+
+    /// Generates the instance. Units: minutes of runtime, gigabytes of
+    /// output.
+    pub fn generate(&self, rng: &mut WorkloadRng) -> Instance {
+        assert!(self.tail > 0.0, "tail parameter must be positive");
+        let mut tasks = Vec::with_capacity(self.jobs);
+        for _ in 0..self.jobs {
+            // Runtime: log-uniform between 5 minutes and 8 hours
+            // (5 · 96^u for u uniform in [0, 1)).
+            let runtime = 5.0 * (96.0f64).powf(rng.gen_range(0.0..1.0));
+            // Output size: Pareto-like heavy tail, 0.5–~200 GB.
+            let u: f64 = rng.gen_range(0.0001..1.0);
+            let output = 0.5 * u.powf(-1.0 / self.tail).min(400.0);
+            tasks.push(Task::new_unchecked(runtime, output));
+        }
+        Instance::new(TaskSet::new(tasks).expect("draws are positive"), self.workers)
+            .expect("workers > 0")
+    }
+}
+
+/// Convenience: the default grid batch.
+pub fn grid_workload(workers: usize, rng: &mut WorkloadRng) -> Instance {
+    GridWorkloadConfig::default_batch(workers).generate(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn default_batch_shape() {
+        let mut rng = seeded_rng(21);
+        let inst = grid_workload(8, &mut rng);
+        assert_eq!(inst.n(), 120);
+        assert_eq!(inst.m(), 8);
+        for i in 0..inst.n() {
+            assert!(inst.p(i) >= 5.0 - 1e-9);
+            assert!(inst.p(i) <= 5.0 * 96.0 + 1e-9);
+            assert!(inst.s(i) >= 0.5 - 1e-9);
+            assert!(inst.s(i) <= 200.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn output_sizes_are_heavy_tailed() {
+        let mut rng = seeded_rng(22);
+        let inst = GridWorkloadConfig { jobs: 1000, workers: 8, tail: 1.2 }.generate(&mut rng);
+        let stats = inst.stats();
+        // Heavy tail: the max is much larger than the mean.
+        assert!(stats.max_s > 5.0 * stats.mean_s);
+    }
+
+    #[test]
+    fn reproducible_generation() {
+        let a = grid_workload(4, &mut seeded_rng(8));
+        let b = grid_workload(4, &mut seeded_rng(8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_tail_is_rejected() {
+        let mut rng = seeded_rng(1);
+        let _ = GridWorkloadConfig { jobs: 10, workers: 2, tail: 0.0 }.generate(&mut rng);
+    }
+}

@@ -1,0 +1,33 @@
+//! # sws-workloads
+//!
+//! Workload generators for the evaluation of *Scheduling with Storage
+//! Constraints*:
+//!
+//! * [`adversarial`] — the paper's own instances: the Section 4.1
+//!   two-processor instance behind Figure 1 and Lemma 1, the Section 4.2
+//!   `m`-processor family behind Lemma 2, and the Section 4.3 instance
+//!   behind Figure 2 and Lemma 3;
+//! * [`random`] — random independent-task instances with several
+//!   `(p, s)` joint distributions (uniform, correlated, anti-correlated,
+//!   bimodal), since the relationship between processing time and memory
+//!   is exactly what the SBO∆ threshold exploits;
+//! * [`soc`] — a multi-System-on-Chip-style workload (many small kernels
+//!   with code-size-dominated storage, a few large DSP kernels), the
+//!   embedded motivation of the paper's introduction;
+//! * [`grid`] — a grid-computing-style workload (long jobs, result files
+//!   of loosely related size), the other motivating scenario;
+//! * [`dagsets`] — precedence-constrained workloads: structural
+//!   generators from `sws-dag` combined with randomized costs;
+//! * [`rng`] — deterministic seeding helpers so every experiment is
+//!   reproducible.
+
+pub mod adversarial;
+pub mod dagsets;
+pub mod grid;
+pub mod random;
+pub mod rng;
+pub mod soc;
+
+pub use adversarial::{lemma1_instance, lemma2_instance, lemma3_instance};
+pub use random::{RandomInstanceConfig, TaskDistribution};
+pub use rng::seeded_rng;

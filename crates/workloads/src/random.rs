@@ -1,0 +1,206 @@
+//! Random independent-task instances with controllable correlation
+//! between processing time and storage requirement.
+//!
+//! The paper stresses that "the processing time of every task is not
+//! related to the memory it uses"; how related they actually are changes
+//! how hard the bi-objective trade-off is, so the evaluation sweeps four
+//! joint distributions:
+//!
+//! * **Uncorrelated** — `p` and `s` drawn independently,
+//! * **Correlated** — `s ≈ α·p` with small noise (easy: one good schedule
+//!   tends to be good for both objectives),
+//! * **Anti-correlated** — long tasks use little memory and vice versa
+//!   (the regime where the SBO∆ threshold rule matters most),
+//! * **Bimodal** — a few huge tasks among many small ones on both axes.
+
+use rand::Rng;
+
+use sws_model::task::{Task, TaskSet};
+use sws_model::Instance;
+
+use crate::rng::WorkloadRng;
+
+/// Joint distribution of `(p_i, s_i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskDistribution {
+    /// `p` and `s` independently uniform.
+    Uncorrelated,
+    /// `s` proportional to `p` with ±20 % multiplicative noise.
+    Correlated,
+    /// `s` inversely related to `p` with ±20 % multiplicative noise.
+    AntiCorrelated,
+    /// 10 % of tasks are "huge" (×10) on each axis independently.
+    Bimodal,
+}
+
+impl TaskDistribution {
+    /// All distributions, in the order used by the experiment tables.
+    pub fn all() -> [TaskDistribution; 4] {
+        [
+            TaskDistribution::Uncorrelated,
+            TaskDistribution::Correlated,
+            TaskDistribution::AntiCorrelated,
+            TaskDistribution::Bimodal,
+        ]
+    }
+
+    /// A short label for experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TaskDistribution::Uncorrelated => "uncorrelated",
+            TaskDistribution::Correlated => "correlated",
+            TaskDistribution::AntiCorrelated => "anticorrelated",
+            TaskDistribution::Bimodal => "bimodal",
+        }
+    }
+}
+
+/// Configuration of a random instance.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomInstanceConfig {
+    /// Number of tasks.
+    pub n: usize,
+    /// Number of processors.
+    pub m: usize,
+    /// Joint distribution of `(p, s)`.
+    pub distribution: TaskDistribution,
+    /// Range of the base uniform draw for processing times.
+    pub p_range: (f64, f64),
+    /// Range of the base uniform draw for storage requirements.
+    pub s_range: (f64, f64),
+}
+
+impl RandomInstanceConfig {
+    /// A reasonable default configuration for the experiments: `p` and `s`
+    /// in `[1, 100]`.
+    pub fn new(n: usize, m: usize, distribution: TaskDistribution) -> Self {
+        RandomInstanceConfig { n, m, distribution, p_range: (1.0, 100.0), s_range: (1.0, 100.0) }
+    }
+
+    /// Draws one task.
+    fn draw_task(&self, rng: &mut WorkloadRng) -> Task {
+        let (plo, phi) = self.p_range;
+        let (slo, shi) = self.s_range;
+        let noise = |rng: &mut WorkloadRng| rng.gen_range(0.8..1.2);
+        match self.distribution {
+            TaskDistribution::Uncorrelated => {
+                Task::new_unchecked(rng.gen_range(plo..phi), rng.gen_range(slo..shi))
+            }
+            TaskDistribution::Correlated => {
+                let p = rng.gen_range(plo..phi);
+                // Map p's relative position into the s range, then jitter.
+                let rel = (p - plo) / (phi - plo);
+                let s = (slo + rel * (shi - slo)) * noise(rng);
+                Task::new_unchecked(p, s.max(slo * 0.5))
+            }
+            TaskDistribution::AntiCorrelated => {
+                let p = rng.gen_range(plo..phi);
+                let rel = (p - plo) / (phi - plo);
+                let s = (slo + (1.0 - rel) * (shi - slo)) * noise(rng);
+                Task::new_unchecked(p, s.max(slo * 0.5))
+            }
+            TaskDistribution::Bimodal => {
+                let base_p = rng.gen_range(plo..phi * 0.2);
+                let base_s = rng.gen_range(slo..shi * 0.2);
+                let p = if rng.gen_bool(0.1) { base_p * 10.0 } else { base_p };
+                let s = if rng.gen_bool(0.1) { base_s * 10.0 } else { base_s };
+                Task::new_unchecked(p, s)
+            }
+        }
+    }
+
+    /// Generates the instance.
+    pub fn generate(&self, rng: &mut WorkloadRng) -> Instance {
+        let tasks: Vec<Task> = (0..self.n).map(|_| self.draw_task(rng)).collect();
+        Instance::new(TaskSet::new(tasks).expect("draws are positive"), self.m)
+            .expect("m > 0 by configuration")
+    }
+}
+
+/// Convenience helper: generate a random instance with the default ranges.
+pub fn random_instance(
+    n: usize,
+    m: usize,
+    distribution: TaskDistribution,
+    rng: &mut WorkloadRng,
+) -> Instance {
+    RandomInstanceConfig::new(n, m, distribution).generate(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn generates_the_requested_shape() {
+        let mut rng = seeded_rng(1);
+        for dist in TaskDistribution::all() {
+            let inst = random_instance(50, 4, dist, &mut rng);
+            assert_eq!(inst.n(), 50);
+            assert_eq!(inst.m(), 4);
+            for i in 0..inst.n() {
+                assert!(inst.p(i) > 0.0);
+                assert!(inst.s(i) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_tasks_track_processing_time() {
+        let mut rng = seeded_rng(2);
+        let inst = random_instance(400, 4, TaskDistribution::Correlated, &mut rng);
+        let corr = correlation(&inst);
+        assert!(corr > 0.8, "expected strong positive correlation, got {corr}");
+    }
+
+    #[test]
+    fn anticorrelated_tasks_oppose_processing_time() {
+        let mut rng = seeded_rng(3);
+        let inst = random_instance(400, 4, TaskDistribution::AntiCorrelated, &mut rng);
+        let corr = correlation(&inst);
+        assert!(corr < -0.8, "expected strong negative correlation, got {corr}");
+    }
+
+    #[test]
+    fn uncorrelated_tasks_have_weak_correlation() {
+        let mut rng = seeded_rng(4);
+        let inst = random_instance(800, 4, TaskDistribution::Uncorrelated, &mut rng);
+        let corr = correlation(&inst);
+        assert!(corr.abs() < 0.2, "expected weak correlation, got {corr}");
+    }
+
+    #[test]
+    fn bimodal_has_heavy_outliers() {
+        let mut rng = seeded_rng(5);
+        let inst = random_instance(500, 4, TaskDistribution::Bimodal, &mut rng);
+        let stats = inst.stats();
+        // Outliers push the maximum far above the mean.
+        assert!(stats.max_p > 4.0 * stats.mean_p);
+        assert!(stats.max_s > 4.0 * stats.mean_s);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = random_instance(30, 3, TaskDistribution::Uncorrelated, &mut seeded_rng(9));
+        let b = random_instance(30, 3, TaskDistribution::Uncorrelated, &mut seeded_rng(9));
+        assert_eq!(a, b);
+    }
+
+    fn correlation(inst: &Instance) -> f64 {
+        let n = inst.n() as f64;
+        let mean_p = inst.total_work() / n;
+        let mean_s = inst.total_storage() / n;
+        let mut cov = 0.0;
+        let mut var_p = 0.0;
+        let mut var_s = 0.0;
+        for i in 0..inst.n() {
+            let dp = inst.p(i) - mean_p;
+            let ds = inst.s(i) - mean_s;
+            cov += dp * ds;
+            var_p += dp * dp;
+            var_s += ds * ds;
+        }
+        cov / (var_p.sqrt() * var_s.sqrt())
+    }
+}

@@ -1,0 +1,126 @@
+//! Multi-System-on-Chip-style workload.
+//!
+//! The paper's introduction motivates the memory objective with embedded
+//! multi-SoC systems that store *instruction code* per processor: code
+//! replication makes cumulative code size the scarce resource. This
+//! generator models a firmware image build:
+//!
+//! * many small control kernels — short runtime, small-but-not-negligible
+//!   code (the code/runtime ratio is high, so SBO∆ wants them scheduled
+//!   memory-first),
+//! * a few DSP/codec kernels — long runtime, moderate code size,
+//! * optional shared-library style tasks — negligible runtime, large code
+//!   footprint (configuration tables, neural-network weights).
+
+use rand::Rng;
+
+use sws_model::task::{Task, TaskSet};
+use sws_model::Instance;
+
+use crate::rng::WorkloadRng;
+
+/// Configuration of the SoC workload.
+#[derive(Debug, Clone, Copy)]
+pub struct SocWorkloadConfig {
+    /// Number of small control kernels.
+    pub control_kernels: usize,
+    /// Number of DSP/codec kernels.
+    pub dsp_kernels: usize,
+    /// Number of table/weight blobs (zero-ish runtime, big footprint).
+    pub data_blobs: usize,
+    /// Number of SoC processors.
+    pub processors: usize,
+}
+
+impl SocWorkloadConfig {
+    /// A default firmware-image-sized workload.
+    pub fn default_image(processors: usize) -> Self {
+        SocWorkloadConfig {
+            control_kernels: 60,
+            dsp_kernels: 8,
+            data_blobs: 6,
+            processors,
+        }
+    }
+
+    /// Generates the instance. Units: milliseconds of runtime, kilobytes
+    /// of code/storage.
+    pub fn generate(&self, rng: &mut WorkloadRng) -> Instance {
+        let mut tasks = Vec::with_capacity(
+            self.control_kernels + self.dsp_kernels + self.data_blobs,
+        );
+        for _ in 0..self.control_kernels {
+            // 0.1–2 ms of work, 4–64 KB of code.
+            tasks.push(Task::new_unchecked(
+                rng.gen_range(0.1..2.0),
+                rng.gen_range(4.0..64.0),
+            ));
+        }
+        for _ in 0..self.dsp_kernels {
+            // 10–80 ms of work, 16–128 KB of code.
+            tasks.push(Task::new_unchecked(
+                rng.gen_range(10.0..80.0),
+                rng.gen_range(16.0..128.0),
+            ));
+        }
+        for _ in 0..self.data_blobs {
+            // ~0 runtime, 128–1024 KB of constant data.
+            tasks.push(Task::new_unchecked(
+                rng.gen_range(0.01..0.1),
+                rng.gen_range(128.0..1024.0),
+            ));
+        }
+        Instance::new(TaskSet::new(tasks).expect("draws are positive"), self.processors)
+            .expect("processors > 0")
+    }
+}
+
+/// Convenience: the default SoC workload.
+pub fn soc_workload(processors: usize, rng: &mut WorkloadRng) -> Instance {
+    SocWorkloadConfig::default_image(processors).generate(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn default_image_has_the_expected_mix() {
+        let mut rng = seeded_rng(11);
+        let inst = soc_workload(4, &mut rng);
+        assert_eq!(inst.n(), 60 + 8 + 6);
+        assert_eq!(inst.m(), 4);
+    }
+
+    #[test]
+    fn data_blobs_dominate_storage_but_not_runtime() {
+        let mut rng = seeded_rng(12);
+        let cfg = SocWorkloadConfig { control_kernels: 10, dsp_kernels: 2, data_blobs: 3, processors: 2 };
+        let inst = cfg.generate(&mut rng);
+        let stats = inst.stats();
+        // The largest storage requirement (a blob) is far above the mean.
+        assert!(stats.max_s > 2.0 * stats.mean_s);
+        // The largest runtime (a DSP kernel) is far above the mean too.
+        assert!(stats.max_p > 2.0 * stats.mean_p);
+    }
+
+    #[test]
+    fn reproducible_generation() {
+        let a = soc_workload(4, &mut seeded_rng(3));
+        let b = soc_workload(4, &mut seeded_rng(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn custom_mixes_are_respected() {
+        let mut rng = seeded_rng(5);
+        let cfg = SocWorkloadConfig { control_kernels: 1, dsp_kernels: 1, data_blobs: 1, processors: 3 };
+        let inst = cfg.generate(&mut rng);
+        assert_eq!(inst.n(), 3);
+        // Control kernel runtime < DSP kernel runtime.
+        assert!(inst.p(0) < inst.p(1));
+        // Blob storage > control kernel storage.
+        assert!(inst.s(2) > inst.s(0));
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests of the workload generators: reproducibility,
+//! structural validity, the advertised correlation structure of the
+//! random distributions, and the exact geometry of the paper's
+//! adversarial instances.
+
+use proptest::prelude::*;
+
+use sws_dag::analysis::structurally_sound;
+use sws_model::bounds::{cmax_lower_bound, mmax_lower_bound};
+use sws_workloads::adversarial::{
+    lemma1_instance, lemma2_instance, lemma2_pareto_point, lemma3_instance,
+};
+use sws_workloads::dagsets::{dag_workload, DagFamily};
+use sws_workloads::grid::grid_workload;
+use sws_workloads::random::{random_instance, RandomInstanceConfig};
+use sws_workloads::rng::{derive_seed, seeded_rng};
+use sws_workloads::soc::soc_workload;
+use sws_workloads::TaskDistribution;
+
+/// Pearson correlation coefficient between two equally long samples.
+fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Identical seeds reproduce identical instances; different stream ids
+    /// derived from the same base seed give different ones.
+    #[test]
+    fn generation_is_deterministic_per_seed(
+        n in 5usize..60,
+        m in 2usize..8,
+        seed in 0u64..10_000,
+    ) {
+        for dist in TaskDistribution::all() {
+            let a = random_instance(n, m, dist, &mut seeded_rng(seed));
+            let b = random_instance(n, m, dist, &mut seeded_rng(seed));
+            prop_assert_eq!(&a, &b);
+        }
+        let d1 = derive_seed(seed, 1);
+        let d2 = derive_seed(seed, 2);
+        prop_assert_ne!(d1, d2);
+    }
+
+    /// Every distribution produces strictly positive, finite costs of the
+    /// requested cardinality, and the instance-level aggregates are sane.
+    #[test]
+    fn random_instances_are_well_formed(
+        n in 1usize..80,
+        m in 1usize..10,
+        seed in 0u64..10_000,
+    ) {
+        for dist in TaskDistribution::all() {
+            let inst = random_instance(n, m, dist, &mut seeded_rng(seed));
+            prop_assert_eq!(inst.n(), n);
+            prop_assert_eq!(inst.m(), m);
+            for i in 0..n {
+                prop_assert!(inst.p(i) > 0.0 && inst.p(i).is_finite());
+                prop_assert!(inst.s(i) > 0.0 && inst.s(i).is_finite());
+            }
+            prop_assert!(cmax_lower_bound(inst.tasks(), m) > 0.0);
+            prop_assert!(mmax_lower_bound(inst.tasks(), m) > 0.0);
+        }
+    }
+
+    /// The correlated / anti-correlated distributions really produce the
+    /// advertised sign of correlation on reasonably large samples.
+    #[test]
+    fn correlation_structure_matches_the_labels(seed in 0u64..2_000) {
+        let n = 300;
+        let gather = |dist: TaskDistribution| {
+            let inst = random_instance(n, 4, dist, &mut seeded_rng(seed));
+            let p: Vec<f64> = (0..n).map(|i| inst.p(i)).collect();
+            let s: Vec<f64> = (0..n).map(|i| inst.s(i)).collect();
+            correlation(&p, &s)
+        };
+        prop_assert!(gather(TaskDistribution::Correlated) > 0.5);
+        prop_assert!(gather(TaskDistribution::AntiCorrelated) < -0.5);
+        prop_assert!(gather(TaskDistribution::Uncorrelated).abs() < 0.4);
+    }
+
+    /// Custom ranges are respected by the configuration-level generator.
+    #[test]
+    fn configured_ranges_are_respected(
+        n in 1usize..50,
+        lo in 1.0f64..5.0,
+        span in 1.0f64..50.0,
+        seed in 0u64..5_000,
+    ) {
+        let cfg = RandomInstanceConfig {
+            n,
+            m: 3,
+            distribution: TaskDistribution::Uncorrelated,
+            p_range: (lo, lo + span),
+            s_range: (lo, lo + span),
+        };
+        let inst = cfg.generate(&mut seeded_rng(seed));
+        for i in 0..n {
+            prop_assert!(inst.p(i) >= lo && inst.p(i) <= lo + span);
+            prop_assert!(inst.s(i) >= lo && inst.s(i) <= lo + span);
+        }
+    }
+
+    /// Every DAG workload family yields a structurally sound graph with
+    /// positive costs, roughly sized to the request, reproducibly.
+    #[test]
+    fn dag_workloads_are_sound_and_reproducible(
+        target in 10usize..120,
+        m in 2usize..8,
+        seed in 0u64..5_000,
+    ) {
+        for family in DagFamily::all() {
+            let a = dag_workload(family, target, m, TaskDistribution::Uncorrelated,
+                &mut seeded_rng(seed));
+            let b = dag_workload(family, target, m, TaskDistribution::Uncorrelated,
+                &mut seeded_rng(seed));
+            prop_assert_eq!(&a, &b, "family {} not reproducible", family.label());
+            prop_assert!(structurally_sound(a.graph()));
+            prop_assert!(a.n() >= 4);
+            prop_assert_eq!(a.m(), m);
+            for i in 0..a.n() {
+                prop_assert!(a.tasks().get(i).p > 0.0);
+                prop_assert!(a.tasks().get(i).s > 0.0);
+            }
+        }
+    }
+
+    /// The Lemma 2 adversarial family has the exact analytic geometry the
+    /// paper derives: km + m − 1 tasks, total work m, unit-memory heavy
+    /// tasks and the stated Pareto points.
+    #[test]
+    fn lemma2_family_matches_the_paper(m in 2usize..6, k in 2usize..8) {
+        let eps = 1e-6;
+        let inst = lemma2_instance(m, k, eps);
+        prop_assert_eq!(inst.n(), k * m + m - 1);
+        prop_assert!((inst.total_work() - m as f64).abs() < 1e-9);
+        prop_assert!((inst.total_storage() - (k * m) as f64 - (m - 1) as f64 * eps).abs() < 1e-6);
+        // Pareto point formulas: makespan grows in i, memory shrinks in i.
+        let mut last_c = 0.0;
+        let mut last_m = f64::INFINITY;
+        for i in 0..=k {
+            let (c, mem) = lemma2_pareto_point(m, k, i, eps);
+            prop_assert!(c >= last_c);
+            prop_assert!(mem <= last_m + 1e-12);
+            last_c = c;
+            last_m = mem;
+        }
+        // i = 0: memory k + (m-1)k = km; i = k: memory k + eps.
+        prop_assert!((lemma2_pareto_point(m, k, 0, eps).1 - (k * m) as f64).abs() < 1e-9);
+        prop_assert!((lemma2_pareto_point(m, k, k, eps).1 - (k as f64 + eps)).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn soc_and_grid_workloads_have_the_advertised_shape() {
+    let mut rng = seeded_rng(99);
+    let soc = soc_workload(4, &mut rng);
+    assert_eq!(soc.m(), 4);
+    assert!(soc.n() >= 8, "a SoC image has a reasonable number of kernels");
+    for i in 0..soc.n() {
+        assert!(soc.p(i) > 0.0 && soc.s(i) > 0.0);
+    }
+    let grid = grid_workload(16, &mut rng);
+    assert_eq!(grid.m(), 16);
+    assert!(grid.n() > grid.m(), "a grid batch has more jobs than workers");
+}
+
+#[test]
+fn adversarial_instances_match_their_stated_optima() {
+    let eps = 1e-3;
+    let l1 = lemma1_instance(eps);
+    assert!((cmax_lower_bound(l1.tasks(), 2) - 1.0).abs() < 1e-9);
+    let l3 = lemma3_instance(0.25);
+    assert!((l3.total_work() - 2.0).abs() < 1e-9);
+    assert!((l3.total_storage() - 2.0).abs() < 1e-9);
+    // Lemma 2: the optimal makespan is 1 (m units of work over m machines).
+    let l2 = lemma2_instance(3, 4, eps);
+    assert!(cmax_lower_bound(l2.tasks(), 3) <= 1.0 + 1e-9);
+    assert!(mmax_lower_bound(l2.tasks(), 3) <= 4.0 + 1.0);
+}

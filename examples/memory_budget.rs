@@ -1,0 +1,103 @@
+//! The original industrial problem: minimize the makespan subject to a
+//! hard per-processor memory budget (Section 7 of the paper).
+//!
+//! Run with:
+//! ```text
+//! cargo run -p sws-core --example memory_budget
+//! ```
+//!
+//! Deciding whether *any* schedule fits the budget is NP-complete, so no
+//! approximation algorithm exists for the constrained problem. The paper's
+//! way out is the bi-objective machinery: derive (or binary-search) the
+//! trade-off parameter from the budget. This example walks through both
+//! the independent-task and the precedence-constrained procedures, and on
+//! a small instance compares the heuristic with the exact constrained
+//! optimum computed by exhaustive enumeration.
+
+use sws_core::constrained::{
+    solve_dag_with_memory_budget, solve_with_memory_budget, ConstrainedOutcome,
+    DagConstrainedOutcome,
+};
+use sws_core::prelude::*;
+use sws_core::sbo::InnerAlgorithm;
+use sws_exact::pareto_enum::best_cmax_under_memory_budget;
+use sws_workloads::dagsets::{dag_workload, DagFamily};
+use sws_workloads::random::random_instance;
+use sws_workloads::rng::seeded_rng;
+use sws_workloads::TaskDistribution;
+
+fn main() {
+    // ----- Small instance: heuristic vs exact ---------------------------
+    let mut rng = seeded_rng(4);
+    let small = random_instance(10, 2, TaskDistribution::AntiCorrelated, &mut rng);
+    let lb = LowerBounds::of_instance(&small);
+    println!("Small instance (n = 10, m = 2), memory lower bound LB = {:.1}:", lb.mmax);
+    println!("  {:>6}  {:>12}  {:>12}  {:>10}", "β", "heuristic", "exact OPT", "gap");
+    for beta in [1.1, 1.3, 1.6, 2.0] {
+        let budget = beta * lb.mmax;
+        let outcome = solve_with_memory_budget(&small, budget, InnerAlgorithm::Lpt)
+            .expect("valid parameters");
+        let exact = best_cmax_under_memory_budget(&small, budget);
+        match (outcome, exact) {
+            (ConstrainedOutcome::Feasible { point, .. }, Some(opt)) => println!(
+                "  {beta:>6.2}  {:>12.2}  {:>12.2}  {:>9.1}%",
+                point.cmax,
+                opt,
+                (point.cmax / opt - 1.0) * 100.0
+            ),
+            (ConstrainedOutcome::NotFound { .. }, Some(opt)) => {
+                println!("  {beta:>6.2}  {:>12}  {opt:>12.2}  {:>10}", "not found", "-")
+            }
+            (_, None) => println!("  {beta:>6.2}  infeasible for every schedule"),
+            (outcome, Some(_)) => println!("  {beta:>6.2}  unexpected outcome: {outcome:?}"),
+        }
+    }
+    println!();
+
+    // ----- Larger independent instance -----------------------------------
+    let large = random_instance(200, 8, TaskDistribution::Bimodal, &mut rng);
+    let lb = LowerBounds::of_instance(&large);
+    println!("Large independent instance (n = 200, m = 8), LB = {:.1}:", lb.mmax);
+    for beta in [1.05, 1.25, 1.5, 2.0] {
+        let budget = beta * lb.mmax;
+        match solve_with_memory_budget(&large, budget, InnerAlgorithm::Lpt).unwrap() {
+            ConstrainedOutcome::Feasible { point, delta, .. } => println!(
+                "  β = {beta:.2}: feasible, Cmax = {:.1} ({:.3}× LB), using ∆ = {delta:.3}",
+                point.cmax,
+                point.cmax / lb.cmax
+            ),
+            ConstrainedOutcome::NotFound { best_mmax, .. } => println!(
+                "  β = {beta:.2}: not found (closest memory reached {best_mmax:.1} > {budget:.1})"
+            ),
+            ConstrainedOutcome::ProvablyInfeasible { max_storage } => println!(
+                "  β = {beta:.2}: provably infeasible (a single task needs {max_storage:.1})"
+            ),
+        }
+    }
+    println!();
+
+    // ----- Precedence-constrained instance -------------------------------
+    let dag = dag_workload(DagFamily::Lu, 150, 6, TaskDistribution::Uncorrelated, &mut rng);
+    let dag_lb = mmax_lower_bound(dag.tasks(), dag.m());
+    println!(
+        "LU-factorization DAG ({} tasks, {} processors), memory LB = {:.1}:",
+        dag.n(),
+        dag.m(),
+        dag_lb
+    );
+    for beta in [1.5, 2.0, 2.5, 3.0, 4.0] {
+        let budget = beta * dag_lb;
+        match solve_dag_with_memory_budget(&dag, budget).unwrap() {
+            DagConstrainedOutcome::Feasible { point, delta, makespan_guarantee, .. } => println!(
+                "  β = {beta:.2}: RLS∆ with ∆ = {delta:.2} -> Cmax = {:.1}, Mmax = {:.1} ≤ {budget:.1}; proven Cmax ratio ≤ {makespan_guarantee:.3}",
+                point.cmax, point.mmax
+            ),
+            DagConstrainedOutcome::NoGuarantee { delta } => println!(
+                "  β = {beta:.2}: budget/LB = {delta:.2} ≤ 2 — RLS∆ cannot run, no guarantee possible (the \"hard to fit\" regime)"
+            ),
+            DagConstrainedOutcome::ProvablyInfeasible { max_storage } => println!(
+                "  β = {beta:.2}: provably infeasible (a single task needs {max_storage:.1})"
+            ),
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: the paper's algorithms on a small hand-built instance.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p sws-core --example quickstart
+//! ```
+//!
+//! The example builds a small independent-task instance whose processing
+//! times and memory requirements are anti-correlated (the regime where the
+//! bi-objective trade-off matters), runs SBO∆ for several values of ∆,
+//! compares the achieved points with the exact Pareto front, and finishes
+//! with RLS∆ on a small task graph.
+
+use sws_core::prelude::*;
+use sws_core::rls::{rls, RlsConfig};
+use sws_core::sbo::{sbo, InnerAlgorithm, SboConfig};
+use sws_dag::generators::gauss::gaussian_elimination;
+use sws_dag::DagInstance;
+use sws_exact::pareto_enum::pareto_front;
+
+fn main() {
+    // An instance with anti-correlated time and memory requirements: long
+    // tasks are cheap to store, short tasks are expensive.
+    let inst = Instance::from_ps(
+        &[8.0, 6.0, 1.0, 1.0, 4.0, 2.0, 7.0, 3.0],
+        &[1.0, 2.0, 7.0, 9.0, 3.0, 5.0, 1.5, 6.0],
+        3,
+    )
+    .expect("valid instance");
+    let lb = LowerBounds::of_instance(&inst);
+    println!("Instance: n = {}, m = {}", inst.n(), inst.m());
+    println!("Graham lower bounds: Cmax ≥ {:.3}, Mmax ≥ {:.3}\n", lb.cmax, lb.mmax);
+
+    // The exact bi-objective Pareto front (affordable at this size).
+    let front = pareto_front(&inst);
+    println!("Exact Pareto front ({} points):", front.len());
+    for (pt, _) in front.iter() {
+        println!("  {pt}");
+    }
+    println!();
+
+    // SBO∆ trades the two objectives through the single parameter ∆.
+    println!("SBO∆ with LPT inner schedules:");
+    for &delta in &[0.25, 0.5, 1.0, 2.0, 4.0] {
+        let result = sbo(&inst, &SboConfig::new(delta, InnerAlgorithm::Lpt))
+            .expect("∆ > 0 is valid");
+        let point = result.objective(&inst);
+        let (gc, gm) = result.guarantee;
+        println!(
+            "  ∆ = {delta:<5} -> {point}   guarantee ({gc:.2}, {gm:.2}), {} task(s) routed to the memory schedule",
+            result.memory_routed_count()
+        );
+    }
+    println!();
+
+    // RLS∆ handles precedence constraints: schedule a Gaussian-elimination
+    // task graph under a memory cap of 3·LB.
+    let dag = DagInstance::new(gaussian_elimination(5), 3).expect("valid DAG instance");
+    let result = rls(&dag, &RlsConfig::new(3.0)).expect("∆ > 2 is valid");
+    let point = ObjectivePoint::of_timed_tasks(dag.tasks(), &result.schedule);
+    let (gc, gm) = result.guarantee;
+    println!("RLS∆ on a Gaussian-elimination DAG (n = {}, m = {}):", dag.n(), dag.m());
+    println!("  memory lower bound LB = {:.3}, cap ∆·LB = {:.3}", result.lb, result.memory_cap);
+    println!("  achieved {point}");
+    println!("  guarantee ({gc:.3}, {gm:.3}); marked processors: {} (bound {})",
+        result.marked_count(), result.marked_bound());
+}

@@ -1,0 +1,80 @@
+//! Multi-System-on-Chip code-size scenario (the paper's embedded-systems
+//! motivation).
+//!
+//! Run with:
+//! ```text
+//! cargo run -p sws-core --example soc_codesize
+//! ```
+//!
+//! Every SoC processor stores the instruction code of the tasks mapped to
+//! it, so the cumulative memory per processor is the binary footprint.
+//! The example generates a SoC-like workload (many small kernels, a few
+//! large ones), asks for a schedule whose per-processor code size stays
+//! below a hardware budget, and shows how the Section 7 procedure derives
+//! the RLS∆/SBO∆ parameter from that budget.
+
+use sws_core::constrained::{solve_with_memory_budget, ConstrainedOutcome};
+use sws_core::prelude::*;
+use sws_core::sbo::InnerAlgorithm;
+use sws_simulator::gantt::GanttOptions;
+use sws_simulator::render_gantt;
+use sws_workloads::rng::seeded_rng;
+use sws_workloads::soc::soc_workload;
+
+fn main() {
+    let processors = 4;
+    let mut rng = seeded_rng(2008);
+    let inst = soc_workload(processors, &mut rng);
+    let lb = LowerBounds::of_instance(&inst);
+    println!(
+        "SoC workload: {} kernels on {} processors, total code size {:.1} KiB",
+        inst.n(),
+        inst.m(),
+        inst.total_storage()
+    );
+    println!(
+        "Per-processor code-size lower bound LB = {:.1} KiB, makespan lower bound {:.1}\n",
+        lb.mmax, lb.cmax
+    );
+
+    // Sweep hardware budgets from barely-above-LB to comfortable.
+    for beta in [1.05, 1.2, 1.5, 2.0, 3.0] {
+        let budget = beta * lb.mmax;
+        let outcome = solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt)
+            .expect("valid parameters");
+        match outcome {
+            ConstrainedOutcome::Feasible { point, delta, evaluations, .. } => {
+                println!(
+                    "budget {budget:7.1} KiB (β = {beta:.2}) -> feasible: Cmax = {:.1} ({:.3}× the lower bound), ∆ = {delta:.3}, {evaluations} evaluations",
+                    point.cmax,
+                    point.cmax / lb.cmax
+                );
+            }
+            ConstrainedOutcome::NotFound { best_mmax, .. } => {
+                println!(
+                    "budget {budget:7.1} KiB (β = {beta:.2}) -> no schedule found (best code size reached {best_mmax:.1} KiB)"
+                );
+            }
+            ConstrainedOutcome::ProvablyInfeasible { max_storage } => {
+                println!(
+                    "budget {budget:7.1} KiB (β = {beta:.2}) -> provably infeasible: one kernel alone needs {max_storage:.1} KiB"
+                );
+            }
+        }
+    }
+    println!();
+
+    // Show the schedule obtained for the tightest comfortable budget.
+    let budget = 1.5 * lb.mmax;
+    if let ConstrainedOutcome::Feasible { assignment, point, .. } =
+        solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt).expect("valid parameters")
+    {
+        println!(
+            "Schedule for budget {:.1} KiB — achieved (Cmax = {:.1}, code size = {:.1} KiB):",
+            budget, point.cmax, point.mmax
+        );
+        let timed = assignment.into_timed(inst.tasks());
+        let gantt = render_gantt(inst.tasks(), &timed, &GanttOptions { width: 76, totals: true });
+        println!("{gantt}");
+    }
+}

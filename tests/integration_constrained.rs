@@ -1,0 +1,136 @@
+//! Integration test: the Section 7 constrained-problem procedure across
+//! crates — budget-driven ∆ derivation / binary search, exact constrained
+//! optima from the exhaustive solver, and the E4 harness.
+
+use sws_bench::e4_constrained::{run as run_e4, E4Config};
+use sws_core::constrained::{
+    solve_dag_with_memory_budget, solve_with_memory_budget, ConstrainedOutcome,
+    DagConstrainedOutcome,
+};
+use sws_core::sbo::InnerAlgorithm;
+use sws_exact::pareto_enum::{best_cmax_under_memory_budget, pareto_front};
+use sws_model::bounds::mmax_lower_bound;
+use sws_model::validate::{check_memory, validate_timed};
+use sws_model::Instance;
+use sws_workloads::dagsets::{dag_workload, DagFamily};
+use sws_workloads::random::random_instance;
+use sws_workloads::rng::seeded_rng;
+use sws_workloads::TaskDistribution;
+
+#[test]
+fn independent_solutions_fit_the_budget_and_never_beat_the_exact_optimum() {
+    for seed in 0..4u64 {
+        let inst =
+            random_instance(10, 3, TaskDistribution::AntiCorrelated, &mut seeded_rng(seed));
+        let lb = mmax_lower_bound(inst.tasks(), inst.m());
+        for beta in [1.1, 1.4, 2.0, 3.0] {
+            let budget = beta * lb;
+            let outcome =
+                solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt).unwrap();
+            if let ConstrainedOutcome::Feasible { assignment, point, .. } = outcome {
+                check_memory(inst.tasks(), &assignment, budget).unwrap();
+                let exact = best_cmax_under_memory_budget(&inst, budget)
+                    .expect("feasible heuristic implies feasible instance");
+                assert!(point.cmax + 1e-9 >= exact, "seed {seed} β {beta}");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_pareto_point_is_reachable_as_a_budget_query() {
+    // Walking the exact Pareto front and using each point's memory value
+    // as the budget must return exactly that point's makespan.
+    let inst = random_instance(9, 2, TaskDistribution::Uncorrelated, &mut seeded_rng(5));
+    let front = pareto_front(&inst);
+    for (pt, _) in front.iter() {
+        let best = best_cmax_under_memory_budget(&inst, pt.mmax + 1e-9).unwrap();
+        assert!((best - pt.cmax).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn dag_outcomes_cover_the_three_regimes() {
+    let mut rng = seeded_rng(6);
+    let inst = dag_workload(DagFamily::ForkJoin, 80, 4, TaskDistribution::Uncorrelated, &mut rng);
+    let lb = mmax_lower_bound(inst.tasks(), inst.m());
+
+    // Comfortable budget: feasible with a proven guarantee, schedule fully
+    // valid under the cap.
+    match solve_dag_with_memory_budget(&inst, 3.0 * lb).unwrap() {
+        DagConstrainedOutcome::Feasible { schedule, point, delta, makespan_guarantee } => {
+            assert!((delta - 3.0).abs() < 1e-9);
+            assert!(makespan_guarantee > 1.0);
+            assert!(point.mmax <= 3.0 * lb + 1e-9);
+            validate_timed(inst.tasks(), inst.m(), &schedule, inst.graph().all_preds(), Some(3.0 * lb))
+                .unwrap();
+        }
+        other => panic!("expected Feasible, got {other:?}"),
+    }
+
+    // Tight budget (≤ 2·LB): the paper's procedure explicitly declines.
+    assert!(matches!(
+        solve_dag_with_memory_budget(&inst, 1.8 * lb).unwrap(),
+        DagConstrainedOutcome::NoGuarantee { .. }
+    ));
+
+    // Budget below the largest task: provably infeasible.
+    let max_s = inst.tasks().max_storage();
+    assert!(matches!(
+        solve_dag_with_memory_budget(&inst, 0.5 * max_s).unwrap(),
+        DagConstrainedOutcome::ProvablyInfeasible { .. }
+    ));
+}
+
+#[test]
+fn infeasible_and_unknown_cases_are_distinguished() {
+    // One huge task: any budget below it is *provably* infeasible.
+    let inst = Instance::from_ps(&[1.0, 1.0, 1.0], &[10.0, 1.0, 1.0], 2).unwrap();
+    assert!(matches!(
+        solve_with_memory_budget(&inst, 5.0, InnerAlgorithm::Lpt).unwrap(),
+        ConstrainedOutcome::ProvablyInfeasible { .. }
+    ));
+    // Identical mid-size tasks that cannot be spread: feasibility is open
+    // for the heuristic, which must answer NotFound rather than guess.
+    let packed = Instance::from_ps(&[1.0; 4], &[3.0; 4], 2).unwrap();
+    assert!(matches!(
+        solve_with_memory_budget(&packed, 4.0, InnerAlgorithm::Lpt).unwrap(),
+        ConstrainedOutcome::NotFound { .. }
+    ));
+    // The same instance with a workable budget succeeds.
+    assert!(solve_with_memory_budget(&packed, 6.0, InnerAlgorithm::Lpt).unwrap().is_feasible());
+}
+
+#[test]
+fn looser_budgets_never_increase_the_exact_constrained_optimum() {
+    // Monotonicity of the exact trade-off curve (the heuristic is compared
+    // against it elsewhere): larger budgets can only help.
+    let inst = random_instance(10, 2, TaskDistribution::Bimodal, &mut seeded_rng(8));
+    let lb = mmax_lower_bound(inst.tasks(), inst.m());
+    let mut last = f64::INFINITY;
+    for beta in [1.0, 1.2, 1.5, 2.0, 4.0] {
+        if let Some(best) = best_cmax_under_memory_budget(&inst, beta * lb) {
+            assert!(best <= last + 1e-9);
+            last = best;
+        }
+    }
+}
+
+#[test]
+fn the_e4_harness_reports_sane_success_rates() {
+    let results = run_e4(&E4Config::smoke());
+    for row in &results.independent {
+        assert!((0.0..=1.0).contains(&row.success_rate));
+        if row.cmax_over_opt > 0.0 {
+            assert!(row.cmax_over_opt >= 1.0 - 1e-9);
+        }
+    }
+    for row in &results.dag {
+        assert!((0.0..=1.0).contains(&row.success_rate));
+        if row.beta > 2.0 {
+            assert_eq!(row.success_rate, 1.0, "{row:?}");
+        } else {
+            assert_eq!(row.success_rate, 0.0, "{row:?}");
+        }
+    }
+}

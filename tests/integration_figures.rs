@@ -1,0 +1,113 @@
+//! Integration test: the figure-regeneration pipeline reproduces the
+//! paper's Figures 1–3 — the exact Pareto fronts of the adversarial
+//! instances, the impossibility staircases and the SBO trade-off curve.
+
+use sws_bench::figures::{figure1, figure2, figure3};
+use sws_core::bounds::{
+    impossibility_frontier, lemma1_points, lemma2_point, lemma3_point, violates_impossibility,
+};
+use sws_core::sbo::{sbo, sbo_guarantee, InnerAlgorithm, SboConfig};
+use sws_exact::pareto_enum::pareto_front;
+use sws_workloads::adversarial::{lemma2_instance, lemma2_pareto_point};
+use sws_workloads::lemma1_instance;
+
+#[test]
+fn figure_1_pareto_points_match_the_paper() {
+    let fig = figure1(1e-3);
+    assert_eq!(fig.entries.len(), 2, "Figure 1 has exactly two Pareto schedules");
+    assert!(fig.matches_paper(1e-9));
+    // Gantt charts show both processors and all three tasks.
+    for entry in &fig.entries {
+        for t in 0..3 {
+            assert!(entry.gantt.contains(&format!("t{t}")), "missing task {t} in Gantt");
+        }
+    }
+}
+
+#[test]
+fn figure_2_pareto_points_match_the_paper() {
+    for &eps in &[0.1, 0.25, 0.4] {
+        let fig = figure2(eps);
+        assert_eq!(fig.entries.len(), 3, "Figure 2 has exactly three Pareto schedules");
+        assert!(fig.matches_paper(1e-9), "eps = {eps}");
+    }
+}
+
+#[test]
+fn figure_3_series_are_complete_and_consistent() {
+    let fig = figure3(6, 64, 0.125, 8.0);
+    // One staircase per m in 2..=6, plus the Lemma 3 point and SBO curve.
+    assert_eq!(fig.series.len(), 5 + 2);
+    assert!(fig.sbo_curve_outside_domain(6, 64));
+    // Every staircase starts at (1, m) and ends at (1 + 1/m, 1).
+    for m in 2..=6usize {
+        let staircase = impossibility_frontier(m, 64);
+        assert_eq!(staircase[0], (1.0, m as f64));
+        assert!((staircase[64].0 - (1.0 + 1.0 / m as f64)).abs() < 1e-12);
+        assert_eq!(staircase[64].1, 1.0);
+    }
+}
+
+#[test]
+fn lemma_2_points_agree_with_the_adversarial_instance_geometry() {
+    // The executable bound family and the instance generator must tell the
+    // same story: each Lemma 2 ratio pair is an actual Pareto point of the
+    // corresponding instance normalized by the optima (1, k + ε).
+    let (m, k, eps) = (2usize, 3usize, 1e-9);
+    let inst = lemma2_instance(m, k, eps);
+    let front = pareto_front(&inst);
+    assert_eq!(front.len(), k + 1, "the paper counts k + 1 Pareto schedules");
+    for i in 0..=k {
+        let (pc, pm) = lemma2_pareto_point(m, k, i, eps);
+        assert!(
+            front.iter().any(|(pt, _)| (pt.cmax - pc).abs() < 1e-9 && (pt.mmax - pm).abs() < 1e-6),
+            "Pareto point for i = {i} not found in the enumerated front"
+        );
+        let (rc, rm) = lemma2_point(m, k, i);
+        assert!((rc - pc).abs() < 1e-9, "Cmax ratio (C* = 1) must equal the Pareto makespan");
+        if i < k {
+            assert!((rm - pm / k as f64).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn lemma_1_and_3_claims_hold_on_their_instances() {
+    // Lemma 1: on the Figure 1 instance no schedule has Cmax < 3/2·C* and
+    // Mmax < 2·M* simultaneously beyond the stated corners.
+    let eps = 1e-3;
+    let inst = lemma1_instance(eps);
+    let front = pareto_front(&inst);
+    let (c_star, m_star) = (1.0, 1.0 + eps);
+    for (pt, _) in front.iter() {
+        let beats_1_2 = pt.cmax < c_star - 1e-12 && pt.mmax < 2.0 * m_star - 1e-12;
+        assert!(!beats_1_2, "a schedule strictly better than (1, 2) exists: {pt}");
+    }
+    assert_eq!(lemma1_points(), [(1.0, 2.0), (2.0, 1.0)]);
+    assert_eq!(lemma3_point(), (1.5, 1.5));
+    assert!(violates_impossibility(1.45, 1.45, 2, 2));
+}
+
+#[test]
+fn sbo_achieved_points_on_the_adversarial_instances_respect_the_theory() {
+    // Running the actual algorithm on the Figure 1 instance: whatever ∆ is
+    // chosen, the achieved point is a real schedule of the instance and
+    // must therefore be (weakly) dominated by the exact Pareto front. The
+    // *guarantee* curve, which is a worst-case claim over all instances,
+    // must stay outside the impossibility domain.
+    let inst = lemma1_instance(1e-3);
+    let front = pareto_front(&inst);
+    for &delta in &[0.1, 0.5, 1.0, 2.0, 10.0] {
+        let result = sbo(&inst, &SboConfig::new(delta, InnerAlgorithm::Lpt)).unwrap();
+        let point = result.objective(&inst);
+        assert!(
+            front.covers(&point),
+            "∆ = {delta}: achieved {point} not covered by the exact front"
+        );
+        let (gc, gm) = sbo_guarantee(delta, 1.0, 1.0);
+        assert!(
+            !violates_impossibility(gc, gm, 6, 64),
+            "∆ = {delta}: the guarantee ({gc}, {gm}) is claimed impossible"
+        );
+    }
+}
