@@ -45,8 +45,17 @@ fn bench_ablation(c: &mut Criterion) {
     }
 
     // (b) SBO inner algorithm.
-    let inst = random_instance(150, 8, TaskDistribution::AntiCorrelated, &mut seeded_rng(61));
-    for inner in [InnerAlgorithm::Graham, InnerAlgorithm::Lpt, InnerAlgorithm::Multifit] {
+    let inst = random_instance(
+        150,
+        8,
+        TaskDistribution::AntiCorrelated,
+        &mut seeded_rng(61),
+    );
+    for inner in [
+        InnerAlgorithm::Graham,
+        InnerAlgorithm::Lpt,
+        InnerAlgorithm::Multifit,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("sbo_inner", inner.label()),
             &inner,
@@ -78,7 +87,9 @@ fn bench_ablation(c: &mut Criterion) {
         );
     }
     group.bench_function("rls_sweep_samples/8", |b| {
-        b.iter(|| black_box(rls_sweep(black_box(&dag), &RlsConfig::new(3.0), 2.1, 10.0, 8).unwrap()))
+        b.iter(|| {
+            black_box(rls_sweep(black_box(&dag), &RlsConfig::new(3.0), 2.1, 10.0, 8).unwrap())
+        })
     });
 
     // (d) Identical vs uniform machines (extension).

@@ -17,7 +17,12 @@ fn bench_constrained(c: &mut Criterion) {
     let mut group = c.benchmark_group("constrained_budget");
     group.sample_size(20);
 
-    let inst = random_instance(100, 4, TaskDistribution::AntiCorrelated, &mut seeded_rng(44));
+    let inst = random_instance(
+        100,
+        4,
+        TaskDistribution::AntiCorrelated,
+        &mut seeded_rng(44),
+    );
     let lb = mmax_lower_bound(inst.tasks(), inst.m());
     for &beta in &[1.2f64, 2.0, 4.0] {
         group.bench_with_input(
@@ -26,12 +31,8 @@ fn bench_constrained(c: &mut Criterion) {
             |b, &beta| {
                 b.iter(|| {
                     black_box(
-                        solve_with_memory_budget(
-                            black_box(&inst),
-                            beta * lb,
-                            InnerAlgorithm::Lpt,
-                        )
-                        .unwrap(),
+                        solve_with_memory_budget(black_box(&inst), beta * lb, InnerAlgorithm::Lpt)
+                            .unwrap(),
                     )
                 })
             },

@@ -26,10 +26,24 @@ fn bench_fig3(c: &mut Criterion) {
     });
 
     group.bench_function("violation_check_inside", |b| {
-        b.iter(|| black_box(violates_impossibility(black_box(1.3), black_box(1.3), 6, 64)))
+        b.iter(|| {
+            black_box(violates_impossibility(
+                black_box(1.3),
+                black_box(1.3),
+                6,
+                64,
+            ))
+        })
     });
     group.bench_function("violation_check_outside", |b| {
-        b.iter(|| black_box(violates_impossibility(black_box(2.1), black_box(2.1), 6, 64)))
+        b.iter(|| {
+            black_box(violates_impossibility(
+                black_box(2.1),
+                black_box(2.1),
+                6,
+                64,
+            ))
+        })
     });
 
     group.finish();

@@ -1,0 +1,124 @@
+//! Event-driven kernel vs. naive `O(n²·m)` oracle: the perf story of the
+//! scheduling-kernel rework, measured.
+//!
+//! Groups:
+//!
+//! * `rls_kernel_vs_naive` — RLS∆ on layered DAGs, growing `n` at `m = 8`
+//!   plus the acceptance point `n = 10 000, m = 32`;
+//! * `dag_list_kernel_vs_naive` — unrestricted DAG list scheduling;
+//! * `sweep_scaling` — the parallelized `rls_sweep` at 1 thread vs. all
+//!   cores (the ∆ grid fans out across the rayon pool).
+//!
+//! Regenerate the committed baseline with:
+//!
+//! ```text
+//! SWS_BENCH_JSON=BENCH_kernel.json cargo bench --bench kernel_vs_naive
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use sws_core::pareto_sweep::rls_sweep;
+use sws_core::rls::{naive, rls, RlsConfig};
+use sws_dag::DagInstance;
+use sws_listsched::priority::hlf_priority;
+use sws_listsched::{dag_list_schedule, naive as listsched_naive};
+use sws_workloads::dagsets::{dag_workload, DagFamily};
+use sws_workloads::rng::seeded_rng;
+use sws_workloads::TaskDistribution;
+
+fn layered(n: usize, m: usize, seed: u64) -> DagInstance {
+    dag_workload(
+        DagFamily::LayeredRandom,
+        n,
+        m,
+        TaskDistribution::Uncorrelated,
+        &mut seeded_rng(seed),
+    )
+}
+
+fn bench_rls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rls_kernel_vs_naive");
+    group.sample_size(10);
+
+    for &n in &[250usize, 1_000, 2_500] {
+        let inst = layered(n, 8, 0xBE5C + n as u64);
+        group.throughput(Throughput::Elements(inst.n() as u64));
+        let cfg = RlsConfig::new(3.0);
+        group.bench_with_input(BenchmarkId::new("kernel", n), &inst, |b, inst| {
+            b.iter(|| black_box(rls(black_box(inst), &cfg).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &inst, |b, inst| {
+            b.iter(|| black_box(naive::rls(black_box(inst), &cfg).unwrap()))
+        });
+    }
+
+    // The acceptance point of the rework: 10k tasks on 32 processors.
+    let big = layered(10_000, 32, 0xB16);
+    group.throughput(Throughput::Elements(big.n() as u64));
+    let cfg = RlsConfig::new(3.0);
+    group.bench_with_input(BenchmarkId::new("kernel", "10000x32"), &big, |b, inst| {
+        b.iter(|| black_box(rls(black_box(inst), &cfg).unwrap()))
+    });
+    // The naive oracle needs tens of seconds per run at this size — keep
+    // the sample count minimal; the point is the ratio, not the variance.
+    group.sample_size(2);
+    group.bench_with_input(BenchmarkId::new("naive", "10000x32"), &big, |b, inst| {
+        b.iter(|| black_box(naive::rls(black_box(inst), &cfg).unwrap()))
+    });
+
+    group.finish();
+}
+
+fn bench_dag_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_list_kernel_vs_naive");
+    group.sample_size(10);
+
+    for &n in &[500usize, 2_000, 5_000] {
+        let inst = layered(n, 8, 0xDA6 + n as u64);
+        let rank = hlf_priority(inst.graph());
+        group.throughput(Throughput::Elements(inst.n() as u64));
+        group.bench_with_input(BenchmarkId::new("kernel", n), &inst, |b, inst| {
+            b.iter(|| black_box(dag_list_schedule(black_box(inst), &rank)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &inst, |b, inst| {
+            b.iter(|| black_box(listsched_naive::dag_list_schedule(black_box(inst), &rank)))
+        });
+    }
+
+    group.finish();
+}
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_scaling");
+    group.sample_size(10);
+
+    let inst = layered(1_500, 8, 0x5EEE);
+    let cfg = RlsConfig::new(3.0);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    // SWS_RAYON_THREADS is the shim's RAYON_NUM_THREADS: read per sweep,
+    // so flipping it between benchmarks measures thread scaling. On a
+    // single-core machine the two measurements coincide by construction;
+    // the serial one then doubles as a no-overhead regression check.
+    std::env::set_var("SWS_RAYON_THREADS", "1");
+    group.bench_with_input(
+        BenchmarkId::new("rls_sweep_32deltas", "serial-1-thread"),
+        &inst,
+        |b, inst| b.iter(|| black_box(rls_sweep(black_box(inst), &cfg, 2.1, 16.0, 32).unwrap())),
+    );
+    std::env::set_var("SWS_RAYON_THREADS", cores.to_string());
+    group.bench_with_input(
+        BenchmarkId::new("rls_sweep_32deltas", format!("parallel-{cores}-threads")),
+        &inst,
+        |b, inst| b.iter(|| black_box(rls_sweep(black_box(inst), &cfg, 2.1, 16.0, 32).unwrap())),
+    );
+    std::env::remove_var("SWS_RAYON_THREADS");
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_rls, bench_dag_list, bench_sweep_scaling);
+criterion_main!(benches);

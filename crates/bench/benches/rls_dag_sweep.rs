@@ -18,8 +18,13 @@ fn bench_rls(c: &mut Criterion) {
 
     // Family sweep at a fixed size.
     for family in DagFamily::all() {
-        let inst =
-            dag_workload(family, 150, 4, TaskDistribution::Uncorrelated, &mut seeded_rng(42));
+        let inst = dag_workload(
+            family,
+            150,
+            4,
+            TaskDistribution::Uncorrelated,
+            &mut seeded_rng(42),
+        );
         group.throughput(Throughput::Elements(inst.n() as u64));
         group.bench_with_input(
             BenchmarkId::new("family", family.label()),
@@ -32,13 +37,22 @@ fn bench_rls(c: &mut Criterion) {
     }
 
     // ∆ sweep on a layered random DAG.
-    let inst =
-        dag_workload(DagFamily::LayeredRandom, 200, 8, TaskDistribution::Bimodal, &mut seeded_rng(1));
+    let inst = dag_workload(
+        DagFamily::LayeredRandom,
+        200,
+        8,
+        TaskDistribution::Bimodal,
+        &mut seeded_rng(1),
+    );
     for &delta in &[2.25f64, 3.0, 6.0] {
-        group.bench_with_input(BenchmarkId::new("delta", delta.to_string()), &delta, |b, &d| {
-            let cfg = RlsConfig::new(d);
-            b.iter(|| black_box(rls(black_box(&inst), &cfg).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("delta", delta.to_string()),
+            &delta,
+            |b, &d| {
+                let cfg = RlsConfig::new(d);
+                b.iter(|| black_box(rls(black_box(&inst), &cfg).unwrap()))
+            },
+        );
     }
 
     // Baseline: the unrestricted Graham DAG list scheduler on the same

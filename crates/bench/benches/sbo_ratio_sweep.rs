@@ -14,8 +14,12 @@ fn bench_sbo(c: &mut Criterion) {
 
     // Core E1 cell: SBO with LPT inner algorithms over growing instances.
     for &n in &[50usize, 200, 1_000] {
-        let inst =
-            random_instance(n, 8, TaskDistribution::AntiCorrelated, &mut seeded_rng(100 + n as u64));
+        let inst = random_instance(
+            n,
+            8,
+            TaskDistribution::AntiCorrelated,
+            &mut seeded_rng(100 + n as u64),
+        );
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("sbo_lpt_m8", n), &inst, |b, inst| {
             let cfg = SboConfig::new(1.0, InnerAlgorithm::Lpt);
@@ -25,7 +29,11 @@ fn bench_sbo(c: &mut Criterion) {
 
     // Inner-algorithm comparison at a fixed size.
     let inst = random_instance(100, 4, TaskDistribution::Uncorrelated, &mut seeded_rng(7));
-    for inner in [InnerAlgorithm::Graham, InnerAlgorithm::Lpt, InnerAlgorithm::Multifit] {
+    for inner in [
+        InnerAlgorithm::Graham,
+        InnerAlgorithm::Lpt,
+        InnerAlgorithm::Multifit,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("inner", inner.label()),
             &inner,
@@ -45,10 +53,14 @@ fn bench_sbo(c: &mut Criterion) {
 
     // ∆ sweep: the routing threshold changes, the cost should not.
     for &delta in &[0.25f64, 1.0, 4.0] {
-        group.bench_with_input(BenchmarkId::new("delta", delta.to_string()), &delta, |b, &d| {
-            let cfg = SboConfig::new(d, InnerAlgorithm::Lpt);
-            b.iter(|| black_box(sbo(black_box(&inst), &cfg).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("delta", delta.to_string()),
+            &delta,
+            |b, &d| {
+                let cfg = SboConfig::new(d, InnerAlgorithm::Lpt);
+                b.iter(|| black_box(sbo(black_box(&inst), &cfg).unwrap()))
+            },
+        );
     }
 
     group.finish();

@@ -15,8 +15,12 @@ fn bench_tri(c: &mut Criterion) {
     let mut group = c.benchmark_group("tri_objective_sweep");
 
     for &n in &[50usize, 200, 500] {
-        let inst =
-            random_instance(n, 4, TaskDistribution::AntiCorrelated, &mut seeded_rng(300 + n as u64));
+        let inst = random_instance(
+            n,
+            4,
+            TaskDistribution::AntiCorrelated,
+            &mut seeded_rng(300 + n as u64),
+        );
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("tri_rls_delta3", n), &inst, |b, inst| {
             b.iter(|| black_box(tri_objective_rls(black_box(inst), 3.0).unwrap()))
@@ -28,9 +32,11 @@ fn bench_tri(c: &mut Criterion) {
 
     let inst = random_instance(100, 8, TaskDistribution::Bimodal, &mut seeded_rng(9));
     for &delta in &[2.25f64, 3.0, 6.0] {
-        group.bench_with_input(BenchmarkId::new("delta", delta.to_string()), &delta, |b, &d| {
-            b.iter(|| black_box(tri_objective_rls(black_box(&inst), d).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("delta", delta.to_string()),
+            &delta,
+            |b, &d| b.iter(|| black_box(tri_objective_rls(black_box(&inst), d).unwrap())),
+        );
     }
 
     group.finish();

@@ -74,8 +74,15 @@ fn main() -> ExitCode {
     let mut all_within = true;
 
     if wants(&args, "e1") {
-        let cfg = if args.smoke { e1_sbo::E1Config::smoke() } else { e1_sbo::E1Config::default() };
-        println!("Running E1 (SBO ratio sweep, {} cells)…", grid_size_e1(&cfg));
+        let cfg = if args.smoke {
+            e1_sbo::E1Config::smoke()
+        } else {
+            e1_sbo::E1Config::default()
+        };
+        println!(
+            "Running E1 (SBO ratio sweep, {} cells)…",
+            grid_size_e1(&cfg)
+        );
         let rows = e1_sbo::run(&cfg);
         all_within &= rows.iter().all(|r| r.within_guarantee);
         emit(&e1_sbo::to_table(&rows), &args.out);
@@ -97,7 +104,11 @@ fn main() -> ExitCode {
     }
 
     if wants(&args, "e2") {
-        let cfg = if args.smoke { e2_rls::E2Config::smoke() } else { e2_rls::E2Config::default() };
+        let cfg = if args.smoke {
+            e2_rls::E2Config::smoke()
+        } else {
+            e2_rls::E2Config::default()
+        };
         println!("Running E2 (RLS DAG sweep)…");
         let rows = e2_rls::run(&cfg);
         all_within &= rows.iter().all(|r| r.within_guarantee);
@@ -105,7 +116,11 @@ fn main() -> ExitCode {
     }
 
     if wants(&args, "e3") {
-        let cfg = if args.smoke { e3_tri::E3Config::smoke() } else { e3_tri::E3Config::default() };
+        let cfg = if args.smoke {
+            e3_tri::E3Config::smoke()
+        } else {
+            e3_tri::E3Config::default()
+        };
         println!("Running E3 (tri-objective sweep)…");
         let rows = e3_tri::run(&cfg);
         all_within &= rows.iter().all(|r| r.within_guarantee);
@@ -120,7 +135,10 @@ fn main() -> ExitCode {
         };
         println!("Running E4 (constrained memory budgets)…");
         let results = e4_constrained::run(&cfg);
-        emit(&e4_constrained::independent_table(&results.independent), &args.out);
+        emit(
+            &e4_constrained::independent_table(&results.independent),
+            &args.out,
+        );
         emit(&e4_constrained::dag_table(&results.dag), &args.out);
     }
 

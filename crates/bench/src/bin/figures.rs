@@ -61,10 +61,16 @@ fn main() -> ExitCode {
 
     if args.which == "fig1" || args.which == "all" {
         let fig = figure1(1e-3);
-        println!("Reproducing Figure 1 (Section 4.1 instance, eps = {}):\n", fig.eps);
+        println!(
+            "Reproducing Figure 1 (Section 4.1 instance, eps = {}):\n",
+            fig.eps
+        );
         emit(&fig.table(), &args.out);
         for (i, entry) in fig.entries.iter().enumerate() {
-            println!("Pareto schedule P{i} (Cmax = {:.3}, Mmax = {:.3}):", entry.cmax, entry.mmax);
+            println!(
+                "Pareto schedule P{i} (Cmax = {:.3}, Mmax = {:.3}):",
+                entry.cmax, entry.mmax
+            );
             println!("{}", entry.gantt);
         }
         println!(
@@ -75,10 +81,16 @@ fn main() -> ExitCode {
 
     if args.which == "fig2" || args.which == "all" {
         let fig = figure2(0.25);
-        println!("Reproducing Figure 2 (Section 4.3 instance, eps = {}):\n", fig.eps);
+        println!(
+            "Reproducing Figure 2 (Section 4.3 instance, eps = {}):\n",
+            fig.eps
+        );
         emit(&fig.table(), &args.out);
         for (i, entry) in fig.entries.iter().enumerate() {
-            println!("Pareto schedule P{i} (Cmax = {:.3}, Mmax = {:.3}):", entry.cmax, entry.mmax);
+            println!(
+                "Pareto schedule P{i} (Cmax = {:.3}, Mmax = {:.3}):",
+                entry.cmax, entry.mmax
+            );
             println!("{}", entry.gantt);
         }
         println!(
@@ -100,7 +112,11 @@ fn main() -> ExitCode {
         }
         println!(
             "SBO curve stays outside the impossibility domain: {}",
-            if fig.sbo_curve_outside_domain(6, 64) { "yes" } else { "NO" }
+            if fig.sbo_curve_outside_domain(6, 64) {
+                "yes"
+            } else {
+                "NO"
+            }
         );
         emit(&fig.table(), &args.out);
     }

@@ -7,6 +7,7 @@
 //! so the reported ratios are then upper bounds on the true ones. Every
 //! row also records the proven guarantee and whether it was respected.
 
+use rayon::prelude::*;
 use serde::Serialize;
 
 use sws_core::pipeline::evaluate_sbo;
@@ -70,7 +71,10 @@ impl E1Config {
             processor_counts: vec![2, 4],
             deltas: vec![0.5, 1.0, 2.0],
             inners: vec![InnerAlgorithm::Ptas { eps }],
-            distributions: vec![TaskDistribution::Uncorrelated, TaskDistribution::AntiCorrelated],
+            distributions: vec![
+                TaskDistribution::Uncorrelated,
+                TaskDistribution::AntiCorrelated,
+            ],
             replications: 2,
         }
     }
@@ -107,9 +111,11 @@ pub struct E1Row {
     pub within_guarantee: bool,
 }
 
-/// Runs experiment E1 over the configured grid.
+/// Runs experiment E1 over the configured grid. Cells are independent
+/// (each derives its own seeds), so they fan out across all cores; the
+/// row order matches the serial nested loops.
 pub fn run(config: &E1Config) -> Vec<E1Row> {
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for &distribution in &config.distributions {
         for &inner in &config.inners {
             for &n in &config.task_counts {
@@ -118,13 +124,18 @@ pub fn run(config: &E1Config) -> Vec<E1Row> {
                         continue;
                     }
                     for &delta in &config.deltas {
-                        rows.push(run_cell(distribution, inner, n, m, delta, config.replications));
+                        cells.push((distribution, inner, n, m, delta));
                     }
                 }
             }
         }
     }
-    rows
+    cells
+        .into_par_iter()
+        .map(|(distribution, inner, n, m, delta)| {
+            run_cell(distribution, inner, n, m, delta, config.replications)
+        })
+        .collect()
 }
 
 fn run_cell(
@@ -143,8 +154,8 @@ fn run_cell(
     for rep in 0..replications {
         let seed = derive_seed(BASE_SEED, (n * 1000 + m * 10 + rep) as u64);
         let inst = random_instance(n, m, distribution, &mut seeded_rng(seed));
-        let (report, _) = evaluate_sbo(&inst, &SboConfig::new(delta, inner))
-            .expect("grid parameters are valid");
+        let (report, _) =
+            evaluate_sbo(&inst, &SboConfig::new(delta, inner)).expect("grid parameters are valid");
         cmax_ratios.push(report.ratio.cmax_ratio);
         mmax_ratios.push(report.ratio.mmax_ratio);
         if report.ratio.reference_kind == Reference::Optimum {

@@ -6,6 +6,7 @@
 //! `P ∥ ΣC_i`), so that column is a true approximation-ratio measurement;
 //! the `Cmax` and `Mmax` references are the Graham lower bounds.
 
+use rayon::prelude::*;
 use serde::Serialize;
 
 use sws_core::tri::tri_objective_rls;
@@ -83,7 +84,7 @@ pub struct E3Row {
 
 /// Runs experiment E3 over the configured grid.
 pub fn run(config: &E3Config) -> Vec<E3Row> {
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for &distribution in &config.distributions {
         for &n in &config.task_counts {
             for &m in &config.processor_counts {
@@ -91,12 +92,17 @@ pub fn run(config: &E3Config) -> Vec<E3Row> {
                     continue;
                 }
                 for &delta in &config.deltas {
-                    rows.push(run_cell(distribution, n, m, delta, config.replications));
+                    cells.push((distribution, n, m, delta));
                 }
             }
         }
     }
-    rows
+    // Independent cells fan out across all cores; row order matches the
+    // serial nested loops.
+    cells
+        .into_par_iter()
+        .map(|(distribution, n, m, delta)| run_cell(distribution, n, m, delta, config.replications))
+        .collect()
 }
 
 fn run_cell(

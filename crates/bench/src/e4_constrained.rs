@@ -126,7 +126,10 @@ pub struct E4Results {
 
 /// Runs experiment E4 over the configured grid.
 pub fn run(config: &E4Config) -> E4Results {
-    E4Results { independent: run_independent(config), dag: run_dag(config) }
+    E4Results {
+        independent: run_independent(config),
+        dag: run_dag(config),
+    }
 }
 
 fn run_independent(config: &E4Config) -> Vec<E4IndependentRow> {
@@ -139,14 +142,17 @@ fn run_independent(config: &E4Config) -> Vec<E4IndependentRow> {
             let mut evaluations = Vec::new();
             for rep in 0..config.replications {
                 let seed = derive_seed(BASE_SEED ^ 0xE4, (n * 100 + m * 10 + rep) as u64);
-                let inst =
-                    random_instance(n, m, config.distribution, &mut seeded_rng(seed));
+                let inst = random_instance(n, m, config.distribution, &mut seeded_rng(seed));
                 let lb_m = mmax_lower_bound(inst.tasks(), m);
                 let lb_c = cmax_lower_bound(inst.tasks(), m);
                 let budget = beta * lb_m;
-                let outcome =
-                    solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt).unwrap();
-                if let ConstrainedOutcome::Feasible { point, evaluations: evals, .. } = outcome {
+                let outcome = solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt).unwrap();
+                if let ConstrainedOutcome::Feasible {
+                    point,
+                    evaluations: evals,
+                    ..
+                } = outcome
+                {
                     successes += 1;
                     cmax_over_lb.push(point.cmax / lb_c);
                     evaluations.push(evals as f64);
@@ -180,13 +186,16 @@ fn run_dag(config: &E4Config) -> Vec<E4DagRow> {
             let mut guarantees = Vec::new();
             for rep in 0..config.replications {
                 let seed = derive_seed(BASE_SEED ^ 0xE4D, (n * 100 + m * 10 + rep) as u64);
-                let inst =
-                    dag_workload(family, n, m, config.distribution, &mut seeded_rng(seed));
+                let inst = dag_workload(family, n, m, config.distribution, &mut seeded_rng(seed));
                 let lb_m = mmax_lower_bound(inst.tasks(), m);
                 let cp = inst.graph().critical_path_length();
                 let lb_c = cmax_lower_bound_prec(inst.tasks(), m, cp);
                 let outcome = solve_dag_with_memory_budget(&inst, beta * lb_m).unwrap();
-                if let DagConstrainedOutcome::Feasible { point, makespan_guarantee, .. } = outcome
+                if let DagConstrainedOutcome::Feasible {
+                    point,
+                    makespan_guarantee,
+                    ..
+                } = outcome
                 {
                     successes += 1;
                     cmax_over_lb.push(point.cmax / lb_c);
@@ -219,7 +228,15 @@ fn mean(xs: &[f64]) -> f64 {
 pub fn independent_table(rows: &[E4IndependentRow]) -> Table {
     let mut t = Table::new(
         "E4 constrained problem independent tasks",
-        &["n", "m", "beta", "success_rate", "cmax_over_lb", "cmax_over_opt", "evaluations"],
+        &[
+            "n",
+            "m",
+            "beta",
+            "success_rate",
+            "cmax_over_lb",
+            "cmax_over_opt",
+            "evaluations",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -239,7 +256,15 @@ pub fn independent_table(rows: &[E4IndependentRow]) -> Table {
 pub fn dag_table(rows: &[E4DagRow]) -> Table {
     let mut t = Table::new(
         "E4 constrained problem DAGs",
-        &["family", "n_target", "m", "beta", "success_rate", "cmax_over_lb", "guar_cmax"],
+        &[
+            "family",
+            "n_target",
+            "m",
+            "beta",
+            "success_rate",
+            "cmax_over_lb",
+            "guar_cmax",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -264,7 +289,10 @@ mod tests {
         let results = run(&E4Config::smoke());
         assert!(!results.independent.is_empty());
         assert!(!results.dag.is_empty());
-        assert_eq!(independent_table(&results.independent).len(), results.independent.len());
+        assert_eq!(
+            independent_table(&results.independent).len(),
+            results.independent.len()
+        );
         assert_eq!(dag_table(&results.dag).len(), results.dag.len());
     }
 
@@ -272,7 +300,11 @@ mod tests {
     fn generous_budgets_always_succeed() {
         let results = run(&E4Config::smoke());
         for r in results.independent.iter().filter(|r| r.beta >= 2.0) {
-            assert_eq!(r.success_rate, 1.0, "β = {} should always be feasible: {r:?}", r.beta);
+            assert_eq!(
+                r.success_rate, 1.0,
+                "β = {} should always be feasible: {r:?}",
+                r.beta
+            );
             assert!(r.cmax_over_lb >= 1.0 - 1e-9);
         }
         for r in &results.dag {

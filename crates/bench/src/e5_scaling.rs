@@ -77,13 +77,17 @@ pub fn run(config: &E5Config) -> Vec<E5Row> {
     for &m in &config.processor_counts {
         for &n in &config.sbo_task_counts {
             let seed = derive_seed(BASE_SEED ^ 0xE5, (n + m) as u64);
-            let inst =
-                random_instance(n, m, TaskDistribution::Uncorrelated, &mut seeded_rng(seed));
+            let inst = random_instance(n, m, TaskDistribution::Uncorrelated, &mut seeded_rng(seed));
             let cfg = SboConfig::new(1.0, InnerAlgorithm::Lpt);
             let millis = best_of(config.repetitions, || {
                 let _ = sbo(&inst, &cfg).unwrap();
             });
-            rows.push(E5Row { algorithm: "sbo/lpt".to_string(), n, m, millis });
+            rows.push(E5Row {
+                algorithm: "sbo/lpt".to_string(),
+                n,
+                m,
+                millis,
+            });
         }
         for &n in &config.rls_task_counts {
             let seed = derive_seed(BASE_SEED ^ 0xE5A, (n + m) as u64);
@@ -98,7 +102,12 @@ pub fn run(config: &E5Config) -> Vec<E5Row> {
             let millis = best_of(config.repetitions, || {
                 let _ = rls(&inst, &cfg).unwrap();
             });
-            rows.push(E5Row { algorithm: "rls".to_string(), n: inst.n(), m, millis });
+            rows.push(E5Row {
+                algorithm: "rls".to_string(),
+                n: inst.n(),
+                m,
+                millis,
+            });
         }
     }
     rows
@@ -118,7 +127,12 @@ fn best_of(repetitions: usize, mut f: impl FnMut()) -> f64 {
 pub fn to_table(rows: &[E5Row]) -> Table {
     let mut t = Table::new("E5 runtime scaling", &["algorithm", "n", "m", "millis"]);
     for r in rows {
-        t.push_row(vec![r.algorithm.clone(), r.n.to_string(), r.m.to_string(), fmt2(r.millis)]);
+        t.push_row(vec![
+            r.algorithm.clone(),
+            r.n.to_string(),
+            r.m.to_string(),
+            fmt2(r.millis),
+        ]);
     }
     t
 }

@@ -55,9 +55,9 @@ impl ParetoFigure {
     /// True when every recomputed point matches the paper's value within
     /// `tol`.
     pub fn matches_paper(&self, tol: f64) -> bool {
-        self.entries.iter().all(|e| {
-            (e.cmax - e.expected.0).abs() <= tol && (e.mmax - e.expected.1).abs() <= tol
-        })
+        self.entries
+            .iter()
+            .all(|e| (e.cmax - e.expected.0).abs() <= tol && (e.mmax - e.expected.1).abs() <= tol)
     }
 
     /// The objective points as a table for the binaries.
@@ -95,12 +95,7 @@ pub fn figure2(eps: f64) -> ParetoFigure {
     pareto_figure(2, eps, &inst, &expected)
 }
 
-fn pareto_figure(
-    figure: u8,
-    eps: f64,
-    inst: &Instance,
-    expected: &[(f64, f64)],
-) -> ParetoFigure {
+fn pareto_figure(figure: u8, eps: f64, inst: &Instance, expected: &[(f64, f64)]) -> ParetoFigure {
     let front = pareto_front(inst);
     let mut entries: Vec<FrontEntry> = front
         .into_sorted()
@@ -108,7 +103,12 @@ fn pareto_figure(
         .map(|(pt, asg)| {
             let timed = asg.into_timed(inst.tasks());
             let gantt = render_gantt(inst.tasks(), &timed, &GanttOptions::default());
-            FrontEntry { cmax: pt.cmax, mmax: pt.mmax, expected: (0.0, 0.0), gantt }
+            FrontEntry {
+                cmax: pt.cmax,
+                mmax: pt.mmax,
+                expected: (0.0, 0.0),
+                gantt,
+            }
         })
         .collect();
     entries.sort_by(|a, b| sws_model::numeric::total_cmp(a.cmax, b.cmax));
@@ -117,7 +117,11 @@ fn pareto_figure(
     for (entry, &exp) in entries.iter_mut().zip(expected) {
         entry.expected = exp;
     }
-    ParetoFigure { figure, eps, entries }
+    ParetoFigure {
+        figure,
+        eps,
+        entries,
+    }
 }
 
 /// One series of Figure 3.
@@ -148,7 +152,10 @@ pub fn figure3(max_m: usize, k: usize, delta_min: f64, delta_max: f64) -> Figure
             points: impossibility_frontier(m, k),
         });
     }
-    series.push(Figure3Series { label: "lemma3".to_string(), points: vec![lemma3_point()] });
+    series.push(Figure3Series {
+        label: "lemma3".to_string(),
+        points: vec![lemma3_point()],
+    });
     series.push(Figure3Series {
         label: "sbo".to_string(),
         points: sbo_tradeoff_curve(delta_min, delta_max, 65),
@@ -225,7 +232,10 @@ impl Figure3 {
     /// Summary of Figure 3's series for experiment logs: label and number
     /// of points.
     pub fn summary(&self) -> Vec<(String, usize)> {
-        self.series.iter().map(|s| (s.label.clone(), s.points.len())).collect()
+        self.series
+            .iter()
+            .map(|s| (s.label.clone(), s.points.len()))
+            .collect()
     }
 }
 

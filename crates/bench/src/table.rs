@@ -97,7 +97,11 @@ pub fn render_table(table: &Table) -> String {
             .join("  ")
     };
     let _ = writeln!(out, "{}", fmt_row(&table.header, &widths));
-    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in &table.rows {
         let _ = writeln!(out, "{}", fmt_row(row, &widths));
     }
@@ -111,7 +115,13 @@ pub fn write_csv(table: &Table, dir: &Path) -> io::Result<std::path::PathBuf> {
     let stem: String = table
         .title
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect();
     let path = dir.join(format!("{stem}.csv"));
     fs::write(&path, table.to_csv())?;

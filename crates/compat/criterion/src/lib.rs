@@ -1,0 +1,357 @@
+//! Offline shim for `criterion`: wall-clock benchmarking with the API
+//! surface the repository's bench targets use.
+//!
+//! Each benchmark runs `sample_size` timed samples (after one warm-up
+//! call) and reports min / median / mean to stdout. Setting the
+//! `SWS_BENCH_JSON` environment variable to a file path additionally
+//! writes every recorded measurement as a JSON array when the bench
+//! binary finishes — the repo's committed `BENCH_*.json` baselines are
+//! produced this way. There is no statistical outlier analysis; medians
+//! over a fixed sample count are robust enough to track order-of-
+//! magnitude perf changes, which is what the baselines are for.
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One recorded benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full id, e.g. `group/function/param`.
+    pub id: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u128,
+    /// Median sample, nanoseconds.
+    pub median_ns: u128,
+    /// Mean sample, nanoseconds.
+    pub mean_ns: u128,
+    /// Optional throughput annotation (elements per iteration).
+    pub throughput_elements: Option<u64>,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 15,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("benchmark group '{name}'");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, self.default_sample_size, None, f);
+        self
+    }
+}
+
+/// Identifier of one benchmark within a group: function name + parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("algo", n)` renders as `algo/n`.
+    pub fn new(function: &str, parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.repr)
+    }
+}
+
+/// Ids accepted by `bench_function` / `bench_with_input`.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.repr
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Units processed per iteration, for reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no fixed measurement
+    /// budget (it always runs `sample_size` samples).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times `routine` over `sample_size` samples (one warm-up call
+    /// first). Each sample is one call — the routines benchmarked in this
+    /// repository are far above timer resolution.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples_ns.push(t0.elapsed().as_nanos());
+        }
+    }
+
+    /// `iter_batched` compatibility: per-sample setup excluded from
+    /// timing.
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t0.elapsed().as_nanos());
+        }
+    }
+}
+
+/// Batch sizing hint (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples_ns.is_empty() {
+        eprintln!("  {id}: no samples recorded");
+        return;
+    }
+    let mut sorted = bencher.samples_ns.clone();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<u128>() / sorted.len() as u128;
+    let throughput_elements = match throughput {
+        Some(Throughput::Elements(e)) => Some(e),
+        _ => None,
+    };
+    eprintln!(
+        "  {id}: median {} (min {}, mean {}, {} samples)",
+        format_ns(median),
+        format_ns(min),
+        format_ns(mean),
+        sorted.len()
+    );
+    RESULTS.lock().unwrap().push(BenchRecord {
+        id: id.to_string(),
+        samples: sorted.len(),
+        min_ns: min,
+        median_ns: median,
+        mean_ns: mean,
+        throughput_elements,
+    });
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Called by `criterion_main!` after all groups ran: writes the JSON
+/// report if `SWS_BENCH_JSON` is set.
+pub fn finalize() {
+    let records = RESULTS.lock().unwrap();
+    let Ok(path) = std::env::var("SWS_BENCH_JSON") else {
+        return;
+    };
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        let throughput = match r.throughput_elements {
+            Some(e) => e.to_string(),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"median_ns\": {}, \
+             \"mean_ns\": {}, \"throughput_elements\": {}}}{}\n",
+            r.id.replace('"', "'"),
+            r.samples,
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            throughput,
+            sep
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: could not write {path}: {e}");
+    } else {
+        eprintln!("criterion shim: wrote {} records to {path}", records.len());
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-test");
+        group.sample_size(5);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        let results = RESULTS.lock().unwrap();
+        let rec = results.iter().find(|r| r.id == "shim-test/noop").unwrap();
+        assert_eq!(rec.samples, 5);
+        assert!(results.iter().any(|r| r.id == "shim-test/sum/10"));
+    }
+}

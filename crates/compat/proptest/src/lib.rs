@@ -1,0 +1,165 @@
+//! Offline shim for `proptest`: deterministic random-input testing with
+//! the subset of the real crate's API this repository uses.
+//!
+//! Differences from crates.io proptest, by design:
+//!
+//! * inputs are drawn from a deterministic per-test RNG (seeded from the
+//!   test's name), so failures are reproducible by rerunning the test;
+//! * there is **no shrinking** — a failing case panics with the case
+//!   number so it can be investigated directly;
+//! * `prop_assert*!` macros panic (like `assert!`) instead of returning
+//!   `Err`, which is equivalent under this runner.
+
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+
+pub use strategy::{any, Just, Strategy};
+
+/// Runner configuration — only the number of cases is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases generated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Everything a property-test module typically imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// The `proptest! { ... }` block: defines `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($body:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($body)* }
+    };
+    ($($body:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($body)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$attr:meta])*
+         fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::rng::TestRng::from_name(stringify!($name));
+                for __case in 0..__config.cases {
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            $(
+                                let $pat =
+                                    $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                            )+
+                            $body
+                        }),
+                    );
+                    if let Err(payload) = __result {
+                        eprintln!(
+                            "proptest shim: property '{}' failed at case {}/{} \
+                             (deterministic seed — rerun reproduces it)",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_generate_in_bounds(x in 3usize..10, y in 0.5f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vectors_respect_size_bounds(v in vec(0.0f64..1.0, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+
+        #[test]
+        fn flat_map_threads_values((n, v) in (1usize..5)
+            .prop_flat_map(|n| (Just(n), vec(0usize..100, n)))) {
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = crate::rng::TestRng::from_name("any_bool");
+        let draws: Vec<bool> = (0..64)
+            .map(|_| Strategy::generate(&any::<bool>(), &mut rng))
+            .collect();
+        assert!(draws.iter().any(|&b| b) && draws.iter().any(|&b| !b));
+    }
+}

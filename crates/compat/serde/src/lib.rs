@@ -1,0 +1,12 @@
+//! Offline shim for `serde`: re-exports the no-op derive macros under the
+//! names the real crate exposes, plus empty marker traits so trait bounds
+//! keep compiling if a future change introduces any.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::ser::Serialize` (no methods — the shim
+/// never serializes).
+pub trait SerializeTrait {}
+
+/// Marker trait mirroring `serde::de::Deserialize` (no methods).
+pub trait DeserializeTrait {}

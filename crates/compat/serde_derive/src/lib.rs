@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The repository only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations — nothing serializes through serde at runtime (tables and
+//! figures are rendered by hand in `sws-bench`). Expanding the derives to
+//! nothing keeps every annotation compiling without the real crate.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -75,7 +75,10 @@ pub fn impossibility_frontier(m: usize, k: usize) -> Vec<(f64, f64)> {
 /// pairs `(1 + ∆, 1 + 1/∆)` sampled at `samples` logarithmically spaced
 /// values of `∆ ∈ [delta_min, delta_max]`.
 pub fn sbo_tradeoff_curve(delta_min: f64, delta_max: f64, samples: usize) -> Vec<(f64, f64)> {
-    assert!(delta_min > 0.0 && delta_max >= delta_min, "need 0 < ∆min ≤ ∆max");
+    assert!(
+        delta_min > 0.0 && delta_max >= delta_min,
+        "need 0 < ∆min ≤ ∆max"
+    );
     assert!(samples >= 2, "need at least two samples");
     let log_lo = delta_min.ln();
     let log_hi = delta_max.ln();
@@ -103,12 +106,18 @@ pub fn impossibility_witness(
     for &(a, b) in &candidates {
         // Lemma 3: strictly better than (3/2, 3/2) on both objectives.
         if strictly_lt(a, 1.5) && strictly_lt(b, 1.5) {
-            return Some(ImpossibilityWitness { point: lemma3_point(), lemma: Lemma::Lemma3 });
+            return Some(ImpossibilityWitness {
+                point: lemma3_point(),
+                lemma: Lemma::Lemma3,
+            });
         }
         // Lemma 1 is the (m = 2, i = 0) / (i = k) end of Lemma 2 but is
         // kept explicit for clarity of the witnesses.
         if strictly_lt(a, 1.0) && strictly_lt(b, 2.0) {
-            return Some(ImpossibilityWitness { point: (1.0, 2.0), lemma: Lemma::Lemma1 });
+            return Some(ImpossibilityWitness {
+                point: (1.0, 2.0),
+                lemma: Lemma::Lemma1,
+            });
         }
         // Lemma 2 family.
         for m in 2..=max_m.max(2) {

@@ -157,10 +157,10 @@ pub fn solve_with_memory_budget(
     let mut best_mmax = f64::INFINITY;
 
     let consider = |delta: f64,
-                        point: ObjectivePoint,
-                        assignment: Assignment,
-                        best: &mut Option<(f64, ObjectivePoint, Assignment)>,
-                        best_mmax: &mut f64| {
+                    point: ObjectivePoint,
+                    assignment: Assignment,
+                    best: &mut Option<(f64, ObjectivePoint, Assignment)>,
+                    best_mmax: &mut f64| {
         *best_mmax = best_mmax.min(point.mmax);
         if approx_le(point.mmax, budget) {
             let better = match best {
@@ -179,9 +179,18 @@ pub fn solve_with_memory_budget(
     let fallback = sbo(inst, &SboConfig::new(1e12, inner))?;
     evaluations += 1;
     let fallback_point = fallback.objective(inst);
-    consider(f64::INFINITY, fallback_point, fallback.assignment, &mut best, &mut best_mmax);
+    consider(
+        f64::INFINITY,
+        fallback_point,
+        fallback.assignment,
+        &mut best,
+        &mut best_mmax,
+    );
     if best.is_none() {
-        return Ok(ConstrainedOutcome::NotFound { best_mmax, evaluations });
+        return Ok(ConstrainedOutcome::NotFound {
+            best_mmax,
+            evaluations,
+        });
     }
 
     // Binary search for the smallest ∆ whose SBO∆ schedule still fits the
@@ -203,7 +212,12 @@ pub fn solve_with_memory_budget(
     }
 
     let (delta, point, assignment) = best.expect("fallback guaranteed one feasible schedule");
-    Ok(ConstrainedOutcome::Feasible { assignment, point, delta, evaluations })
+    Ok(ConstrainedOutcome::Feasible {
+        assignment,
+        point,
+        delta,
+        evaluations,
+    })
 }
 
 /// Solves `min Cmax  s.t.  Mmax ≤ budget` on a precedence-constrained
@@ -258,7 +272,12 @@ mod tests {
     use sws_workloads::TaskDistribution;
 
     fn workload(n: usize, m: usize, seed: u64) -> Instance {
-        random_instance(n, m, TaskDistribution::AntiCorrelated, &mut seeded_rng(seed))
+        random_instance(
+            n,
+            m,
+            TaskDistribution::AntiCorrelated,
+            &mut seeded_rng(seed),
+        )
     }
 
     #[test]
@@ -278,8 +297,7 @@ mod tests {
         let inst = workload(30, 4, 1);
         let total = inst.total_storage();
         let out = solve_with_memory_budget(&inst, total, InnerAlgorithm::Lpt).unwrap();
-        let lpt_point =
-            ObjectivePoint::of_assignment(&inst, &sws_listsched::lpt_cmax(&inst));
+        let lpt_point = ObjectivePoint::of_assignment(&inst, &sws_listsched::lpt_cmax(&inst));
         match out {
             ConstrainedOutcome::Feasible { point, .. } => {
                 // With the budget = Σ s_i every schedule fits, so the search
@@ -298,9 +316,11 @@ mod tests {
             let lb = mmax_lower_bound(inst.tasks(), inst.m());
             for beta in [1.2, 1.5, 2.0, 3.0] {
                 let budget = beta * lb;
-                let out =
-                    solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt).unwrap();
-                if let ConstrainedOutcome::Feasible { assignment, point, .. } = out {
+                let out = solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt).unwrap();
+                if let ConstrainedOutcome::Feasible {
+                    assignment, point, ..
+                } = out
+                {
                     validate_assignment(&inst, &assignment, Some(budget)).unwrap();
                     assert!(point.mmax <= budget + 1e-9);
                 }
@@ -406,7 +426,10 @@ mod tests {
         let out = solve_dag_with_memory_budget(&inst, 1.5 * lb).unwrap();
         assert!(matches!(out, DagConstrainedOutcome::NoGuarantee { .. }));
         let out = solve_dag_with_memory_budget(&inst, 1.0).unwrap();
-        assert!(matches!(out, DagConstrainedOutcome::ProvablyInfeasible { .. }));
+        assert!(matches!(
+            out,
+            DagConstrainedOutcome::ProvablyInfeasible { .. }
+        ));
     }
 
     #[test]
@@ -423,11 +446,14 @@ mod tests {
     #[test]
     fn outcome_accessors() {
         let inst = workload(10, 2, 9);
-        let out = solve_with_memory_budget(&inst, inst.total_storage(), InnerAlgorithm::Graham)
-            .unwrap();
+        let out =
+            solve_with_memory_budget(&inst, inst.total_storage(), InnerAlgorithm::Graham).unwrap();
         assert!(out.is_feasible());
         assert!(out.makespan().unwrap() > 0.0);
-        let none = ConstrainedOutcome::NotFound { best_mmax: 1.0, evaluations: 3 };
+        let none = ConstrainedOutcome::NotFound {
+            best_mmax: 1.0,
+            evaluations: 3,
+        };
         assert!(!none.is_feasible());
         assert_eq!(none.makespan(), None);
     }

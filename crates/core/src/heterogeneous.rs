@@ -45,7 +45,7 @@ impl UniformMachines {
             return Err(ModelError::NoProcessors);
         }
         for (q, &v) in speeds.iter().enumerate() {
-            if !(v > 0.0) || !v.is_finite() {
+            if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !v.is_finite() {
                 return Err(ModelError::InvalidParameter {
                     name: "speed",
                     value: v,
@@ -145,7 +145,7 @@ pub fn uniform_rls(
     delta: f64,
     order: &[usize],
 ) -> Result<UniformRlsResult, ModelError> {
-    if !(delta > 2.0) || !delta.is_finite() {
+    if delta.partial_cmp(&2.0) != Some(std::cmp::Ordering::Greater) || !delta.is_finite() {
         return Err(ModelError::InvalidParameter {
             name: "delta",
             value: delta,
@@ -153,11 +153,18 @@ pub fn uniform_rls(
         });
     }
     if order.len() != inst.n() {
-        return Err(ModelError::LengthMismatch { left: order.len(), right: inst.n() });
+        return Err(ModelError::LengthMismatch {
+            left: order.len(),
+            right: inst.n(),
+        });
     }
     let m = machines.m();
     let tasks = inst.tasks();
-    let lb_memory = if inst.n() == 0 { 0.0 } else { mmax_lower_bound(tasks, m) };
+    let lb_memory = if inst.n() == 0 {
+        0.0
+    } else {
+        mmax_lower_bound(tasks, m)
+    };
     let cap = delta * lb_memory;
 
     let mut finish = vec![0.0f64; m];
@@ -229,7 +236,12 @@ mod tests {
     use sws_workloads::TaskDistribution;
 
     fn workload(n: usize, m: usize, seed: u64) -> Instance {
-        random_instance(n, m, TaskDistribution::AntiCorrelated, &mut seeded_rng(seed))
+        random_instance(
+            n,
+            m,
+            TaskDistribution::AntiCorrelated,
+            &mut seeded_rng(seed),
+        )
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub mod sbo;
 pub mod tri;
 
 pub use bounds::{impossibility_frontier, lemma3_point, sbo_tradeoff_curve};
-pub use constrained::{solve_with_memory_budget, solve_dag_with_memory_budget};
+pub use constrained::{solve_dag_with_memory_budget, solve_with_memory_budget};
 pub use pareto_sweep::{rls_sweep, sbo_sweep};
 pub use rls::{rls, rls_guarantee, rls_independent, PriorityOrder, RlsConfig, RlsResult};
 pub use sbo::{corollary1_guarantee, sbo, sbo_guarantee, InnerAlgorithm, SboConfig, SboResult};
@@ -85,7 +85,9 @@ pub mod prelude {
     pub use crate::heterogeneous::{uniform_rls, uniform_rls_lpt, UniformMachines};
     pub use crate::pareto_sweep::{delta_grid, rls_sweep, sbo_sweep, SweepPoint};
     pub use crate::pipeline::{evaluate_rls, evaluate_sbo, EvaluationReport};
-    pub use crate::rls::{rls, rls_guarantee, rls_independent, PriorityOrder, RlsConfig, RlsResult};
+    pub use crate::rls::{
+        rls, rls_guarantee, rls_independent, PriorityOrder, RlsConfig, RlsResult,
+    };
     pub use crate::sbo::{
         corollary1_guarantee, sbo, sbo_guarantee, InnerAlgorithm, SboConfig, SboResult,
     };

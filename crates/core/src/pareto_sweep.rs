@@ -10,6 +10,13 @@
 //! objective points. The result is a practical approximate trade-off
 //! curve a user can pick from — exactly the decision-support tool the
 //! paper's discussion implies, without any additional theory.
+//!
+//! The per-∆ runs are independent, so both sweeps fan the grid out
+//! across all cores with rayon and merge the resulting points into the
+//! [`ParetoFront`] at the barrier, in grid order — the produced curve is
+//! bit-identical to the old serial loop's.
+
+use rayon::prelude::*;
 
 use sws_dag::DagInstance;
 use sws_model::error::ModelError;
@@ -37,7 +44,10 @@ pub struct SweepPoint<S> {
 /// A geometric grid of `samples` values of ∆ spanning
 /// `[delta_min, delta_max]`.
 pub fn delta_grid(delta_min: f64, delta_max: f64, samples: usize) -> Vec<f64> {
-    assert!(delta_min > 0.0 && delta_max >= delta_min, "need 0 < ∆min ≤ ∆max");
+    assert!(
+        delta_min > 0.0 && delta_max >= delta_min,
+        "need 0 < ∆min ≤ ∆max"
+    );
     assert!(samples >= 1, "need at least one sample");
     if samples == 1 {
         return vec![delta_min];
@@ -65,16 +75,28 @@ pub fn sbo_sweep(
     let mut deltas = delta_grid(delta_min, delta_max, samples);
     deltas.push(1e-9); // effectively π₁ only
     deltas.push(1e9); // effectively π₂ only
+                      // Fan the ∆ grid out across cores; merge at the barrier in grid
+                      // order so the front matches the serial loop exactly.
+    let runs: Result<Vec<_>, ModelError> = deltas
+        .into_par_iter()
+        .map(|delta| {
+            let result = sbo(inst, &SboConfig::new(delta, inner))?;
+            let point = result.objective(inst);
+            Ok((delta, point, result.assignment))
+        })
+        .collect();
     let mut front: ParetoFront<(f64, Assignment)> = ParetoFront::new();
-    for delta in deltas {
-        let result = sbo(inst, &SboConfig::new(delta, inner))?;
-        let point = result.objective(inst);
-        front.offer(point, (delta, result.assignment));
+    for (delta, point, assignment) in runs? {
+        front.offer(point, (delta, assignment));
     }
     let mut points: Vec<SweepPoint<Assignment>> = front
         .into_sorted()
         .into_iter()
-        .map(|(point, (delta, schedule))| SweepPoint { delta, point, schedule })
+        .map(|(point, (delta, schedule))| SweepPoint {
+            delta,
+            point,
+            schedule,
+        })
         .collect();
     points.sort_by(|a, b| sws_model::numeric::total_cmp(a.point.cmax, b.point.cmax));
     Ok(points)
@@ -90,23 +112,34 @@ pub fn rls_sweep(
     delta_max: f64,
     samples: usize,
 ) -> Result<Vec<SweepPoint<TimedSchedule>>, ModelError> {
-    if !(delta_min > 2.0) {
+    if delta_min.partial_cmp(&2.0) != Some(std::cmp::Ordering::Greater) {
         return Err(ModelError::InvalidParameter {
             name: "delta_min",
             value: delta_min,
             constraint: "∆ > 2",
         });
     }
+    let order = config.order;
+    let runs: Result<Vec<_>, ModelError> = delta_grid(delta_min, delta_max, samples)
+        .into_par_iter()
+        .map(|delta| {
+            let result = rls(inst, &RlsConfig { delta, order })?;
+            let point = ObjectivePoint::of_timed_tasks(inst.tasks(), &result.schedule);
+            Ok((delta, point, result.schedule))
+        })
+        .collect();
     let mut front: ParetoFront<(f64, TimedSchedule)> = ParetoFront::new();
-    for delta in delta_grid(delta_min, delta_max, samples) {
-        let result = rls(inst, &RlsConfig { delta, order: config.order })?;
-        let point = ObjectivePoint::of_timed_tasks(inst.tasks(), &result.schedule);
-        front.offer(point, (delta, result.schedule));
+    for (delta, point, schedule) in runs? {
+        front.offer(point, (delta, schedule));
     }
     let mut points: Vec<SweepPoint<TimedSchedule>> = front
         .into_sorted()
         .into_iter()
-        .map(|(point, (delta, schedule))| SweepPoint { delta, point, schedule })
+        .map(|(point, (delta, schedule))| SweepPoint {
+            delta,
+            point,
+            schedule,
+        })
         .collect();
     points.sort_by(|a, b| sws_model::numeric::total_cmp(a.point.cmax, b.point.cmax));
     Ok(points)
@@ -135,8 +168,7 @@ mod tests {
 
     #[test]
     fn sbo_sweep_returns_a_mutually_non_dominated_curve() {
-        let inst =
-            random_instance(30, 4, TaskDistribution::AntiCorrelated, &mut seeded_rng(51));
+        let inst = random_instance(30, 4, TaskDistribution::AntiCorrelated, &mut seeded_rng(51));
         let curve = sbo_sweep(&inst, InnerAlgorithm::Lpt, 0.125, 8.0, 9).unwrap();
         assert!(!curve.is_empty());
         for w in curve.windows(2) {
@@ -181,8 +213,13 @@ mod tests {
     #[test]
     fn rls_sweep_produces_feasible_trade_offs_on_dags() {
         let mut rng = seeded_rng(54);
-        let inst =
-            dag_workload(DagFamily::GaussianElimination, 80, 4, TaskDistribution::Bimodal, &mut rng);
+        let inst = dag_workload(
+            DagFamily::GaussianElimination,
+            80,
+            4,
+            TaskDistribution::Bimodal,
+            &mut rng,
+        );
         let curve = rls_sweep(&inst, &RlsConfig::new(3.0), 2.1, 10.0, 8).unwrap();
         assert!(!curve.is_empty());
         for w in curve.windows(2) {
@@ -198,7 +235,13 @@ mod tests {
     #[test]
     fn rls_sweep_rejects_delta_min_at_or_below_two() {
         let mut rng = seeded_rng(55);
-        let inst = dag_workload(DagFamily::Diamond, 30, 3, TaskDistribution::Correlated, &mut rng);
+        let inst = dag_workload(
+            DagFamily::Diamond,
+            30,
+            3,
+            TaskDistribution::Correlated,
+            &mut rng,
+        );
         assert!(rls_sweep(&inst, &RlsConfig::new(3.0), 2.0, 5.0, 4).is_err());
     }
 }

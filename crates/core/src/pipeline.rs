@@ -104,7 +104,11 @@ pub fn evaluate_sbo(
     let report = EvaluationReport {
         algorithm: format!("sbo(∆={}, inner={})", config.delta, config.inner.label()),
         point,
-        tri: Some(TriObjectivePoint::new(point.cmax, point.mmax, sim.sum_completion)),
+        tri: Some(TriObjectivePoint::new(
+            point.cmax,
+            point.mmax,
+            sim.sum_completion,
+        )),
         lower_bounds,
         ratio,
         utilization: sim.utilization,
@@ -124,16 +128,29 @@ pub fn evaluate_rls(
     config: &RlsConfig,
 ) -> Result<(EvaluationReport, RlsResult), ModelError> {
     let result = rls(inst, config)?;
-    let sim = simulate_dag_schedule(inst, &result.schedule, Some(result.memory_cap.max(result.lb)))?;
+    let sim = simulate_dag_schedule(
+        inst,
+        &result.schedule,
+        Some(result.memory_cap.max(result.lb)),
+    )?;
     let point = result.objective(inst.tasks());
     let cp = inst.graph().critical_path_length();
     let lower_bounds = LowerBounds::with_critical_path(inst.tasks(), inst.m(), cp);
     let reference = ObjectivePoint::new(lower_bounds.cmax, lower_bounds.mmax);
-    let ratio = RatioReport::new(point, reference, Reference::LowerBound, Some(result.guarantee));
+    let ratio = RatioReport::new(
+        point,
+        reference,
+        Reference::LowerBound,
+        Some(result.guarantee),
+    );
     let report = EvaluationReport {
         algorithm: format!("rls(∆={}, order={})", config.delta, config.order.label()),
         point,
-        tri: Some(TriObjectivePoint::new(point.cmax, point.mmax, sim.sum_completion)),
+        tri: Some(TriObjectivePoint::new(
+            point.cmax,
+            point.mmax,
+            sim.sum_completion,
+        )),
         lower_bounds,
         ratio,
         utilization: sim.utilization,
@@ -182,8 +199,12 @@ mod tests {
         // With the exact reference the within_guarantee check is a true
         // approximation-ratio verification of Properties 1 and 2.
         for seed in 0..8u64 {
-            let inst =
-                random_instance(9, 3, TaskDistribution::AntiCorrelated, &mut seeded_rng(seed));
+            let inst = random_instance(
+                9,
+                3,
+                TaskDistribution::AntiCorrelated,
+                &mut seeded_rng(seed),
+            );
             for &delta in &[0.5, 1.0, 2.0] {
                 let (report, _) =
                     evaluate_sbo(&inst, &SboConfig::new(delta, InnerAlgorithm::Lpt)).unwrap();
@@ -200,7 +221,13 @@ mod tests {
     #[test]
     fn rls_report_checks_the_memory_cap_through_the_simulator() {
         let mut rng = seeded_rng(3);
-        let inst = dag_workload(DagFamily::ForkJoin, 60, 4, TaskDistribution::Bimodal, &mut rng);
+        let inst = dag_workload(
+            DagFamily::ForkJoin,
+            60,
+            4,
+            TaskDistribution::Bimodal,
+            &mut rng,
+        );
         let (report, result) = evaluate_rls(&inst, &RlsConfig::new(2.5)).unwrap();
         assert!(report.point.mmax <= 2.5 * result.lb + 1e-9);
         assert!(report.within_guarantee(), "{}", report.summary_line());
@@ -227,7 +254,13 @@ mod tests {
         let inst = random_instance(6, 2, TaskDistribution::Correlated, &mut seeded_rng(5));
         assert!(evaluate_sbo(&inst, &SboConfig::new(0.0, InnerAlgorithm::Graham)).is_err());
         let mut rng = seeded_rng(6);
-        let dag = dag_workload(DagFamily::Diamond, 20, 2, TaskDistribution::Correlated, &mut rng);
+        let dag = dag_workload(
+            DagFamily::Diamond,
+            20,
+            2,
+            TaskDistribution::Correlated,
+            &mut rng,
+        );
         assert!(evaluate_rls(&dag, &RlsConfig::new(2.0)).is_err());
     }
 }

@@ -22,15 +22,23 @@
 //! [`PriorityOrder`] exposes the orderings used by the evaluation,
 //! including the SPT order required by the Section 5.2 tri-objective
 //! extension.
+//!
+//! Since the event-driven rework, [`rls`] runs on the shared scheduling
+//! kernel (`sws_listsched::kernel`) with the memory restriction supplied
+//! as an admissibility predicate — `O((n + E)·log n + n·log m)` as long
+//! as memory rejections on the least-loaded processor stay rare (they
+//! are, on every measured workload; the kernel's module docs state the
+//! worst case) instead of the original `O(n²·m)` scan, which survives
+//! as the differential oracle [`naive::rls`].
 
 use sws_dag::{DagInstance, TaskGraph};
+use sws_listsched::kernel::{event_driven_schedule, MemoryCapAdmission};
 use sws_listsched::priority::{
     hlf_priority, index_priority, largest_storage_priority, lpt_priority, spt_priority,
     PriorityRank,
 };
 use sws_model::bounds::mmax_lower_bound;
 use sws_model::error::ModelError;
-use sws_model::numeric::approx_le;
 use sws_model::objectives::ObjectivePoint;
 use sws_model::schedule::TimedSchedule;
 use sws_model::task::TaskSet;
@@ -104,7 +112,10 @@ pub struct RlsConfig {
 impl RlsConfig {
     /// Creates a configuration with the paper's arbitrary (index) order.
     pub fn new(delta: f64) -> Self {
-        RlsConfig { delta, order: PriorityOrder::Index }
+        RlsConfig {
+            delta,
+            order: PriorityOrder::Index,
+        }
     }
 
     /// Replaces the tie-breaking order.
@@ -115,7 +126,10 @@ impl RlsConfig {
 
     /// The Corollary 4 configuration: SPT tie-breaking.
     pub fn spt(delta: f64) -> Self {
-        RlsConfig { delta, order: PriorityOrder::Spt }
+        RlsConfig {
+            delta,
+            order: PriorityOrder::Spt,
+        }
     }
 }
 
@@ -166,111 +180,56 @@ pub fn lemma4_marked_bound(m: usize, delta: f64) -> usize {
 pub fn rls_guarantee(delta: f64, m: usize) -> (f64, f64) {
     assert!(delta > 2.0, "the RLS guarantee requires ∆ > 2");
     let m = m as f64;
-    (2.0 + 1.0 / (delta - 2.0) - (delta - 1.0) / (m * (delta - 2.0)), delta)
+    (
+        2.0 + 1.0 / (delta - 2.0) - (delta - 1.0) / (m * (delta - 2.0)),
+        delta,
+    )
 }
 
-/// Runs RLS∆ (Algorithm 2) on a precedence-constrained instance.
-///
-/// Returns an error when `∆ ≤ 2`: Lemma 4 shows that smaller values may
-/// mark every processor, leaving some task impossible to place.
-pub fn rls(inst: &DagInstance, config: &RlsConfig) -> Result<RlsResult, ModelError> {
-    if !(config.delta > 2.0) || !config.delta.is_finite() {
+/// Validates `∆` and computes `(LB, ∆·LB)` for an instance.
+fn delta_lb_cap(tasks: &TaskSet, m: usize, config: &RlsConfig) -> Result<(f64, f64), ModelError> {
+    if config.delta.partial_cmp(&2.0) != Some(std::cmp::Ordering::Greater)
+        || !config.delta.is_finite()
+    {
         return Err(ModelError::InvalidParameter {
             name: "delta",
             value: config.delta,
             constraint: "∆ > 2",
         });
     }
-
-    let graph = inst.graph();
-    let tasks = inst.tasks();
-    let n = graph.n();
-    let m = inst.m();
-    let rank = config.order.rank(graph);
-
     // LB = max(max_i s_i, Σ s_i / m), the Graham lower bound on M*max.
-    let lb = if n == 0 { 0.0 } else { mmax_lower_bound(tasks, m) };
-    let cap = config.delta * lb;
+    let lb = if tasks.is_empty() {
+        0.0
+    } else {
+        mmax_lower_bound(tasks, m)
+    };
+    Ok((lb, config.delta * lb))
+}
 
-    let mut load = vec![0.0f64; m];
-    let mut memsize = vec![0.0f64; m];
-    let mut marked = vec![false; m];
-    let mut scheduled = vec![false; n];
-    let mut completion = vec![0.0f64; n];
-    let mut remaining_preds: Vec<usize> = (0..n).map(|i| graph.in_degree(i)).collect();
-    let mut proc_of = vec![0usize; n];
-    let mut start = vec![0.0f64; n];
-
-    for _round in 0..n {
-        // For every ready task, find the least-loaded processor whose
-        // memory stays within ∆·LB, and the earliest start time there.
-        // `best` holds (ready time, tie-break rank, task, processor).
-        let mut best: Option<(f64, usize, usize, usize)> = None;
-        for i in 0..n {
-            if scheduled[i] || remaining_preds[i] != 0 {
-                continue;
-            }
-            let s_i = tasks.get(i).s;
-            let choice = admissible_argmin(&load, &memsize, s_i, cap);
-            let j = match choice {
-                Some(j) => j,
-                // Mathematically impossible for ∆ > 2 (the Lemma 4
-                // counting argument), but guard against degenerate
-                // floating-point inputs rather than looping forever.
-                None => {
-                    return Err(ModelError::MemoryExceeded {
-                        proc: 0,
-                        used: memsize.iter().cloned().fold(0.0, f64::max) + s_i,
-                        capacity: cap,
-                    })
-                }
-            };
-            // "for analysis only": mark every processor that was less
-            // loaded than the chosen one — it was skipped because of the
-            // memory restriction.
-            for (q, &l) in load.iter().enumerate() {
-                if l < load[j] && !approx_le(memsize[q] + s_i, cap) {
-                    marked[q] = true;
-                }
-            }
-            let pred_ready = graph
-                .preds(i)
-                .iter()
-                .map(|&p| completion[p])
-                .fold(0.0f64, f64::max);
-            let ready = pred_ready.max(load[j]);
-            let candidate = (ready, rank[i], i, j);
-            let better = match best {
-                None => true,
-                Some(cur) => {
-                    candidate.0 < cur.0 - 1e-15
-                        || (sws_model::numeric::approx_eq(candidate.0, cur.0)
-                            && candidate.1 < cur.1)
-                }
-            };
-            if better {
-                best = Some(candidate);
-            }
-        }
-        let (ready, _rank, i, j) =
-            best.expect("an acyclic graph always has a ready task while tasks remain");
-        proc_of[i] = j;
-        start[i] = ready;
-        completion[i] = ready + tasks.get(i).p;
-        load[j] = completion[i];
-        memsize[j] += tasks.get(i).s;
-        scheduled[i] = true;
-        for &v in graph.succs(i) {
-            remaining_preds[v] -= 1;
-        }
-    }
-
-    let schedule = TimedSchedule::new(proc_of, start, m)?;
+/// Runs RLS∆ (Algorithm 2) on a precedence-constrained instance.
+///
+/// Returns an error when `∆ ≤ 2`: Lemma 4 shows that smaller values may
+/// mark every processor, leaving some task impossible to place.
+///
+/// This is the event-driven implementation: the shared scheduling kernel
+/// with the `memsize[q] + s_i ≤ ∆·LB` restriction plugged in as the
+/// admissibility predicate. The kernel marks processors from the winning
+/// probe only (the paper's "for analysis only" semantics); the retained
+/// [`naive::rls`] oracle marks conservatively while evaluating every
+/// candidate, so the kernel's marked set is a subset of the oracle's and
+/// both satisfy the Lemma 4 bound.
+pub fn rls(inst: &DagInstance, config: &RlsConfig) -> Result<RlsResult, ModelError> {
+    let tasks = inst.tasks();
+    let m = inst.m();
+    let (lb, cap) = delta_lb_cap(tasks, m, config)?;
+    let rank = config.order.rank(inst.graph());
+    let mut admission = MemoryCapAdmission::new(m, cap);
+    let outcome = event_driven_schedule(inst, &rank, &mut admission)?;
     Ok(RlsResult {
-        schedule,
+        schedule: outcome.schedule,
         lb,
         memory_cap: cap,
-        marked,
+        marked: outcome.marked,
         guarantee: rls_guarantee(config.delta, m),
         config: *config,
     })
@@ -284,25 +243,129 @@ pub fn rls_independent(inst: &Instance, config: &RlsConfig) -> Result<RlsResult,
     rls(&dag, config)
 }
 
-/// Index of the least-loaded processor whose memory stays within `cap`
-/// after adding `s`; ties broken towards the lowest index. `None` when no
-/// processor is admissible.
-fn admissible_argmin(load: &[f64], memsize: &[f64], s: f64, cap: f64) -> Option<usize> {
-    let mut best: Option<usize> = None;
-    for q in 0..load.len() {
-        if !approx_le(memsize[q] + s, cap) {
-            continue;
+/// The original `O(n²·m)` implementation of RLS∆, retained verbatim as
+/// the differential-testing oracle for the kernel path (only the ad-hoc
+/// float tolerances were replaced by the shared
+/// [`sws_model::numeric`] helpers).
+pub mod naive {
+    use sws_model::numeric::{approx_le, better_candidate};
+
+    use super::*;
+
+    /// Naive RLS∆: each round rescans every unscheduled task and every
+    /// processor. Produces the same schedule as [`super::rls`]; its
+    /// `marked` set is a superset (it marks while evaluating every
+    /// candidate, not just the selected one) that still satisfies the
+    /// Lemma 4 bound.
+    pub fn rls(inst: &DagInstance, config: &RlsConfig) -> Result<RlsResult, ModelError> {
+        let graph = inst.graph();
+        let tasks = inst.tasks();
+        let n = graph.n();
+        let m = inst.m();
+        let (lb, cap) = delta_lb_cap(tasks, m, config)?;
+        let rank = config.order.rank(graph);
+
+        let mut load = vec![0.0f64; m];
+        let mut memsize = vec![0.0f64; m];
+        let mut marked = vec![false; m];
+        let mut scheduled = vec![false; n];
+        let mut completion = vec![0.0f64; n];
+        let mut remaining_preds: Vec<usize> = (0..n).map(|i| graph.in_degree(i)).collect();
+        let mut proc_of = vec![0usize; n];
+        let mut start = vec![0.0f64; n];
+
+        for _round in 0..n {
+            // For every ready task, find the least-loaded processor whose
+            // memory stays within ∆·LB, and the earliest start time
+            // there. `best` holds (ready time, tie-break rank, task,
+            // processor).
+            let mut best: Option<(f64, usize, usize, usize)> = None;
+            for i in 0..n {
+                if scheduled[i] || remaining_preds[i] != 0 {
+                    continue;
+                }
+                let s_i = tasks.get(i).s;
+                let choice = admissible_argmin(&load, &memsize, s_i, cap);
+                let j = match choice {
+                    Some(j) => j,
+                    // Mathematically impossible for ∆ > 2 (the Lemma 4
+                    // counting argument), but guard against degenerate
+                    // floating-point inputs rather than looping forever.
+                    None => {
+                        return Err(ModelError::MemoryExceeded {
+                            proc: 0,
+                            used: memsize.iter().cloned().fold(0.0, f64::max) + s_i,
+                            capacity: cap,
+                        })
+                    }
+                };
+                // "for analysis only": mark every processor that was less
+                // loaded than the chosen one — it was skipped because of
+                // the memory restriction.
+                for (q, &l) in load.iter().enumerate() {
+                    if l < load[j] && !approx_le(memsize[q] + s_i, cap) {
+                        marked[q] = true;
+                    }
+                }
+                let pred_ready = graph
+                    .preds(i)
+                    .iter()
+                    .map(|&p| completion[p])
+                    .fold(0.0f64, f64::max);
+                let ready = pred_ready.max(load[j]);
+                let candidate = (ready, rank[i], i, j);
+                let better = match best {
+                    None => true,
+                    Some(cur) => better_candidate(candidate.0, candidate.1, cur.0, cur.1),
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+            let (ready, _rank, i, j) =
+                best.expect("an acyclic graph always has a ready task while tasks remain");
+            proc_of[i] = j;
+            start[i] = ready;
+            completion[i] = ready + tasks.get(i).p;
+            load[j] = completion[i];
+            memsize[j] += tasks.get(i).s;
+            scheduled[i] = true;
+            for &v in graph.succs(i) {
+                remaining_preds[v] -= 1;
+            }
         }
-        match best {
-            None => best = Some(q),
-            Some(b) => {
-                if load[q] < load[b] {
-                    best = Some(q);
+
+        let schedule = TimedSchedule::new(proc_of, start, m)?;
+        Ok(RlsResult {
+            schedule,
+            lb,
+            memory_cap: cap,
+            marked,
+            guarantee: rls_guarantee(config.delta, m),
+            config: *config,
+        })
+    }
+
+    /// Index of the least-loaded processor whose memory stays within
+    /// `cap` after adding `s`; ties broken towards the lowest index.
+    /// `None` when no processor is admissible.
+    fn admissible_argmin(load: &[f64], memsize: &[f64], s: f64, cap: f64) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for q in 0..load.len() {
+            if !approx_le(memsize[q] + s, cap) {
+                continue;
+            }
+            match best {
+                None => best = Some(q),
+                Some(b) => {
+                    if load[q] < load[b] {
+                        best = Some(q);
+                    }
                 }
             }
         }
+        best
     }
-    best
 }
 
 #[cfg(test)]
@@ -330,7 +393,10 @@ mod tests {
     fn rejects_delta_at_or_below_two() {
         let inst = DagInstance::new(chain(3), 2).unwrap();
         for delta in [2.0, 1.0, 0.0, -3.0, f64::NAN] {
-            assert!(rls(&inst, &RlsConfig::new(delta)).is_err(), "∆ = {delta} must be rejected");
+            assert!(
+                rls(&inst, &RlsConfig::new(delta)).is_err(),
+                "∆ = {delta} must be rejected"
+            );
         }
         assert!(rls(&inst, &RlsConfig::new(2.0 + 1e-9)).is_ok());
     }
@@ -366,7 +432,11 @@ mod tests {
     #[test]
     fn corollary_3_makespan_bound_holds_against_the_lower_bound() {
         let mut rng = seeded_rng(12);
-        for family in [DagFamily::LayeredRandom, DagFamily::GaussianElimination, DagFamily::Fft] {
+        for family in [
+            DagFamily::LayeredRandom,
+            DagFamily::GaussianElimination,
+            DagFamily::Fft,
+        ] {
             for &m in &[2usize, 4, 8] {
                 let inst = dag_workload(family, 120, m, TaskDistribution::Uncorrelated, &mut rng);
                 for &delta in &[2.5, 3.0, 5.0] {
@@ -389,8 +459,13 @@ mod tests {
     fn lemma_4_marked_processor_bound_holds() {
         let mut rng = seeded_rng(13);
         for &m in &[3usize, 6, 12] {
-            let inst =
-                dag_workload(DagFamily::LayeredRandom, 150, m, TaskDistribution::Bimodal, &mut rng);
+            let inst = dag_workload(
+                DagFamily::LayeredRandom,
+                150,
+                m,
+                TaskDistribution::Bimodal,
+                &mut rng,
+            );
             for &delta in &[2.25, 2.5, 3.0, 4.0] {
                 let result = rls(&inst, &RlsConfig::new(delta)).unwrap();
                 assert!(
@@ -478,8 +553,8 @@ mod tests {
 
     #[test]
     fn empty_instance_yields_an_empty_schedule() {
-        let inst = DagInstance::new(TaskGraph::new(TaskSet::from_ps(&[], &[]).unwrap()), 2)
-            .unwrap();
+        let inst =
+            DagInstance::new(TaskGraph::new(TaskSet::from_ps(&[], &[]).unwrap()), 2).unwrap();
         let result = rls(&inst, &RlsConfig::new(3.0)).unwrap();
         assert_eq!(result.schedule.n(), 0);
         assert_eq!(result.lb, 0.0);
@@ -492,6 +567,42 @@ mod tests {
         for order in PriorityOrder::all() {
             let result = rls(&inst, &RlsConfig::new(3.0).with_order(order)).unwrap();
             check_feasible(&inst, &result);
+        }
+    }
+
+    /// The kernel path must agree schedule-for-schedule with the naive
+    /// oracle, and its lazily-computed marked set must be a subset of the
+    /// oracle's conservative one (the full family × order × m sweep lives
+    /// in tests/differential_kernel.rs).
+    #[test]
+    fn kernel_matches_the_naive_oracle() {
+        let mut rng = seeded_rng(15);
+        for family in [
+            DagFamily::LayeredRandom,
+            DagFamily::ForkJoin,
+            DagFamily::Erdos,
+        ] {
+            let inst = dag_workload(family, 70, 4, TaskDistribution::AntiCorrelated, &mut rng);
+            for &delta in &[2.25, 3.0, 6.0] {
+                let config = RlsConfig::new(delta);
+                let fast = rls(&inst, &config).unwrap();
+                let slow = naive::rls(&inst, &config).unwrap();
+                assert_eq!(
+                    fast.schedule,
+                    slow.schedule,
+                    "{} ∆={delta}: kernel and naive schedules differ",
+                    family.label()
+                );
+                assert_eq!(fast.lb, slow.lb);
+                for q in 0..inst.m() {
+                    assert!(
+                        !fast.marked[q] || slow.marked[q],
+                        "{} ∆={delta}: kernel marked processor {q} the oracle did not",
+                        family.label()
+                    );
+                }
+                assert!(fast.marked_count() <= fast.marked_bound());
+            }
         }
     }
 }

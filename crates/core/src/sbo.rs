@@ -101,7 +101,10 @@ impl SboConfig {
     /// The Corollary 1 configuration: PTAS inner algorithms with accuracy
     /// `ε`.
     pub fn corollary1(delta: f64, eps: f64) -> Self {
-        SboConfig { delta, inner: InnerAlgorithm::Ptas { eps } }
+        SboConfig {
+            delta,
+            inner: InnerAlgorithm::Ptas { eps },
+        }
     }
 }
 
@@ -158,7 +161,9 @@ pub fn corollary1_guarantee(delta: f64, eps: f64) -> (f64, f64) {
 /// Returns an error when `∆ ≤ 0` (the threshold rule needs a positive
 /// parameter).
 pub fn sbo(inst: &Instance, config: &SboConfig) -> Result<SboResult, ModelError> {
-    if !(config.delta > 0.0) || !config.delta.is_finite() {
+    if config.delta.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+        || !config.delta.is_finite()
+    {
         return Err(ModelError::InvalidParameter {
             name: "delta",
             value: config.delta,
@@ -182,14 +187,18 @@ pub fn sbo(inst: &Instance, config: &SboConfig) -> Result<SboResult, ModelError>
 
     let mut assignment = Assignment::zeroed(inst.n(), inst.m())?;
     let mut routed_to_memory = vec![false; inst.n()];
-    for i in 0..inst.n() {
+    for (i, routed) in routed_to_memory.iter_mut().enumerate() {
         // The paper's test is p_i/C < ∆·s_i/M. Cross-multiplying keeps it
         // well defined when C or M is zero (a zero reference means the
         // corresponding objective is already trivially optimal).
         let to_memory = inst.p(i) * m_ref < config.delta * inst.s(i) * c;
-        let target = if to_memory { pi2.proc_of(i) } else { pi1.proc_of(i) };
+        let target = if to_memory {
+            pi2.proc_of(i)
+        } else {
+            pi1.proc_of(i)
+        };
         assignment.assign(i, target)?;
-        routed_to_memory[i] = to_memory;
+        *routed = to_memory;
     }
 
     let rho = config.inner.rho(inst.m());
@@ -314,8 +323,11 @@ mod tests {
         let inst = anti_correlated_instance();
         let delta = 0.5;
         let a = sbo(&inst, &SboConfig::new(delta, InnerAlgorithm::Graham)).unwrap();
-        let b = sbo(&inst.swapped(), &SboConfig::new(1.0 / delta, InnerAlgorithm::Graham))
-            .unwrap();
+        let b = sbo(
+            &inst.swapped(),
+            &SboConfig::new(1.0 / delta, InnerAlgorithm::Graham),
+        )
+        .unwrap();
         let pa = a.objective(&inst);
         let pb = b.objective(&inst.swapped());
         // Graham index-order scheduling is itself symmetric under the swap,

@@ -89,7 +89,12 @@ mod tests {
     use sws_workloads::TaskDistribution;
 
     fn workload(n: usize, m: usize, seed: u64) -> Instance {
-        random_instance(n, m, TaskDistribution::AntiCorrelated, &mut seeded_rng(seed))
+        random_instance(
+            n,
+            m,
+            TaskDistribution::AntiCorrelated,
+            &mut seeded_rng(seed),
+        )
     }
 
     #[test]
@@ -116,10 +121,7 @@ mod tests {
             for &delta in &[2.5, 3.0, 4.0, 6.0] {
                 let result = tri_objective_rls(&inst, delta).unwrap();
                 let report = result.ratio_report(&inst);
-                assert!(
-                    report.within_guarantee(),
-                    "seed {seed} ∆ {delta}: {report}"
-                );
+                assert!(report.within_guarantee(), "seed {seed} ∆ {delta}: {report}");
             }
         }
     }
@@ -129,12 +131,7 @@ mod tests {
         // ΣCi's reference is exact (SPT is optimal for P ∥ ΣCi), so the
         // 2 + 1/(∆−2) bound is a true approximation-ratio check.
         for seed in 10..15u64 {
-            let inst = random_instance(
-                30,
-                3,
-                TaskDistribution::Bimodal,
-                &mut seeded_rng(seed),
-            );
+            let inst = random_instance(30, 3, TaskDistribution::Bimodal, &mut seeded_rng(seed));
             let opt = optimal_sum_completion(&inst);
             let result = tri_objective_rls(&inst, 3.0).unwrap();
             assert!(
@@ -169,17 +166,11 @@ mod tests {
     fn with_a_huge_cap_sum_ci_matches_plain_spt_list_scheduling() {
         // When the memory restriction never bites, RLS with SPT ties is an
         // SPT list schedule, which is optimal for ΣCi.
-        let inst = Instance::from_ps(
-            &[4.0, 2.0, 7.0, 1.0, 3.0],
-            &[1.0, 1.0, 1.0, 1.0, 1.0],
-            2,
-        )
-        .unwrap();
+        let inst =
+            Instance::from_ps(&[4.0, 2.0, 7.0, 1.0, 3.0], &[1.0, 1.0, 1.0, 1.0, 1.0], 2).unwrap();
         let result = tri_objective_rls(&inst, 1e6).unwrap();
         let spt = spt_schedule(&inst);
-        assert!(
-            (result.point.sum_ci - spt.sum_completion(inst.tasks())).abs() < 1e-9
-        );
+        assert!((result.point.sum_ci - spt.sum_completion(inst.tasks())).abs() < 1e-9);
         assert!((result.point.sum_ci - optimal_sum_completion(&inst)).abs() < 1e-9);
     }
 

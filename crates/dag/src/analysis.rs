@@ -55,7 +55,11 @@ impl GraphStats {
             total_storage: graph.tasks().total_storage(),
             max_in_degree: (0..n).map(|i| graph.in_degree(i)).max().unwrap_or(0),
             max_out_degree: (0..n).map(|i| graph.out_degree(i)).max().unwrap_or(0),
-            average_parallelism: if cp > 0.0 { total_work / cp } else { total_work },
+            average_parallelism: if cp > 0.0 {
+                total_work / cp
+            } else {
+                total_work
+            },
         }
     }
 }

@@ -8,7 +8,8 @@ use crate::graph::TaskGraph;
 pub fn chain(n: usize) -> TaskGraph {
     let mut g = TaskGraph::unit(n);
     for i in 1..n {
-        g.add_edge(i - 1, i).expect("indices are in range by construction");
+        g.add_edge(i - 1, i)
+            .expect("indices are in range by construction");
     }
     g
 }

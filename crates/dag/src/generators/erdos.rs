@@ -14,7 +14,10 @@ use crate::graph::TaskGraph;
 /// sweep; with `edge_prob = 0` it degenerates to independent tasks and
 /// with `edge_prob = 1` to a total order (a chain with shortcuts).
 pub fn layered_erdos<R: Rng + ?Sized>(n: usize, edge_prob: f64, rng: &mut R) -> TaskGraph {
-    assert!((0.0..=1.0).contains(&edge_prob), "edge probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&edge_prob),
+        "edge probability must be in [0, 1]"
+    );
     let mut g = TaskGraph::unit(n);
     for i in 0..n {
         for j in (i + 1)..n {

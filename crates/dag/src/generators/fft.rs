@@ -35,8 +35,10 @@ pub fn fft_butterfly(levels: usize) -> TaskGraph {
         let stride = 1usize << rank;
         for pos in 0..points {
             let partner = pos ^ stride;
-            g.add_edge(idx(rank, pos), idx(rank + 1, pos)).expect("valid index");
-            g.add_edge(idx(rank, partner), idx(rank + 1, pos)).expect("valid index");
+            g.add_edge(idx(rank, pos), idx(rank + 1, pos))
+                .expect("valid index");
+            g.add_edge(idx(rank, partner), idx(rank + 1, pos))
+                .expect("valid index");
         }
     }
     g

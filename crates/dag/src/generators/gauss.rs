@@ -19,6 +19,10 @@
 //! proportional to `k − j` and storage proportional to the row they keep
 //! resident (`k − j` entries).
 
+// The index tables below are built and wired positionally; range loops are
+// the clearest way to express the block indices.
+#![allow(clippy::needless_range_loop)]
+
 use sws_model::task::Task;
 
 use crate::graph::TaskGraph;
@@ -46,13 +50,16 @@ pub fn gaussian_elimination(k: usize) -> TaskGraph {
     let mut g = TaskGraph::new(tasks);
     for j in 0..steps {
         for i in (j + 1)..k {
-            g.add_edge(pivot_idx[j], update_idx[j][i]).expect("valid index");
+            g.add_edge(pivot_idx[j], update_idx[j][i])
+                .expect("valid index");
         }
         if j + 1 < steps {
             // The update of the next pivot row enables the next pivot.
-            g.add_edge(update_idx[j][j + 1], pivot_idx[j + 1]).expect("valid index");
+            g.add_edge(update_idx[j][j + 1], pivot_idx[j + 1])
+                .expect("valid index");
             for i in (j + 2)..k {
-                g.add_edge(update_idx[j][i], update_idx[j + 1][i]).expect("valid index");
+                g.add_edge(update_idx[j][i], update_idx[j + 1][i])
+                    .expect("valid index");
             }
         }
     }

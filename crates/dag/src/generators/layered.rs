@@ -20,7 +20,10 @@ pub fn layered_random<R: Rng + ?Sized>(
 ) -> TaskGraph {
     assert!(layers >= 1, "need at least one layer");
     assert!(n >= layers, "need at least one task per layer");
-    assert!((0.0..=1.0).contains(&edge_prob), "edge probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&edge_prob),
+        "edge probability must be in [0, 1]"
+    );
     let mut g = TaskGraph::unit(n);
     // Distribute tasks over layers as evenly as possible.
     let base = n / layers;
@@ -75,8 +78,8 @@ mod tests {
         // predecessor per task.
         let levels = levels_by_depth(&g);
         assert_eq!(levels.len(), 3);
-        for l in 1..levels.len() {
-            for &v in &levels[l] {
+        for level in levels.iter().skip(1) {
+            for &v in level {
                 assert!(g.in_degree(v) >= 1);
             }
         }

@@ -18,6 +18,10 @@
 //! `SOLVE` ≈ 1/2, `UPDATE` ≈ 1 flop units; storage is one block for the
 //! panels and two blocks for updates (the block plus the incoming panel).
 
+// The index tables below are built and wired positionally; range loops are
+// the clearest way to express the block indices.
+#![allow(clippy::needless_range_loop)]
+
 use sws_model::task::{Task, TaskSet};
 
 use crate::graph::TaskGraph;
@@ -60,8 +64,10 @@ pub fn lu_factorization(b: usize) -> TaskGraph {
         }
         for i in (k + 1)..b {
             for j in (k + 1)..b {
-                g.add_edge(lsolve[k][i], update[k][i][j]).expect("valid index");
-                g.add_edge(usolve[k][j], update[k][i][j]).expect("valid index");
+                g.add_edge(lsolve[k][i], update[k][i][j])
+                    .expect("valid index");
+                g.add_edge(usolve[k][j], update[k][i][j])
+                    .expect("valid index");
                 // Route the updated block to the consumer at step k + 1.
                 if k + 1 < b {
                     let target = if i == k + 1 && j == k + 1 {

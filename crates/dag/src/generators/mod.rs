@@ -58,7 +58,10 @@ mod generator_properties {
         ];
         for (name, g) in graphs {
             assert!(g.n() > 0, "{name} produced an empty graph");
-            assert!(g.topological_order().is_ok(), "{name} produced a cyclic graph");
+            assert!(
+                g.topological_order().is_ok(),
+                "{name} produced a cyclic graph"
+            );
             assert!(structurally_sound(&g), "{name} is structurally unsound");
         }
     }

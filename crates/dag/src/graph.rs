@@ -23,7 +23,12 @@ impl TaskGraph {
     /// Creates a graph with the given tasks and no edges.
     pub fn new(tasks: TaskSet) -> Self {
         let n = tasks.len();
-        TaskGraph { tasks, preds: vec![Vec::new(); n], succs: vec![Vec::new(); n], edge_count: 0 }
+        TaskGraph {
+            tasks,
+            preds: vec![Vec::new(); n],
+            succs: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Creates a graph of `n` unit tasks (`p = s = 1`) and no edges;
@@ -91,10 +96,18 @@ impl TaskGraph {
     pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), ModelError> {
         let n = self.n();
         if u >= n {
-            return Err(ModelError::ProcessorOutOfRange { task: u, proc: u, m: n });
+            return Err(ModelError::ProcessorOutOfRange {
+                task: u,
+                proc: u,
+                m: n,
+            });
         }
         if v >= n {
-            return Err(ModelError::ProcessorOutOfRange { task: v, proc: v, m: n });
+            return Err(ModelError::ProcessorOutOfRange {
+                task: v,
+                proc: v,
+                m: n,
+            });
         }
         if u == v {
             return Err(ModelError::CyclicPrecedence);
@@ -118,12 +131,16 @@ impl TaskGraph {
 
     /// Tasks with no predecessors.
     pub fn sources(&self) -> Vec<usize> {
-        (0..self.n()).filter(|&i| self.preds[i].is_empty()).collect()
+        (0..self.n())
+            .filter(|&i| self.preds[i].is_empty())
+            .collect()
     }
 
     /// Tasks with no successors.
     pub fn sinks(&self) -> Vec<usize> {
-        (0..self.n()).filter(|&i| self.succs[i].is_empty()).collect()
+        (0..self.n())
+            .filter(|&i| self.succs[i].is_empty())
+            .collect()
     }
 
     /// In-degree of task `i`.
@@ -157,8 +174,8 @@ impl TaskGraph {
 
     /// Returns a copy of the graph with new task costs but the same
     /// structure. `f(i)` provides the task for node `i`.
-    pub fn with_costs<F: FnMut(usize) -> Task>(&self, mut f: F) -> TaskGraph {
-        let tasks: Vec<Task> = (0..self.n()).map(|i| f(i)).collect();
+    pub fn with_costs<F: FnMut(usize) -> Task>(&self, f: F) -> TaskGraph {
+        let tasks: Vec<Task> = (0..self.n()).map(f).collect();
         let tasks = TaskSet::new(tasks).expect("cost function produced invalid task");
         TaskGraph {
             tasks,
@@ -206,11 +223,11 @@ impl TaskGraph {
         let mut reduced = TaskGraph::new(self.tasks.clone());
         for u in 0..n {
             for &v in &self.succs[u] {
-                let redundant = self.succs[u]
-                    .iter()
-                    .any(|&w| w != v && reach[w][v]);
+                let redundant = self.succs[u].iter().any(|&w| w != v && reach[w][v]);
                 if !redundant {
-                    reduced.add_edge(u, v).expect("edge indices already validated");
+                    reduced
+                        .add_edge(u, v)
+                        .expect("edge indices already validated");
                 }
             }
         }
@@ -371,11 +388,8 @@ mod tests {
     #[test]
     fn from_edges_builds_the_same_graph_as_incremental_insertion() {
         let a = diamond();
-        let b = TaskGraph::from_edges(
-            a.tasks().clone(),
-            &[(0, 1), (0, 2), (1, 3), (2, 3)],
-        )
-        .unwrap();
+        let b =
+            TaskGraph::from_edges(a.tasks().clone(), &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
         assert_eq!(a, b);
     }
 

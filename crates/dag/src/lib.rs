@@ -45,9 +45,16 @@ pub use graph::{DagInstance, TaskGraph};
 pub mod prelude {
     pub use crate::analysis::GraphStats;
     pub use crate::generators::{
-        chain::chain, diamond::diamond_grid, erdos::layered_erdos, fft::fft_butterfly,
-        forkjoin::fork_join, gauss::gaussian_elimination, independent::independent,
-        layered::layered_random, lu::lu_factorization, tree::{in_tree, out_tree},
+        chain::chain,
+        diamond::diamond_grid,
+        erdos::layered_erdos,
+        fft::fft_butterfly,
+        forkjoin::fork_join,
+        gauss::gaussian_elimination,
+        independent::independent,
+        layered::layered_random,
+        lu::lu_factorization,
+        tree::{in_tree, out_tree},
     };
     pub use crate::graph::{DagInstance, TaskGraph};
     pub use crate::levels::{bottom_levels, critical_path, top_levels};

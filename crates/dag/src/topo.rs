@@ -78,7 +78,10 @@ mod tests {
         g.add_edge(0, 1).unwrap();
         g.add_edge(1, 2).unwrap();
         g.add_edge(2, 0).unwrap();
-        assert!(matches!(topological_order(&g), Err(ModelError::CyclicPrecedence)));
+        assert!(matches!(
+            topological_order(&g),
+            Err(ModelError::CyclicPrecedence)
+        ));
         assert!(!is_acyclic(&g));
     }
 

@@ -23,7 +23,10 @@ use sws_dag::TaskGraph;
 /// Checks the invariants every generated graph must satisfy.
 fn check_graph(graph: &TaskGraph) {
     assert!(is_acyclic(graph), "generator produced a cycle");
-    assert!(structurally_sound(graph), "pred/succ adjacency is inconsistent");
+    assert!(
+        structurally_sound(graph),
+        "pred/succ adjacency is inconsistent"
+    );
     let order = topological_order(graph).expect("acyclic graphs have a topological order");
     assert_eq!(order.len(), graph.n());
     assert!(is_topological_order(graph, &order));
@@ -34,7 +37,10 @@ fn check_graph(graph: &TaskGraph) {
     let bottom = bottom_levels(graph);
     let cp = critical_path(graph);
     let max_bottom = bottom.iter().cloned().fold(0.0, f64::max);
-    assert!((cp - max_bottom).abs() < 1e-9, "critical path {cp} != max bottom level {max_bottom}");
+    assert!(
+        (cp - max_bottom).abs() < 1e-9,
+        "critical path {cp} != max bottom level {max_bottom}"
+    );
     let max_total = (0..graph.n())
         .map(|i| top[i] + graph.task(i).p)
         .fold(0.0f64, f64::max);
@@ -43,8 +49,14 @@ fn check_graph(graph: &TaskGraph) {
 
     // Every edge respects the level ordering.
     for (u, v) in graph.edges() {
-        assert!(top[v] + 1e-12 >= top[u] + graph.task(u).p, "edge ({u},{v}) breaks top levels");
-        assert!(bottom[u] + 1e-12 >= bottom[v] + graph.task(u).p, "edge ({u},{v}) breaks bottom levels");
+        assert!(
+            top[v] + 1e-12 >= top[u] + graph.task(u).p,
+            "edge ({u},{v}) breaks top levels"
+        );
+        assert!(
+            bottom[u] + 1e-12 >= bottom[v] + graph.task(u).p,
+            "edge ({u},{v}) breaks bottom levels"
+        );
     }
 
     // The critical-path task list is a chain whose total cost is the
@@ -58,7 +70,10 @@ fn check_graph(graph: &TaskGraph) {
     let total: usize = levels.iter().map(|l| l.len()).sum();
     assert_eq!(total, graph.n());
     assert_eq!(levels.len(), depth(graph));
-    assert_eq!(level_width(graph), levels.iter().map(|l| l.len()).max().unwrap_or(0));
+    assert_eq!(
+        level_width(graph),
+        levels.iter().map(|l| l.len()).max().unwrap_or(0)
+    );
 
     // Graph statistics agree with direct counts.
     let stats = GraphStats::of(graph);

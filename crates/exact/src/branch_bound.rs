@@ -48,6 +48,7 @@ pub fn optimal_partition(weights: &[f64], m: usize) -> (f64, Assignment) {
         suffix[k] = suffix[k + 1] + weights[order[k]];
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         k: usize,
         order: &[usize],
@@ -79,8 +80,8 @@ pub fn optimal_partition(weights: &[f64], m: usize) -> (f64, Assignment) {
         // cannot beat the current best if the current max already does,
         // nor if (already placed + remaining)/m exceeds it.
         let placed: f64 = loads.iter().sum();
-        let ideal = ((placed + suffix[k]) / m as f64)
-            .max(loads.iter().copied().fold(0.0, f64::max));
+        let ideal =
+            ((placed + suffix[k]) / m as f64).max(loads.iter().copied().fold(0.0, f64::max));
         if ideal >= *best_value - 1e-12 {
             return;
         }
@@ -201,8 +202,7 @@ mod tests {
         // Section 4.3: p = [1, eps, 1 - eps], s = [eps, 1, 1 - eps] has
         // C*max = M*max = 1.
         let eps = 0.25;
-        let inst =
-            Instance::from_ps(&[1.0, eps, 1.0 - eps], &[eps, 1.0, 1.0 - eps], 2).unwrap();
+        let inst = Instance::from_ps(&[1.0, eps, 1.0 - eps], &[eps, 1.0, 1.0 - eps], 2).unwrap();
         let pt = optimal_point(&inst);
         assert!((pt.cmax - 1.0).abs() < 1e-9);
         assert!((pt.mmax - 1.0).abs() < 1e-9);

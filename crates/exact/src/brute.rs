@@ -64,7 +64,10 @@ pub fn brute_optimal_mmax(inst: &Instance) -> f64 {
 pub fn brute_pareto_front(inst: &Instance) -> ParetoFront<Assignment> {
     let mut front: ParetoFront<Assignment> = ParetoFront::new();
     if inst.n() == 0 {
-        front.offer(ObjectivePoint::new(0.0, 0.0), Assignment::zeroed(0, inst.m()).expect("m > 0"));
+        front.offer(
+            ObjectivePoint::new(0.0, 0.0),
+            Assignment::zeroed(0, inst.m()).expect("m > 0"),
+        );
         return front;
     }
     for_each_assignment(inst, |asg, point| {
@@ -83,12 +86,7 @@ mod tests {
     use sws_model::numeric::approx_eq;
 
     fn instance() -> Instance {
-        Instance::from_ps(
-            &[3.0, 1.0, 4.0, 1.5, 2.5],
-            &[2.0, 5.0, 1.0, 4.0, 3.0],
-            2,
-        )
-        .unwrap()
+        Instance::from_ps(&[3.0, 1.0, 4.0, 1.5, 2.5], &[2.0, 5.0, 1.0, 4.0, 3.0], 2).unwrap()
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub fn optimal_two_machine_int(weights: &[u64]) -> u64 {
             }
         }
     }
-    let best = (0..=half as usize).rev().find(|&s| reachable[s]).unwrap_or(0) as u64;
+    let best = (0..=half as usize)
+        .rev()
+        .find(|&s| reachable[s])
+        .unwrap_or(0) as u64;
     total - best
 }
 

@@ -118,8 +118,7 @@ mod tests {
     fn reproduces_the_three_pareto_points_of_figure_2() {
         // Section 4.3: p = [1, eps, 1 - eps], s = [eps, 1, 1 - eps], m = 2.
         let eps = 0.25;
-        let inst =
-            Instance::from_ps(&[1.0, eps, 1.0 - eps], &[eps, 1.0, 1.0 - eps], 2).unwrap();
+        let inst = Instance::from_ps(&[1.0, eps, 1.0 - eps], &[eps, 1.0, 1.0 - eps], 2).unwrap();
         let front = pareto_front(&inst);
         let points = front.points();
         assert_eq!(points.len(), 3);
@@ -131,12 +130,8 @@ mod tests {
 
     #[test]
     fn front_extremes_match_the_single_objective_optima() {
-        let inst = Instance::from_ps(
-            &[3.0, 1.0, 4.0, 1.0, 5.0],
-            &[2.0, 7.0, 1.0, 8.0, 2.0],
-            2,
-        )
-        .unwrap();
+        let inst =
+            Instance::from_ps(&[3.0, 1.0, 4.0, 1.0, 5.0], &[2.0, 7.0, 1.0, 8.0, 2.0], 2).unwrap();
         let front = pareto_front(&inst);
         let best_c = front.best_cmax().unwrap().0.cmax;
         let best_m = front.best_mmax().unwrap().0.mmax;
@@ -146,12 +141,7 @@ mod tests {
 
     #[test]
     fn every_front_assignment_achieves_its_point() {
-        let inst = Instance::from_ps(
-            &[2.0, 1.0, 3.0, 1.5],
-            &[1.0, 2.0, 1.0, 2.5],
-            2,
-        )
-        .unwrap();
+        let inst = Instance::from_ps(&[2.0, 1.0, 3.0, 1.5], &[1.0, 2.0, 1.0, 2.5], 2).unwrap();
         let front = pareto_front(&inst);
         for (pt, asg) in front.iter() {
             let actual = ObjectivePoint::of_assignment(&inst, asg);

@@ -60,7 +60,11 @@ fn exhaustive_front(inst: &Instance) -> Vec<ObjectivePoint> {
             (q.cmax < p.cmax - 1e-9 && q.mmax <= p.mmax + 1e-9)
                 || (q.cmax <= p.cmax + 1e-9 && q.mmax < p.mmax - 1e-9)
         });
-        if !dominated && !front.iter().any(|q| (q.cmax - p.cmax).abs() < 1e-9 && (q.mmax - p.mmax).abs() < 1e-9) {
+        if !dominated
+            && !front
+                .iter()
+                .any(|q| (q.cmax - p.cmax).abs() < 1e-9 && (q.mmax - p.mmax).abs() < 1e-9)
+        {
             front.push(*p);
         }
     }

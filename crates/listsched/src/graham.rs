@@ -11,32 +11,27 @@
 use sws_model::schedule::Assignment;
 use sws_model::Instance;
 
+use crate::kernel::ProcHeap;
+
 /// Assigns tasks (in the given `order`) greedily to the processor with the
 /// smallest accumulated weight. `weights[i]` is the weight of task `i`
 /// (its processing time for makespan scheduling, its storage requirement
 /// for memory scheduling). Tasks not present in `order` keep the default
 /// processor 0, but normal callers pass a permutation of `0..n`.
+///
+/// Runs on the event-driven kernel's indexed processor heap
+/// ([`crate::kernel::ProcHeap`]): `O(n·log m)` instead of the naive
+/// `O(n·m)` scan (kept as [`crate::naive::list_schedule`]), with the same
+/// lowest-index tie-break.
 pub fn list_schedule(weights: &[f64], m: usize, order: &[usize]) -> Assignment {
     let mut asg = Assignment::zeroed(weights.len(), m).expect("m >= 1 required");
-    let mut load = vec![0.0f64; m];
+    let mut procs = ProcHeap::new(m);
     for &i in order {
-        let q = argmin(&load);
+        let q = procs.min();
         asg.assign(i, q).expect("q < m by construction");
-        load[q] += weights[i];
+        procs.set_load(q, procs.load(q) + weights[i]);
     }
     asg
-}
-
-/// Index of the minimum element (ties broken by the lowest index, which
-/// keeps the algorithm deterministic).
-pub(crate) fn argmin(values: &[f64]) -> usize {
-    let mut best = 0usize;
-    for (i, &v) in values.iter().enumerate().skip(1) {
-        if v < values[best] {
-            best = i;
-        }
-    }
-    best
 }
 
 /// Graham list scheduling of an instance for the makespan objective,

@@ -1,0 +1,612 @@
+//! Event-driven list-scheduling kernel.
+//!
+//! Every list scheduler in this repository — Graham scheduling of
+//! independent tasks, DAG list scheduling, and the paper's RLS∆
+//! (Algorithm 2) — shares one selection rule: among the *ready* tasks,
+//! repeatedly schedule the one that can start the soonest on the least
+//! loaded *admissible* processor, breaking approximate start-time ties by
+//! a priority rank. The naive implementations rescan every unscheduled
+//! task and every processor each round, which costs `O(n²·m)`; this
+//! module computes the same schedules event-drivenly in
+//! `O((n + E)·log n + n·log m)` when the admissibility predicate accepts
+//! the least loaded processor (always true for plain Graham, and true
+//! for RLS∆ except while a memory-saturated processor sits at the load
+//! minimum — rounds where that happens re-probe the rejected runnable
+//! prefix, degrading towards the naive cost in the worst case but
+//! staying negligible on every measured workload; see
+//! docs/PERFORMANCE.md):
+//!
+//! * a **ready-task structure** fed by predecessor-completion events
+//!   (tasks enter when their last predecessor is scheduled) split into a
+//!   rank-keyed *runnable* heap (ready time ≤ current minimum load, so
+//!   the earliest start is the minimum load itself) and a ready-time
+//!   keyed *pending* heap;
+//! * an **indexed min-heap over processor loads** ([`ProcHeap`]) whose
+//!   ordered traversal ([`ProcHeap::probe`]) finds the least loaded
+//!   processor satisfying a pluggable **admissibility predicate**
+//!   ([`Admission`]) — plain Graham ([`Unrestricted`]) and RLS∆'s
+//!   `memsize[q] + s_i ≤ ∆·LB` filter ([`MemoryCapAdmission`]) are the
+//!   same kernel with different predicates;
+//! * **incremental Lemma-4 bookkeeping**: the processors skipped by the
+//!   winning probe are exactly the "marked" processors of the paper's
+//!   analysis, so marking costs `O(#skipped)` instead of a per-candidate
+//!   `O(m)` sweep.
+//!
+//! Tie-breaking uses the same shared comparator
+//! ([`sws_model::numeric::better_candidate`]) as the retained naive
+//! oracles (`crate::naive`, `sws_core::rls::naive`), so kernel and naive
+//! paths select identical tasks wherever the comparator's tolerance-based
+//! tie relation is transitive — which the differential test-suite checks
+//! schedule-for-schedule across every generator family. The one
+//! intentional difference is that the kernel marks processors only for
+//! the *selected* candidate's probe (the paper's semantics), while the
+//! naive oracle conservatively marks while evaluating every candidate;
+//! the kernel's marked set is therefore a subset of the oracle's and
+//! still satisfies the Lemma 4 bound.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use sws_dag::DagInstance;
+use sws_model::error::ModelError;
+use sws_model::numeric::{approx_le, better_candidate, total_cmp};
+use sws_model::schedule::TimedSchedule;
+
+use crate::priority::PriorityRank;
+
+/// Total-ordered wrapper for finite `f64` heap keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Key(f64);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        total_cmp(self.0, other.0)
+    }
+}
+
+/// Indexed binary min-heap over processor loads, ordered by
+/// `(load, processor index)` so ties resolve towards the lowest index —
+/// the same tie-break as the naive `argmin` scans.
+///
+/// Loads only ever increase (a placement raises one processor's load to
+/// the placed task's completion time), so the heap needs only
+/// `sift_down`.
+#[derive(Debug, Clone)]
+pub struct ProcHeap {
+    /// `heap[pos]` = processor id.
+    heap: Vec<usize>,
+    /// `pos[q]` = position of processor `q` in `heap`.
+    pos: Vec<usize>,
+    /// Current load of each processor.
+    load: Vec<f64>,
+}
+
+impl ProcHeap {
+    /// A heap of `m` processors, all with zero load.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "need at least one processor");
+        ProcHeap {
+            heap: (0..m).collect(),
+            pos: (0..m).collect(),
+            load: vec![0.0; m],
+        }
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.load.len()
+    }
+
+    /// The least loaded processor (lowest index among ties).
+    #[inline]
+    pub fn min(&self) -> usize {
+        self.heap[0]
+    }
+
+    /// Load of processor `q`.
+    #[inline]
+    pub fn load(&self, q: usize) -> f64 {
+        self.load[q]
+    }
+
+    /// All loads, indexed by processor.
+    #[inline]
+    pub fn loads(&self) -> &[f64] {
+        &self.load
+    }
+
+    /// `(load, index)` comparison between two processors.
+    #[inline]
+    fn less(&self, a: usize, b: usize) -> bool {
+        match total_cmp(self.load[a], self.load[b]) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => a < b,
+        }
+    }
+
+    /// Raises the load of processor `q` (placements never lower a load).
+    pub fn set_load(&mut self, q: usize, new_load: f64) {
+        debug_assert!(
+            new_load >= self.load[q],
+            "loads are monotone non-decreasing"
+        );
+        self.load[q] = new_load;
+        self.sift_down(self.pos[q]);
+    }
+
+    fn sift_down(&mut self, mut at: usize) {
+        loop {
+            let left = 2 * at + 1;
+            if left >= self.heap.len() {
+                return;
+            }
+            let right = left + 1;
+            let mut smallest = at;
+            if self.less(self.heap[left], self.heap[smallest]) {
+                smallest = left;
+            }
+            if right < self.heap.len() && self.less(self.heap[right], self.heap[smallest]) {
+                smallest = right;
+            }
+            if smallest == at {
+                return;
+            }
+            self.heap.swap(at, smallest);
+            self.pos[self.heap[at]] = at;
+            self.pos[self.heap[smallest]] = smallest;
+            at = smallest;
+        }
+    }
+
+    /// Visits processors in increasing `(load, index)` order until `admit`
+    /// accepts one; returns the accepted processor together with the
+    /// processors skipped on the way (all rejected, all with a key no
+    /// larger than the accepted one). `None` when every processor is
+    /// rejected.
+    ///
+    /// The traversal expands the heap lazily, so accepting the first
+    /// probe — the overwhelmingly common case — costs `O(1)`.
+    pub fn probe<F: FnMut(usize) -> bool>(&self, mut admit: F) -> Option<(usize, Vec<usize>)> {
+        let mut skipped = Vec::new();
+        // Frontier of heap positions whose parents were all visited; the
+        // next processor in sorted order is always the frontier minimum.
+        // Linear scans are fine: the frontier holds ≤ 2·skips + 1 entries
+        // and skips are zero in the unrestricted use and rare in the
+        // RLS∆ use (a skip needs a memory-saturated processor below the
+        // chosen one's load; unlike marking, skips can recur across
+        // rounds, but each costs only the probe that discovers it).
+        let mut frontier: Vec<usize> = vec![0];
+        while !frontier.is_empty() {
+            let mut best = 0;
+            for fi in 1..frontier.len() {
+                if self.less(self.heap[frontier[fi]], self.heap[frontier[best]]) {
+                    best = fi;
+                }
+            }
+            let pos = frontier.swap_remove(best);
+            let q = self.heap[pos];
+            if admit(q) {
+                return Some((q, skipped));
+            }
+            skipped.push(q);
+            for child in [2 * pos + 1, 2 * pos + 2] {
+                if child < self.heap.len() {
+                    frontier.push(child);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Pluggable admissibility predicate deciding which processors may
+/// receive a task.
+pub trait Admission {
+    /// May a task with storage requirement `s` be placed on processor `q`?
+    fn admits(&self, q: usize, s: f64) -> bool;
+
+    /// Records the placement of a task with storage requirement `s` on
+    /// processor `q`.
+    fn commit(&mut self, q: usize, s: f64);
+
+    /// The error reported when no processor admits a task with storage
+    /// requirement `s`.
+    fn rejection_error(&self, s: f64) -> ModelError {
+        ModelError::MemoryExceeded {
+            proc: 0,
+            used: s,
+            capacity: f64::INFINITY,
+        }
+    }
+}
+
+/// Plain Graham list scheduling: every processor is always admissible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unrestricted;
+
+impl Admission for Unrestricted {
+    #[inline]
+    fn admits(&self, _q: usize, _s: f64) -> bool {
+        true
+    }
+
+    #[inline]
+    fn commit(&mut self, _q: usize, _s: f64) {}
+}
+
+/// RLS∆'s restriction: processor `q` admits a task of storage `s` iff
+/// `memsize[q] + s ≤ cap` (with the shared tolerance), where
+/// `cap = ∆·LB`.
+#[derive(Debug, Clone)]
+pub struct MemoryCapAdmission {
+    memsize: Vec<f64>,
+    cap: f64,
+}
+
+impl MemoryCapAdmission {
+    /// A fresh restriction over `m` processors with memory cap `cap`.
+    pub fn new(m: usize, cap: f64) -> Self {
+        MemoryCapAdmission {
+            memsize: vec![0.0; m],
+            cap,
+        }
+    }
+
+    /// Per-processor memory committed so far.
+    pub fn memsize(&self) -> &[f64] {
+        &self.memsize
+    }
+
+    /// The enforced cap `∆·LB`.
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+}
+
+impl Admission for MemoryCapAdmission {
+    #[inline]
+    fn admits(&self, q: usize, s: f64) -> bool {
+        approx_le(self.memsize[q] + s, self.cap)
+    }
+
+    #[inline]
+    fn commit(&mut self, q: usize, s: f64) {
+        self.memsize[q] += s;
+    }
+
+    fn rejection_error(&self, s: f64) -> ModelError {
+        ModelError::MemoryExceeded {
+            proc: 0,
+            used: self.memsize.iter().cloned().fold(0.0, f64::max) + s,
+            capacity: self.cap,
+        }
+    }
+}
+
+/// The kernel's output: the schedule plus the Lemma-4 "marked processor"
+/// bookkeeping (processors skipped by a winning probe while strictly less
+/// loaded than the chosen processor).
+#[derive(Debug, Clone)]
+pub struct KernelOutcome {
+    /// The produced schedule `(π, σ)`.
+    pub schedule: TimedSchedule,
+    /// Which processors were marked during the run.
+    pub marked: Vec<bool>,
+}
+
+/// One selection candidate of the current round.
+struct Candidate {
+    /// Earliest start `max(ready time, load of chosen processor)`.
+    key: f64,
+    /// Tie-break rank.
+    rank: usize,
+    /// Task index.
+    task: usize,
+    /// Chosen processor.
+    proc: usize,
+    /// Processors skipped by the probe (inadmissible, no more loaded).
+    skipped: Vec<usize>,
+}
+
+/// Event-driven list scheduling of a precedence-constrained instance.
+///
+/// `rank` gives the tie-break rank of every task (lower = preferred);
+/// `admission` decides which processors may receive each task. With
+/// [`Unrestricted`] this computes Graham DAG list scheduling; with
+/// [`MemoryCapAdmission`] it computes the paper's RLS∆.
+pub fn event_driven_schedule<A: Admission>(
+    inst: &DagInstance,
+    rank: &PriorityRank,
+    admission: &mut A,
+) -> Result<KernelOutcome, ModelError> {
+    let graph = inst.graph();
+    let tasks = graph.tasks();
+    let n = graph.n();
+    let m = inst.m();
+    assert_eq!(rank.len(), n, "priority rank must cover every task");
+
+    let mut procs = ProcHeap::new(m);
+    let mut marked = vec![false; m];
+    let mut completion = vec![0.0f64; n];
+    // Maximum completion time over scheduled predecessors, maintained
+    // incrementally as predecessors are placed.
+    let mut pred_ready = vec![0.0f64; n];
+    let mut remaining_preds: Vec<usize> = (0..n).map(|i| graph.in_degree(i)).collect();
+    let mut proc_of = vec![0usize; n];
+    let mut start = vec![0.0f64; n];
+
+    // Ready tasks whose ready time exceeds the current minimum load,
+    // keyed by (ready time, rank, task).
+    let mut pending: BinaryHeap<Reverse<(Key, usize, usize)>> = BinaryHeap::new();
+    // Ready tasks whose ready time is (approximately) at or below the
+    // minimum load — their earliest start is the minimum load itself, so
+    // only the rank orders them. Keyed by (rank, task).
+    let mut runnable: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
+
+    for i in 0..n {
+        if remaining_preds[i] == 0 {
+            pending.push(Reverse((Key(0.0), rank[i], i)));
+        }
+    }
+
+    let mut popped_runnable: Vec<(usize, usize)> = Vec::new();
+    let mut popped_pending: Vec<(f64, usize, usize)> = Vec::new();
+    let mut cands: Vec<Candidate> = Vec::new();
+
+    for _round in 0..n {
+        let q1 = procs.min();
+        let l1 = procs.load(q1);
+
+        // Migration: the minimum load only grows, so once a ready time is
+        // (approximately) at or below it the task is runnable forever.
+        while let Some(&Reverse((Key(ready), rk, i))) = pending.peek() {
+            if !approx_le(ready, l1) {
+                break;
+            }
+            pending.pop();
+            runnable.push(Reverse((rk, i)));
+        }
+
+        cands.clear();
+        popped_runnable.clear();
+        popped_pending.clear();
+
+        // Runnable scan: in rank order, stop at the first task admissible
+        // on the least loaded processor — no later-rank runnable task can
+        // beat it (its key is minimal and its rank smaller). Earlier-rank
+        // tasks rejected on q1 stay candidates with their own probe.
+        while let Some(Reverse((rk, i))) = runnable.pop() {
+            popped_runnable.push((rk, i));
+            let s_i = tasks.get(i).s;
+            if admission.admits(q1, s_i) {
+                cands.push(Candidate {
+                    key: pred_ready[i].max(l1),
+                    rank: rk,
+                    task: i,
+                    proc: q1,
+                    skipped: Vec::new(),
+                });
+                break;
+            }
+            match procs.probe(|q| admission.admits(q, s_i)) {
+                Some((j, skipped)) => cands.push(Candidate {
+                    key: pred_ready[i].max(procs.load(j)),
+                    rank: rk,
+                    task: i,
+                    proc: j,
+                    skipped,
+                }),
+                None => return Err(admission.rejection_error(s_i)),
+            }
+        }
+
+        // Pending scan: a pending task can only win while its ready time
+        // is approximately at or below the best candidate key (its start
+        // is at least its ready time).
+        let mut best_key = cands.iter().map(|c| c.key).fold(f64::INFINITY, f64::min);
+        while let Some(&Reverse((Key(ready), rk, i))) = pending.peek() {
+            if !approx_le(ready, best_key) {
+                break;
+            }
+            pending.pop();
+            popped_pending.push((ready, rk, i));
+            let s_i = tasks.get(i).s;
+            match procs.probe(|q| admission.admits(q, s_i)) {
+                Some((j, skipped)) => {
+                    let key = ready.max(procs.load(j));
+                    best_key = best_key.min(key);
+                    cands.push(Candidate {
+                        key,
+                        rank: rk,
+                        task: i,
+                        proc: j,
+                        skipped,
+                    });
+                }
+                None => return Err(admission.rejection_error(s_i)),
+            }
+        }
+
+        // Selection: fold with the shared comparator in task-index order,
+        // mirroring the naive oracle's scan.
+        assert!(
+            !cands.is_empty(),
+            "an acyclic graph always has a ready task while tasks remain"
+        );
+        cands.sort_unstable_by_key(|c| c.task);
+        let mut w = 0;
+        for ci in 1..cands.len() {
+            if better_candidate(cands[ci].key, cands[ci].rank, cands[w].key, cands[w].rank) {
+                w = ci;
+            }
+        }
+        let winner = cands.swap_remove(w);
+
+        // Restore the candidates that lost.
+        for &(rk, i) in &popped_runnable {
+            if i != winner.task {
+                runnable.push(Reverse((rk, i)));
+            }
+        }
+        for &(ready, rk, i) in &popped_pending {
+            if i != winner.task {
+                pending.push(Reverse((Key(ready), rk, i)));
+            }
+        }
+
+        // Lemma-4 bookkeeping: the winning probe skipped exactly the
+        // processors that were less loaded than the chosen one but
+        // inadmissible ("marked" in the paper's analysis). Skipped
+        // processors with a load equal to the chosen one are not marked,
+        // matching the naive oracle's strict comparison.
+        let i = winner.task;
+        let j = winner.proc;
+        let chosen_load = procs.load(j);
+        for &q in &winner.skipped {
+            if procs.load(q) < chosen_load {
+                marked[q] = true;
+            }
+        }
+
+        // Placement.
+        let task = tasks.get(i);
+        proc_of[i] = j;
+        start[i] = winner.key;
+        completion[i] = winner.key + task.p;
+        procs.set_load(j, completion[i]);
+        admission.commit(j, task.s);
+
+        // Completion event: feed successors whose last predecessor was
+        // just scheduled into the ready structure.
+        for &v in graph.succs(i) {
+            if completion[i] > pred_ready[v] {
+                pred_ready[v] = completion[i];
+            }
+            remaining_preds[v] -= 1;
+            if remaining_preds[v] == 0 {
+                pending.push(Reverse((Key(pred_ready[v]), rank[v], v)));
+            }
+        }
+    }
+
+    let schedule = TimedSchedule::new(proc_of, start, m)?;
+    Ok(KernelOutcome { schedule, marked })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::{hlf_priority, index_priority};
+    use sws_dag::prelude::*;
+    use sws_model::validate::validate_timed;
+
+    #[test]
+    fn proc_heap_orders_by_load_then_index() {
+        let mut h = ProcHeap::new(4);
+        assert_eq!(h.min(), 0);
+        h.set_load(0, 3.0);
+        assert_eq!(h.min(), 1);
+        h.set_load(1, 3.0);
+        h.set_load(2, 1.0);
+        assert_eq!(h.min(), 3);
+        h.set_load(3, 2.0);
+        assert_eq!(h.min(), 2);
+        h.set_load(2, 3.0);
+        // All at 3.0 except q3 at 2.0.
+        assert_eq!(h.min(), 3);
+        h.set_load(3, 3.0);
+        // Full tie: lowest index wins.
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn probe_skips_inadmissible_processors_in_load_order() {
+        let mut h = ProcHeap::new(4);
+        h.set_load(0, 1.0);
+        h.set_load(1, 2.0);
+        h.set_load(2, 3.0);
+        h.set_load(3, 4.0);
+        let (q, skipped) = h.probe(|q| q >= 2).unwrap();
+        assert_eq!(q, 2);
+        assert_eq!(skipped, vec![0, 1]);
+        assert!(h.probe(|_| false).is_none());
+        let (q, skipped) = h.probe(|_| true).unwrap();
+        assert_eq!(q, 0);
+        assert!(skipped.is_empty());
+    }
+
+    #[test]
+    fn kernel_schedules_a_chain_sequentially() {
+        let inst = DagInstance::new(chain(5), 3).unwrap();
+        let out = event_driven_schedule(&inst, &index_priority(5), &mut Unrestricted).unwrap();
+        assert!((out.schedule.cmax(inst.tasks()) - 5.0).abs() < 1e-9);
+        assert!(out.marked.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn kernel_respects_precedence_on_structured_graphs() {
+        for g in [
+            gaussian_elimination(5),
+            fft_butterfly(3),
+            diamond_grid(4, 4),
+        ] {
+            let inst = DagInstance::new(g, 3).unwrap();
+            let rank = hlf_priority(inst.graph());
+            let out = event_driven_schedule(&inst, &rank, &mut Unrestricted).unwrap();
+            validate_timed(
+                inst.tasks(),
+                inst.m(),
+                &out.schedule,
+                inst.graph().all_preds(),
+                None,
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn memory_cap_admission_enforces_the_cap() {
+        let mut adm = MemoryCapAdmission::new(2, 3.0);
+        assert!(adm.admits(0, 3.0));
+        adm.commit(0, 2.0);
+        assert!(!adm.admits(0, 1.5));
+        assert!(adm.admits(1, 1.5));
+        match adm.rejection_error(5.0) {
+            ModelError::MemoryExceeded { capacity, .. } => assert_eq!(capacity, 3.0),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kernel_with_cap_never_exceeds_it() {
+        let g = fork_join(2, 6).with_costs(|i| sws_model::task::Task {
+            p: 1.0 + (i % 3) as f64,
+            s: 1.0 + (i % 4) as f64,
+        });
+        let inst = DagInstance::new(g, 3).unwrap();
+        let total_s: f64 = (0..inst.n()).map(|i| inst.tasks().get(i).s).sum();
+        let cap = 2.25 * (total_s / 3.0).max(4.0);
+        let mut adm = MemoryCapAdmission::new(3, cap);
+        let out = event_driven_schedule(&inst, &index_priority(inst.n()), &mut adm).unwrap();
+        let mem = out.schedule.memory(inst.tasks());
+        assert!(mem.iter().all(|&x| x <= cap + 1e-9));
+    }
+
+    #[test]
+    fn empty_instance_yields_empty_schedule() {
+        let tasks = sws_model::task::TaskSet::from_ps(&[], &[]).unwrap();
+        let inst = DagInstance::new(sws_dag::TaskGraph::new(tasks), 2).unwrap();
+        let out = event_driven_schedule(&inst, &index_priority(0), &mut Unrestricted).unwrap();
+        assert_eq!(out.schedule.n(), 0);
+    }
+}

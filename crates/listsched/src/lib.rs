@@ -15,17 +15,31 @@
 //! * [`dag_list`] — Graham list scheduling under precedence constraints
 //!   (the algorithm RLS∆ restricts);
 //! * [`priority`] — priority orders for the DAG list scheduler
-//!   (bottom level / HLF, SPT, LPT, topological).
+//!   (bottom level / HLF, SPT, LPT, topological);
+//! * [`kernel`] — the **event-driven scheduling kernel** every list
+//!   scheduler (including RLS∆ in `sws-core`) runs on: heap-based ready
+//!   queues fed by completion events, an indexed min-heap over processor
+//!   loads with a pluggable admissibility predicate, and incremental
+//!   Lemma-4 marking — `O((n + E)·log n + n·log m)` (when admission
+//!   rejections are rare; see `kernel`'s module docs) instead of the
+//!   naive `O(n²·m)`;
+//! * [`naive`] — the original quadratic implementations, retained as
+//!   differential-testing oracles for the kernel.
 
 pub mod dag_list;
 pub mod graham;
+pub mod kernel;
 pub mod lpt;
 pub mod multifit;
+pub mod naive;
 pub mod priority;
 pub mod spt;
 
 pub use dag_list::dag_list_schedule;
 pub use graham::{graham_cmax, graham_mmax, list_schedule};
+pub use kernel::{
+    event_driven_schedule, Admission, KernelOutcome, MemoryCapAdmission, ProcHeap, Unrestricted,
+};
 pub use lpt::{lpt_cmax, lpt_mmax};
 pub use multifit::multifit_cmax;
 pub use spt::{spt_order, spt_schedule};

@@ -13,9 +13,7 @@ use crate::graham::list_schedule;
 /// Indices of the tasks sorted by decreasing weight (ties by index).
 pub fn lpt_order(weights: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..weights.len()).collect();
-    order.sort_by(|&a, &b| {
-        sws_model::numeric::total_cmp(weights[b], weights[a]).then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| sws_model::numeric::total_cmp(weights[b], weights[a]).then(a.cmp(&b)));
     order
 }
 
@@ -68,12 +66,8 @@ mod tests {
 
     #[test]
     fn within_the_lpt_bound_on_random_style_instance() {
-        let inst = Instance::from_ps(
-            &[7.0, 9.0, 2.0, 4.0, 6.0, 1.0, 8.0, 5.0, 3.0],
-            &[1.0; 9],
-            3,
-        )
-        .unwrap();
+        let inst = Instance::from_ps(&[7.0, 9.0, 2.0, 4.0, 6.0, 1.0, 8.0, 5.0, 3.0], &[1.0; 9], 3)
+            .unwrap();
         let asg = lpt_cmax(&inst);
         assert!(validate_assignment(&inst, &asg, None).is_ok());
         let cmax = cmax_of_assignment(inst.tasks(), &asg);
@@ -83,12 +77,7 @@ mod tests {
 
     #[test]
     fn memory_variant_sorts_by_storage() {
-        let inst = Instance::from_ps(
-            &[1.0, 1.0, 1.0, 1.0],
-            &[10.0, 1.0, 9.0, 2.0],
-            2,
-        )
-        .unwrap();
+        let inst = Instance::from_ps(&[1.0, 1.0, 1.0, 1.0], &[10.0, 1.0, 9.0, 2.0], 2).unwrap();
         let asg = lpt_mmax(&inst);
         let mmax = mmax_of_assignment(inst.tasks(), &asg);
         // Perfect split: {10, 1} and {9, 2} -> 11.

@@ -57,8 +57,7 @@ pub fn multifit(weights: &[f64], m: usize, iterations: usize) -> Assignment {
     // occurred; otherwise fall back to packing at the upper bracket, which
     // is guaranteed to succeed for FFD (capacity 2·total/m ≥ FFD makespan
     // bound), and as a last resort to plain LPT.
-    best
-        .or_else(|| ffd_pack(weights, m, hi))
+    best.or_else(|| ffd_pack(weights, m, hi))
         .unwrap_or_else(|| {
             let order = crate::lpt::lpt_order(weights);
             crate::graham::list_schedule(weights, m, &order)
@@ -88,7 +87,7 @@ mod tests {
     fn ffd_respects_the_capacity() {
         let weights = [4.0, 3.0, 3.0, 2.0, 2.0];
         let asg = ffd_pack(&weights, 2, 7.0).unwrap();
-        let mut loads = vec![0.0; 2];
+        let mut loads = [0.0; 2];
         for (i, &w) in weights.iter().enumerate() {
             loads[asg.proc_of(i)] += w;
         }
@@ -113,7 +112,10 @@ mod tests {
         assert!(validate_assignment(&inst, &asg, None).is_ok());
         let cmax = cmax_of_assignment(inst.tasks(), &asg);
         let lb = cmax_lower_bound(inst.tasks(), inst.m());
-        assert!(cmax <= 1.25 * lb + 1e-9, "MULTIFIT should be close to optimal here");
+        assert!(
+            cmax <= 1.25 * lb + 1e-9,
+            "MULTIFIT should be close to optimal here"
+        );
     }
 
     #[test]

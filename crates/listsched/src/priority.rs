@@ -30,9 +30,7 @@ pub fn index_priority(n: usize) -> PriorityRank {
 pub fn hlf_priority(graph: &TaskGraph) -> PriorityRank {
     let bottom = sws_dag::levels::bottom_levels(graph);
     let mut order: Vec<usize> = (0..graph.n()).collect();
-    order.sort_by(|&a, &b| {
-        sws_model::numeric::total_cmp(bottom[b], bottom[a]).then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| sws_model::numeric::total_cmp(bottom[b], bottom[a]).then(a.cmp(&b)));
     rank_of_order(&order)
 }
 

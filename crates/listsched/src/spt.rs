@@ -12,9 +12,7 @@ use crate::graham::list_schedule;
 /// Indices of the tasks sorted by increasing weight (ties by index).
 pub fn spt_order(weights: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..weights.len()).collect();
-    order.sort_by(|&a, &b| {
-        sws_model::numeric::total_cmp(weights[a], weights[b]).then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| sws_model::numeric::total_cmp(weights[a], weights[b]).then(a.cmp(&b)));
     order
 }
 
@@ -63,12 +61,7 @@ mod tests {
 
     #[test]
     fn spt_value_matches_the_model_lower_bound_formula() {
-        let inst = Instance::from_ps(
-            &[4.0, 2.0, 7.0, 1.0, 3.0, 5.0, 6.0],
-            &[1.0; 7],
-            3,
-        )
-        .unwrap();
+        let inst = Instance::from_ps(&[4.0, 2.0, 7.0, 1.0, 3.0, 5.0, 6.0], &[1.0; 7], 3).unwrap();
         let spt_value = optimal_sum_completion(&inst);
         let bound = sum_ci_lower_bound(inst.tasks(), inst.m());
         assert!((spt_value - bound).abs() < 1e-9);
@@ -76,12 +69,7 @@ mod tests {
 
     #[test]
     fn schedules_are_feasible_timed_schedules() {
-        let inst = Instance::from_ps(
-            &[4.0, 2.0, 7.0, 1.0, 3.0],
-            &[1.0; 5],
-            2,
-        )
-        .unwrap();
+        let inst = Instance::from_ps(&[4.0, 2.0, 7.0, 1.0, 3.0], &[1.0; 5], 2).unwrap();
         let sched = spt_schedule(&inst);
         let preds: Vec<Vec<usize>> = vec![Vec::new(); inst.n()];
         assert!(validate_timed(inst.tasks(), inst.m(), &sched, &preds, None).is_ok());

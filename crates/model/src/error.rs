@@ -22,15 +22,27 @@ pub enum ModelError {
     /// A timed schedule starts a task at a negative time.
     NegativeStart { task: usize, start: f64 },
     /// Two tasks overlap in time on the same processor.
-    Overlap { proc: usize, first: usize, second: usize },
+    Overlap {
+        proc: usize,
+        first: usize,
+        second: usize,
+    },
     /// A precedence constraint `pred -> task` is violated.
     PrecedenceViolation { pred: usize, task: usize },
     /// A processor exceeds a given memory capacity.
-    MemoryExceeded { proc: usize, used: f64, capacity: f64 },
+    MemoryExceeded {
+        proc: usize,
+        used: f64,
+        capacity: f64,
+    },
     /// The precedence relation contains a cycle.
     CyclicPrecedence,
     /// A parameter is outside its admissible domain (e.g. `∆ ≤ 2` for RLS).
-    InvalidParameter { name: &'static str, value: f64, constraint: &'static str },
+    InvalidParameter {
+        name: &'static str,
+        value: f64,
+        constraint: &'static str,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -45,29 +57,59 @@ impl fmt::Display for ModelError {
                 write!(f, "task {task} has invalid storage requirement {value}")
             }
             ModelError::LengthMismatch { left, right } => {
-                write!(f, "parallel arrays have mismatched lengths {left} != {right}")
+                write!(
+                    f,
+                    "parallel arrays have mismatched lengths {left} != {right}"
+                )
             }
             ModelError::ProcessorOutOfRange { task, proc, m } => {
-                write!(f, "task {task} assigned to processor {proc} but only {m} processors exist")
+                write!(
+                    f,
+                    "task {task} assigned to processor {proc} but only {m} processors exist"
+                )
             }
             ModelError::IncompleteAssignment { expected, got } => {
-                write!(f, "assignment covers {got} tasks but the instance has {expected}")
+                write!(
+                    f,
+                    "assignment covers {got} tasks but the instance has {expected}"
+                )
             }
             ModelError::NegativeStart { task, start } => {
                 write!(f, "task {task} starts at negative time {start}")
             }
-            ModelError::Overlap { proc, first, second } => {
+            ModelError::Overlap {
+                proc,
+                first,
+                second,
+            } => {
                 write!(f, "tasks {first} and {second} overlap on processor {proc}")
             }
             ModelError::PrecedenceViolation { pred, task } => {
-                write!(f, "task {task} starts before its predecessor {pred} completes")
+                write!(
+                    f,
+                    "task {task} starts before its predecessor {pred} completes"
+                )
             }
-            ModelError::MemoryExceeded { proc, used, capacity } => {
-                write!(f, "processor {proc} uses {used} memory units, capacity is {capacity}")
+            ModelError::MemoryExceeded {
+                proc,
+                used,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "processor {proc} uses {used} memory units, capacity is {capacity}"
+                )
             }
             ModelError::CyclicPrecedence => write!(f, "precedence relation contains a cycle"),
-            ModelError::InvalidParameter { name, value, constraint } => {
-                write!(f, "parameter {name} = {value} violates constraint {constraint}")
+            ModelError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => {
+                write!(
+                    f,
+                    "parameter {name} = {value} violates constraint {constraint}"
+                )
             }
         }
     }
@@ -81,7 +123,11 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = ModelError::MemoryExceeded { proc: 3, used: 12.5, capacity: 10.0 };
+        let e = ModelError::MemoryExceeded {
+            proc: 3,
+            used: 12.5,
+            capacity: 10.0,
+        };
         let msg = e.to_string();
         assert!(msg.contains("processor 3"));
         assert!(msg.contains("12.5"));
@@ -93,7 +139,10 @@ mod tests {
         assert_eq!(ModelError::NoProcessors, ModelError::NoProcessors);
         assert_ne!(
             ModelError::NoProcessors,
-            ModelError::IncompleteAssignment { expected: 3, got: 2 }
+            ModelError::IncompleteAssignment {
+                expected: 3,
+                got: 2
+            }
         );
     }
 

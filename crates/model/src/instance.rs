@@ -80,7 +80,10 @@ impl Instance {
     /// this exchange; tests use it to verify symmetric behaviour of the
     /// algorithms.
     pub fn swapped(&self) -> Instance {
-        Instance { tasks: self.tasks.swapped(), m: self.m }
+        Instance {
+            tasks: self.tasks.swapped(),
+            m: self.m,
+        }
     }
 
     /// Returns a copy with a different processor count.
@@ -92,8 +95,16 @@ impl Instance {
     /// logs.
     pub fn stats(&self) -> InstanceStats {
         let n = self.n() as f64;
-        let mean_p = if self.n() == 0 { 0.0 } else { self.total_work() / n };
-        let mean_s = if self.n() == 0 { 0.0 } else { self.total_storage() / n };
+        let mean_p = if self.n() == 0 {
+            0.0
+        } else {
+            self.total_work() / n
+        };
+        let mean_s = if self.n() == 0 {
+            0.0
+        } else {
+            self.total_storage() / n
+        };
         InstanceStats {
             n: self.n(),
             m: self.m,
@@ -138,7 +149,10 @@ pub struct InstanceBuilder {
 impl InstanceBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        InstanceBuilder { tasks: Vec::new(), m: 1 }
+        InstanceBuilder {
+            tasks: Vec::new(),
+            m: 1,
+        }
     }
 
     /// Sets the number of processors.
@@ -155,7 +169,7 @@ impl InstanceBuilder {
 
     /// Adds `count` identical tasks.
     pub fn tasks(mut self, count: usize, p: f64, s: f64) -> Self {
-        self.tasks.extend(std::iter::repeat(Task { p, s }).take(count));
+        self.tasks.extend(std::iter::repeat_n(Task { p, s }, count));
         self
     }
 

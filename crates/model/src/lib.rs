@@ -66,7 +66,7 @@ pub mod prelude {
     pub use crate::bounds::{cmax_lower_bound, mmax_lower_bound, LowerBounds};
     pub use crate::error::ModelError;
     pub use crate::instance::Instance;
-    pub use crate::numeric::{approx_eq, approx_ge, approx_le, REL_TOL};
+    pub use crate::numeric::{approx_eq, approx_ge, approx_le, better_candidate, REL_TOL};
     pub use crate::objectives::{ObjectivePoint, TriObjectivePoint};
     pub use crate::pareto::{dominates, ParetoFront};
     pub use crate::ratio::{RatioReport, TriRatioReport};

@@ -50,6 +50,21 @@ pub fn strictly_gt(a: f64, b: f64) -> bool {
     a > b && !approx_eq(a, b)
 }
 
+/// The list-scheduling selection comparator shared by the event-driven
+/// kernel (`sws_listsched::kernel`) and the retained naive oracles: the
+/// candidate that can start at `t_a` with tie-break rank `rank_a` beats
+/// the incumbent `(t_b, rank_b)` iff it starts strictly earlier (beyond
+/// the module tolerance) or ties approximately with a smaller rank.
+///
+/// Centralizing this here is what makes kernel and naive schedules
+/// bit-identical: both paths used to carry their own literal tolerances
+/// (`1e-15`/`1e-12` ad-hoc epsilons in `dag_list` and `rls`), which this
+/// helper replaces.
+#[inline]
+pub fn better_candidate(t_a: f64, rank_a: usize, t_b: f64, rank_b: usize) -> bool {
+    strictly_lt(t_a, t_b) || (approx_eq(t_a, t_b) && rank_a < rank_b)
+}
+
 /// Total order for finite floats (panics on NaN); used to sort tasks by
 /// processing time or storage requirement.
 #[inline]
@@ -110,7 +125,7 @@ mod tests {
     fn kahan_sum_matches_exact_sum_on_adversarial_input() {
         // 1.0 followed by many tiny values that naive summation would drop.
         let mut values = vec![1.0];
-        values.extend(std::iter::repeat(1e-16).take(10_000));
+        values.extend(std::iter::repeat_n(1e-16, 10_000));
         let s = kahan_sum(values.iter().copied());
         assert!((s - (1.0 + 1e-12)).abs() < 1e-13);
     }
@@ -125,5 +140,17 @@ mod tests {
     #[should_panic]
     fn total_cmp_rejects_nan() {
         let _ = total_cmp(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn better_candidate_orders_by_time_then_rank() {
+        // Strictly earlier start wins regardless of rank.
+        assert!(better_candidate(1.0, 9, 2.0, 0));
+        assert!(!better_candidate(2.0, 0, 1.0, 9));
+        // Approximate tie: the smaller rank wins.
+        assert!(better_candidate(1.0 + 1e-12, 0, 1.0, 1));
+        assert!(!better_candidate(1.0, 1, 1.0 + 1e-12, 0));
+        // Exact tie with equal rank: incumbent stays.
+        assert!(!better_candidate(1.0, 3, 1.0, 3));
     }
 }

@@ -10,13 +10,13 @@ use crate::task::TaskSet;
 /// Maximum per-processor load of an assignment (independent tasks):
 /// `Cmax = max_q Σ_{π(i)=q} p_i`.
 pub fn cmax_of_assignment(tasks: &TaskSet, asg: &Assignment) -> f64 {
-    max_or_zero(asg.loads(tasks).into_iter())
+    max_or_zero(asg.loads(tasks))
 }
 
 /// Maximum per-processor cumulative memory of an assignment:
 /// `Mmax = max_q Σ_{π(i)=q} s_i`.
 pub fn mmax_of_assignment(tasks: &TaskSet, asg: &Assignment) -> f64 {
-    max_or_zero(asg.memory(tasks).into_iter())
+    max_or_zero(asg.memory(tasks))
 }
 
 /// Makespan of a timed schedule: `Cmax = max_i (σ(i) + p_i)`.
@@ -27,7 +27,7 @@ pub fn cmax_of_timed(tasks: &TaskSet, sched: &TimedSchedule) -> f64 {
 /// Maximum per-processor cumulative memory of a timed schedule (identical
 /// to the assignment definition: memory is cumulative over the whole run).
 pub fn mmax_of_timed(tasks: &TaskSet, sched: &TimedSchedule) -> f64 {
-    max_or_zero(sched.memory(tasks).into_iter())
+    max_or_zero(sched.memory(tasks))
 }
 
 /// Sum of completion times `Σ C_i` of a timed schedule.
@@ -84,7 +84,10 @@ impl ObjectivePoint {
     /// The point with the two objectives swapped, matching the symmetry of
     /// the independent-task problem.
     pub fn swapped(&self) -> ObjectivePoint {
-        ObjectivePoint { cmax: self.mmax, mmax: self.cmax }
+        ObjectivePoint {
+            cmax: self.mmax,
+            mmax: self.cmax,
+        }
     }
 
     /// Component-wise ratio to a reference point (typically the optimum or
@@ -92,7 +95,10 @@ impl ObjectivePoint {
     /// reported as 1 when the reference component is zero and the achieved
     /// component is also zero, and as `+∞` when only the reference is zero.
     pub fn ratio_to(&self, reference: &ObjectivePoint) -> (f64, f64) {
-        (ratio(self.cmax, reference.cmax), ratio(self.mmax, reference.mmax))
+        (
+            ratio(self.cmax, reference.cmax),
+            ratio(self.mmax, reference.mmax),
+        )
     }
 }
 
@@ -131,7 +137,10 @@ impl TriObjectivePoint {
 
     /// The bi-objective projection.
     pub fn bi(&self) -> ObjectivePoint {
-        ObjectivePoint { cmax: self.cmax, mmax: self.mmax }
+        ObjectivePoint {
+            cmax: self.cmax,
+            mmax: self.mmax,
+        }
     }
 
     /// Component-wise ratio to a reference point.

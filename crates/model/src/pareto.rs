@@ -33,7 +33,9 @@ pub struct ParetoFront<T = ()> {
 
 impl<T> Default for ParetoFront<T> {
     fn default() -> Self {
-        ParetoFront { entries: Vec::new() }
+        ParetoFront {
+            entries: Vec::new(),
+        }
     }
 }
 
@@ -62,7 +64,8 @@ impl<T> ParetoFront<T> {
                 return false;
             }
         }
-        self.entries.retain(|(existing, _)| !dominates(&point, existing));
+        self.entries
+            .retain(|(existing, _)| !dominates(&point, existing));
         self.entries.push((point, payload));
         true
     }
@@ -194,8 +197,20 @@ pub fn approximation_factor(
         let best = candidates
             .iter()
             .map(|c| {
-                let fc = if r.cmax > 0.0 { c.cmax / r.cmax } else if c.cmax > 0.0 { f64::INFINITY } else { 1.0 };
-                let fm = if r.mmax > 0.0 { c.mmax / r.mmax } else if c.mmax > 0.0 { f64::INFINITY } else { 1.0 };
+                let fc = if r.cmax > 0.0 {
+                    c.cmax / r.cmax
+                } else if c.cmax > 0.0 {
+                    f64::INFINITY
+                } else {
+                    1.0
+                };
+                let fm = if r.mmax > 0.0 {
+                    c.mmax / r.mmax
+                } else if c.mmax > 0.0 {
+                    f64::INFINITY
+                } else {
+                    1.0
+                };
                 fc.max(fm).max(1.0)
             })
             .fold(f64::INFINITY, f64::min);
@@ -273,13 +288,9 @@ mod tests {
 
     #[test]
     fn sorted_output_is_ordered_by_makespan() {
-        let front: ParetoFront<usize> = vec![
-            (p(3.0, 1.0), 3),
-            (p(1.0, 3.0), 1),
-            (p(2.0, 2.0), 2),
-        ]
-        .into_iter()
-        .collect();
+        let front: ParetoFront<usize> = vec![(p(3.0, 1.0), 3), (p(1.0, 3.0), 1), (p(2.0, 2.0), 2)]
+            .into_iter()
+            .collect();
         let sorted = front.into_sorted();
         let ids: Vec<usize> = sorted.iter().map(|(_, id)| *id).collect();
         assert_eq!(ids, vec![1, 2, 3]);

@@ -48,7 +48,14 @@ impl RatioReport {
         guarantee: Option<(f64, f64)>,
     ) -> Self {
         let (cmax_ratio, mmax_ratio) = achieved.ratio_to(&reference);
-        RatioReport { achieved, reference, reference_kind, cmax_ratio, mmax_ratio, guarantee }
+        RatioReport {
+            achieved,
+            reference,
+            reference_kind,
+            cmax_ratio,
+            mmax_ratio,
+            guarantee,
+        }
     }
 
     /// True when the achieved ratios respect the proven guarantee (always
@@ -108,7 +115,13 @@ impl TriRatioReport {
         guarantee: Option<(f64, f64, f64)>,
     ) -> Self {
         let ratios = achieved.ratio_to(&reference);
-        TriRatioReport { achieved, reference, reference_kind, ratios, guarantee }
+        TriRatioReport {
+            achieved,
+            reference,
+            reference_kind,
+            ratios,
+            guarantee,
+        }
     }
 
     /// True when the achieved ratios respect the proven guarantee.

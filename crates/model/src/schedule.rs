@@ -40,7 +40,10 @@ impl Assignment {
         if m == 0 {
             return Err(ModelError::NoProcessors);
         }
-        Ok(Assignment { proc_of: vec![0; n], m })
+        Ok(Assignment {
+            proc_of: vec![0; n],
+            m,
+        })
     }
 
     /// Number of tasks covered.
@@ -70,7 +73,11 @@ impl Assignment {
     /// Reassigns task `i` to processor `proc`.
     pub fn assign(&mut self, i: usize, proc: usize) -> Result<(), ModelError> {
         if proc >= self.m {
-            return Err(ModelError::ProcessorOutOfRange { task: i, proc, m: self.m });
+            return Err(ModelError::ProcessorOutOfRange {
+                task: i,
+                proc,
+                m: self.m,
+            });
         }
         self.proc_of[i] = proc;
         Ok(())
@@ -116,7 +123,11 @@ impl Assignment {
             start[i] = clock[q];
             clock[q] += tasks.get(i).p;
         }
-        TimedSchedule { proc_of: self.proc_of.clone(), start, m: self.m }
+        TimedSchedule {
+            proc_of: self.proc_of.clone(),
+            start,
+            m: self.m,
+        }
     }
 
     /// Converts the assignment into a timed schedule where each processor
@@ -129,7 +140,11 @@ impl Assignment {
             start[i] = clock[q];
             clock[q] += tasks.get(i).p;
         }
-        TimedSchedule { proc_of: self.proc_of.clone(), start, m: self.m }
+        TimedSchedule {
+            proc_of: self.proc_of.clone(),
+            start,
+            m: self.m,
+        }
     }
 }
 
@@ -149,7 +164,10 @@ impl TimedSchedule {
             return Err(ModelError::NoProcessors);
         }
         if proc_of.len() != start.len() {
-            return Err(ModelError::LengthMismatch { left: proc_of.len(), right: start.len() });
+            return Err(ModelError::LengthMismatch {
+                left: proc_of.len(),
+                right: start.len(),
+            });
         }
         for (task, &proc) in proc_of.iter().enumerate() {
             if proc >= m {
@@ -196,7 +214,10 @@ impl TimedSchedule {
 
     /// The underlying assignment (dropping start times).
     pub fn assignment(&self) -> Assignment {
-        Assignment { proc_of: self.proc_of.clone(), m: self.m }
+        Assignment {
+            proc_of: self.proc_of.clone(),
+            m: self.m,
+        }
     }
 
     /// Per-processor total storage.
@@ -211,9 +232,7 @@ impl TimedSchedule {
 
     /// Completion time of the last task, `Cmax = max_i C_i`.
     pub fn cmax(&self, tasks: &TaskSet) -> f64 {
-        crate::numeric::max_or_zero(
-            (0..self.n()).map(|i| self.completion(i, tasks)),
-        )
+        crate::numeric::max_or_zero((0..self.n()).map(|i| self.completion(i, tasks)))
     }
 
     /// Sum of completion times `Σ C_i`.
@@ -250,7 +269,7 @@ impl TimedSchedule {
 
     /// Maximum cumulative memory against the instance's task set.
     pub fn mmax_for(&self, inst: &Instance) -> f64 {
-        crate::numeric::max_or_zero(self.memory(inst.tasks()).into_iter())
+        crate::numeric::max_or_zero(self.memory(inst.tasks()))
     }
 }
 

@@ -53,10 +53,16 @@ impl Task {
     /// non-negative.
     pub fn new(p: f64, s: f64) -> Result<Self, ModelError> {
         if !p.is_finite() || p < 0.0 {
-            return Err(ModelError::InvalidProcessingTime { task: usize::MAX, value: p });
+            return Err(ModelError::InvalidProcessingTime {
+                task: usize::MAX,
+                value: p,
+            });
         }
         if !s.is_finite() || s < 0.0 {
-            return Err(ModelError::InvalidStorage { task: usize::MAX, value: s });
+            return Err(ModelError::InvalidStorage {
+                task: usize::MAX,
+                value: s,
+            });
         }
         Ok(Task { p, s })
     }
@@ -85,7 +91,10 @@ impl Task {
     /// symmetric; swapping lets tests exploit that symmetry.
     #[inline]
     pub fn swapped(&self) -> Task {
-        Task { p: self.s, s: self.p }
+        Task {
+            p: self.s,
+            s: self.p,
+        }
     }
 }
 
@@ -100,10 +109,16 @@ impl TaskSet {
     pub fn new(tasks: Vec<Task>) -> Result<Self, ModelError> {
         for (i, t) in tasks.iter().enumerate() {
             if !t.p.is_finite() || t.p < 0.0 {
-                return Err(ModelError::InvalidProcessingTime { task: i, value: t.p });
+                return Err(ModelError::InvalidProcessingTime {
+                    task: i,
+                    value: t.p,
+                });
             }
             if !t.s.is_finite() || t.s < 0.0 {
-                return Err(ModelError::InvalidStorage { task: i, value: t.s });
+                return Err(ModelError::InvalidStorage {
+                    task: i,
+                    value: t.s,
+                });
             }
         }
         Ok(TaskSet { tasks })
@@ -113,7 +128,10 @@ impl TaskSet {
     /// storage requirements.
     pub fn from_ps(p: &[f64], s: &[f64]) -> Result<Self, ModelError> {
         if p.len() != s.len() {
-            return Err(ModelError::LengthMismatch { left: p.len(), right: s.len() });
+            return Err(ModelError::LengthMismatch {
+                left: p.len(),
+                right: s.len(),
+            });
         }
         let tasks = p
             .iter()
@@ -174,7 +192,9 @@ impl TaskSet {
 
     /// Returns the task set with every task's `p` and `s` swapped.
     pub fn swapped(&self) -> TaskSet {
-        TaskSet { tasks: self.tasks.iter().map(Task::swapped).collect() }
+        TaskSet {
+            tasks: self.tasks.iter().map(Task::swapped).collect(),
+        }
     }
 
     /// Adds a task and returns its identifier.

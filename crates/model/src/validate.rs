@@ -21,7 +21,10 @@ pub fn validate_assignment(
     memory_capacity: Option<f64>,
 ) -> Result<(), ModelError> {
     if asg.n() != inst.n() {
-        return Err(ModelError::IncompleteAssignment { expected: inst.n(), got: asg.n() });
+        return Err(ModelError::IncompleteAssignment {
+            expected: inst.n(),
+            got: asg.n(),
+        });
     }
     if asg.m() != inst.m() {
         return Err(ModelError::ProcessorOutOfRange {
@@ -40,7 +43,11 @@ pub fn validate_assignment(
 pub fn check_memory(tasks: &TaskSet, asg: &Assignment, capacity: f64) -> Result<(), ModelError> {
     for (proc, used) in asg.memory(tasks).into_iter().enumerate() {
         if !approx_le(used, capacity) {
-            return Err(ModelError::MemoryExceeded { proc, used, capacity });
+            return Err(ModelError::MemoryExceeded {
+                proc,
+                used,
+                capacity,
+            });
         }
     }
     Ok(())
@@ -64,7 +71,10 @@ pub fn validate_timed(
     memory_capacity: Option<f64>,
 ) -> Result<(), ModelError> {
     if sched.n() != tasks.len() {
-        return Err(ModelError::IncompleteAssignment { expected: tasks.len(), got: sched.n() });
+        return Err(ModelError::IncompleteAssignment {
+            expected: tasks.len(),
+            got: sched.n(),
+        });
     }
     if sched.m() != m {
         return Err(ModelError::ProcessorOutOfRange {
@@ -88,7 +98,11 @@ pub fn check_no_overlap(tasks: &TaskSet, sched: &TimedSchedule) -> Result<(), Mo
             let (a, b) = (window[0], window[1]);
             let end_a = sched.start(a) + tasks.get(a).p;
             if !approx_le(end_a, sched.start(b)) {
-                return Err(ModelError::Overlap { proc, first: a, second: b });
+                return Err(ModelError::Overlap {
+                    proc,
+                    first: a,
+                    second: b,
+                });
             }
         }
     }
@@ -125,7 +139,13 @@ mod tests {
         let inst = inst();
         let asg = Assignment::new(vec![0, 1], 2).unwrap();
         let err = validate_assignment(&inst, &asg, None).unwrap_err();
-        assert_eq!(err, ModelError::IncompleteAssignment { expected: 3, got: 2 });
+        assert_eq!(
+            err,
+            ModelError::IncompleteAssignment {
+                expected: 3,
+                got: 2
+            }
+        );
     }
 
     #[test]
@@ -153,8 +173,8 @@ mod tests {
         let inst = inst();
         // Tasks 0 and 1 both start at 0 on processor 0.
         let sched = TimedSchedule::new(vec![0, 0, 1], vec![0.0, 0.0, 0.0], 2).unwrap();
-        let err = validate_timed(inst.tasks(), 2, &sched, &[vec![], vec![], vec![]], None)
-            .unwrap_err();
+        let err =
+            validate_timed(inst.tasks(), 2, &sched, &[vec![], vec![], vec![]], None).unwrap_err();
         match err {
             ModelError::Overlap { proc, .. } => assert_eq!(proc, 0),
             other => panic!("unexpected {other:?}"),

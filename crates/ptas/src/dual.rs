@@ -6,10 +6,15 @@ use sws_model::schedule::Assignment;
 use crate::config_dp::{pack_large_ffd, pack_large_min_bins};
 use crate::rounding::Rounding;
 
-/// Above this configuration-DP state-space size the packing falls back to
-/// FFD (the guarantee then degrades gracefully; callers are told through
-/// [`crate::search::PtasOutcome::exact_packing`]).
-pub const STATE_SPACE_LIMIT: usize = 2_000_000;
+/// Above this estimated DP work (states × configurations × classes, see
+/// [`Rounding::dp_work_estimate`]) the packing falls back to FFD (the
+/// guarantee then degrades gracefully; callers are told through
+/// [`crate::search::PtasOutcome::exact_packing`]). The estimate is
+/// always at least the raw state-space size, so this single gate
+/// subsumes the state-space cap this module used to apply — that cap
+/// alone admitted regimes whose BFS-layer × configuration product ran
+/// for hours.
+pub const DP_WORK_LIMIT: usize = 2_000_000;
 
 /// Result of one dual test.
 #[derive(Debug, Clone)]
@@ -29,7 +34,7 @@ pub fn dual_test(weights: &[f64], m: usize, d: f64, eps: f64) -> Option<DualResu
     let r = Rounding::new(weights, d, eps);
 
     // Pack the large jobs into at most m bins of (rounded) capacity d.
-    let (bins, exact_packing) = if r.state_space() <= STATE_SPACE_LIMIT {
+    let (bins, exact_packing) = if r.dp_work_estimate() <= DP_WORK_LIMIT {
         match pack_large_min_bins(&r, m) {
             Some(b) => (b, true),
             None => return None,
@@ -50,7 +55,8 @@ pub fn dual_test(weights: &[f64], m: usize, d: f64, eps: f64) -> Option<DualResu
     let mut load = vec![0.0f64; m];
     for (q, bin) in bins.iter().enumerate() {
         for &job in bin {
-            asg.assign(job, q).expect("q < m because at most m bins were used");
+            asg.assign(job, q)
+                .expect("q < m because at most m bins were used");
             load[q] += weights[job];
         }
     }
@@ -69,7 +75,10 @@ pub fn dual_test(weights: &[f64], m: usize, d: f64, eps: f64) -> Option<DualResu
         load[q] += weights[job];
     }
 
-    Some(DualResult { assignment: asg, exact_packing })
+    Some(DualResult {
+        assignment: asg,
+        exact_packing,
+    })
 }
 
 /// The makespan bound certified by a successful dual test: `(1 + ε)·d`.

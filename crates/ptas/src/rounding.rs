@@ -57,7 +57,9 @@ impl Rounding {
             .iter()
             .map(|&i| {
                 let q = quanta_of(weights[i]);
-                distinct.binary_search(&q).expect("class exists by construction")
+                distinct
+                    .binary_search(&q)
+                    .expect("class exists by construction")
             })
             .collect();
         let mut counts = vec![0usize; sizes.len()];
@@ -65,7 +67,16 @@ impl Rounding {
             counts[c] += 1;
         }
         let max_per_bin = (1.0 / eps).floor() as usize;
-        Rounding { deadline, eps, large, small, sizes, size_class, counts, max_per_bin }
+        Rounding {
+            deadline,
+            eps,
+            large,
+            small,
+            sizes,
+            size_class,
+            counts,
+            max_per_bin,
+        }
     }
 
     /// Number of distinct large-job size classes.
@@ -84,6 +95,26 @@ impl Rounding {
         self.counts
             .iter()
             .fold(1usize, |acc, &c| acc.saturating_mul(c + 1))
+    }
+
+    /// Upper bound on the number of single-bin configurations the DP may
+    /// enumerate, `Π_j (min(counts_j, max_per_bin) + 1)`, saturating.
+    pub fn config_count_bound(&self) -> usize {
+        self.counts.iter().fold(1usize, |acc, &c| {
+            acc.saturating_mul(c.min(self.max_per_bin) + 1)
+        })
+    }
+
+    /// Estimated total work of the min-bin configuration DP: every BFS
+    /// layer scans `visited states × configurations` pairs, each costing
+    /// `O(class_count)`. The state-space size alone badly underestimates
+    /// this product in middle regimes (≈10⁶ states × ≈10⁴ configurations
+    /// is far beyond interactive), so the FFD-fallback decision gates on
+    /// this estimate as well.
+    pub fn dp_work_estimate(&self) -> usize {
+        self.state_space()
+            .saturating_mul(self.config_count_bound())
+            .saturating_mul(self.class_count().max(1))
     }
 }
 

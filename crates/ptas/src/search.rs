@@ -185,12 +185,8 @@ mod tests {
 
     #[test]
     fn tighter_eps_never_gives_a_worse_certified_value() {
-        let inst = Instance::from_ps(
-            &[7.0, 9.0, 2.0, 4.0, 6.0, 1.0, 8.0, 5.0, 3.0],
-            &[1.0; 9],
-            3,
-        )
-        .unwrap();
+        let inst = Instance::from_ps(&[7.0, 9.0, 2.0, 4.0, 6.0, 1.0, 8.0, 5.0, 3.0], &[1.0; 9], 3)
+            .unwrap();
         let loose = ptas_cmax(&inst, 0.5);
         let tight = ptas_cmax(&inst, 0.2);
         let loose_val = cmax_of_assignment(inst.tasks(), &loose.assignment);

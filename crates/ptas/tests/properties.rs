@@ -128,7 +128,7 @@ proptest! {
         let cmax = cmax_of_assignment(&tasks, &res.assignment);
         prop_assert!(cmax <= certified_makespan(2.0 * lb, eps) + 1e-6);
         // If some deadline d is accepted then 1.5·d is accepted as well.
-        if let Some(_) = dual_test(&p, m, 1.2 * lb, eps) {
+        if dual_test(&p, m, 1.2 * lb, eps).is_some() {
             prop_assert!(dual_test(&p, m, 1.8 * lb, eps).is_some());
         }
     }

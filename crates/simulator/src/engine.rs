@@ -99,7 +99,11 @@ impl SimulationEngine {
                     let q = ev.proc;
                     // The processor must be idle.
                     if let Some(other) = running_task[q] {
-                        return Err(ModelError::Overlap { proc: q, first: other, second: ev.task });
+                        return Err(ModelError::Overlap {
+                            proc: q,
+                            first: other,
+                            second: ev.task,
+                        });
                     }
                     if ev.time + slack(ev.time) < busy_until[q] {
                         // A previous task on q finishes after this start.
@@ -112,7 +116,10 @@ impl SimulationEngine {
                     // All predecessors must have finished.
                     for &p in &preds[ev.task] {
                         if !finished[p] || finish_time[p] > ev.time + slack(ev.time) {
-                            return Err(ModelError::PrecedenceViolation { pred: p, task: ev.task });
+                            return Err(ModelError::PrecedenceViolation {
+                                pred: p,
+                                task: ev.task,
+                            });
                         }
                     }
                     // Claim the processor and account the (cumulative) memory.
@@ -217,7 +224,8 @@ mod tests {
         let ts = tasks();
         let sched = TimedSchedule::new(vec![0, 0, 0], vec![0.0, 2.0, 3.0], 1).unwrap();
         // Cumulative memory on P0 reaches 7.
-        let ok = SimulationEngine::new().replay(&ts, 1, &sched, &[vec![], vec![], vec![]], Some(7.0));
+        let ok =
+            SimulationEngine::new().replay(&ts, 1, &sched, &[vec![], vec![], vec![]], Some(7.0));
         assert!(ok.is_ok());
         let err = SimulationEngine::new()
             .replay(&ts, 1, &sched, &[vec![], vec![], vec![]], Some(6.0))
@@ -261,7 +269,9 @@ mod tests {
     fn empty_schedule_has_full_utilization_and_zero_makespan() {
         let ts = TaskSet::from_ps(&[], &[]).unwrap();
         let sched = TimedSchedule::new(vec![], vec![], 3).unwrap();
-        let rep = SimulationEngine::new().replay(&ts, 3, &sched, &[], None).unwrap();
+        let rep = SimulationEngine::new()
+            .replay(&ts, 3, &sched, &[], None)
+            .unwrap();
         assert_eq!(rep.makespan, 0.0);
         assert_eq!(rep.utilization, 1.0);
     }

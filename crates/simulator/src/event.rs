@@ -29,12 +29,22 @@ pub struct Event {
 impl Event {
     /// Creates a start event.
     pub fn start(time: f64, task: usize, proc: usize) -> Self {
-        Event { time, task, proc, kind: EventKind::Start }
+        Event {
+            time,
+            task,
+            proc,
+            kind: EventKind::Start,
+        }
     }
 
     /// Creates a finish event.
     pub fn finish(time: f64, task: usize, proc: usize) -> Self {
-        Event { time, task, proc, kind: EventKind::Finish }
+        Event {
+            time,
+            task,
+            proc,
+            kind: EventKind::Finish,
+        }
     }
 }
 
@@ -72,7 +82,7 @@ mod tests {
 
     #[test]
     fn events_sort_by_time() {
-        let mut events = vec![
+        let mut events = [
             Event::start(2.0, 0, 0),
             Event::finish(1.0, 1, 0),
             Event::start(0.5, 2, 1),
@@ -85,7 +95,7 @@ mod tests {
 
     #[test]
     fn finish_precedes_start_at_the_same_time() {
-        let mut events = vec![Event::start(1.0, 0, 0), Event::finish(1.0, 1, 0)];
+        let mut events = [Event::start(1.0, 0, 0), Event::finish(1.0, 1, 0)];
         events.sort();
         assert_eq!(events[0].kind, EventKind::Finish);
         assert_eq!(events[1].kind, EventKind::Start);
@@ -93,7 +103,7 @@ mod tests {
 
     #[test]
     fn equal_time_and_kind_break_ties_by_task() {
-        let mut events = vec![Event::start(1.0, 5, 0), Event::start(1.0, 3, 1)];
+        let mut events = [Event::start(1.0, 5, 0), Event::start(1.0, 3, 1)];
         events.sort();
         assert_eq!(events[0].task, 3);
     }

@@ -19,7 +19,10 @@ pub struct GanttOptions {
 
 impl Default for GanttOptions {
     fn default() -> Self {
-        GanttOptions { width: 60, totals: true }
+        GanttOptions {
+            width: 60,
+            totals: true,
+        }
     }
 }
 
@@ -41,11 +44,11 @@ pub fn render_gantt(tasks: &TaskSet, schedule: &TimedSchedule, opts: &GanttOptio
         let mut mem_total = 0.0;
         let mut busy_total = 0.0;
         // Tasks of this processor ordered by start time.
-        let mut lane_tasks: Vec<usize> =
-            (0..schedule.n()).filter(|&i| schedule.proc_of(i) == q).collect();
-        lane_tasks.sort_by(|&a, &b| {
-            sws_model::numeric::total_cmp(schedule.start(a), schedule.start(b))
-        });
+        let mut lane_tasks: Vec<usize> = (0..schedule.n())
+            .filter(|&i| schedule.proc_of(i) == q)
+            .collect();
+        lane_tasks
+            .sort_by(|&a, &b| sws_model::numeric::total_cmp(schedule.start(a), schedule.start(b)));
         for i in lane_tasks {
             let t = tasks.get(i);
             mem_total += t.s;
@@ -125,7 +128,10 @@ mod tests {
         let text = render_gantt(
             &tasks,
             &sched,
-            &GanttOptions { width: 40, totals: false },
+            &GanttOptions {
+                width: 40,
+                totals: false,
+            },
         );
         assert!(!text.contains("busy ="));
     }

@@ -18,7 +18,10 @@ pub struct MemoryProfile {
 impl MemoryProfile {
     /// An empty profile for `m` processors.
     pub fn new(m: usize) -> Self {
-        MemoryProfile { steps: vec![Vec::new(); m], current: vec![0.0; m] }
+        MemoryProfile {
+            steps: vec![Vec::new(); m],
+            current: vec![0.0; m],
+        }
     }
 
     /// Number of processors tracked.

@@ -48,9 +48,9 @@ pub fn simulate_dag_schedule(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sws_dag::prelude::*;
     use sws_listsched::priority::hlf_priority;
     use sws_listsched::{dag_list_schedule, graham_cmax, spt_schedule};
-    use sws_dag::prelude::*;
 
     #[test]
     fn graham_schedules_replay_cleanly() {

@@ -38,12 +38,20 @@ impl Trace {
 
     /// Events concerning one processor.
     pub fn for_processor(&self, proc: usize) -> Vec<Event> {
-        self.events.iter().copied().filter(|e| e.proc == proc).collect()
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.proc == proc)
+            .collect()
     }
 
     /// Events concerning one task (its start and finish).
     pub fn for_task(&self, task: usize) -> Vec<Event> {
-        self.events.iter().copied().filter(|e| e.task == task).collect()
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.task == task)
+            .collect()
     }
 
     /// The number of tasks running at a given time (start inclusive,

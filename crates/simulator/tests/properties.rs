@@ -69,9 +69,9 @@ proptest! {
         // tasks of a processor: still overlap-free, just idle time.
         let mut clock = vec![0.0f64; inst.m()];
         let mut start = vec![0.0f64; inst.n()];
-        for i in 0..inst.n() {
+        for (i, st) in start.iter_mut().enumerate() {
             let q = asg.proc_of(i);
-            start[i] = clock[q];
+            *st = clock[q];
             clock[q] += inst.p(i) + gap;
         }
         let sched = TimedSchedule::new(asg.as_slice().to_vec(), start, inst.m()).unwrap();

@@ -14,8 +14,7 @@ use sws_model::Instance;
 /// symmetry).
 pub fn lemma1_instance(eps: f64) -> Instance {
     assert!(eps > 0.0, "the paper's ε must be positive");
-    Instance::from_ps(&[1.0, 0.5, 0.5], &[eps, 1.0, 1.0], 2)
-        .expect("constants are valid")
+    Instance::from_ps(&[1.0, 0.5, 0.5], &[eps, 1.0, 1.0], 2).expect("constants are valid")
 }
 
 /// The `m`-processor family (Section 4.2): `m − 1` "long" tasks with

@@ -152,7 +152,11 @@ mod tests {
             let inst = dag_workload(family, 60, 4, TaskDistribution::Uncorrelated, &mut rng);
             assert!(inst.n() >= 4, "{} produced too few tasks", family.label());
             assert_eq!(inst.m(), 4);
-            assert!(structurally_sound(inst.graph()), "{} unsound", family.label());
+            assert!(
+                structurally_sound(inst.graph()),
+                "{} unsound",
+                family.label()
+            );
             for i in 0..inst.n() {
                 assert!(inst.tasks().get(i).p > 0.0);
                 assert!(inst.tasks().get(i).s > 0.0);
@@ -172,7 +176,11 @@ mod tests {
     #[test]
     fn structured_families_approximate_the_target_size() {
         let mut rng = seeded_rng(33);
-        for family in [DagFamily::GaussianElimination, DagFamily::Lu, DagFamily::Fft] {
+        for family in [
+            DagFamily::GaussianElimination,
+            DagFamily::Lu,
+            DagFamily::Fft,
+        ] {
             let inst = dag_workload(family, 100, 4, TaskDistribution::Uncorrelated, &mut rng);
             assert!(inst.n() >= 30, "{}: n = {}", family.label(), inst.n());
             assert!(inst.n() <= 400, "{}: n = {}", family.label(), inst.n());

@@ -28,7 +28,11 @@ pub struct GridWorkloadConfig {
 impl GridWorkloadConfig {
     /// A default production-batch-sized workload.
     pub fn default_batch(workers: usize) -> Self {
-        GridWorkloadConfig { jobs: 120, workers, tail: 1.5 }
+        GridWorkloadConfig {
+            jobs: 120,
+            workers,
+            tail: 1.5,
+        }
     }
 
     /// Generates the instance. Units: minutes of runtime, gigabytes of
@@ -45,8 +49,11 @@ impl GridWorkloadConfig {
             let output = 0.5 * u.powf(-1.0 / self.tail).min(400.0);
             tasks.push(Task::new_unchecked(runtime, output));
         }
-        Instance::new(TaskSet::new(tasks).expect("draws are positive"), self.workers)
-            .expect("workers > 0")
+        Instance::new(
+            TaskSet::new(tasks).expect("draws are positive"),
+            self.workers,
+        )
+        .expect("workers > 0")
     }
 }
 
@@ -77,7 +84,12 @@ mod tests {
     #[test]
     fn output_sizes_are_heavy_tailed() {
         let mut rng = seeded_rng(22);
-        let inst = GridWorkloadConfig { jobs: 1000, workers: 8, tail: 1.2 }.generate(&mut rng);
+        let inst = GridWorkloadConfig {
+            jobs: 1000,
+            workers: 8,
+            tail: 1.2,
+        }
+        .generate(&mut rng);
         let stats = inst.stats();
         // Heavy tail: the max is much larger than the mean.
         assert!(stats.max_s > 5.0 * stats.mean_s);
@@ -94,6 +106,11 @@ mod tests {
     #[should_panic]
     fn non_positive_tail_is_rejected() {
         let mut rng = seeded_rng(1);
-        let _ = GridWorkloadConfig { jobs: 10, workers: 2, tail: 0.0 }.generate(&mut rng);
+        let _ = GridWorkloadConfig {
+            jobs: 10,
+            workers: 2,
+            tail: 0.0,
+        }
+        .generate(&mut rng);
     }
 }

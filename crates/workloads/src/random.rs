@@ -74,7 +74,13 @@ impl RandomInstanceConfig {
     /// A reasonable default configuration for the experiments: `p` and `s`
     /// in `[1, 100]`.
     pub fn new(n: usize, m: usize, distribution: TaskDistribution) -> Self {
-        RandomInstanceConfig { n, m, distribution, p_range: (1.0, 100.0), s_range: (1.0, 100.0) }
+        RandomInstanceConfig {
+            n,
+            m,
+            distribution,
+            p_range: (1.0, 100.0),
+            s_range: (1.0, 100.0),
+        }
     }
 
     /// Draws one task.
@@ -102,8 +108,16 @@ impl RandomInstanceConfig {
             TaskDistribution::Bimodal => {
                 let base_p = rng.gen_range(plo..phi * 0.2);
                 let base_s = rng.gen_range(slo..shi * 0.2);
-                let p = if rng.gen_bool(0.1) { base_p * 10.0 } else { base_p };
-                let s = if rng.gen_bool(0.1) { base_s * 10.0 } else { base_s };
+                let p = if rng.gen_bool(0.1) {
+                    base_p * 10.0
+                } else {
+                    base_p
+                };
+                let s = if rng.gen_bool(0.1) {
+                    base_s * 10.0
+                } else {
+                    base_s
+                };
                 Task::new_unchecked(p, s)
             }
         }
@@ -151,7 +165,10 @@ mod tests {
         let mut rng = seeded_rng(2);
         let inst = random_instance(400, 4, TaskDistribution::Correlated, &mut rng);
         let corr = correlation(&inst);
-        assert!(corr > 0.8, "expected strong positive correlation, got {corr}");
+        assert!(
+            corr > 0.8,
+            "expected strong positive correlation, got {corr}"
+        );
     }
 
     #[test]
@@ -159,7 +176,10 @@ mod tests {
         let mut rng = seeded_rng(3);
         let inst = random_instance(400, 4, TaskDistribution::AntiCorrelated, &mut rng);
         let corr = correlation(&inst);
-        assert!(corr < -0.8, "expected strong negative correlation, got {corr}");
+        assert!(
+            corr < -0.8,
+            "expected strong negative correlation, got {corr}"
+        );
     }
 
     #[test]

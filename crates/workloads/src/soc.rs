@@ -46,9 +46,8 @@ impl SocWorkloadConfig {
     /// Generates the instance. Units: milliseconds of runtime, kilobytes
     /// of code/storage.
     pub fn generate(&self, rng: &mut WorkloadRng) -> Instance {
-        let mut tasks = Vec::with_capacity(
-            self.control_kernels + self.dsp_kernels + self.data_blobs,
-        );
+        let mut tasks =
+            Vec::with_capacity(self.control_kernels + self.dsp_kernels + self.data_blobs);
         for _ in 0..self.control_kernels {
             // 0.1–2 ms of work, 4–64 KB of code.
             tasks.push(Task::new_unchecked(
@@ -70,8 +69,11 @@ impl SocWorkloadConfig {
                 rng.gen_range(128.0..1024.0),
             ));
         }
-        Instance::new(TaskSet::new(tasks).expect("draws are positive"), self.processors)
-            .expect("processors > 0")
+        Instance::new(
+            TaskSet::new(tasks).expect("draws are positive"),
+            self.processors,
+        )
+        .expect("processors > 0")
     }
 }
 
@@ -96,7 +98,12 @@ mod tests {
     #[test]
     fn data_blobs_dominate_storage_but_not_runtime() {
         let mut rng = seeded_rng(12);
-        let cfg = SocWorkloadConfig { control_kernels: 10, dsp_kernels: 2, data_blobs: 3, processors: 2 };
+        let cfg = SocWorkloadConfig {
+            control_kernels: 10,
+            dsp_kernels: 2,
+            data_blobs: 3,
+            processors: 2,
+        };
         let inst = cfg.generate(&mut rng);
         let stats = inst.stats();
         // The largest storage requirement (a blob) is far above the mean.
@@ -115,7 +122,12 @@ mod tests {
     #[test]
     fn custom_mixes_are_respected() {
         let mut rng = seeded_rng(5);
-        let cfg = SocWorkloadConfig { control_kernels: 1, dsp_kernels: 1, data_blobs: 1, processors: 3 };
+        let cfg = SocWorkloadConfig {
+            control_kernels: 1,
+            dsp_kernels: 1,
+            data_blobs: 1,
+            processors: 3,
+        };
         let inst = cfg.generate(&mut rng);
         assert_eq!(inst.n(), 3);
         // Control kernel runtime < DSP kernel runtime.

@@ -167,13 +167,19 @@ fn soc_and_grid_workloads_have_the_advertised_shape() {
     let mut rng = seeded_rng(99);
     let soc = soc_workload(4, &mut rng);
     assert_eq!(soc.m(), 4);
-    assert!(soc.n() >= 8, "a SoC image has a reasonable number of kernels");
+    assert!(
+        soc.n() >= 8,
+        "a SoC image has a reasonable number of kernels"
+    );
     for i in 0..soc.n() {
         assert!(soc.p(i) > 0.0 && soc.s(i) > 0.0);
     }
     let grid = grid_workload(16, &mut rng);
     assert_eq!(grid.m(), 16);
-    assert!(grid.n() > grid.m(), "a grid batch has more jobs than workers");
+    assert!(
+        grid.n() > grid.m(),
+        "a grid batch has more jobs than workers"
+    );
 }
 
 #[test]

@@ -26,8 +26,13 @@ use sws_workloads::TaskDistribution;
 fn main() {
     // ----- Part 1: the workflow DAG -------------------------------------
     let mut rng = seeded_rng(77);
-    let workflow =
-        dag_workload(DagFamily::LayeredRandom, 120, 8, TaskDistribution::AntiCorrelated, &mut rng);
+    let workflow = dag_workload(
+        DagFamily::LayeredRandom,
+        120,
+        8,
+        TaskDistribution::AntiCorrelated,
+        &mut rng,
+    );
     println!(
         "Workflow DAG: {} tasks, {} dependencies, {} processors, critical path {:.1}",
         workflow.n(),
@@ -36,13 +41,20 @@ fn main() {
         workflow.graph().critical_path_length()
     );
     println!("RLS∆ sweep (bottom-level priority):");
-    println!("  {:>6}  {:>10}  {:>10}  {:>12}  {:>12}", "∆", "Cmax", "Mmax", "Cmax ratio", "Mmax ratio");
+    println!(
+        "  {:>6}  {:>10}  {:>10}  {:>12}  {:>12}",
+        "∆", "Cmax", "Mmax", "Cmax ratio", "Mmax ratio"
+    );
     for &delta in &[2.25, 2.5, 3.0, 4.0, 6.0, 10.0] {
         let config = RlsConfig::new(delta).with_order(PriorityOrder::BottomLevel);
         let (report, _) = evaluate_rls(&workflow, &config).expect("∆ > 2 is valid");
         println!(
             "  {:>6.2}  {:>10.1}  {:>10.1}  {:>12.3}  {:>12.3}",
-            delta, report.point.cmax, report.point.mmax, report.ratio.cmax_ratio, report.ratio.mmax_ratio
+            delta,
+            report.point.cmax,
+            report.point.mmax,
+            report.ratio.cmax_ratio,
+            report.ratio.mmax_ratio
         );
     }
     println!();
@@ -58,8 +70,8 @@ fn main() {
     );
 
     // A plain bi-objective schedule ignores the mean completion time...
-    let (sbo_report, _) = evaluate_sbo(&batch, &SboConfig::new(1.0, InnerAlgorithm::Lpt))
-        .expect("valid parameters");
+    let (sbo_report, _) =
+        evaluate_sbo(&batch, &SboConfig::new(1.0, InnerAlgorithm::Lpt)).expect("valid parameters");
     println!(
         "  SBO∆=1 (LPT):        Cmax = {:.1}, Mmax = {:.1}, ΣCi = {:.1}",
         sbo_report.point.cmax,

@@ -31,8 +31,14 @@ fn main() {
     let mut rng = seeded_rng(4);
     let small = random_instance(10, 2, TaskDistribution::AntiCorrelated, &mut rng);
     let lb = LowerBounds::of_instance(&small);
-    println!("Small instance (n = 10, m = 2), memory lower bound LB = {:.1}:", lb.mmax);
-    println!("  {:>6}  {:>12}  {:>12}  {:>10}", "β", "heuristic", "exact OPT", "gap");
+    println!(
+        "Small instance (n = 10, m = 2), memory lower bound LB = {:.1}:",
+        lb.mmax
+    );
+    println!(
+        "  {:>6}  {:>12}  {:>12}  {:>10}",
+        "β", "heuristic", "exact OPT", "gap"
+    );
     for beta in [1.1, 1.3, 1.6, 2.0] {
         let budget = beta * lb.mmax;
         let outcome = solve_with_memory_budget(&small, budget, InnerAlgorithm::Lpt)
@@ -46,7 +52,10 @@ fn main() {
                 (point.cmax / opt - 1.0) * 100.0
             ),
             (ConstrainedOutcome::NotFound { .. }, Some(opt)) => {
-                println!("  {beta:>6.2}  {:>12}  {opt:>12.2}  {:>10}", "not found", "-")
+                println!(
+                    "  {beta:>6.2}  {:>12}  {opt:>12.2}  {:>10}",
+                    "not found", "-"
+                )
             }
             (_, None) => println!("  {beta:>6.2}  infeasible for every schedule"),
             (outcome, Some(_)) => println!("  {beta:>6.2}  unexpected outcome: {outcome:?}"),
@@ -57,7 +66,10 @@ fn main() {
     // ----- Larger independent instance -----------------------------------
     let large = random_instance(200, 8, TaskDistribution::Bimodal, &mut rng);
     let lb = LowerBounds::of_instance(&large);
-    println!("Large independent instance (n = 200, m = 8), LB = {:.1}:", lb.mmax);
+    println!(
+        "Large independent instance (n = 200, m = 8), LB = {:.1}:",
+        lb.mmax
+    );
     for beta in [1.05, 1.25, 1.5, 2.0] {
         let budget = beta * lb.mmax;
         match solve_with_memory_budget(&large, budget, InnerAlgorithm::Lpt).unwrap() {
@@ -77,7 +89,13 @@ fn main() {
     println!();
 
     // ----- Precedence-constrained instance -------------------------------
-    let dag = dag_workload(DagFamily::Lu, 150, 6, TaskDistribution::Uncorrelated, &mut rng);
+    let dag = dag_workload(
+        DagFamily::Lu,
+        150,
+        6,
+        TaskDistribution::Uncorrelated,
+        &mut rng,
+    );
     let dag_lb = mmax_lower_bound(dag.tasks(), dag.m());
     println!(
         "LU-factorization DAG ({} tasks, {} processors), memory LB = {:.1}:",

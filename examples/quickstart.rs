@@ -29,7 +29,10 @@ fn main() {
     .expect("valid instance");
     let lb = LowerBounds::of_instance(&inst);
     println!("Instance: n = {}, m = {}", inst.n(), inst.m());
-    println!("Graham lower bounds: Cmax ≥ {:.3}, Mmax ≥ {:.3}\n", lb.cmax, lb.mmax);
+    println!(
+        "Graham lower bounds: Cmax ≥ {:.3}, Mmax ≥ {:.3}\n",
+        lb.cmax, lb.mmax
+    );
 
     // The exact bi-objective Pareto front (affordable at this size).
     let front = pareto_front(&inst);
@@ -42,8 +45,8 @@ fn main() {
     // SBO∆ trades the two objectives through the single parameter ∆.
     println!("SBO∆ with LPT inner schedules:");
     for &delta in &[0.25, 0.5, 1.0, 2.0, 4.0] {
-        let result = sbo(&inst, &SboConfig::new(delta, InnerAlgorithm::Lpt))
-            .expect("∆ > 0 is valid");
+        let result =
+            sbo(&inst, &SboConfig::new(delta, InnerAlgorithm::Lpt)).expect("∆ > 0 is valid");
         let point = result.objective(&inst);
         let (gc, gm) = result.guarantee;
         println!(
@@ -59,9 +62,19 @@ fn main() {
     let result = rls(&dag, &RlsConfig::new(3.0)).expect("∆ > 2 is valid");
     let point = ObjectivePoint::of_timed_tasks(dag.tasks(), &result.schedule);
     let (gc, gm) = result.guarantee;
-    println!("RLS∆ on a Gaussian-elimination DAG (n = {}, m = {}):", dag.n(), dag.m());
-    println!("  memory lower bound LB = {:.3}, cap ∆·LB = {:.3}", result.lb, result.memory_cap);
+    println!(
+        "RLS∆ on a Gaussian-elimination DAG (n = {}, m = {}):",
+        dag.n(),
+        dag.m()
+    );
+    println!(
+        "  memory lower bound LB = {:.3}, cap ∆·LB = {:.3}",
+        result.lb, result.memory_cap
+    );
     println!("  achieved {point}");
-    println!("  guarantee ({gc:.3}, {gm:.3}); marked processors: {} (bound {})",
-        result.marked_count(), result.marked_bound());
+    println!(
+        "  guarantee ({gc:.3}, {gm:.3}); marked processors: {} (bound {})",
+        result.marked_count(),
+        result.marked_bound()
+    );
 }

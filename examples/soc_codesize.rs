@@ -40,10 +40,15 @@ fn main() {
     // Sweep hardware budgets from barely-above-LB to comfortable.
     for beta in [1.05, 1.2, 1.5, 2.0, 3.0] {
         let budget = beta * lb.mmax;
-        let outcome = solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt)
-            .expect("valid parameters");
+        let outcome =
+            solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt).expect("valid parameters");
         match outcome {
-            ConstrainedOutcome::Feasible { point, delta, evaluations, .. } => {
+            ConstrainedOutcome::Feasible {
+                point,
+                delta,
+                evaluations,
+                ..
+            } => {
                 println!(
                     "budget {budget:7.1} KiB (β = {beta:.2}) -> feasible: Cmax = {:.1} ({:.3}× the lower bound), ∆ = {delta:.3}, {evaluations} evaluations",
                     point.cmax,
@@ -66,15 +71,23 @@ fn main() {
 
     // Show the schedule obtained for the tightest comfortable budget.
     let budget = 1.5 * lb.mmax;
-    if let ConstrainedOutcome::Feasible { assignment, point, .. } =
-        solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt).expect("valid parameters")
+    if let ConstrainedOutcome::Feasible {
+        assignment, point, ..
+    } = solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt).expect("valid parameters")
     {
         println!(
             "Schedule for budget {:.1} KiB — achieved (Cmax = {:.1}, code size = {:.1} KiB):",
             budget, point.cmax, point.mmax
         );
         let timed = assignment.into_timed(inst.tasks());
-        let gantt = render_gantt(inst.tasks(), &timed, &GanttOptions { width: 76, totals: true });
+        let gantt = render_gantt(
+            inst.tasks(),
+            &timed,
+            &GanttOptions {
+                width: 76,
+                totals: true,
+            },
+        );
         println!("{gantt}");
     }
 }

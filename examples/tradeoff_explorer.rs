@@ -28,12 +28,18 @@ fn main() {
     // ----- Small instance: the sweep vs the exact front -----------------
     let small = random_instance(12, 3, TaskDistribution::AntiCorrelated, &mut rng);
     let exact = pareto_front(&small);
-    println!("Exact Pareto front of a 12-task instance ({} points):", exact.len());
+    println!(
+        "Exact Pareto front of a 12-task instance ({} points):",
+        exact.len()
+    );
     for (pt, _) in exact.iter() {
         println!("  exact   {pt}");
     }
     let curve = sbo_sweep(&small, InnerAlgorithm::Lpt, 0.125, 8.0, 17).expect("valid sweep");
-    println!("SBO∆ sweep (17 values of ∆) keeps {} non-dominated points:", curve.len());
+    println!(
+        "SBO∆ sweep (17 values of ∆) keeps {} non-dominated points:",
+        curve.len()
+    );
     for p in &curve {
         println!("  ∆ = {:<8.3} {}", p.delta, p.point);
     }
@@ -55,7 +61,13 @@ fn main() {
     println!();
 
     // ----- DAG workload ---------------------------------------------------
-    let dag = dag_workload(DagFamily::GaussianElimination, 150, 6, TaskDistribution::Bimodal, &mut rng);
+    let dag = dag_workload(
+        DagFamily::GaussianElimination,
+        150,
+        6,
+        TaskDistribution::Bimodal,
+        &mut rng,
+    );
     let curve = rls_sweep(&dag, &RlsConfig::new(3.0), 2.05, 12.0, 10).expect("valid sweep");
     println!(
         "RLS∆ trade-off curve for a Gaussian-elimination DAG ({} tasks, 6 processors):",

@@ -20,14 +20,20 @@ use sws_workloads::TaskDistribution;
 #[test]
 fn independent_solutions_fit_the_budget_and_never_beat_the_exact_optimum() {
     for seed in 0..4u64 {
-        let inst =
-            random_instance(10, 3, TaskDistribution::AntiCorrelated, &mut seeded_rng(seed));
+        let inst = random_instance(
+            10,
+            3,
+            TaskDistribution::AntiCorrelated,
+            &mut seeded_rng(seed),
+        );
         let lb = mmax_lower_bound(inst.tasks(), inst.m());
         for beta in [1.1, 1.4, 2.0, 3.0] {
             let budget = beta * lb;
-            let outcome =
-                solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt).unwrap();
-            if let ConstrainedOutcome::Feasible { assignment, point, .. } = outcome {
+            let outcome = solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt).unwrap();
+            if let ConstrainedOutcome::Feasible {
+                assignment, point, ..
+            } = outcome
+            {
                 check_memory(inst.tasks(), &assignment, budget).unwrap();
                 let exact = best_cmax_under_memory_budget(&inst, budget)
                     .expect("feasible heuristic implies feasible instance");
@@ -52,18 +58,35 @@ fn every_pareto_point_is_reachable_as_a_budget_query() {
 #[test]
 fn dag_outcomes_cover_the_three_regimes() {
     let mut rng = seeded_rng(6);
-    let inst = dag_workload(DagFamily::ForkJoin, 80, 4, TaskDistribution::Uncorrelated, &mut rng);
+    let inst = dag_workload(
+        DagFamily::ForkJoin,
+        80,
+        4,
+        TaskDistribution::Uncorrelated,
+        &mut rng,
+    );
     let lb = mmax_lower_bound(inst.tasks(), inst.m());
 
     // Comfortable budget: feasible with a proven guarantee, schedule fully
     // valid under the cap.
     match solve_dag_with_memory_budget(&inst, 3.0 * lb).unwrap() {
-        DagConstrainedOutcome::Feasible { schedule, point, delta, makespan_guarantee } => {
+        DagConstrainedOutcome::Feasible {
+            schedule,
+            point,
+            delta,
+            makespan_guarantee,
+        } => {
             assert!((delta - 3.0).abs() < 1e-9);
             assert!(makespan_guarantee > 1.0);
             assert!(point.mmax <= 3.0 * lb + 1e-9);
-            validate_timed(inst.tasks(), inst.m(), &schedule, inst.graph().all_preds(), Some(3.0 * lb))
-                .unwrap();
+            validate_timed(
+                inst.tasks(),
+                inst.m(),
+                &schedule,
+                inst.graph().all_preds(),
+                Some(3.0 * lb),
+            )
+            .unwrap();
         }
         other => panic!("expected Feasible, got {other:?}"),
     }
@@ -98,7 +121,9 @@ fn infeasible_and_unknown_cases_are_distinguished() {
         ConstrainedOutcome::NotFound { .. }
     ));
     // The same instance with a workable budget succeeds.
-    assert!(solve_with_memory_budget(&packed, 6.0, InnerAlgorithm::Lpt).unwrap().is_feasible());
+    assert!(solve_with_memory_budget(&packed, 6.0, InnerAlgorithm::Lpt)
+        .unwrap()
+        .is_feasible());
 }
 
 #[test]

@@ -14,12 +14,19 @@ use sws_workloads::lemma1_instance;
 #[test]
 fn figure_1_pareto_points_match_the_paper() {
     let fig = figure1(1e-3);
-    assert_eq!(fig.entries.len(), 2, "Figure 1 has exactly two Pareto schedules");
+    assert_eq!(
+        fig.entries.len(),
+        2,
+        "Figure 1 has exactly two Pareto schedules"
+    );
     assert!(fig.matches_paper(1e-9));
     // Gantt charts show both processors and all three tasks.
     for entry in &fig.entries {
         for t in 0..3 {
-            assert!(entry.gantt.contains(&format!("t{t}")), "missing task {t} in Gantt");
+            assert!(
+                entry.gantt.contains(&format!("t{t}")),
+                "missing task {t} in Gantt"
+            );
         }
     }
 }
@@ -28,7 +35,11 @@ fn figure_1_pareto_points_match_the_paper() {
 fn figure_2_pareto_points_match_the_paper() {
     for &eps in &[0.1, 0.25, 0.4] {
         let fig = figure2(eps);
-        assert_eq!(fig.entries.len(), 3, "Figure 2 has exactly three Pareto schedules");
+        assert_eq!(
+            fig.entries.len(),
+            3,
+            "Figure 2 has exactly three Pareto schedules"
+        );
         assert!(fig.matches_paper(1e-9), "eps = {eps}");
     }
 }
@@ -56,15 +67,24 @@ fn lemma_2_points_agree_with_the_adversarial_instance_geometry() {
     let (m, k, eps) = (2usize, 3usize, 1e-9);
     let inst = lemma2_instance(m, k, eps);
     let front = pareto_front(&inst);
-    assert_eq!(front.len(), k + 1, "the paper counts k + 1 Pareto schedules");
+    assert_eq!(
+        front.len(),
+        k + 1,
+        "the paper counts k + 1 Pareto schedules"
+    );
     for i in 0..=k {
         let (pc, pm) = lemma2_pareto_point(m, k, i, eps);
         assert!(
-            front.iter().any(|(pt, _)| (pt.cmax - pc).abs() < 1e-9 && (pt.mmax - pm).abs() < 1e-6),
+            front
+                .iter()
+                .any(|(pt, _)| (pt.cmax - pc).abs() < 1e-9 && (pt.mmax - pm).abs() < 1e-6),
             "Pareto point for i = {i} not found in the enumerated front"
         );
         let (rc, rm) = lemma2_point(m, k, i);
-        assert!((rc - pc).abs() < 1e-9, "Cmax ratio (C* = 1) must equal the Pareto makespan");
+        assert!(
+            (rc - pc).abs() < 1e-9,
+            "Cmax ratio (C* = 1) must equal the Pareto makespan"
+        );
         if i < k {
             assert!((rm - pm / k as f64).abs() < 1e-6);
         }
@@ -81,7 +101,10 @@ fn lemma_1_and_3_claims_hold_on_their_instances() {
     let (c_star, m_star) = (1.0, 1.0 + eps);
     for (pt, _) in front.iter() {
         let beats_1_2 = pt.cmax < c_star - 1e-12 && pt.mmax < 2.0 * m_star - 1e-12;
-        assert!(!beats_1_2, "a schedule strictly better than (1, 2) exists: {pt}");
+        assert!(
+            !beats_1_2,
+            "a schedule strictly better than (1, 2) exists: {pt}"
+        );
     }
     assert_eq!(lemma1_points(), [(1.0, 2.0), (2.0, 1.0)]);
     assert_eq!(lemma3_point(), (1.5, 1.5));

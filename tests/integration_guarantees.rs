@@ -25,11 +25,7 @@ use sws_model::Instance;
 /// Strategy: a non-trivial independent-task instance with positive costs.
 fn arb_instance(max_n: usize, max_m: usize) -> impl Strategy<Value = Instance> {
     (2usize..=max_m, 1usize..=max_n).prop_flat_map(move |(m, n)| {
-        (
-            vec(0.1f64..50.0, n),
-            vec(0.1f64..50.0, n),
-            Just(m),
-        )
+        (vec(0.1f64..50.0, n), vec(0.1f64..50.0, n), Just(m))
             .prop_map(|(p, s, m)| Instance::from_ps(&p, &s, m).expect("valid draws"))
     })
 }

@@ -34,7 +34,9 @@ fn rls_schedules_every_dag_family_feasibly_and_caps_memory() {
             .unwrap_or_else(|e| panic!("{}: ∆ = {delta}: {e}", family.label()));
             // The simulator re-checks precedence and memory independently.
             let sim = simulate_dag_schedule(&inst, &result.schedule, Some(delta * result.lb))
-                .unwrap_or_else(|e| panic!("{}: simulator rejected the schedule: {e}", family.label()));
+                .unwrap_or_else(|e| {
+                    panic!("{}: simulator rejected the schedule: {e}", family.label())
+                });
             assert!((sim.makespan - result.schedule.cmax(inst.tasks())).abs() < 1e-9);
         }
     }
@@ -53,8 +55,16 @@ fn corollary_2_and_3_hold_across_the_grid() {
                 let result = rls(&inst, &RlsConfig::new(delta)).unwrap();
                 let point = ObjectivePoint::of_timed_tasks(inst.tasks(), &result.schedule);
                 let (gc, gm) = result.guarantee;
-                assert!(point.cmax <= gc * lb_c + 1e-9, "{} m={m} ∆={delta}", family.label());
-                assert!(point.mmax <= gm * lb_m + 1e-9, "{} m={m} ∆={delta}", family.label());
+                assert!(
+                    point.cmax <= gc * lb_c + 1e-9,
+                    "{} m={m} ∆={delta}",
+                    family.label()
+                );
+                assert!(
+                    point.mmax <= gm * lb_m + 1e-9,
+                    "{} m={m} ∆={delta}",
+                    family.label()
+                );
                 assert!(result.marked_count() <= lemma4_marked_bound(m, delta));
             }
         }
@@ -67,7 +77,13 @@ fn restriction_costs_at_most_the_proven_factor_over_the_unrestricted_baseline() 
     // memory-heavy placements), but never beyond the proven ratio between
     // their respective bounds.
     let mut rng = seeded_rng(23);
-    let inst = dag_workload(DagFamily::LayeredRandom, 150, 6, TaskDistribution::AntiCorrelated, &mut rng);
+    let inst = dag_workload(
+        DagFamily::LayeredRandom,
+        150,
+        6,
+        TaskDistribution::AntiCorrelated,
+        &mut rng,
+    );
     let baseline = dag_list_schedule(&inst, &index_priority(inst.n()));
     let baseline_cmax = baseline.cmax(inst.tasks());
     for &delta in &[2.25, 3.0, 10.0] {
@@ -101,11 +117,21 @@ fn independent_tasks_are_a_special_case_of_the_dag_path() {
 #[test]
 fn all_priority_orders_meet_the_same_guarantees() {
     let mut rng = seeded_rng(24);
-    let inst = dag_workload(DagFamily::GaussianElimination, 90, 4, TaskDistribution::Correlated, &mut rng);
+    let inst = dag_workload(
+        DagFamily::GaussianElimination,
+        90,
+        4,
+        TaskDistribution::Correlated,
+        &mut rng,
+    );
     for order in PriorityOrder::all() {
-        let (report, result) =
-            evaluate_rls(&inst, &RlsConfig::new(3.0).with_order(order)).unwrap();
-        assert!(report.within_guarantee(), "order {}: {}", order.label(), report.summary_line());
+        let (report, result) = evaluate_rls(&inst, &RlsConfig::new(3.0).with_order(order)).unwrap();
+        assert!(
+            report.within_guarantee(),
+            "order {}: {}",
+            order.label(),
+            report.summary_line()
+        );
         assert!(result.marked_count() <= result.marked_bound());
     }
 }

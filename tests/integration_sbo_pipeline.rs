@@ -17,14 +17,23 @@ use sws_workloads::rng::seeded_rng;
 use sws_workloads::TaskDistribution;
 
 fn anti_correlated(n: usize, m: usize, seed: u64) -> Instance {
-    random_instance(n, m, TaskDistribution::AntiCorrelated, &mut seeded_rng(seed))
+    random_instance(
+        n,
+        m,
+        TaskDistribution::AntiCorrelated,
+        &mut seeded_rng(seed),
+    )
 }
 
 #[test]
 fn sbo_schedules_are_feasible_and_simulate_to_the_same_objectives() {
     for seed in 0..5u64 {
         let inst = anti_correlated(40, 4, seed);
-        for inner in [InnerAlgorithm::Graham, InnerAlgorithm::Lpt, InnerAlgorithm::Multifit] {
+        for inner in [
+            InnerAlgorithm::Graham,
+            InnerAlgorithm::Lpt,
+            InnerAlgorithm::Multifit,
+        ] {
             for &delta in &[0.25, 1.0, 4.0] {
                 let result = sbo(&inst, &SboConfig::new(delta, inner)).unwrap();
                 validate_assignment(&inst, &result.assignment, None).unwrap();
@@ -89,8 +98,11 @@ fn the_symmetry_of_the_independent_task_problem_is_preserved() {
     let inst = anti_correlated(30, 3, 11);
     for &delta in &[0.25, 1.0, 4.0] {
         let a = sbo(&inst, &SboConfig::new(delta, InnerAlgorithm::Graham)).unwrap();
-        let b =
-            sbo(&inst.swapped(), &SboConfig::new(1.0 / delta, InnerAlgorithm::Graham)).unwrap();
+        let b = sbo(
+            &inst.swapped(),
+            &SboConfig::new(1.0 / delta, InnerAlgorithm::Graham),
+        )
+        .unwrap();
         let pa = a.objective(&inst);
         let pb = b.objective(&inst.swapped());
         assert!((pa.cmax - pb.mmax).abs() < 1e-9);
@@ -108,7 +120,9 @@ fn extreme_deltas_recover_the_single_objective_schedules() {
     // And the corresponding objectives coincide with the dedicated
     // single-objective runs.
     let lpt_c = ObjectivePoint::of_assignment(&inst, &sws_listsched::lpt_cmax(&inst));
-    assert!((ObjectivePoint::of_assignment(&inst, &tiny.assignment).cmax - lpt_c.cmax).abs() < 1e-9);
+    assert!(
+        (ObjectivePoint::of_assignment(&inst, &tiny.assignment).cmax - lpt_c.cmax).abs() < 1e-9
+    );
 }
 
 #[test]

@@ -25,14 +25,22 @@ fn every_independent_task_algorithm_replays_to_its_analytic_objectives() {
     let assignments = vec![
         ("graham", graham_cmax(&inst)),
         ("lpt", lpt_cmax(&inst)),
-        ("sbo", sbo(&inst, &SboConfig::new(1.0, InnerAlgorithm::Lpt)).unwrap().assignment),
+        (
+            "sbo",
+            sbo(&inst, &SboConfig::new(1.0, InnerAlgorithm::Lpt))
+                .unwrap()
+                .assignment,
+        ),
     ];
     for (label, asg) in assignments {
         let analytic = ObjectivePoint::of_assignment(&inst, &asg);
         let sim = simulate_assignment(&inst, &asg, None).unwrap();
         assert!((sim.makespan - analytic.cmax).abs() < 1e-9, "{label}");
         assert!((sim.peak_memory - analytic.mmax).abs() < 1e-9, "{label}");
-        assert!(sim.utilization > 0.0 && sim.utilization <= 1.0 + 1e-12, "{label}");
+        assert!(
+            sim.utilization > 0.0 && sim.utilization <= 1.0 + 1e-12,
+            "{label}"
+        );
         // Busy time conservation: the simulator accounts every task once.
         let busy: f64 = sim.busy.iter().sum();
         assert!((busy - inst.total_work()).abs() < 1e-9, "{label}");
@@ -115,9 +123,16 @@ fn memory_profiles_track_cumulative_allocation_over_time() {
 fn gantt_rendering_shows_every_task_and_processor() {
     let inst = random_instance(12, 3, TaskDistribution::Bimodal, &mut seeded_rng(34));
     let asg = lpt_cmax(&inst);
-    let gantt = render_gantt(inst.tasks(), &asg.into_timed(inst.tasks()), &GanttOptions::default());
+    let gantt = render_gantt(
+        inst.tasks(),
+        &asg.into_timed(inst.tasks()),
+        &GanttOptions::default(),
+    );
     for t in 0..inst.n() {
-        assert!(gantt.contains(&format!("t{t}")), "task {t} missing from the Gantt chart");
+        assert!(
+            gantt.contains(&format!("t{t}")),
+            "task {t} missing from the Gantt chart"
+        );
     }
     assert!(gantt.lines().count() >= inst.m());
 }
