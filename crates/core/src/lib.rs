@@ -68,9 +68,15 @@ pub mod tri;
 
 pub use bounds::{impossibility_frontier, lemma3_point, sbo_tradeoff_curve};
 pub use constrained::{solve_dag_with_memory_budget, solve_with_memory_budget};
-pub use pareto_sweep::{rls_sweep, sbo_sweep};
-pub use rls::{rls, rls_guarantee, rls_independent, PriorityOrder, RlsConfig, RlsResult};
-pub use sbo::{corollary1_guarantee, sbo, sbo_guarantee, InnerAlgorithm, SboConfig, SboResult};
+pub use pareto_sweep::{
+    rls_sweep, rls_sweep_cold, sbo_sweep, sbo_sweep_cold, SweepEngine, SweepProvenance,
+};
+pub use rls::{
+    rls, rls_guarantee, rls_independent, PriorityOrder, RlsConfig, RlsEngine, RlsResult,
+};
+pub use sbo::{
+    corollary1_guarantee, sbo, sbo_guarantee, InnerAlgorithm, SboConfig, SboEngine, SboResult,
+};
 pub use tri::{corollary4_guarantee, tri_objective_rls};
 
 /// Frequently used items, including the model-layer vocabulary.
@@ -83,13 +89,18 @@ pub mod prelude {
         solve_dag_with_memory_budget, solve_with_memory_budget, ConstrainedOutcome,
     };
     pub use crate::heterogeneous::{uniform_rls, uniform_rls_lpt, UniformMachines};
-    pub use crate::pareto_sweep::{delta_grid, rls_sweep, sbo_sweep, SweepPoint};
-    pub use crate::pipeline::{evaluate_rls, evaluate_sbo, EvaluationReport};
+    pub use crate::pareto_sweep::{
+        delta_grid, rls_sweep, rls_sweep_cold, sbo_sweep, sbo_sweep_cold, SweepEngine, SweepPoint,
+        SweepProvenance,
+    };
+    pub use crate::pipeline::{
+        evaluate_rls, evaluate_rls_result, evaluate_sbo, evaluate_sbo_result, EvaluationReport,
+    };
     pub use crate::rls::{
-        rls, rls_guarantee, rls_independent, PriorityOrder, RlsConfig, RlsResult,
+        rls, rls_guarantee, rls_independent, PriorityOrder, RlsConfig, RlsEngine, RlsResult,
     };
     pub use crate::sbo::{
-        corollary1_guarantee, sbo, sbo_guarantee, InnerAlgorithm, SboConfig, SboResult,
+        corollary1_guarantee, sbo, sbo_guarantee, InnerAlgorithm, SboConfig, SboEngine, SboResult,
     };
     pub use crate::tri::{corollary4_guarantee, tri_objective_rls, TriObjectiveResult};
     pub use sws_model::prelude::*;

@@ -95,7 +95,17 @@ pub fn evaluate_sbo(
     inst: &Instance,
     config: &SboConfig,
 ) -> Result<(EvaluationReport, SboResult), ModelError> {
-    let result = sbo(inst, config)?;
+    evaluate_sbo_result(inst, sbo(inst, config)?)
+}
+
+/// Evaluates an already-computed SBO∆ result (e.g. one produced by a
+/// shared [`crate::sbo::SboEngine`] across a ∆ sweep) exactly as
+/// [`evaluate_sbo`] would.
+pub fn evaluate_sbo_result(
+    inst: &Instance,
+    result: SboResult,
+) -> Result<(EvaluationReport, SboResult), ModelError> {
+    let config = result.config;
     let sim = simulate_assignment(inst, &result.assignment, None)?;
     let point = result.objective(inst);
     let (reference, kind) = reference_point(inst);
@@ -127,7 +137,17 @@ pub fn evaluate_rls(
     inst: &DagInstance,
     config: &RlsConfig,
 ) -> Result<(EvaluationReport, RlsResult), ModelError> {
-    let result = rls(inst, config)?;
+    evaluate_rls_result(inst, rls(inst, config)?)
+}
+
+/// Evaluates an already-computed RLS∆ result (e.g. one produced by a
+/// warm-started [`crate::rls::RlsEngine`] chain) exactly as
+/// [`evaluate_rls`] would.
+pub fn evaluate_rls_result(
+    inst: &DagInstance,
+    result: RlsResult,
+) -> Result<(EvaluationReport, RlsResult), ModelError> {
+    let config = result.config;
     let sim = simulate_dag_schedule(
         inst,
         &result.schedule,

@@ -32,7 +32,7 @@
 //! as the differential oracle [`naive::rls`].
 
 use sws_dag::{DagInstance, TaskGraph};
-use sws_listsched::kernel::{event_driven_schedule, MemoryCapAdmission};
+use sws_listsched::kernel::{event_driven_schedule, CheckpointedRun, MemoryCapAdmission};
 use sws_listsched::priority::{
     hlf_priority, index_priority, largest_storage_priority, lpt_priority, spt_priority,
     PriorityRank,
@@ -241,6 +241,84 @@ pub fn rls_independent(inst: &Instance, config: &RlsConfig) -> Result<RlsResult,
     let graph = TaskGraph::new(inst.tasks().clone());
     let dag = DagInstance::new(graph, inst.m())?;
     rls(&dag, config)
+}
+
+/// Warm-startable RLS∆ engine over one instance: runs a *chain* of ∆
+/// values, warm-starting each run from the previous one through the
+/// kernel's checkpoint/resume support ([`CheckpointedRun`]).
+///
+/// The memory cap `∆·LB` grows with ∆, so along an ascending ∆ chain the
+/// admissible processor sets only grow and each run replays the previous
+/// one up to the first scheduling round whose admissibility verdict
+/// changes — often zero rounds once the cap stops binding. Every run's
+/// output is **bit-identical** to a from-scratch [`rls`] call at the
+/// same ∆ (the differential suite checks this schedule for schedule); a
+/// descending step is valid too, it just falls back to a cold run.
+///
+/// This is the per-worker building block of the incremental ∆-sweeps in
+/// [`crate::pareto_sweep`].
+#[derive(Debug)]
+pub struct RlsEngine<'a> {
+    inst: &'a DagInstance,
+    order: PriorityOrder,
+    rank: std::sync::Arc<PriorityRank>,
+    last: Option<CheckpointedRun<'a>>,
+}
+
+impl<'a> RlsEngine<'a> {
+    /// An engine with no warm state yet; the first [`RlsEngine::run`]
+    /// is a cold run.
+    pub fn new(inst: &'a DagInstance, order: PriorityOrder) -> Self {
+        Self::with_rank(inst, order, std::sync::Arc::new(order.rank(inst.graph())))
+    }
+
+    /// Like [`RlsEngine::new`], but with a precomputed priority rank for
+    /// `order` on this instance — lets a sweep share one rank across its
+    /// per-worker chains instead of recomputing the same DAG traversal
+    /// per worker.
+    pub fn with_rank(
+        inst: &'a DagInstance,
+        order: PriorityOrder,
+        rank: std::sync::Arc<PriorityRank>,
+    ) -> Self {
+        RlsEngine {
+            inst,
+            order,
+            rank,
+            last: None,
+        }
+    }
+
+    /// Runs RLS∆ at `delta`, warm-starting from the previous run of this
+    /// engine when one exists.
+    pub fn run(&mut self, delta: f64) -> Result<RlsResult, ModelError> {
+        let config = RlsConfig {
+            delta,
+            order: self.order,
+        };
+        let (lb, cap) = delta_lb_cap(self.inst.tasks(), self.inst.m(), &config)?;
+        let run = match &self.last {
+            Some(prev) => prev.resume(cap)?,
+            None => CheckpointedRun::cold(self.inst, std::sync::Arc::clone(&self.rank), cap)?,
+        };
+        let result = RlsResult {
+            schedule: run.outcome().schedule.clone(),
+            lb,
+            memory_cap: cap,
+            marked: run.outcome().marked.clone(),
+            guarantee: rls_guarantee(delta, self.inst.m()),
+            config,
+        };
+        self.last = Some(run);
+        Ok(result)
+    }
+
+    /// Rounds the kernel actually executed for the most recent run
+    /// (`n` for a cold run, `0` for a divergence-free resume); `None`
+    /// before the first run. Exposed for tests and sweep telemetry.
+    pub fn replayed_rounds(&self) -> Option<usize> {
+        self.last.as_ref().map(CheckpointedRun::replayed_rounds)
+    }
 }
 
 /// The original `O(n²·m)` implementation of RLS∆, retained verbatim as
@@ -604,5 +682,48 @@ mod tests {
                 assert!(fast.marked_count() <= fast.marked_bound());
             }
         }
+    }
+
+    /// A warm ∆ chain must reproduce the from-scratch runs bit for bit,
+    /// and skip the whole replay once the cap stops binding.
+    #[test]
+    fn warm_chain_matches_cold_runs_exactly() {
+        let mut rng = seeded_rng(16);
+        let inst = dag_workload(
+            DagFamily::LayeredRandom,
+            90,
+            4,
+            TaskDistribution::AntiCorrelated,
+            &mut rng,
+        );
+        let mut engine = RlsEngine::new(&inst, PriorityOrder::BottomLevel);
+        for &delta in &[2.1, 2.25, 2.5, 3.0, 4.0, 8.0, 64.0, 65.0] {
+            let warm = engine.run(delta).unwrap();
+            let cold = rls(
+                &inst,
+                &RlsConfig::new(delta).with_order(PriorityOrder::BottomLevel),
+            )
+            .unwrap();
+            assert_eq!(warm.schedule, cold.schedule, "∆={delta}");
+            assert_eq!(warm.marked, cold.marked, "∆={delta}");
+            assert_eq!(warm.lb, cold.lb);
+            assert_eq!(warm.memory_cap, cold.memory_cap);
+        }
+        // By ∆ = 65 the cap is far beyond any rejection recorded at
+        // ∆ = 64, so the final resume replays nothing.
+        assert_eq!(engine.replayed_rounds(), Some(0));
+    }
+
+    #[test]
+    fn warm_chain_rejects_invalid_deltas_without_corrupting_state() {
+        let inst = DagInstance::new(gaussian_elimination(5), 3).unwrap();
+        let mut engine = RlsEngine::new(&inst, PriorityOrder::Index);
+        let before = engine.run(3.0).unwrap();
+        for bad in [2.0, 0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(engine.run(bad).is_err(), "∆ = {bad} must be rejected");
+        }
+        // The failed runs left the chain untouched.
+        let after = engine.run(3.0).unwrap();
+        assert_eq!(before.schedule, after.schedule);
     }
 }

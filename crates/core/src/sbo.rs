@@ -156,62 +156,168 @@ pub fn corollary1_guarantee(delta: f64, eps: f64) -> (f64, f64) {
     (1.0 + delta + eps, 1.0 + 1.0 / delta + eps)
 }
 
-/// Runs SBO∆ (Algorithm 1).
+/// Reusable SBO∆ engine over one instance: computes the two inner
+/// schedules `π₁` and `π₂` **once** and re-runs only the `O(n)`
+/// threshold routing per ∆ value.
 ///
-/// Returns an error when `∆ ≤ 0` (the threshold rule needs a positive
-/// parameter).
-pub fn sbo(inst: &Instance, config: &SboConfig) -> Result<SboResult, ModelError> {
-    if config.delta.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
-        || !config.delta.is_finite()
-    {
-        return Err(ModelError::InvalidParameter {
-            name: "delta",
-            value: config.delta,
-            constraint: "∆ > 0",
-        });
-    }
-    if let InnerAlgorithm::Ptas { eps } = config.inner {
-        if !(eps > 0.0 && eps < 1.0) {
-            return Err(ModelError::InvalidParameter {
-                name: "eps",
-                value: eps,
-                constraint: "0 < ε < 1",
-            });
+/// The inner schedules do not depend on ∆, so a ∆-sweep that calls
+/// [`sbo`] per grid point re-solves the same two single-objective
+/// problems over and over — with the PTAS inner algorithm that is
+/// essentially the entire cost. [`SboEngine::run`] produces output
+/// bit-identical to [`sbo`] at the same ∆; the engine additionally
+/// exposes the exact `∆ → 0⁺` / `∆ → ∞` limit schedules the sweeps
+/// record as explicit single-objective runs.
+#[derive(Debug, Clone)]
+pub struct SboEngine<'a> {
+    inst: &'a Instance,
+    inner: InnerAlgorithm,
+    pi1: Assignment,
+    pi2: Assignment,
+    reference_cmax: f64,
+    reference_mmax: f64,
+}
+
+impl<'a> SboEngine<'a> {
+    /// Builds the engine: validates the inner algorithm's parameters and
+    /// computes the two reference schedules.
+    pub fn new(inst: &'a Instance, inner: InnerAlgorithm) -> Result<Self, ModelError> {
+        if let InnerAlgorithm::Ptas { eps } = inner {
+            if !(eps > 0.0 && eps < 1.0) {
+                return Err(ModelError::InvalidParameter {
+                    name: "eps",
+                    value: eps,
+                    constraint: "0 < ε < 1",
+                });
+            }
         }
+        let pi1 = inner.schedule_cmax(inst);
+        let pi2 = inner.schedule_mmax(inst);
+        let reference_cmax = cmax_of_assignment(inst.tasks(), &pi1);
+        let reference_mmax = mmax_of_assignment(inst.tasks(), &pi2);
+        Ok(SboEngine {
+            inst,
+            inner,
+            pi1,
+            pi2,
+            reference_cmax,
+            reference_mmax,
+        })
     }
 
-    let pi1 = config.inner.schedule_cmax(inst);
-    let pi2 = config.inner.schedule_mmax(inst);
-    let c = cmax_of_assignment(inst.tasks(), &pi1);
-    let m_ref = mmax_of_assignment(inst.tasks(), &pi2);
+    /// The makespan-oriented inner schedule `π₁`.
+    pub fn pi1(&self) -> &Assignment {
+        &self.pi1
+    }
 
-    let mut assignment = Assignment::zeroed(inst.n(), inst.m())?;
-    let mut routed_to_memory = vec![false; inst.n()];
-    for (i, routed) in routed_to_memory.iter_mut().enumerate() {
+    /// The memory-oriented inner schedule `π₂`.
+    pub fn pi2(&self) -> &Assignment {
+        &self.pi2
+    }
+
+    /// Runs the threshold routing at `delta` on the precomputed inner
+    /// schedules. Bit-identical to [`sbo`] with the same configuration.
+    pub fn run(&self, delta: f64) -> Result<SboResult, ModelError> {
+        validate_delta(delta)?;
         // The paper's test is p_i/C < ∆·s_i/M. Cross-multiplying keeps it
         // well defined when C or M is zero (a zero reference means the
         // corresponding objective is already trivially optimal).
-        let to_memory = inst.p(i) * m_ref < config.delta * inst.s(i) * c;
-        let target = if to_memory {
-            pi2.proc_of(i)
-        } else {
-            pi1.proc_of(i)
-        };
-        assignment.assign(i, target)?;
-        *routed = to_memory;
+        let (assignment, routed_to_memory) = self.route(|inst, i| {
+            inst.p(i) * self.reference_mmax < delta * inst.s(i) * self.reference_cmax
+        })?;
+        let rho = self.inner.rho(self.inst.m());
+        Ok(SboResult {
+            assignment,
+            pi1: self.pi1.clone(),
+            pi2: self.pi2.clone(),
+            reference_cmax: self.reference_cmax,
+            reference_mmax: self.reference_mmax,
+            routed_to_memory,
+            guarantee: sbo_guarantee(delta, rho, rho),
+            config: SboConfig {
+                delta,
+                inner: self.inner,
+            },
+        })
     }
 
-    let rho = config.inner.rho(inst.m());
-    Ok(SboResult {
-        assignment,
-        pi1,
-        pi2,
-        reference_cmax: c,
-        reference_mmax: m_ref,
-        routed_to_memory,
-        guarantee: sbo_guarantee(config.delta, rho, rho),
-        config: *config,
-    })
+    /// The combined assignment at `delta`, without materializing a full
+    /// [`SboResult`] (no `π₁`/`π₂` clones, no routing-flag vector): the
+    /// sweep hot path, where each grid point must cost exactly one
+    /// `O(n)` routing pass. Identical to `run(delta)?.assignment`.
+    pub fn assignment_at(&self, delta: f64) -> Result<Assignment, ModelError> {
+        validate_delta(delta)?;
+        let (assignment, _) = self.route(|inst, i| {
+            inst.p(i) * self.reference_mmax < delta * inst.s(i) * self.reference_cmax
+        })?;
+        Ok(assignment)
+    }
+
+    /// The exact `∆ → 0⁺` limit of the threshold rule: a task follows
+    /// `π₂` only when the rule routes it there for *every* positive ∆
+    /// (`p_i·M = 0 < s_i·C`), and `π₁` otherwise. This is the π₁-only
+    /// schedule of the sweep endpoints — computed as a limit, not by
+    /// abusing a tiny sentinel ∆ that could collide with a user grid.
+    pub fn cmax_limit(&self) -> Result<Assignment, ModelError> {
+        let (assignment, _) = self.route(|inst, i| {
+            inst.p(i) * self.reference_mmax == 0.0 && inst.s(i) * self.reference_cmax > 0.0
+        })?;
+        Ok(assignment)
+    }
+
+    /// The exact `∆ → ∞` limit of the threshold rule: a task follows
+    /// `π₂` whenever `s_i·C > 0` (for large enough ∆ the rule routes it
+    /// there), and `π₁` otherwise. The π₂-only sweep endpoint.
+    pub fn mmax_limit(&self) -> Result<Assignment, ModelError> {
+        let (assignment, _) = self.route(|inst, i| inst.s(i) * self.reference_cmax > 0.0)?;
+        Ok(assignment)
+    }
+
+    /// Routes every task by `to_memory(inst, i)` over the precomputed
+    /// inner schedules, returning the combined assignment and the routing
+    /// flags (the set `S₂` of the proofs).
+    fn route<F: Fn(&Instance, usize) -> bool>(
+        &self,
+        to_memory: F,
+    ) -> Result<(Assignment, Vec<bool>), ModelError> {
+        let inst = self.inst;
+        let mut assignment = Assignment::zeroed(inst.n(), inst.m())?;
+        let mut routed_to_memory = vec![false; inst.n()];
+        for (i, routed) in routed_to_memory.iter_mut().enumerate() {
+            let to_mem = to_memory(inst, i);
+            let target = if to_mem {
+                self.pi2.proc_of(i)
+            } else {
+                self.pi1.proc_of(i)
+            };
+            assignment.assign(i, target)?;
+            *routed = to_mem;
+        }
+        Ok((assignment, routed_to_memory))
+    }
+}
+
+/// Validates the threshold-rule parameter `∆ > 0` (finite).
+fn validate_delta(delta: f64) -> Result<(), ModelError> {
+    if delta.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !delta.is_finite() {
+        return Err(ModelError::InvalidParameter {
+            name: "delta",
+            value: delta,
+            constraint: "∆ > 0",
+        });
+    }
+    Ok(())
+}
+
+/// Runs SBO∆ (Algorithm 1).
+///
+/// Returns an error when `∆ ≤ 0` (the threshold rule needs a positive
+/// parameter). One-shot wrapper over [`SboEngine`]; sweeps reuse the
+/// engine so the inner schedules are computed once per instance.
+pub fn sbo(inst: &Instance, config: &SboConfig) -> Result<SboResult, ModelError> {
+    // Validate ∆ before the (possibly expensive) inner schedules are
+    // computed, and so the ∆ error takes precedence over the ε one.
+    validate_delta(config.delta)?;
+    SboEngine::new(inst, config.inner)?.run(config.delta)
 }
 
 #[cfg(test)]
@@ -352,6 +458,47 @@ mod tests {
         let result = sbo(&inst, &SboConfig::new(1.0, InnerAlgorithm::Graham)).unwrap();
         assert_eq!(result.memory_routed_count(), 0);
         assert_eq!(result.assignment, result.pi1);
+    }
+
+    #[test]
+    fn engine_matches_the_one_shot_entry_point_exactly() {
+        let inst = anti_correlated_instance();
+        for inner in [InnerAlgorithm::Graham, InnerAlgorithm::Lpt] {
+            let engine = SboEngine::new(&inst, inner).unwrap();
+            for &delta in &[0.25, 0.5, 1.0, 2.0, 4.0] {
+                let via_engine = engine.run(delta).unwrap();
+                let one_shot = sbo(&inst, &SboConfig::new(delta, inner)).unwrap();
+                assert_eq!(via_engine.assignment, one_shot.assignment);
+                assert_eq!(engine.assignment_at(delta).unwrap(), one_shot.assignment);
+                assert_eq!(via_engine.routed_to_memory, one_shot.routed_to_memory);
+                assert_eq!(via_engine.reference_cmax, one_shot.reference_cmax);
+                assert_eq!(via_engine.reference_mmax, one_shot.reference_mmax);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_limits_bound_the_threshold_rule() {
+        let inst = anti_correlated_instance();
+        let engine = SboEngine::new(&inst, InnerAlgorithm::Lpt).unwrap();
+        // All storage requirements are positive, so the ∆ limits are the
+        // two inner schedules themselves.
+        assert_eq!(engine.cmax_limit().unwrap(), *engine.pi1());
+        assert_eq!(engine.mmax_limit().unwrap(), *engine.pi2());
+        // Zero-storage tasks stay on π₁ even in the ∆ → ∞ limit.
+        let zero_s = Instance::from_ps(&[3.0, 2.0, 1.0], &[0.0, 0.0, 0.0], 2).unwrap();
+        let engine = SboEngine::new(&zero_s, InnerAlgorithm::Graham).unwrap();
+        assert_eq!(engine.mmax_limit().unwrap(), *engine.pi1());
+    }
+
+    #[test]
+    fn engine_rejects_invalid_parameters() {
+        let inst = anti_correlated_instance();
+        assert!(SboEngine::new(&inst, InnerAlgorithm::Ptas { eps: 0.0 }).is_err());
+        let engine = SboEngine::new(&inst, InnerAlgorithm::Lpt).unwrap();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(engine.run(bad).is_err(), "∆ = {bad} must be rejected");
+        }
     }
 
     #[test]

@@ -30,7 +30,14 @@
 //! * **incremental Lemma-4 bookkeeping**: the processors skipped by the
 //!   winning probe are exactly the "marked" processors of the paper's
 //!   analysis, so marking costs `O(#skipped)` instead of a per-candidate
-//!   `O(m)` sweep.
+//!   `O(m)` sweep;
+//! * **checkpoint/resume for ∆-sweeps** ([`CheckpointedRun`]): a
+//!   memory-capped run records per-round rejection thresholds and
+//!   periodic snapshots of the resumable [`EngineState`], so a later run
+//!   at a larger cap replays only from the first round whose
+//!   admissibility verdict changes (and costs nothing when none does) —
+//!   the warm-start backbone of the incremental Pareto sweeps in
+//!   `sws_core::pareto_sweep`.
 //!
 //! Tie-breaking uses the same shared comparator
 //! ([`sws_model::numeric::better_candidate`]) as the retained naive
@@ -44,8 +51,10 @@
 //! the kernel's marked set is therefore a subset of the oracle's and
 //! still satisfies the Lemma 4 bound.
 
+use std::cell::Cell;
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use sws_dag::DagInstance;
 use sws_model::error::ModelError;
@@ -305,6 +314,7 @@ pub struct KernelOutcome {
 }
 
 /// One selection candidate of the current round.
+#[derive(Debug, Clone)]
 struct Candidate {
     /// Earliest start `max(ready time, load of chosen processor)`.
     key: f64,
@@ -318,79 +328,112 @@ struct Candidate {
     skipped: Vec<usize>,
 }
 
-/// Event-driven list scheduling of a precedence-constrained instance.
+/// Resumable mid-run state of the event-driven scheduler: the ready
+/// structures, the indexed processor-load heap, the incremental Lemma-4
+/// marked-processor bookkeeping, and the partial schedule built so far.
 ///
-/// `rank` gives the tie-break rank of every task (lower = preferred);
-/// `admission` decides which processors may receive each task. With
-/// [`Unrestricted`] this computes Graham DAG list scheduling; with
-/// [`MemoryCapAdmission`] it computes the paper's RLS∆.
-pub fn event_driven_schedule<A: Admission>(
-    inst: &DagInstance,
-    rank: &PriorityRank,
-    admission: &mut A,
-) -> Result<KernelOutcome, ModelError> {
-    let graph = inst.graph();
-    let tasks = graph.tasks();
-    let n = graph.n();
-    let m = inst.m();
-    assert_eq!(rank.len(), n, "priority rank must cover every task");
+/// The scheduling loop is fully deterministic given a state and an
+/// admissibility predicate, so a cloned `EngineState` replayed with the
+/// same verdicts reproduces the original run bit for bit — the property
+/// the ∆-sweep checkpoint/resume machinery ([`CheckpointedRun`]) is
+/// built on.
+#[derive(Debug, Clone)]
+pub struct EngineState {
+    procs: ProcHeap,
+    marked: Vec<bool>,
+    completion: Vec<f64>,
+    /// Maximum completion time over scheduled predecessors, maintained
+    /// incrementally as predecessors are placed.
+    pred_ready: Vec<f64>,
+    remaining_preds: Vec<usize>,
+    proc_of: Vec<usize>,
+    start: Vec<f64>,
+    /// Ready tasks whose ready time exceeds the current minimum load,
+    /// keyed by (ready time, rank, task).
+    pending: BinaryHeap<Reverse<(Key, usize, usize)>>,
+    /// Ready tasks whose ready time is (approximately) at or below the
+    /// minimum load — their earliest start is the minimum load itself, so
+    /// only the rank orders them. Keyed by (rank, task).
+    runnable: BinaryHeap<Reverse<(usize, usize)>>,
+    /// Number of placements made so far.
+    round: usize,
+    // Scratch buffers, empty between rounds (kept here so the hot loop
+    // reuses their allocations).
+    popped_runnable: Vec<(usize, usize)>,
+    popped_pending: Vec<(f64, usize, usize)>,
+    cands: Vec<Candidate>,
+}
 
-    let mut procs = ProcHeap::new(m);
-    let mut marked = vec![false; m];
-    let mut completion = vec![0.0f64; n];
-    // Maximum completion time over scheduled predecessors, maintained
-    // incrementally as predecessors are placed.
-    let mut pred_ready = vec![0.0f64; n];
-    let mut remaining_preds: Vec<usize> = (0..n).map(|i| graph.in_degree(i)).collect();
-    let mut proc_of = vec![0usize; n];
-    let mut start = vec![0.0f64; n];
-
-    // Ready tasks whose ready time exceeds the current minimum load,
-    // keyed by (ready time, rank, task).
-    let mut pending: BinaryHeap<Reverse<(Key, usize, usize)>> = BinaryHeap::new();
-    // Ready tasks whose ready time is (approximately) at or below the
-    // minimum load — their earliest start is the minimum load itself, so
-    // only the rank orders them. Keyed by (rank, task).
-    let mut runnable: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
-
-    for i in 0..n {
-        if remaining_preds[i] == 0 {
-            pending.push(Reverse((Key(0.0), rank[i], i)));
+impl EngineState {
+    /// The initial state: no placements, all source tasks ready at 0.
+    /// Crate-private: the state is only drivable through
+    /// [`event_driven_schedule`] and [`CheckpointedRun`].
+    pub(crate) fn new(inst: &DagInstance, rank: &PriorityRank) -> Self {
+        let graph = inst.graph();
+        let n = graph.n();
+        let m = inst.m();
+        assert_eq!(rank.len(), n, "priority rank must cover every task");
+        let remaining_preds: Vec<usize> = (0..n).map(|i| graph.in_degree(i)).collect();
+        let mut pending = BinaryHeap::new();
+        for i in 0..n {
+            if remaining_preds[i] == 0 {
+                pending.push(Reverse((Key(0.0), rank[i], i)));
+            }
+        }
+        EngineState {
+            procs: ProcHeap::new(m),
+            marked: vec![false; m],
+            completion: vec![0.0; n],
+            pred_ready: vec![0.0; n],
+            remaining_preds,
+            proc_of: vec![0; n],
+            start: vec![0.0; n],
+            pending,
+            runnable: BinaryHeap::new(),
+            round: 0,
+            popped_runnable: Vec::new(),
+            popped_pending: Vec::new(),
+            cands: Vec::new(),
         }
     }
 
-    let mut popped_runnable: Vec<(usize, usize)> = Vec::new();
-    let mut popped_pending: Vec<(f64, usize, usize)> = Vec::new();
-    let mut cands: Vec<Candidate> = Vec::new();
+    /// Executes one placement round. Precondition: `rounds_done() < n`.
+    fn step<A: Admission>(
+        &mut self,
+        inst: &DagInstance,
+        rank: &PriorityRank,
+        admission: &mut A,
+    ) -> Result<(), ModelError> {
+        let graph = inst.graph();
+        let tasks = graph.tasks();
 
-    for _round in 0..n {
-        let q1 = procs.min();
-        let l1 = procs.load(q1);
+        let q1 = self.procs.min();
+        let l1 = self.procs.load(q1);
 
         // Migration: the minimum load only grows, so once a ready time is
         // (approximately) at or below it the task is runnable forever.
-        while let Some(&Reverse((Key(ready), rk, i))) = pending.peek() {
+        while let Some(&Reverse((Key(ready), rk, i))) = self.pending.peek() {
             if !approx_le(ready, l1) {
                 break;
             }
-            pending.pop();
-            runnable.push(Reverse((rk, i)));
+            self.pending.pop();
+            self.runnable.push(Reverse((rk, i)));
         }
 
-        cands.clear();
-        popped_runnable.clear();
-        popped_pending.clear();
+        self.cands.clear();
+        self.popped_runnable.clear();
+        self.popped_pending.clear();
 
         // Runnable scan: in rank order, stop at the first task admissible
         // on the least loaded processor — no later-rank runnable task can
         // beat it (its key is minimal and its rank smaller). Earlier-rank
         // tasks rejected on q1 stay candidates with their own probe.
-        while let Some(Reverse((rk, i))) = runnable.pop() {
-            popped_runnable.push((rk, i));
+        while let Some(Reverse((rk, i))) = self.runnable.pop() {
+            self.popped_runnable.push((rk, i));
             let s_i = tasks.get(i).s;
             if admission.admits(q1, s_i) {
-                cands.push(Candidate {
-                    key: pred_ready[i].max(l1),
+                self.cands.push(Candidate {
+                    key: self.pred_ready[i].max(l1),
                     rank: rk,
                     task: i,
                     proc: q1,
@@ -398,9 +441,9 @@ pub fn event_driven_schedule<A: Admission>(
                 });
                 break;
             }
-            match procs.probe(|q| admission.admits(q, s_i)) {
-                Some((j, skipped)) => cands.push(Candidate {
-                    key: pred_ready[i].max(procs.load(j)),
+            match self.procs.probe(|q| admission.admits(q, s_i)) {
+                Some((j, skipped)) => self.cands.push(Candidate {
+                    key: self.pred_ready[i].max(self.procs.load(j)),
                     rank: rk,
                     task: i,
                     proc: j,
@@ -413,19 +456,23 @@ pub fn event_driven_schedule<A: Admission>(
         // Pending scan: a pending task can only win while its ready time
         // is approximately at or below the best candidate key (its start
         // is at least its ready time).
-        let mut best_key = cands.iter().map(|c| c.key).fold(f64::INFINITY, f64::min);
-        while let Some(&Reverse((Key(ready), rk, i))) = pending.peek() {
+        let mut best_key = self
+            .cands
+            .iter()
+            .map(|c| c.key)
+            .fold(f64::INFINITY, f64::min);
+        while let Some(&Reverse((Key(ready), rk, i))) = self.pending.peek() {
             if !approx_le(ready, best_key) {
                 break;
             }
-            pending.pop();
-            popped_pending.push((ready, rk, i));
+            self.pending.pop();
+            self.popped_pending.push((ready, rk, i));
             let s_i = tasks.get(i).s;
-            match procs.probe(|q| admission.admits(q, s_i)) {
+            match self.procs.probe(|q| admission.admits(q, s_i)) {
                 Some((j, skipped)) => {
-                    let key = ready.max(procs.load(j));
+                    let key = ready.max(self.procs.load(j));
                     best_key = best_key.min(key);
-                    cands.push(Candidate {
+                    self.cands.push(Candidate {
                         key,
                         rank: rk,
                         task: i,
@@ -440,27 +487,32 @@ pub fn event_driven_schedule<A: Admission>(
         // Selection: fold with the shared comparator in task-index order,
         // mirroring the naive oracle's scan.
         assert!(
-            !cands.is_empty(),
+            !self.cands.is_empty(),
             "an acyclic graph always has a ready task while tasks remain"
         );
-        cands.sort_unstable_by_key(|c| c.task);
+        self.cands.sort_unstable_by_key(|c| c.task);
         let mut w = 0;
-        for ci in 1..cands.len() {
-            if better_candidate(cands[ci].key, cands[ci].rank, cands[w].key, cands[w].rank) {
+        for ci in 1..self.cands.len() {
+            if better_candidate(
+                self.cands[ci].key,
+                self.cands[ci].rank,
+                self.cands[w].key,
+                self.cands[w].rank,
+            ) {
                 w = ci;
             }
         }
-        let winner = cands.swap_remove(w);
+        let winner = self.cands.swap_remove(w);
 
         // Restore the candidates that lost.
-        for &(rk, i) in &popped_runnable {
+        for &(rk, i) in &self.popped_runnable {
             if i != winner.task {
-                runnable.push(Reverse((rk, i)));
+                self.runnable.push(Reverse((rk, i)));
             }
         }
-        for &(ready, rk, i) in &popped_pending {
+        for &(ready, rk, i) in &self.popped_pending {
             if i != winner.task {
-                pending.push(Reverse((Key(ready), rk, i)));
+                self.pending.push(Reverse((Key(ready), rk, i)));
             }
         }
 
@@ -471,36 +523,315 @@ pub fn event_driven_schedule<A: Admission>(
         // matching the naive oracle's strict comparison.
         let i = winner.task;
         let j = winner.proc;
-        let chosen_load = procs.load(j);
+        let chosen_load = self.procs.load(j);
         for &q in &winner.skipped {
-            if procs.load(q) < chosen_load {
-                marked[q] = true;
+            if self.procs.load(q) < chosen_load {
+                self.marked[q] = true;
             }
         }
 
         // Placement.
         let task = tasks.get(i);
-        proc_of[i] = j;
-        start[i] = winner.key;
-        completion[i] = winner.key + task.p;
-        procs.set_load(j, completion[i]);
+        self.proc_of[i] = j;
+        self.start[i] = winner.key;
+        self.completion[i] = winner.key + task.p;
+        self.procs.set_load(j, self.completion[i]);
         admission.commit(j, task.s);
 
         // Completion event: feed successors whose last predecessor was
         // just scheduled into the ready structure.
         for &v in graph.succs(i) {
-            if completion[i] > pred_ready[v] {
-                pred_ready[v] = completion[i];
+            if self.completion[i] > self.pred_ready[v] {
+                self.pred_ready[v] = self.completion[i];
             }
-            remaining_preds[v] -= 1;
-            if remaining_preds[v] == 0 {
-                pending.push(Reverse((Key(pred_ready[v]), rank[v], v)));
+            self.remaining_preds[v] -= 1;
+            if self.remaining_preds[v] == 0 {
+                self.pending
+                    .push(Reverse((Key(self.pred_ready[v]), rank[v], v)));
             }
+        }
+
+        self.round += 1;
+        Ok(())
+    }
+
+    /// Consumes a completed state (every round executed) into the
+    /// kernel's outcome.
+    fn finish(self, m: usize) -> Result<KernelOutcome, ModelError> {
+        let schedule = TimedSchedule::new(self.proc_of, self.start, m)?;
+        Ok(KernelOutcome {
+            schedule,
+            marked: self.marked,
+        })
+    }
+
+    /// Empties the scratch buffers. They are semantically dead between
+    /// rounds (every round clears them before use), but they still hold
+    /// the previous round's leftovers — snapshots clear them first so a
+    /// checkpoint never retains that dead weight.
+    fn clear_scratch(&mut self) {
+        self.popped_runnable.clear();
+        self.popped_pending.clear();
+        self.cands.clear();
+    }
+}
+
+/// Event-driven list scheduling of a precedence-constrained instance.
+///
+/// `rank` gives the tie-break rank of every task (lower = preferred);
+/// `admission` decides which processors may receive each task. With
+/// [`Unrestricted`] this computes Graham DAG list scheduling; with
+/// [`MemoryCapAdmission`] it computes the paper's RLS∆.
+pub fn event_driven_schedule<A: Admission>(
+    inst: &DagInstance,
+    rank: &PriorityRank,
+    admission: &mut A,
+) -> Result<KernelOutcome, ModelError> {
+    let n = inst.graph().n();
+    let mut state = EngineState::new(inst, rank);
+    while state.round < n {
+        state.step(inst, rank, admission)?;
+    }
+    state.finish(inst.m())
+}
+
+/// [`MemoryCapAdmission`] wrapper that additionally records, per round,
+/// the smallest inadmissible `memsize[q] + s` value probed. Interior
+/// mutability because [`Admission::admits`] takes `&self` (heap probes
+/// borrow the predicate immutably).
+struct RecordingCapAdmission {
+    inner: MemoryCapAdmission,
+    round_reject_min: Cell<f64>,
+}
+
+impl RecordingCapAdmission {
+    fn new(memsize: Vec<f64>, cap: f64) -> Self {
+        RecordingCapAdmission {
+            inner: MemoryCapAdmission { memsize, cap },
+            round_reject_min: Cell::new(f64::INFINITY),
         }
     }
 
-    let schedule = TimedSchedule::new(proc_of, start, m)?;
-    Ok(KernelOutcome { schedule, marked })
+    /// The smallest value rejected since the last call (∞ when none),
+    /// resetting the recorder for the next round.
+    fn take_round_min(&self) -> f64 {
+        self.round_reject_min.replace(f64::INFINITY)
+    }
+}
+
+impl Admission for RecordingCapAdmission {
+    #[inline]
+    fn admits(&self, q: usize, s: f64) -> bool {
+        // Delegate the verdict so it can never drift from the predicate
+        // the plain (cold) runs use — the warm/cold bit-identity contract
+        // depends on the two computing exactly the same answer.
+        if self.inner.admits(q, s) {
+            true
+        } else {
+            let v = self.inner.memsize[q] + s;
+            if v < self.round_reject_min.get() {
+                self.round_reject_min.set(v);
+            }
+            false
+        }
+    }
+
+    #[inline]
+    fn commit(&mut self, q: usize, s: f64) {
+        self.inner.commit(q, s);
+    }
+
+    fn rejection_error(&self, s: f64) -> ModelError {
+        self.inner.rejection_error(s)
+    }
+}
+
+/// Interval between state snapshots of a [`CheckpointedRun`]: bounded
+/// below so tiny instances don't snapshot every round, and proportional
+/// to `n` so a run never stores more than ~33 snapshots (`O(n)` memory
+/// per snapshot).
+fn checkpoint_stride(n: usize) -> usize {
+    (n / 32).max(32)
+}
+
+/// One snapshot of a checkpointed run: the engine state plus the
+/// per-processor memory committed so far, taken *before* round `round`.
+#[derive(Debug)]
+struct Checkpoint {
+    round: usize,
+    state: EngineState,
+    memsize: Vec<f64>,
+}
+
+/// A completed memory-capped kernel run that can be **warm-resumed at a
+/// larger cap**: the checkpoint/resume backbone of the incremental
+/// ∆-sweeps (`sws_core::pareto_sweep`).
+///
+/// During the run, every admissibility rejection records the value
+/// `memsize[q] + s` that was refused; `reject_min[r]` keeps the smallest
+/// such value of round `r`. Because [`sws_model::numeric::approx_le`] is
+/// monotone in both arguments over non-negative operands, a run at a cap
+/// `cap' ≥ cap` executes **identically** up to the first round whose
+/// smallest rejected value becomes admissible under `cap'` — accepted
+/// probes stay accepted (the cap only grew) and rejected probes stay
+/// rejected (their values all exceed the round's recorded minimum). The
+/// resume therefore restores the latest snapshot at or before that first
+/// diverging round and re-runs only from there; when no round diverges
+/// the previous outcome is returned as-is, and when the divergence
+/// prefix is shorter than the snapshot stride the restore degenerates to
+/// the initial state — a full recompute.
+///
+/// Snapshots and the rejection thresholds are shared (`Arc`) between the
+/// runs of a chain, so the no-divergence fast path costs `O(n)` (cloning
+/// the outcome), not `O(n²/stride)`.
+///
+/// The run is **bound to its instance and priority rank at
+/// construction** — a resume always replays against exactly the inputs
+/// the checkpoints were recorded under, so there is no way to mix the
+/// snapshots of one instance with the tasks of another.
+#[derive(Debug, Clone)]
+pub struct CheckpointedRun<'a> {
+    inst: &'a DagInstance,
+    rank: Arc<PriorityRank>,
+    cap: f64,
+    /// `reject_min[r]`: smallest inadmissible `memsize[q] + s` probed in
+    /// round `r` (∞ when round `r` rejected nothing).
+    reject_min: Arc<Vec<f64>>,
+    /// Snapshots at rounds `0, stride, 2·stride, …` (ascending).
+    checkpoints: Vec<Arc<Checkpoint>>,
+    outcome: KernelOutcome,
+    /// Rounds actually executed to produce this run (`n` for a cold run,
+    /// `0` when a resume reused the previous outcome wholesale).
+    replayed: usize,
+}
+
+impl<'a> CheckpointedRun<'a> {
+    /// A from-scratch run with memory cap `cap`, recording rejection
+    /// thresholds and periodic snapshots for later warm resumes.
+    pub fn cold(
+        inst: &'a DagInstance,
+        rank: Arc<PriorityRank>,
+        cap: f64,
+    ) -> Result<Self, ModelError> {
+        let state = EngineState::new(inst, &rank);
+        let admission = RecordingCapAdmission::new(vec![0.0; inst.m()], cap);
+        Self::drive(inst, rank, cap, state, admission, Vec::new(), Vec::new())
+    }
+
+    /// Runs `state` to completion, snapshotting every
+    /// [`checkpoint_stride`] rounds and extending `reject_min` (which
+    /// must already cover the rounds before `state.round`).
+    fn drive(
+        inst: &'a DagInstance,
+        rank: Arc<PriorityRank>,
+        cap: f64,
+        mut state: EngineState,
+        mut admission: RecordingCapAdmission,
+        mut reject_min: Vec<f64>,
+        mut checkpoints: Vec<Arc<Checkpoint>>,
+    ) -> Result<Self, ModelError> {
+        let n = inst.graph().n();
+        let stride = checkpoint_stride(n);
+        let first = state.round;
+        debug_assert_eq!(reject_min.len(), first);
+        while state.round < n {
+            if state.round.is_multiple_of(stride) {
+                state.clear_scratch();
+                checkpoints.push(Arc::new(Checkpoint {
+                    round: state.round,
+                    state: state.clone(),
+                    memsize: admission.inner.memsize.clone(),
+                }));
+            }
+            state.step(inst, &rank, &mut admission)?;
+            reject_min.push(admission.take_round_min());
+        }
+        let outcome = state.finish(inst.m())?;
+        Ok(CheckpointedRun {
+            inst,
+            rank,
+            cap,
+            reject_min: Arc::new(reject_min),
+            checkpoints,
+            outcome,
+            replayed: n - first,
+        })
+    }
+
+    /// Warm-starts a run at `new_cap` against the instance and rank this
+    /// run was built from, reusing the longest prefix whose admissibility
+    /// verdicts are unchanged. Requires `new_cap ≥ cap` for the warm path
+    /// (the verdict monotonicity the divergence test relies on); a
+    /// smaller cap falls back to a cold run. The produced schedule is
+    /// bit-identical to a cold run at `new_cap`.
+    pub fn resume(&self, new_cap: f64) -> Result<Self, ModelError> {
+        if new_cap < self.cap {
+            return Self::cold(self.inst, Arc::clone(&self.rank), new_cap);
+        }
+        let n = self.inst.graph().n();
+        // First round in which a previously rejected probe would now be
+        // admitted; every earlier round replays verbatim.
+        let divergence = self
+            .reject_min
+            .iter()
+            // The ∞ sentinel means "no rejection that round"; it must not
+            // hit the tolerant comparison (whose slack is infinite there).
+            .position(|&v| v.is_finite() && approx_le(v, new_cap))
+            .unwrap_or(n);
+        if divergence >= n {
+            return Ok(CheckpointedRun {
+                inst: self.inst,
+                rank: Arc::clone(&self.rank),
+                cap: new_cap,
+                reject_min: Arc::clone(&self.reject_min),
+                checkpoints: self.checkpoints.clone(),
+                outcome: self.outcome.clone(),
+                replayed: 0,
+            });
+        }
+        let ci = self
+            .checkpoints
+            .iter()
+            .rposition(|c| c.round <= divergence)
+            .expect("a non-empty run always snapshots round 0");
+        let ck = &self.checkpoints[ci];
+        let state = ck.state.clone();
+        let admission = RecordingCapAdmission::new(ck.memsize.clone(), new_cap);
+        // The replay re-records the snapshot at the restored round, so
+        // keep only the strictly earlier ones (still valid: the prefix of
+        // the new run is identical).
+        let reject_min = self.reject_min[..ck.round].to_vec();
+        let checkpoints = self.checkpoints[..ci].to_vec();
+        Self::drive(
+            self.inst,
+            Arc::clone(&self.rank),
+            new_cap,
+            state,
+            admission,
+            reject_min,
+            checkpoints,
+        )
+    }
+
+    /// The memory cap this run enforced.
+    #[inline]
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// The produced schedule and Lemma-4 bookkeeping.
+    #[inline]
+    pub fn outcome(&self) -> &KernelOutcome {
+        &self.outcome
+    }
+
+    /// Rounds actually executed to produce this run: `n` for a cold run,
+    /// `0` when a resume found no diverging round, and the length of the
+    /// replayed suffix otherwise. Exposed for tests and sweep telemetry.
+    #[inline]
+    pub fn replayed_rounds(&self) -> usize {
+        self.replayed
+    }
 }
 
 #[cfg(test)]
@@ -608,5 +939,73 @@ mod tests {
         let inst = DagInstance::new(sws_dag::TaskGraph::new(tasks), 2).unwrap();
         let out = event_driven_schedule(&inst, &index_priority(0), &mut Unrestricted).unwrap();
         assert_eq!(out.schedule.n(), 0);
+    }
+
+    fn capped_instance() -> (DagInstance, f64) {
+        let g = fork_join(3, 9).with_costs(|i| sws_model::task::Task {
+            p: 1.0 + (i % 5) as f64,
+            s: 1.0 + (i % 3) as f64,
+        });
+        let inst = DagInstance::new(g, 4).unwrap();
+        let total_s: f64 = (0..inst.n()).map(|i| inst.tasks().get(i).s).sum();
+        let lb = (total_s / 4.0).max(3.0);
+        (inst, lb)
+    }
+
+    #[test]
+    fn checkpointed_cold_run_matches_the_plain_kernel() {
+        let (inst, lb) = capped_instance();
+        let rank = Arc::new(index_priority(inst.n()));
+        for &delta in &[2.25, 3.0, 8.0] {
+            let cap = delta * lb;
+            let run = CheckpointedRun::cold(&inst, Arc::clone(&rank), cap).unwrap();
+            let mut adm = MemoryCapAdmission::new(inst.m(), cap);
+            let direct = event_driven_schedule(&inst, &rank, &mut adm).unwrap();
+            assert_eq!(run.outcome().schedule, direct.schedule, "∆={delta}");
+            assert_eq!(run.outcome().marked, direct.marked);
+            assert_eq!(run.replayed_rounds(), inst.n());
+        }
+    }
+
+    #[test]
+    fn resume_at_a_larger_cap_is_bit_identical_to_a_cold_run() {
+        let (inst, lb) = capped_instance();
+        let rank = Arc::new(index_priority(inst.n()));
+        let mut chain = CheckpointedRun::cold(&inst, Arc::clone(&rank), 2.25 * lb).unwrap();
+        for &delta in &[2.5, 2.75, 3.5, 6.0, 100.0] {
+            let cap = delta * lb;
+            chain = chain.resume(cap).unwrap();
+            let cold = CheckpointedRun::cold(&inst, Arc::clone(&rank), cap).unwrap();
+            assert_eq!(
+                chain.outcome().schedule,
+                cold.outcome().schedule,
+                "∆={delta}"
+            );
+            assert_eq!(chain.outcome().marked, cold.outcome().marked, "∆={delta}");
+            assert!(chain.replayed_rounds() <= inst.n());
+        }
+    }
+
+    #[test]
+    fn resume_without_divergence_replays_nothing() {
+        let (inst, lb) = capped_instance();
+        let rank = Arc::new(index_priority(inst.n()));
+        // A huge cap never rejects, so any still-larger cap diverges
+        // nowhere and the resume reuses the previous outcome wholesale.
+        let run = CheckpointedRun::cold(&inst, rank, 1e6 * lb).unwrap();
+        let next = run.resume(2e6 * lb).unwrap();
+        assert_eq!(next.replayed_rounds(), 0);
+        assert_eq!(next.outcome().schedule, run.outcome().schedule);
+    }
+
+    #[test]
+    fn resume_at_a_smaller_cap_falls_back_to_a_cold_run() {
+        let (inst, lb) = capped_instance();
+        let rank = Arc::new(index_priority(inst.n()));
+        let run = CheckpointedRun::cold(&inst, Arc::clone(&rank), 4.0 * lb).unwrap();
+        let back = run.resume(2.25 * lb).unwrap();
+        let cold = CheckpointedRun::cold(&inst, rank, 2.25 * lb).unwrap();
+        assert_eq!(back.outcome().schedule, cold.outcome().schedule);
+        assert_eq!(back.replayed_rounds(), inst.n());
     }
 }

@@ -38,7 +38,8 @@ pub mod spt;
 pub use dag_list::dag_list_schedule;
 pub use graham::{graham_cmax, graham_mmax, list_schedule};
 pub use kernel::{
-    event_driven_schedule, Admission, KernelOutcome, MemoryCapAdmission, ProcHeap, Unrestricted,
+    event_driven_schedule, Admission, CheckpointedRun, KernelOutcome, MemoryCapAdmission, ProcHeap,
+    Unrestricted,
 };
 pub use lpt::{lpt_cmax, lpt_mmax};
 pub use multifit::multifit_cmax;

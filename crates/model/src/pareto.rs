@@ -58,11 +58,63 @@ impl<T> ParetoFront<T> {
     /// Offers a point to the front. The point is inserted iff no stored
     /// point dominates it (or equals it); stored points dominated by the
     /// new point are removed. Returns `true` when the point was inserted.
+    ///
+    /// Among `equivalent` ties the **incumbent wins** — the payload kept
+    /// for a front point is the first one offered, so the result depends
+    /// on offer order. When that matters (the ∆-sweeps tag points with
+    /// the parameter that produced them), use [`ParetoFront::offer_with`]
+    /// and supply an explicit, order-independent tie-break.
     pub fn offer(&mut self, point: ObjectivePoint, payload: T) -> bool {
-        for (existing, _) in &self.entries {
-            if dominates(existing, &point) || equivalent(existing, &point) {
-                return false;
-            }
+        self.offer_with(point, payload, |_, _| false)
+    }
+
+    /// Like [`ParetoFront::offer`], but with an explicit tie-break among
+    /// `equivalent` points: when the offered point ties an incumbent
+    /// (equal on both objectives up to tolerance), `replace_tie(new
+    /// payload, incumbent payload)` decides whether the incumbent is
+    /// replaced (`true`) or the offer is rejected (`false`). A hook that
+    /// imposes a strict total order on payloads (e.g. "prefer the
+    /// smaller ∆") makes the payload kept for a front point independent
+    /// of the order in which its tied runs were offered.
+    ///
+    /// The tolerant equivalence relation is not transitive, so a point
+    /// may tie *several* mutually non-equivalent incumbents; the offer is
+    /// accepted only when it beats **all** of them (and then replaces all
+    /// of them), so no two equivalent points ever coexist on the front.
+    /// Because such tolerance chains make acceptance depend on which
+    /// points are already stored, the *surviving point set* can still
+    /// vary with offer order in sub-tolerance scenarios — callers that
+    /// need reproducible curves must offer in a fixed order (the ∆-sweeps
+    /// always merge in grid order). Dominance always takes precedence
+    /// over the tie-break: a point dominated by any incumbent is rejected
+    /// outright.
+    pub fn offer_with<F>(&mut self, point: ObjectivePoint, payload: T, replace_tie: F) -> bool
+    where
+        F: FnMut(&T, &T) -> bool,
+    {
+        let mut replace_tie = replace_tie;
+        if self
+            .entries
+            .iter()
+            .any(|(existing, _)| dominates(existing, &point))
+        {
+            return false;
+        }
+        let ties: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (existing, _))| equivalent(existing, &point))
+            .map(|(idx, _)| idx)
+            .collect();
+        if ties
+            .iter()
+            .any(|&idx| !replace_tie(&payload, &self.entries[idx].1))
+        {
+            return false;
+        }
+        for &idx in ties.iter().rev() {
+            self.entries.remove(idx);
         }
         self.entries
             .retain(|(existing, _)| !dominates(&point, existing));
@@ -256,6 +308,65 @@ mod tests {
         assert!(front.offer(p(1.0, 1.0), ()));
         assert!(!front.offer(p(1.0, 1.0 + 1e-13), ()));
         assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn offer_keeps_the_first_payload_among_ties() {
+        let mut front = ParetoFront::new();
+        assert!(front.offer(p(1.0, 1.0), 7usize));
+        assert!(!front.offer(p(1.0, 1.0), 3usize));
+        assert_eq!(front.iter().next().unwrap().1, &7);
+    }
+
+    #[test]
+    fn offer_with_resolves_ties_by_the_supplied_hook() {
+        // "Prefer the smaller payload" makes the stored payload
+        // independent of offer order.
+        let prefer_smaller = |new: &usize, old: &usize| new < old;
+        for payloads in [[7usize, 3, 5], [3, 5, 7], [5, 7, 3]] {
+            let mut front = ParetoFront::new();
+            for payload in payloads {
+                front.offer_with(p(1.0, 1.0), payload, prefer_smaller);
+            }
+            assert_eq!(front.len(), 1);
+            assert_eq!(front.iter().next().unwrap().1, &3);
+        }
+    }
+
+    #[test]
+    fn offer_with_handles_non_transitive_tolerance_chains() {
+        // A and B are mutually non-dominated and NOT equivalent (each
+        // coordinate gap exceeds the 1e-9 relative tolerance), yet X sits
+        // between them and is equivalent to both.
+        let a = p(1.0, 1.0);
+        let b = p(1.0 + 1.6e-9, 1.0 - 1.6e-9);
+        let x = p(1.0 + 0.8e-9, 1.0 - 0.8e-9);
+        assert!(!equivalent(&a, &b) && !dominates(&a, &b) && !dominates(&b, &a));
+        assert!(equivalent(&x, &a) && equivalent(&x, &b));
+
+        let prefer_smaller = |new: &f64, old: &f64| new < old;
+        let mut front = ParetoFront::new();
+        assert!(front.offer_with(a, 3.0, prefer_smaller));
+        assert!(front.offer_with(b, 2.0, prefer_smaller));
+        assert_eq!(front.len(), 2);
+        // X loses to one of its two tied incumbents: rejected outright.
+        let mut rejected = front.clone();
+        assert!(!rejected.offer_with(x, 2.5, prefer_smaller));
+        assert_eq!(rejected.len(), 2);
+        // X beats both: replaces both, so no two equivalent points ever
+        // coexist on the front.
+        assert!(front.offer_with(x, 1.0, prefer_smaller));
+        assert_eq!(front.len(), 1);
+        assert_eq!(front.iter().next().unwrap().1, &1.0);
+    }
+
+    #[test]
+    fn offer_with_still_rejects_dominated_points() {
+        let mut front = ParetoFront::new();
+        assert!(front.offer_with(p(1.0, 1.0), 1usize, |n, o| n < o));
+        assert!(!front.offer_with(p(2.0, 2.0), 0usize, |n, o| n < o));
+        assert_eq!(front.len(), 1);
+        assert_eq!(front.iter().next().unwrap().1, &1);
     }
 
     #[test]
