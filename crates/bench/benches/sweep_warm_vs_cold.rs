@@ -17,7 +17,7 @@
 //! Regenerate the committed baseline with:
 //!
 //! ```text
-//! SWS_BENCH_JSON=BENCH_sweep.json cargo bench --bench sweep_warm_vs_cold
+//! SWS_BENCH_JSON=$(pwd)/BENCH_sweep.json cargo bench --bench sweep_warm_vs_cold
 //! ```
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -57,6 +57,7 @@
 //! assert!(point.mmax <= gm * result.reference_mmax + 1e-9);
 //! ```
 
+pub mod batch;
 pub mod bounds;
 pub mod constrained;
 pub mod heterogeneous;
@@ -66,21 +67,24 @@ pub mod rls;
 pub mod sbo;
 pub mod tri;
 
+pub use batch::{BatchAlgorithm, BatchReport, BatchScheduler, BatchSpec};
 pub use bounds::{impossibility_frontier, lemma3_point, sbo_tradeoff_curve};
 pub use constrained::{solve_dag_with_memory_budget, solve_with_memory_budget};
 pub use pareto_sweep::{
     rls_sweep, rls_sweep_cold, sbo_sweep, sbo_sweep_cold, SweepEngine, SweepProvenance,
 };
 pub use rls::{
-    rls, rls_guarantee, rls_independent, PriorityOrder, RlsConfig, RlsEngine, RlsResult,
+    rls, rls_guarantee, rls_in, rls_independent, rls_independent_in, PriorityOrder, RlsConfig,
+    RlsEngine, RlsResult,
 };
 pub use sbo::{
     corollary1_guarantee, sbo, sbo_guarantee, InnerAlgorithm, SboConfig, SboEngine, SboResult,
 };
-pub use tri::{corollary4_guarantee, tri_objective_rls};
+pub use tri::{corollary4_guarantee, tri_objective_rls, tri_objective_rls_in};
 
 /// Frequently used items, including the model-layer vocabulary.
 pub mod prelude {
+    pub use crate::batch::{BatchAlgorithm, BatchReport, BatchScheduler, BatchSpec};
     pub use crate::bounds::{
         impossibility_frontier, lemma1_points, lemma2_point, lemma3_point, sbo_tradeoff_curve,
         violates_impossibility,
@@ -97,7 +101,8 @@ pub mod prelude {
         evaluate_rls, evaluate_rls_result, evaluate_sbo, evaluate_sbo_result, EvaluationReport,
     };
     pub use crate::rls::{
-        rls, rls_guarantee, rls_independent, PriorityOrder, RlsConfig, RlsEngine, RlsResult,
+        rls, rls_guarantee, rls_in, rls_independent, rls_independent_in, PriorityOrder, RlsConfig,
+        RlsEngine, RlsResult,
     };
     pub use crate::sbo::{
         corollary1_guarantee, sbo, sbo_guarantee, InnerAlgorithm, SboConfig, SboEngine, SboResult,

@@ -140,6 +140,25 @@ pub fn delta_grid(delta_min: f64, delta_max: f64, samples: usize) -> Result<Vec<
     Ok(grid)
 }
 
+/// Runs `run_chunk` over every chunk and flattens the results in input
+/// order — inline on the calling thread when there is at most one chunk
+/// (zero rayon dispatch overhead for single-worker runs), across the
+/// rayon pool otherwise. Shared by the sweep engines and the batch
+/// scheduler so the dispatch policy lives in one place.
+pub(crate) fn run_chunks<T, R, F>(chunks: Vec<T>, run_chunk: F) -> Result<Vec<R>, ModelError>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> Result<Vec<R>, ModelError> + Sync,
+{
+    let per_chunk: Result<Vec<Vec<R>>, ModelError> = if chunks.len() <= 1 {
+        chunks.into_iter().map(&run_chunk).collect()
+    } else {
+        chunks.into_par_iter().map(run_chunk).collect()
+    };
+    Ok(per_chunk?.into_iter().flatten().collect())
+}
+
 /// Warm-started ∆-sweep runner: splits a sorted ∆ grid into chunks of
 /// consecutive values — one warm chain per rayon worker — runs every
 /// chain independently, and returns the per-∆ results **in grid order**,
@@ -181,49 +200,52 @@ impl SweepEngine {
     /// chunk of consecutive values. Ascending grids warm-start every
     /// step; a descending step silently falls back to a cold run, so any
     /// grid is valid.
+    ///
+    /// One chunk runs **inline** on the calling thread — no rayon
+    /// dispatch — so a single-worker sweep has zero fan-out overhead.
+    /// Each worker chain owns one kernel workspace (inside its
+    /// [`RlsEngine`]); the priority rank and the CSR instance mirror are
+    /// computed once and shared by every chain.
     pub fn run_rls(
         &self,
         inst: &DagInstance,
         order: PriorityOrder,
         deltas: &[f64],
     ) -> Result<Vec<(f64, RlsResult)>, ModelError> {
-        // One rank computation for the whole sweep, shared by every
-        // per-worker chain.
+        // One rank computation and one CSR flattening for the whole
+        // sweep, shared by every per-worker chain.
         let rank = std::sync::Arc::new(order.rank(inst.graph()));
-        let per_chunk: Result<Vec<Vec<(f64, RlsResult)>>, ModelError> = self
-            .chunked(deltas)
-            .into_par_iter()
-            .map(|chunk| {
-                let mut engine = RlsEngine::with_rank(inst, order, std::sync::Arc::clone(&rank));
-                chunk
-                    .into_iter()
-                    .map(|delta| Ok((delta, engine.run(delta)?)))
-                    .collect()
-            })
-            .collect();
-        Ok(per_chunk?.into_iter().flatten().collect())
+        let csr = std::sync::Arc::new(inst.csr());
+        run_chunks(self.chunked(deltas), |chunk| {
+            let mut engine = RlsEngine::with_parts(
+                inst,
+                order,
+                std::sync::Arc::clone(&rank),
+                std::sync::Arc::clone(&csr),
+            );
+            chunk
+                .into_iter()
+                .map(|delta| Ok((delta, engine.run(delta)?)))
+                .collect()
+        })
     }
 
     /// Runs SBO∆'s threshold routing for every ∆ of `deltas` on a shared
     /// [`SboEngine`] (inner schedules already computed). Returns the
     /// combined assignments only — one `O(n)` routing pass per point,
-    /// no per-point `π₁`/`π₂` clones.
+    /// no per-point `π₁`/`π₂` clones. One chunk runs inline without
+    /// rayon dispatch, like [`SweepEngine::run_rls`].
     pub fn run_sbo(
         &self,
         engine: &SboEngine<'_>,
         deltas: &[f64],
     ) -> Result<Vec<(f64, Assignment)>, ModelError> {
-        let per_chunk: Result<Vec<Vec<(f64, Assignment)>>, ModelError> = self
-            .chunked(deltas)
-            .into_par_iter()
-            .map(|chunk| {
-                chunk
-                    .into_iter()
-                    .map(|delta| Ok((delta, engine.assignment_at(delta)?)))
-                    .collect::<Result<Vec<_>, ModelError>>()
-            })
-            .collect();
-        Ok(per_chunk?.into_iter().flatten().collect())
+        run_chunks(self.chunked(deltas), |chunk| {
+            chunk
+                .into_iter()
+                .map(|delta| Ok((delta, engine.assignment_at(delta)?)))
+                .collect()
+        })
     }
 }
 

@@ -31,8 +31,11 @@
 //! worst case) instead of the original `O(n²·m)` scan, which survives
 //! as the differential oracle [`naive::rls`].
 
-use sws_dag::{DagInstance, TaskGraph};
-use sws_listsched::kernel::{event_driven_schedule, CheckpointedRun, MemoryCapAdmission};
+use sws_dag::{CsrDag, DagInstance, TaskGraph};
+use sws_listsched::kernel::{
+    event_driven_schedule, event_driven_schedule_csr, CheckpointedRun, KernelWorkspace,
+    MemoryCapAdmission,
+};
 use sws_listsched::priority::{
     hlf_priority, index_priority, largest_storage_priority, lpt_priority, spt_priority,
     PriorityRank,
@@ -186,23 +189,35 @@ pub fn rls_guarantee(delta: f64, m: usize) -> (f64, f64) {
     )
 }
 
-/// Validates `∆` and computes `(LB, ∆·LB)` for an instance.
-fn delta_lb_cap(tasks: &TaskSet, m: usize, config: &RlsConfig) -> Result<(f64, f64), ModelError> {
-    if config.delta.partial_cmp(&2.0) != Some(std::cmp::Ordering::Greater)
-        || !config.delta.is_finite()
-    {
+/// Validates the RLS parameter `∆ > 2` (finite). Shared with the batch
+/// serving path so the accepted parameter range can never drift.
+pub(crate) fn validate_rls_delta(delta: f64) -> Result<(), ModelError> {
+    if delta.partial_cmp(&2.0) != Some(std::cmp::Ordering::Greater) || !delta.is_finite() {
         return Err(ModelError::InvalidParameter {
             name: "delta",
-            value: config.delta,
+            value: delta,
             constraint: "∆ > 2",
         });
     }
-    // LB = max(max_i s_i, Σ s_i / m), the Graham lower bound on M*max.
-    let lb = if tasks.is_empty() {
+    Ok(())
+}
+
+/// The Graham memory lower bound `LB = max(max_i s_i, Σ s_i / m)`
+/// (`0` for an empty instance). Depends only on the instance, so warm
+/// engines compute it once. Shared with the batch serving path so the
+/// enforced cap can never drift from [`rls`]'s.
+pub(crate) fn memory_lb(tasks: &TaskSet, m: usize) -> f64 {
+    if tasks.is_empty() {
         0.0
     } else {
         mmax_lower_bound(tasks, m)
-    };
+    }
+}
+
+/// Validates `∆` and computes `(LB, ∆·LB)` for an instance.
+fn delta_lb_cap(tasks: &TaskSet, m: usize, config: &RlsConfig) -> Result<(f64, f64), ModelError> {
+    validate_rls_delta(config.delta)?;
+    let lb = memory_lb(tasks, m);
     Ok((lb, config.delta * lb))
 }
 
@@ -235,12 +250,54 @@ pub fn rls(inst: &DagInstance, config: &RlsConfig) -> Result<RlsResult, ModelErr
     })
 }
 
+/// [`rls`] with an explicit reusable kernel workspace: the CSR instance
+/// mirror and the priority rank are still computed per call (they are
+/// per-instance), and the admissibility predicate's `O(m)`
+/// committed-memory vector is still allocated per call; every *kernel*
+/// buffer comes from `ws`. Callers that also want the admission vector
+/// reused should go through [`crate::batch::BatchScheduler`] or
+/// [`RlsEngine::run_detached`], which hold a resettable
+/// [`MemoryCapAdmission`]. Bit-identical to [`rls`].
+pub fn rls_in(
+    inst: &DagInstance,
+    config: &RlsConfig,
+    ws: &mut KernelWorkspace,
+) -> Result<RlsResult, ModelError> {
+    let tasks = inst.tasks();
+    let m = inst.m();
+    let (lb, cap) = delta_lb_cap(tasks, m, config)?;
+    let rank = config.order.rank(inst.graph());
+    let csr = inst.csr();
+    let mut admission = MemoryCapAdmission::new(m, cap);
+    let outcome = event_driven_schedule_csr(&csr, m, &rank, &mut admission, ws)?;
+    Ok(RlsResult {
+        schedule: outcome.schedule,
+        lb,
+        memory_cap: cap,
+        marked: outcome.marked,
+        guarantee: rls_guarantee(config.delta, m),
+        config: *config,
+    })
+}
+
 /// Runs RLS∆ on an *independent-task* instance (the tri-objective setting
 /// of Section 5.2 and the constrained-problem procedure of Section 7).
 pub fn rls_independent(inst: &Instance, config: &RlsConfig) -> Result<RlsResult, ModelError> {
     let graph = TaskGraph::new(inst.tasks().clone());
     let dag = DagInstance::new(graph, inst.m())?;
     rls(&dag, config)
+}
+
+/// [`rls_independent`] with an explicit reusable kernel workspace (see
+/// [`rls_in`]). Bit-identical to [`rls_independent`].
+pub fn rls_independent_in(
+    inst: &Instance,
+    config: &RlsConfig,
+    ws: &mut KernelWorkspace,
+) -> Result<RlsResult, ModelError> {
+    let graph = TaskGraph::new(inst.tasks().clone());
+    let dag = DagInstance::new(graph, inst.m())?;
+    rls_in(&dag, config, ws)
 }
 
 /// Warm-startable RLS∆ engine over one instance: runs a *chain* of ∆
@@ -262,6 +319,17 @@ pub struct RlsEngine<'a> {
     inst: &'a DagInstance,
     order: PriorityOrder,
     rank: std::sync::Arc<PriorityRank>,
+    /// Flat CSR mirror of the instance, built once per engine and shared
+    /// with every checkpointed run of the chain.
+    csr: std::sync::Arc<CsrDag>,
+    /// The Graham memory lower bound, computed once (it only depends on
+    /// the instance).
+    lb: f64,
+    /// Reusable kernel buffers: every run of this engine — warm or
+    /// detached — draws its per-run state from here.
+    ws: KernelWorkspace,
+    /// Reusable admissibility predicate for detached runs.
+    admission: MemoryCapAdmission,
     last: Option<CheckpointedRun<'a>>,
 }
 
@@ -281,10 +349,28 @@ impl<'a> RlsEngine<'a> {
         order: PriorityOrder,
         rank: std::sync::Arc<PriorityRank>,
     ) -> Self {
+        Self::with_parts(inst, order, rank, std::sync::Arc::new(inst.csr()))
+    }
+
+    /// Like [`RlsEngine::with_rank`], but additionally sharing a
+    /// prebuilt CSR instance mirror — lets a sweep flatten the instance
+    /// once for all its per-worker chains.
+    pub fn with_parts(
+        inst: &'a DagInstance,
+        order: PriorityOrder,
+        rank: std::sync::Arc<PriorityRank>,
+        csr: std::sync::Arc<CsrDag>,
+    ) -> Self {
+        assert_eq!(csr.n(), inst.n(), "CSR mirror must match the instance");
+        let m = inst.m();
         RlsEngine {
             inst,
             order,
             rank,
+            csr,
+            lb: memory_lb(inst.tasks(), m),
+            ws: KernelWorkspace::with_capacity(inst.n(), m),
+            admission: MemoryCapAdmission::new(m, f64::INFINITY),
             last: None,
         }
     }
@@ -292,18 +378,25 @@ impl<'a> RlsEngine<'a> {
     /// Runs RLS∆ at `delta`, warm-starting from the previous run of this
     /// engine when one exists.
     pub fn run(&mut self, delta: f64) -> Result<RlsResult, ModelError> {
+        validate_rls_delta(delta)?;
         let config = RlsConfig {
             delta,
             order: self.order,
         };
-        let (lb, cap) = delta_lb_cap(self.inst.tasks(), self.inst.m(), &config)?;
+        let cap = delta * self.lb;
         let run = match &self.last {
-            Some(prev) => prev.resume(cap)?,
-            None => CheckpointedRun::cold(self.inst, std::sync::Arc::clone(&self.rank), cap)?,
+            Some(prev) => prev.resume_in(cap, &mut self.ws)?,
+            None => CheckpointedRun::cold_in(
+                self.inst,
+                std::sync::Arc::clone(&self.csr),
+                std::sync::Arc::clone(&self.rank),
+                cap,
+                &mut self.ws,
+            )?,
         };
         let result = RlsResult {
             schedule: run.outcome().schedule.clone(),
-            lb,
+            lb: self.lb,
             memory_cap: cap,
             marked: run.outcome().marked.clone(),
             guarantee: rls_guarantee(delta, self.inst.m()),
@@ -313,9 +406,36 @@ impl<'a> RlsEngine<'a> {
         Ok(result)
     }
 
-    /// Rounds the kernel actually executed for the most recent run
-    /// (`n` for a cold run, `0` for a divergence-free resume); `None`
-    /// before the first run. Exposed for tests and sweep telemetry.
+    /// A **full from-scratch** RLS∆ run at `delta` that reuses the
+    /// engine's CSR mirror, priority rank, cached lower bound and kernel
+    /// workspace, but neither consults nor records the warm chain (no
+    /// checkpointing overhead). This is the steady-state serving path —
+    /// every scheduling round executes, with zero per-run buffer
+    /// allocation. Bit-identical to a one-shot [`rls`] call.
+    pub fn run_detached(&mut self, delta: f64) -> Result<RlsResult, ModelError> {
+        validate_rls_delta(delta)?;
+        let m = self.inst.m();
+        let cap = delta * self.lb;
+        self.admission.reset(m, cap);
+        let outcome =
+            event_driven_schedule_csr(&self.csr, m, &self.rank, &mut self.admission, &mut self.ws)?;
+        Ok(RlsResult {
+            schedule: outcome.schedule,
+            lb: self.lb,
+            memory_cap: cap,
+            marked: outcome.marked,
+            guarantee: rls_guarantee(delta, m),
+            config: RlsConfig {
+                delta,
+                order: self.order,
+            },
+        })
+    }
+
+    /// Rounds the kernel actually executed for the most recent
+    /// [`RlsEngine::run`] (`n` for a cold run, `0` for a divergence-free
+    /// resume); `None` before the first run. Exposed for tests and sweep
+    /// telemetry.
     pub fn replayed_rounds(&self) -> Option<usize> {
         self.last.as_ref().map(CheckpointedRun::replayed_rounds)
     }
@@ -712,6 +832,56 @@ mod tests {
         // By ∆ = 65 the cap is far beyond any rejection recorded at
         // ∆ = 64, so the final resume replays nothing.
         assert_eq!(engine.replayed_rounds(), Some(0));
+    }
+
+    /// The workspace-threaded and detached-engine paths must be
+    /// bit-identical to the one-shot entry point, including when one
+    /// workspace is shared across runs over different instances.
+    #[test]
+    fn workspace_paths_match_the_one_shot_entry_point() {
+        let mut rng = seeded_rng(17);
+        let a = dag_workload(
+            DagFamily::LayeredRandom,
+            80,
+            4,
+            TaskDistribution::AntiCorrelated,
+            &mut rng,
+        );
+        let b = dag_workload(
+            DagFamily::ForkJoin,
+            30,
+            6,
+            TaskDistribution::Bimodal,
+            &mut rng,
+        );
+        let mut ws = sws_listsched::KernelWorkspace::new();
+        for inst in [&a, &b, &a] {
+            for &delta in &[2.25, 3.0, 8.0] {
+                let config = RlsConfig::new(delta);
+                let one_shot = rls(inst, &config).unwrap();
+                let via_ws = rls_in(inst, &config, &mut ws).unwrap();
+                assert_eq!(via_ws.schedule, one_shot.schedule, "∆={delta}");
+                assert_eq!(via_ws.marked, one_shot.marked, "∆={delta}");
+                assert_eq!(via_ws.lb, one_shot.lb);
+            }
+        }
+        let mut engine = RlsEngine::new(&a, PriorityOrder::Index);
+        for &delta in &[2.25, 3.0, 8.0, 2.5] {
+            let detached = engine.run_detached(delta).unwrap();
+            let one_shot = rls(&a, &RlsConfig::new(delta)).unwrap();
+            assert_eq!(detached.schedule, one_shot.schedule, "∆={delta}");
+            assert_eq!(detached.marked, one_shot.marked, "∆={delta}");
+        }
+        // Detached runs and warm runs can interleave on one engine
+        // without corrupting either path.
+        let warm = engine.run(3.0).unwrap();
+        let detached = engine.run_detached(3.0).unwrap();
+        assert_eq!(warm.schedule, detached.schedule);
+        let warm2 = engine.run(4.0).unwrap();
+        assert_eq!(
+            warm2.schedule,
+            rls(&a, &RlsConfig::new(4.0)).unwrap().schedule
+        );
     }
 
     #[test]

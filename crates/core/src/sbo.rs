@@ -167,6 +167,11 @@ pub fn corollary1_guarantee(delta: f64, eps: f64) -> (f64, f64) {
 /// bit-identical to [`sbo`] at the same ∆; the engine additionally
 /// exposes the exact `∆ → 0⁺` / `∆ → ∞` limit schedules the sweeps
 /// record as explicit single-objective runs.
+///
+/// Unlike the DAG kernel, the engine needs no separate reusable
+/// workspace: the inner schedules are computed once at construction,
+/// and the only per-∆ buffer of [`SboEngine::assignment_at`] is the
+/// returned assignment itself.
 #[derive(Debug, Clone)]
 pub struct SboEngine<'a> {
     inst: &'a Instance,

@@ -20,7 +20,9 @@ use sws_model::objectives::TriObjectivePoint;
 use sws_model::ratio::{Reference, TriRatioReport};
 use sws_model::Instance;
 
-use crate::rls::{rls_guarantee, rls_independent, RlsConfig, RlsResult};
+use sws_listsched::KernelWorkspace;
+
+use crate::rls::{rls_guarantee, rls_independent, rls_independent_in, RlsConfig, RlsResult};
 
 /// The output of the tri-objective algorithm.
 #[derive(Debug, Clone)]
@@ -62,6 +64,27 @@ pub fn corollary4_guarantee(delta: f64, m: usize) -> (f64, f64, f64) {
 pub fn tri_objective_rls(inst: &Instance, delta: f64) -> Result<TriObjectiveResult, ModelError> {
     let config = RlsConfig::spt(delta);
     let rls = rls_independent(inst, &config)?;
+    finish_tri(inst, delta, rls)
+}
+
+/// [`tri_objective_rls`] with an explicit reusable kernel workspace (the
+/// E3 driver streams many instances through one). Bit-identical to
+/// [`tri_objective_rls`].
+pub fn tri_objective_rls_in(
+    inst: &Instance,
+    delta: f64,
+    ws: &mut KernelWorkspace,
+) -> Result<TriObjectiveResult, ModelError> {
+    let config = RlsConfig::spt(delta);
+    let rls = rls_independent_in(inst, &config, ws)?;
+    finish_tri(inst, delta, rls)
+}
+
+fn finish_tri(
+    inst: &Instance,
+    delta: f64,
+    rls: RlsResult,
+) -> Result<TriObjectiveResult, ModelError> {
     let point = TriObjectivePoint::of_timed(inst, &rls.schedule);
     Ok(TriObjectiveResult {
         point,

@@ -1,0 +1,204 @@
+//! Flat CSR (compressed sparse row) representation of a task graph.
+//!
+//! The pointer-rich [`crate::TaskGraph`] (`Vec<Vec<usize>>` adjacency,
+//! tasks behind a `TaskSet`) is convenient to build and mutate, but the
+//! scheduling kernel walks adjacency lists and task costs on every round
+//! of its hot loop, where the per-list heap indirection and the
+//! interleaved `(p, s)` pairs cost real cache misses. [`CsrDag`] is the
+//! read-only flat mirror the kernel borrows instead:
+//!
+//! * both directions of the adjacency as classic CSR — an `offsets`
+//!   array of `n + 1` entries plus a single contiguous `edges` array —
+//!   with `u32` indices (half the memory traffic of `usize` on 64-bit
+//!   targets);
+//! * the task costs as structure-of-arrays `f64` slices (`proc_time`,
+//!   `mem_size`), so passes that only touch storage requirements (the
+//!   admissibility probes) or only processing times (placement) stream
+//!   one array instead of striding over pairs.
+//!
+//! A `CsrDag` is built **once per instance** ([`TaskGraph::csr`] /
+//! [`crate::DagInstance::csr`]) and shared by every run over that
+//! instance; the edge order within each list is preserved exactly, so a
+//! kernel run over the CSR form visits neighbours in the same order as
+//! one over the nested-`Vec` form.
+
+use crate::graph::TaskGraph;
+use sws_model::validate::CsrPreds;
+
+/// Flat, read-only mirror of a [`TaskGraph`]: CSR adjacency in both
+/// directions plus structure-of-arrays task costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrDag {
+    n: usize,
+    /// `pred_edges[pred_offsets[i]..pred_offsets[i+1]]` = predecessors of `i`.
+    pred_offsets: Vec<u32>,
+    pred_edges: Vec<u32>,
+    /// `succ_edges[succ_offsets[i]..succ_offsets[i+1]]` = successors of `i`.
+    succ_offsets: Vec<u32>,
+    succ_edges: Vec<u32>,
+    /// Processing time `p_i` per task.
+    proc_time: Vec<f64>,
+    /// Storage requirement `s_i` per task.
+    mem_size: Vec<f64>,
+}
+
+impl CsrDag {
+    /// Flattens a [`TaskGraph`] into CSR form. Edge order within each
+    /// adjacency list is preserved.
+    pub fn from_graph(graph: &TaskGraph) -> Self {
+        let n = graph.n();
+        assert!(
+            n < u32::MAX as usize && graph.edge_count() <= u32::MAX as usize,
+            "CSR representation uses u32 indices"
+        );
+        let mut pred_offsets = Vec::with_capacity(n + 1);
+        let mut succ_offsets = Vec::with_capacity(n + 1);
+        let mut pred_edges = Vec::with_capacity(graph.edge_count());
+        let mut succ_edges = Vec::with_capacity(graph.edge_count());
+        let mut proc_time = Vec::with_capacity(n);
+        let mut mem_size = Vec::with_capacity(n);
+        pred_offsets.push(0);
+        succ_offsets.push(0);
+        for i in 0..n {
+            pred_edges.extend(graph.preds(i).iter().map(|&u| u as u32));
+            succ_edges.extend(graph.succs(i).iter().map(|&v| v as u32));
+            pred_offsets.push(pred_edges.len() as u32);
+            succ_offsets.push(succ_edges.len() as u32);
+            let t = graph.task(i);
+            proc_time.push(t.p);
+            mem_size.push(t.s);
+        }
+        CsrDag {
+            n,
+            pred_offsets,
+            pred_edges,
+            succ_offsets,
+            succ_edges,
+            proc_time,
+            mem_size,
+        }
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.succ_edges.len()
+    }
+
+    /// Predecessors of task `i`.
+    #[inline]
+    pub fn preds(&self, i: usize) -> &[u32] {
+        &self.pred_edges[self.pred_offsets[i] as usize..self.pred_offsets[i + 1] as usize]
+    }
+
+    /// Successors of task `i`.
+    #[inline]
+    pub fn succs(&self, i: usize) -> &[u32] {
+        &self.succ_edges[self.succ_offsets[i] as usize..self.succ_offsets[i + 1] as usize]
+    }
+
+    /// In-degree of task `i`.
+    #[inline]
+    pub fn in_degree(&self, i: usize) -> usize {
+        (self.pred_offsets[i + 1] - self.pred_offsets[i]) as usize
+    }
+
+    /// Out-degree of task `i`.
+    #[inline]
+    pub fn out_degree(&self, i: usize) -> usize {
+        (self.succ_offsets[i + 1] - self.succ_offsets[i]) as usize
+    }
+
+    /// Processing time `p_i`.
+    #[inline]
+    pub fn p(&self, i: usize) -> f64 {
+        self.proc_time[i]
+    }
+
+    /// Storage requirement `s_i`.
+    #[inline]
+    pub fn s(&self, i: usize) -> f64 {
+        self.mem_size[i]
+    }
+
+    /// All processing times, indexed by task.
+    #[inline]
+    pub fn proc_times(&self) -> &[f64] {
+        &self.proc_time
+    }
+
+    /// All storage requirements, indexed by task.
+    #[inline]
+    pub fn mem_sizes(&self) -> &[f64] {
+        &self.mem_size
+    }
+
+    /// The predecessor lists as the borrowed CSR view accepted by
+    /// [`sws_model::validate::validate_timed_preds`] — validation without
+    /// materializing nested `Vec<Vec<usize>>` lists.
+    #[inline]
+    pub fn pred_lists(&self) -> CsrPreds<'_> {
+        CsrPreds::new(&self.pred_offsets, &self.pred_edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_model::task::{Task, TaskSet};
+
+    fn diamond() -> TaskGraph {
+        let tasks = TaskSet::new(
+            (0..4)
+                .map(|i| Task::new_unchecked(1.0 + i as f64, 2.0 * i as f64))
+                .collect(),
+        )
+        .unwrap();
+        TaskGraph::from_edges(tasks, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn csr_mirrors_the_nested_adjacency_exactly() {
+        let g = diamond();
+        let csr = CsrDag::from_graph(&g);
+        assert_eq!(csr.n(), g.n());
+        assert_eq!(csr.edge_count(), g.edge_count());
+        for i in 0..g.n() {
+            let preds: Vec<usize> = csr.preds(i).iter().map(|&u| u as usize).collect();
+            let succs: Vec<usize> = csr.succs(i).iter().map(|&v| v as usize).collect();
+            assert_eq!(preds, g.preds(i), "preds of {i}");
+            assert_eq!(succs, g.succs(i), "succs of {i}");
+            assert_eq!(csr.in_degree(i), g.in_degree(i));
+            assert_eq!(csr.out_degree(i), g.out_degree(i));
+            assert_eq!(csr.p(i), g.task(i).p);
+            assert_eq!(csr.s(i), g.task(i).s);
+        }
+    }
+
+    #[test]
+    fn empty_graph_flattens_to_empty_csr() {
+        let g = TaskGraph::new(TaskSet::from_ps(&[], &[]).unwrap());
+        let csr = CsrDag::from_graph(&g);
+        assert_eq!(csr.n(), 0);
+        assert_eq!(csr.edge_count(), 0);
+    }
+
+    #[test]
+    fn pred_lists_view_iterates_like_the_nested_lists() {
+        let g = diamond();
+        let csr = CsrDag::from_graph(&g);
+        let view = csr.pred_lists();
+        use sws_model::validate::PredecessorLists;
+        assert_eq!(view.len(), g.n());
+        for i in 0..g.n() {
+            let via_view: Vec<usize> = view.preds_of(i).collect();
+            assert_eq!(via_view, g.preds(i));
+        }
+    }
+}

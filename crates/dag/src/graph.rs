@@ -172,6 +172,13 @@ impl TaskGraph {
         crate::levels::critical_path(self)
     }
 
+    /// Flattens the graph into the kernel-friendly CSR form
+    /// ([`crate::csr::CsrDag`]). Build it once per instance and share it
+    /// across runs — the flat mirror is immutable.
+    pub fn csr(&self) -> crate::csr::CsrDag {
+        crate::csr::CsrDag::from_graph(self)
+    }
+
     /// Returns a copy of the graph with new task costs but the same
     /// structure. `f(i)` provides the task for node `i`.
     pub fn with_costs<F: FnMut(usize) -> Task>(&self, f: F) -> TaskGraph {
@@ -288,6 +295,12 @@ impl DagInstance {
     /// Returns a copy with a different processor count.
     pub fn with_processors(&self, m: usize) -> Result<DagInstance, ModelError> {
         DagInstance::new(self.graph.clone(), m)
+    }
+
+    /// Flattens the instance's graph into the kernel-friendly CSR form
+    /// (see [`TaskGraph::csr`]).
+    pub fn csr(&self) -> crate::csr::CsrDag {
+        self.graph.csr()
     }
 }
 

@@ -34,16 +34,19 @@
 //! ```
 
 pub mod analysis;
+pub mod csr;
 pub mod generators;
 pub mod graph;
 pub mod levels;
 pub mod topo;
 
+pub use csr::CsrDag;
 pub use graph::{DagInstance, TaskGraph};
 
 /// Frequently used items.
 pub mod prelude {
     pub use crate::analysis::GraphStats;
+    pub use crate::csr::CsrDag;
     pub use crate::generators::{
         chain::chain,
         diamond::diamond_grid,

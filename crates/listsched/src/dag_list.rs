@@ -13,10 +13,12 @@
 //! predicate. The original `O(n²·m)` scan survives as the differential
 //! oracle [`crate::naive::dag_list_schedule`].
 
-use sws_dag::DagInstance;
+use sws_dag::{CsrDag, DagInstance};
 use sws_model::schedule::TimedSchedule;
 
-use crate::kernel::{event_driven_schedule, Unrestricted};
+use crate::kernel::{
+    event_driven_schedule, event_driven_schedule_csr, KernelWorkspace, Unrestricted,
+};
 use crate::priority::PriorityRank;
 
 /// List scheduling with precedence constraints.
@@ -26,6 +28,21 @@ use crate::priority::PriorityRank;
 /// order or [`crate::priority::hlf_priority`] for critical-path first.
 pub fn dag_list_schedule(inst: &DagInstance, priority: &PriorityRank) -> TimedSchedule {
     event_driven_schedule(inst, priority, &mut Unrestricted)
+        .expect("unrestricted admission never rejects, the schedule is well formed")
+        .schedule
+}
+
+/// [`dag_list_schedule`] over a prebuilt CSR instance mirror with a
+/// reusable workspace — the allocation-free serving path (the CSR form
+/// is built once per instance, the workspace once per worker).
+/// Bit-identical to [`dag_list_schedule`].
+pub fn dag_list_schedule_csr(
+    csr: &CsrDag,
+    m: usize,
+    priority: &PriorityRank,
+    ws: &mut KernelWorkspace,
+) -> TimedSchedule {
+    event_driven_schedule_csr(csr, m, priority, &mut Unrestricted, ws)
         .expect("unrestricted admission never rejects, the schedule is well formed")
         .schedule
 }

@@ -24,8 +24,24 @@ use crate::kernel::ProcHeap;
 /// `O(n·m)` scan (kept as [`crate::naive::list_schedule`]), with the same
 /// lowest-index tie-break.
 pub fn list_schedule(weights: &[f64], m: usize, order: &[usize]) -> Assignment {
+    // Empty heap: `list_schedule_with` sizes it, so the one-shot path
+    // initializes the processor state exactly once.
+    let mut procs = ProcHeap::empty();
+    list_schedule_with(weights, m, order, &mut procs)
+}
+
+/// [`list_schedule`] with an explicit reusable processor heap: the heap
+/// is reset (not reallocated) per call, so a caller scheduling many
+/// task lists — the SBO engine's inner schedules, a batch of instances
+/// — reuses one allocation. Bit-identical to [`list_schedule`].
+pub fn list_schedule_with(
+    weights: &[f64],
+    m: usize,
+    order: &[usize],
+    procs: &mut ProcHeap,
+) -> Assignment {
     let mut asg = Assignment::zeroed(weights.len(), m).expect("m >= 1 required");
-    let mut procs = ProcHeap::new(m);
+    procs.reset(m);
     for &i in order {
         let q = procs.min();
         asg.assign(i, q).expect("q < m by construction");

@@ -35,11 +35,11 @@ pub mod naive;
 pub mod priority;
 pub mod spt;
 
-pub use dag_list::dag_list_schedule;
-pub use graham::{graham_cmax, graham_mmax, list_schedule};
+pub use dag_list::{dag_list_schedule, dag_list_schedule_csr};
+pub use graham::{graham_cmax, graham_mmax, list_schedule, list_schedule_with};
 pub use kernel::{
-    event_driven_schedule, Admission, CheckpointedRun, KernelOutcome, MemoryCapAdmission, ProcHeap,
-    Unrestricted,
+    event_driven_schedule, event_driven_schedule_csr, Admission, CheckpointedRun, KernelOutcome,
+    KernelWorkspace, MemoryCapAdmission, ProcHeap, Unrestricted,
 };
 pub use lpt::{lpt_cmax, lpt_mmax};
 pub use multifit::multifit_cmax;

@@ -162,6 +162,61 @@ proptest! {
         }
     }
 
+    /// Buffer-reuse correctness (the allocation-free kernel rework): a
+    /// single `KernelWorkspace` threaded through an interleaved stream of
+    /// runs — different DAG families, task counts, processor counts,
+    /// admission predicates and memory caps — must produce exactly the
+    /// schedules fresh-workspace runs produce. Any state leaking from one
+    /// run into the next (a stale heap entry, an unreset load, a dirty
+    /// scratch buffer) changes some placement and fails the comparison.
+    #[test]
+    fn kernel_workspace_reuse_is_bit_identical_across_interleaved_instances(
+        runs in vec(
+            (0usize..7, 6usize..40, 1usize..7, 2.1f64..10.0, any::<bool>()),
+            2..7,
+        ),
+        seed in 0u64..10_000,
+    ) {
+        use sws_listsched::kernel::{
+            event_driven_schedule, event_driven_schedule_csr, KernelWorkspace,
+            MemoryCapAdmission, Unrestricted,
+        };
+        use sws_workloads::dagsets::{dag_workload, DagFamily};
+        use sws_workloads::TaskDistribution;
+
+        let mut ws = KernelWorkspace::new();
+        let mut rng = sws_workloads::rng::seeded_rng(seed);
+        for (family_idx, n, m, delta, capped) in runs {
+            let family = DagFamily::all()[family_idx];
+            let inst = dag_workload(family, n, m, TaskDistribution::AntiCorrelated, &mut rng);
+            let rank = index_priority(inst.n());
+            let csr = inst.csr();
+            if capped {
+                let lb = sws_model::bounds::mmax_lower_bound(inst.tasks(), inst.m());
+                let cap = delta * lb;
+                let mut adm_reused = MemoryCapAdmission::new(inst.m(), cap);
+                let reused = event_driven_schedule_csr(
+                    &csr, inst.m(), &rank, &mut adm_reused, &mut ws,
+                ).unwrap();
+                let mut adm_fresh = MemoryCapAdmission::new(inst.m(), cap);
+                let fresh = event_driven_schedule(&inst, &rank, &mut adm_fresh).unwrap();
+                prop_assert_eq!(&reused.schedule, &fresh.schedule,
+                    "{} n={} m={} ∆={}: capped schedules differ",
+                    family.label(), inst.n(), inst.m(), delta);
+                prop_assert_eq!(&reused.marked, &fresh.marked);
+            } else {
+                let reused = event_driven_schedule_csr(
+                    &csr, inst.m(), &rank, &mut Unrestricted, &mut ws,
+                ).unwrap();
+                let fresh = event_driven_schedule(&inst, &rank, &mut Unrestricted).unwrap();
+                prop_assert_eq!(&reused.schedule, &fresh.schedule,
+                    "{} n={} m={}: unrestricted schedules differ",
+                    family.label(), inst.n(), inst.m());
+                prop_assert_eq!(&reused.marked, &fresh.marked);
+            }
+        }
+    }
+
     /// Priority-rank helpers are consistent: ranking an order and applying
     /// it round-trips, and all ranks are permutations of 0..n.
     #[test]

@@ -20,22 +20,31 @@ fn slack(a: f64, b: f64) -> f64 {
     ABS_TOL.max(REL_TOL * mag)
 }
 
-/// `a == b` up to the module tolerance.
+/// `a == b` up to the module tolerance. Exact equality — the common
+/// case in tie-heavy scheduling comparisons — short-circuits the slack
+/// computation.
 #[inline]
 pub fn approx_eq(a: f64, b: f64) -> bool {
-    (a - b).abs() <= slack(a, b)
+    a == b || (a - b).abs() <= slack(a, b)
 }
 
 /// `a <= b` up to the module tolerance.
+///
+/// The exact comparison short-circuits the slack computation: `slack` is
+/// strictly positive, so `a ≤ b` already implies the tolerant result.
+/// (NaN operands fail both comparisons, as before.) This is the kernel's
+/// hottest predicate — admissibility checks and ready-queue migrations
+/// run through it every scheduling round.
 #[inline]
 pub fn approx_le(a: f64, b: f64) -> bool {
-    a <= b + slack(a, b)
+    a <= b || a <= b + slack(a, b)
 }
 
-/// `a >= b` up to the module tolerance.
+/// `a >= b` up to the module tolerance (same fast path as
+/// [`approx_le`]).
 #[inline]
 pub fn approx_ge(a: f64, b: f64) -> bool {
-    a + slack(a, b) >= b
+    a >= b || a + slack(a, b) >= b
 }
 
 /// `a < b` strictly, i.e. not even approximately equal.

@@ -182,6 +182,19 @@ impl TimedSchedule {
         Ok(TimedSchedule { proc_of, start, m })
     }
 
+    /// Builds a timed schedule without the `O(n)` validation passes, for
+    /// construction sites whose invariants hold by construction (the
+    /// scheduling kernel emits one schedule per run on its throughput
+    /// path). Debug builds still assert the [`TimedSchedule::new`]
+    /// invariants.
+    pub fn new_unchecked(proc_of: Vec<usize>, start: Vec<f64>, m: usize) -> Self {
+        debug_assert!(m >= 1);
+        debug_assert_eq!(proc_of.len(), start.len());
+        debug_assert!(proc_of.iter().all(|&q| q < m));
+        debug_assert!(start.iter().all(|&s| s.is_finite() && s >= 0.0));
+        TimedSchedule { proc_of, start, m }
+    }
+
     /// Number of tasks.
     #[inline]
     pub fn n(&self) -> usize {

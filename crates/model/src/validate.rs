@@ -11,6 +11,88 @@ use crate::numeric::{approx_ge, approx_le};
 use crate::schedule::{Assignment, TimedSchedule};
 use crate::task::TaskSet;
 
+/// Abstraction over "the predecessor lists of `n` tasks", so the
+/// precedence checks accept both the classic nested `&[Vec<usize>]`
+/// shape and a borrowed CSR view ([`CsrPreds`]) without materializing
+/// one from the other.
+pub trait PredecessorLists {
+    /// Number of tasks covered.
+    fn len(&self) -> usize;
+
+    /// Whether no tasks are covered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The predecessors of task `i`.
+    fn preds_of(&self, i: usize) -> impl Iterator<Item = usize> + '_;
+}
+
+impl PredecessorLists for &[Vec<usize>] {
+    #[inline]
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    #[inline]
+    fn preds_of(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self[i].iter().copied()
+    }
+}
+
+impl PredecessorLists for &Vec<Vec<usize>> {
+    #[inline]
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    #[inline]
+    fn preds_of(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self[i].iter().copied()
+    }
+}
+
+/// Borrowed CSR predecessor lists: `edges[offsets[i]..offsets[i+1]]` are
+/// the predecessors of task `i`. This is the shape `sws_dag::CsrDag`
+/// stores, re-declared here (the model crate sits below the DAG crate)
+/// so validation can consume it directly.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrPreds<'a> {
+    offsets: &'a [u32],
+    edges: &'a [u32],
+}
+
+impl<'a> CsrPreds<'a> {
+    /// Wraps raw CSR arrays. `offsets` must hold `n + 1` monotonically
+    /// non-decreasing entries ending at `edges.len()`.
+    pub fn new(offsets: &'a [u32], edges: &'a [u32]) -> Self {
+        assert!(
+            !offsets.is_empty(),
+            "CSR offsets need at least the closing sentinel"
+        );
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            edges.len(),
+            "CSR offsets must close over the edge array"
+        );
+        CsrPreds { offsets, edges }
+    }
+}
+
+impl PredecessorLists for CsrPreds<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    fn preds_of(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+            .iter()
+            .map(|&u| u as usize)
+    }
+}
+
 /// Validates an assignment of independent tasks:
 /// * every task is mapped to a processor `< m`,
 /// * the assignment covers exactly the instance's tasks,
@@ -70,6 +152,20 @@ pub fn validate_timed(
     preds: &[Vec<usize>],
     memory_capacity: Option<f64>,
 ) -> Result<(), ModelError> {
+    validate_timed_preds(tasks, m, sched, preds, memory_capacity)
+}
+
+/// [`validate_timed`] over any [`PredecessorLists`] shape — in
+/// particular the CSR view (`sws_dag::CsrDag::pred_lists()`), which the
+/// nested-slice signature would force to materialize `Vec<Vec<usize>>`
+/// lists first.
+pub fn validate_timed_preds<P: PredecessorLists>(
+    tasks: &TaskSet,
+    m: usize,
+    sched: &TimedSchedule,
+    preds: P,
+    memory_capacity: Option<f64>,
+) -> Result<(), ModelError> {
     if sched.n() != tasks.len() {
         return Err(ModelError::IncompleteAssignment {
             expected: tasks.len(),
@@ -84,7 +180,7 @@ pub fn validate_timed(
         });
     }
     check_no_overlap(tasks, sched)?;
-    check_precedence(tasks, sched, preds)?;
+    check_precedence_preds(tasks, sched, preds)?;
     if let Some(cap) = memory_capacity {
         check_memory(tasks, &sched.assignment(), cap)?;
     }
@@ -115,8 +211,17 @@ pub fn check_precedence(
     sched: &TimedSchedule,
     preds: &[Vec<usize>],
 ) -> Result<(), ModelError> {
-    for (task, ps) in preds.iter().enumerate() {
-        for &pred in ps {
+    check_precedence_preds(tasks, sched, preds)
+}
+
+/// [`check_precedence`] over any [`PredecessorLists`] shape.
+pub fn check_precedence_preds<P: PredecessorLists>(
+    tasks: &TaskSet,
+    sched: &TimedSchedule,
+    preds: P,
+) -> Result<(), ModelError> {
+    for task in 0..preds.len() {
+        for pred in preds.preds_of(task) {
             let pred_end = sched.start(pred) + tasks.get(pred).p;
             if !approx_ge(sched.start(task), pred_end) {
                 return Err(ModelError::PrecedenceViolation { pred, task });
@@ -211,6 +316,34 @@ mod tests {
         let inst = inst();
         let asg = Assignment::new(vec![0, 1, 0], 2).unwrap();
         assert!(validate_assignment(&inst, &asg, Some(3.0)).is_ok());
+    }
+
+    #[test]
+    fn csr_view_checks_precedence_like_nested_lists() {
+        let inst = inst();
+        // Precedence 0 -> 1, 1 -> 2 as CSR: offsets [0,0,1,2], edges [0,1].
+        let offsets = [0u32, 0, 1, 2];
+        let edges = [0u32, 1];
+        let good = TimedSchedule::new(vec![0, 1, 1], vec![0.0, 1.0, 3.0], 2).unwrap();
+        validate_timed_preds(
+            inst.tasks(),
+            2,
+            &good,
+            CsrPreds::new(&offsets, &edges),
+            None,
+        )
+        .unwrap();
+        let bad = TimedSchedule::new(vec![0, 1, 1], vec![0.0, 0.5, 2.5], 2).unwrap();
+        let err =
+            validate_timed_preds(inst.tasks(), 2, &bad, CsrPreds::new(&offsets, &edges), None)
+                .unwrap_err();
+        assert_eq!(err, ModelError::PrecedenceViolation { pred: 0, task: 1 });
+        // The nested-list path reports exactly the same violation.
+        let nested = vec![vec![], vec![0], vec![1]];
+        assert_eq!(
+            validate_timed(inst.tasks(), 2, &bad, &nested, None).unwrap_err(),
+            err
+        );
     }
 
     #[test]

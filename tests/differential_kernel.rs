@@ -77,6 +77,79 @@ fn rls_kernel_matches_naive_on_every_family_order_and_m() {
     }
 }
 
+/// The CSR + reused-workspace serving path vs the one-shot kernel entry
+/// point over every generator family × priority order × m — one
+/// `KernelWorkspace` threaded through the whole stream, so any state
+/// leaking between runs of different instances fails the comparison.
+/// (The one-shot path is itself checked against the naive oracle above,
+/// so this transitively pins the serving path to the original scans.)
+#[test]
+fn csr_workspace_reuse_matches_the_kernel_on_every_family_order_and_m() {
+    let mut ws = sws_listsched::KernelWorkspace::new();
+    let mut stream = 300u64;
+    for family in DagFamily::all() {
+        for order in PriorityOrder::all() {
+            for &m in &[2usize, 4, 8] {
+                stream += 1;
+                let inst = workload(family, 56, m, stream);
+                for &delta in &[2.25, 3.0, 6.0] {
+                    let config = RlsConfig::new(delta).with_order(order);
+                    let reused = sws_core::rls::rls_in(&inst, &config, &mut ws).unwrap();
+                    let one_shot = rls(&inst, &config).unwrap();
+                    assert_eq!(
+                        reused.schedule,
+                        one_shot.schedule,
+                        "{}/{} m={m} ∆={delta}: workspace-reuse schedule differs",
+                        family.label(),
+                        order.label()
+                    );
+                    assert_eq!(reused.marked, one_shot.marked);
+                    assert_eq!(reused.lb, one_shot.lb);
+                    assert_eq!(reused.memory_cap, one_shot.memory_cap);
+                }
+            }
+        }
+    }
+}
+
+/// The batch serving API vs per-instance one-shot runs: same schedules,
+/// same Lemma-4 marking, in input order, independent of the worker
+/// count.
+#[test]
+fn batch_scheduler_matches_one_shot_runs() {
+    use sws_core::batch::{BatchScheduler, BatchSpec};
+
+    let mut stream = 400u64;
+    let mut instances = Vec::new();
+    for family in DagFamily::all() {
+        for &(n, m) in &[(30usize, 2usize), (48, 4), (64, 8)] {
+            stream += 1;
+            instances.push(workload(family, n, m, stream));
+        }
+    }
+    for workers in [1usize, 3] {
+        let scheduler = BatchScheduler::with_workers(workers);
+        let rls_outcomes = scheduler
+            .run_many(&instances, &BatchSpec::rls(3.0, PriorityOrder::BottomLevel))
+            .unwrap();
+        let list_outcomes = scheduler
+            .run_many(&instances, &BatchSpec::dag_list(PriorityOrder::Index))
+            .unwrap();
+        assert_eq!(rls_outcomes.len(), instances.len());
+        for ((inst, rls_out), list_out) in instances.iter().zip(&rls_outcomes).zip(&list_outcomes) {
+            let direct = rls(
+                &inst.clone(),
+                &RlsConfig::new(3.0).with_order(PriorityOrder::BottomLevel),
+            )
+            .unwrap();
+            assert_eq!(rls_out.schedule, direct.schedule, "workers={workers}");
+            assert_eq!(rls_out.marked, direct.marked, "workers={workers}");
+            let direct_list = dag_list_schedule(inst, &index_priority(inst.n()));
+            assert_eq!(list_out.schedule, direct_list, "workers={workers}");
+        }
+    }
+}
+
 /// Unrestricted DAG list scheduling: kernel vs naive oracle over every
 /// family and priority rank.
 #[test]
@@ -105,16 +178,22 @@ fn dag_list_kernel_matches_naive_on_every_family() {
 fn graham_heap_matches_naive_argmin() {
     use rand::Rng;
     let mut rng = seeded_rng(derive_seed(DIFF_SEED, 777));
-    for &(n, m) in &[(1usize, 1usize), (10, 3), (100, 7), (500, 16)] {
+    // One processor heap threaded through every call — the reuse path of
+    // `list_schedule_with` must reset completely between task lists of
+    // different sizes and processor counts.
+    let mut procs = sws_listsched::ProcHeap::new(1);
+    for &(n, m) in &[(1usize, 1usize), (10, 3), (100, 7), (500, 16), (20, 2)] {
         let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..50.0)).collect();
         let order: Vec<usize> = (0..n).collect();
         let fast = sws_listsched::list_schedule(&weights, m, &order);
         let slow = listsched_naive::list_schedule(&weights, m, &order);
         assert_eq!(fast, slow, "n={n} m={m}: assignments differ");
+        let reused = sws_listsched::list_schedule_with(&weights, m, &order, &mut procs);
+        assert_eq!(reused, slow, "n={n} m={m}: reused-heap assignment differs");
         // Duplicate weights exercise the lowest-index tie-break.
         let tied = vec![1.0; n];
         assert_eq!(
-            sws_listsched::list_schedule(&tied, m, &order),
+            sws_listsched::list_schedule_with(&tied, m, &order, &mut procs),
             listsched_naive::list_schedule(&tied, m, &order)
         );
     }
