@@ -9,7 +9,13 @@
 use rayon::prelude::*;
 use serde::Serialize;
 
-use sws_core::tri::tri_objective_rls;
+use sws_core::portfolio::Portfolio;
+use sws_core::tri::corollary4_guarantee;
+use sws_listsched::KernelWorkspace;
+use sws_model::bounds::LowerBounds;
+use sws_model::objectives::TriObjectivePoint;
+use sws_model::ratio::{Reference, TriRatioReport};
+use sws_model::solve::{Guarantee, ObjectiveMode, SolveRequest};
 use sws_workloads::random::random_instance;
 use sws_workloads::rng::{derive_seed, seeded_rng};
 use sws_workloads::TaskDistribution;
@@ -112,21 +118,40 @@ fn run_cell(
     delta: f64,
     replications: usize,
 ) -> E3Row {
+    // One portfolio and one reusable kernel workspace per cell: the
+    // tri-objective requests route to the SPT-tie RLS∆ kernel backend,
+    // which draws its per-run buffers from `ws` across replications.
+    let portfolio = Portfolio::standard();
+    let mut ws = KernelWorkspace::new();
     let mut rc = Vec::new();
     let mut rm = Vec::new();
     let mut rs = Vec::new();
     let mut within = true;
-    let mut guarantee = (0.0, 0.0, 0.0);
+    let guarantee = corollary4_guarantee(delta, m);
     for rep in 0..replications {
         let seed = derive_seed(BASE_SEED ^ 0xE3, (n * 100 + m * 10 + rep) as u64);
         let inst = random_instance(n, m, distribution, &mut seeded_rng(seed));
-        let result = tri_objective_rls(&inst, delta).expect("∆ > 2 by construction");
-        let report = result.ratio_report(&inst);
+        let req = SolveRequest::independent(&inst, ObjectiveMode::TriObjective { delta })
+            .with_guarantee(Guarantee::PaperRatio);
+        let solution = portfolio
+            .solve_in(&req, &mut ws)
+            .expect("∆ > 2 by construction");
+        let point = TriObjectivePoint::new(
+            solution.point.cmax,
+            solution.point.mmax,
+            solution.sum_ci.expect("tri-objective backends report ΣC_i"),
+        );
+        let lb = LowerBounds::of_instance(&inst);
+        let report = TriRatioReport::new(
+            point,
+            TriObjectivePoint::new(lb.cmax, lb.mmax, lb.sum_ci),
+            Reference::LowerBound,
+            Some(guarantee),
+        );
         rc.push(report.ratios.0);
         rm.push(report.ratios.1);
         rs.push(report.ratios.2);
         within &= report.within_guarantee();
-        guarantee = result.guarantee;
     }
     E3Row {
         distribution: distribution.label().to_string(),

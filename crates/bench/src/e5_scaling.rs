@@ -12,8 +12,8 @@ use std::time::Instant;
 
 use serde::Serialize;
 
-use sws_core::rls::{rls, RlsConfig};
-use sws_core::sbo::{sbo, InnerAlgorithm, SboConfig};
+use sws_core::portfolio::Portfolio;
+use sws_model::solve::{ObjectiveMode, SolveRequest};
 use sws_workloads::dagsets::{dag_workload, DagFamily};
 use sws_workloads::random::random_instance;
 use sws_workloads::rng::{derive_seed, seeded_rng};
@@ -72,15 +72,22 @@ pub struct E5Row {
 }
 
 /// Runs the wall-clock sweep.
+///
+/// Both series go through [`Portfolio::solve`] — the timings therefore
+/// include backend selection, which doubles as a regression check that
+/// the unified layer stays one-time-resolution cheap. At these sizes
+/// the bi-objective requests route to SBO∆/LPT (independent) and kernel
+/// RLS∆ (DAGs), exactly the algorithms the row labels name.
 pub fn run(config: &E5Config) -> Vec<E5Row> {
+    let portfolio = Portfolio::standard();
     let mut rows = Vec::new();
     for &m in &config.processor_counts {
         for &n in &config.sbo_task_counts {
             let seed = derive_seed(BASE_SEED ^ 0xE5, (n + m) as u64);
             let inst = random_instance(n, m, TaskDistribution::Uncorrelated, &mut seeded_rng(seed));
-            let cfg = SboConfig::new(1.0, InnerAlgorithm::Lpt);
+            let req = SolveRequest::independent(&inst, ObjectiveMode::BiObjective { delta: 1.0 });
             let millis = best_of(config.repetitions, || {
-                let _ = sbo(&inst, &cfg).unwrap();
+                let _ = portfolio.solve(&req).unwrap();
             });
             rows.push(E5Row {
                 algorithm: "sbo/lpt".to_string(),
@@ -98,9 +105,9 @@ pub fn run(config: &E5Config) -> Vec<E5Row> {
                 TaskDistribution::Uncorrelated,
                 &mut seeded_rng(seed),
             );
-            let cfg = RlsConfig::new(3.0);
+            let req = SolveRequest::precedence(&inst, ObjectiveMode::BiObjective { delta: 3.0 });
             let millis = best_of(config.repetitions, || {
-                let _ = rls(&inst, &cfg).unwrap();
+                let _ = portfolio.solve(&req).unwrap();
             });
             rows.push(E5Row {
                 algorithm: "rls".to_string(),

@@ -29,8 +29,10 @@ use sws_listsched::kernel::{
     event_driven_schedule_csr, KernelOutcome, KernelWorkspace, MemoryCapAdmission, Unrestricted,
 };
 use sws_model::error::ModelError;
+use sws_model::solve::{Solution, SolveRequest};
 
 use crate::pareto_sweep::run_chunks;
+use crate::portfolio::Portfolio;
 use crate::rls::PriorityOrder;
 
 /// Which scheduler a batch runs on every instance.
@@ -173,6 +175,41 @@ impl BatchScheduler {
             .map(|c| c.iter().collect())
             .collect()
     }
+
+    /// Serves a **mixed-guarantee request stream** through the portfolio:
+    /// each [`SolveRequest`] names its own instance, objective mode and
+    /// required guarantee, so backend selection happens *per item* —
+    /// exact for the tiny instances in the stream, kernel RLS∆ for the
+    /// big ones, a refusal (`Err` in that slot) where nothing qualifies.
+    /// The stream is split into contiguous chunks exactly like
+    /// [`BatchScheduler::run_many`], with one reusable
+    /// [`KernelWorkspace`] per worker threaded into every kernel-backed
+    /// solve; results come back in input order.
+    ///
+    /// Kernel-backed items are bit-identical to calling the one-shot
+    /// entry points (`rls`, `tri_objective_rls`, …) on each instance
+    /// separately — the same guarantee `run_many` gives, extended to the
+    /// portfolio vocabulary.
+    pub fn run_requests(
+        &self,
+        portfolio: &Portfolio,
+        items: &[SolveRequest<'_>],
+    ) -> Result<Vec<Result<Solution, ModelError>>, ModelError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let chunk_len = items.len().div_ceil(self.workers);
+        let chunks: Vec<&[SolveRequest]> = items.chunks(chunk_len).collect();
+        let run_chunk =
+            |chunk: &[SolveRequest]| -> Result<Vec<Result<Solution, ModelError>>, ModelError> {
+                let mut ws = KernelWorkspace::new();
+                Ok(chunk
+                    .iter()
+                    .map(|req| portfolio.solve_in(req, &mut ws))
+                    .collect())
+            };
+        run_chunks(chunks, run_chunk)
+    }
 }
 
 /// Schedules one instance through the worker's reusable buffers.
@@ -262,6 +299,75 @@ mod tests {
             .unwrap();
         assert_eq!(report.outcomes.len(), instances.len());
         assert!(report.schedules_per_sec > 0.0);
+    }
+
+    #[test]
+    fn mixed_guarantee_request_stream_selects_per_item() {
+        use sws_dag::TaskGraph;
+        use sws_model::solve::{BackendId, Guarantee, ObjectiveMode};
+        use sws_model::validate::validate_timed;
+
+        let portfolio = Portfolio::standard();
+        let mut instances = mixed_instances();
+        // A tiny edge-free instance: per-item selection must route it to
+        // the exact enumerator even inside a kernel-dominated stream.
+        let tiny = DagInstance::new(
+            TaskGraph::new(
+                sws_model::task::TaskSet::from_ps(
+                    &[3.0, 1.0, 4.0, 1.0, 5.0],
+                    &[2.0, 7.0, 1.0, 8.0, 2.0],
+                )
+                .unwrap(),
+            ),
+            2,
+        )
+        .unwrap();
+        instances.push(tiny);
+
+        let mut items: Vec<SolveRequest> = instances
+            .iter()
+            .map(|inst| SolveRequest::precedence(inst, ObjectiveMode::BiObjective { delta: 3.0 }))
+            .collect();
+        // One item demands the impossible: an exact answer on a real DAG.
+        items[1] = items[1].with_guarantee(Guarantee::Exact);
+
+        for workers in [1usize, 3] {
+            let results = BatchScheduler::with_workers(workers)
+                .run_requests(&portfolio, &items)
+                .unwrap();
+            assert_eq!(results.len(), items.len());
+
+            // Kernel-served DAG items are bit-identical to one-shot rls().
+            for (idx, (inst, result)) in instances.iter().zip(&results).enumerate() {
+                if idx == 1 {
+                    assert!(
+                        matches!(
+                            result,
+                            Err(sws_model::ModelError::NoQualifiedBackend { .. })
+                        ),
+                        "workers={workers}: exact demand on a DAG must be refused"
+                    );
+                    continue;
+                }
+                let solution = result.as_ref().unwrap();
+                validate_timed(
+                    inst.tasks(),
+                    inst.m(),
+                    &solution.schedule,
+                    inst.graph().all_preds(),
+                    None,
+                )
+                .unwrap();
+                if idx + 1 == instances.len() {
+                    // The tiny edge-free instance went to the enumerator.
+                    assert_eq!(solution.stats.backend, BackendId::ExactParetoEnum);
+                } else {
+                    assert_eq!(solution.stats.backend, BackendId::KernelRls);
+                    let direct = rls(inst, &RlsConfig::new(3.0)).unwrap();
+                    assert_eq!(solution.schedule, direct.schedule, "workers={workers}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ use sws_model::objectives::ObjectivePoint;
 use sws_model::schedule::{Assignment, TimedSchedule};
 use sws_model::Instance;
 
-use crate::rls::{rls, rls_guarantee, RlsConfig};
+use crate::rls::{rls_guarantee, rls_in, RlsConfig};
 use crate::sbo::{sbo, InnerAlgorithm, SboConfig};
 
 /// Number of refinement steps of the binary search on `∆`.
@@ -226,6 +226,18 @@ pub fn solve_dag_with_memory_budget(
     inst: &DagInstance,
     budget: f64,
 ) -> Result<DagConstrainedOutcome, ModelError> {
+    solve_dag_with_memory_budget_in(inst, budget, &mut sws_listsched::KernelWorkspace::new())
+}
+
+/// [`solve_dag_with_memory_budget`] with an explicit reusable kernel
+/// workspace for the underlying RLS∆ run — the variant the portfolio's
+/// constrained backend threads the per-worker workspace through.
+/// Bit-identical to [`solve_dag_with_memory_budget`].
+pub fn solve_dag_with_memory_budget_in(
+    inst: &DagInstance,
+    budget: f64,
+    ws: &mut sws_listsched::KernelWorkspace,
+) -> Result<DagConstrainedOutcome, ModelError> {
     if inst.n() == 0 {
         let schedule = TimedSchedule::new(vec![], vec![], inst.m())?;
         return Ok(DagConstrainedOutcome::Feasible {
@@ -248,7 +260,7 @@ pub fn solve_dag_with_memory_budget(
     // Guard against non-finite ∆ for all-zero storage instances: any
     // comfortably large finite value leaves the restriction inactive.
     let delta = if delta.is_finite() { delta } else { 1e12 };
-    let result = rls(inst, &RlsConfig::new(delta))?;
+    let result = rls_in(inst, &RlsConfig::new(delta), ws)?;
     let point = ObjectivePoint::of_timed_tasks(inst.tasks(), &result.schedule);
     debug_assert!(approx_le(point.mmax, budget));
     Ok(DagConstrainedOutcome::Feasible {

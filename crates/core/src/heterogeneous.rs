@@ -24,11 +24,11 @@
 //! This module is an *extension experiment*; nothing here is used by the
 //! reproduction of the paper's own claims.
 
-use sws_model::bounds::mmax_lower_bound;
 use sws_model::error::ModelError;
 use sws_model::numeric::approx_le;
 use sws_model::objectives::ObjectivePoint;
 use sws_model::schedule::TimedSchedule;
+use sws_model::solve::{BackendId, BoundReport, SolveStats};
 use sws_model::Instance;
 
 /// A set of uniform (related) machines: identical except for speed.
@@ -82,11 +82,20 @@ impl UniformMachines {
         self.speeds.iter().cloned().fold(0.0, f64::max)
     }
 
+    /// The lower bounds of an instance on these machines, with their
+    /// provenance: `Cmax ≥ max(max_i p_i / v_max, Σ p_i / Σ v_q)`, the
+    /// speed-independent Graham memory bound. This routes through the
+    /// shared [`BoundReport`] derivation, so identical-machine runs
+    /// (`v_q ≡ 1`) report exactly the same numbers as the paper path —
+    /// not a private re-derivation.
+    pub fn bounds(&self, inst: &Instance) -> BoundReport {
+        BoundReport::uniform(inst.tasks(), self.m(), self.max_speed(), self.total_speed())
+    }
+
     /// Lower bound on the optimal makespan of an instance on these
     /// machines: `max(max_i p_i / v_max, Σ p_i / Σ v_q)`.
     pub fn cmax_lower_bound(&self, inst: &Instance) -> f64 {
-        let tasks = inst.tasks();
-        (tasks.max_processing() / self.max_speed()).max(tasks.total_work() / self.total_speed())
+        self.bounds(inst).cmax
     }
 }
 
@@ -95,37 +104,40 @@ impl UniformMachines {
 pub struct UniformRlsResult {
     /// The produced schedule (start times in real time units).
     pub schedule: TimedSchedule,
-    /// The Graham memory lower bound (speed independent).
-    pub lb_memory: f64,
     /// The memory cap `∆·LB` enforced on every machine.
     pub memory_cap: f64,
-    /// The makespan lower bound used for reporting.
-    pub lb_cmax: f64,
     /// Achieved objective values.
     pub point: ObjectivePoint,
     /// The parameter the result was produced with.
     pub delta: f64,
+    /// Solve provenance; [`SolveStats::bounds`] carries the uniform
+    /// lower bounds (`Cmax` side speed-aware, memory side the plain
+    /// Graham bound) through the same [`BoundReport`] vocabulary the
+    /// identical-machine backends report.
+    pub stats: SolveStats,
 }
 
 impl UniformRlsResult {
+    /// The Graham memory lower bound (speed independent).
+    pub fn lb_memory(&self) -> f64 {
+        self.stats.bounds.mmax
+    }
+
+    /// The uniform-machine makespan lower bound used for reporting.
+    pub fn lb_cmax(&self) -> f64 {
+        self.stats.bounds.cmax
+    }
+
     /// Achieved makespan over the uniform lower bound — the empirical
     /// ratio reported by the extension experiment (no constant factor is
     /// claimed).
     pub fn cmax_ratio(&self) -> f64 {
-        if self.lb_cmax > 0.0 {
-            self.point.cmax / self.lb_cmax
-        } else {
-            1.0
-        }
+        self.stats.bounds.cmax_ratio(self.point.cmax)
     }
 
     /// Achieved memory over the Graham bound; guaranteed `≤ ∆`.
     pub fn mmax_ratio(&self) -> f64 {
-        if self.lb_memory > 0.0 {
-            self.point.mmax / self.lb_memory
-        } else {
-            1.0
-        }
+        self.stats.bounds.mmax_ratio(self.point.mmax)
     }
 }
 
@@ -160,12 +172,8 @@ pub fn uniform_rls(
     }
     let m = machines.m();
     let tasks = inst.tasks();
-    let lb_memory = if inst.n() == 0 {
-        0.0
-    } else {
-        mmax_lower_bound(tasks, m)
-    };
-    let cap = delta * lb_memory;
+    let bounds = machines.bounds(inst);
+    let cap = delta * bounds.mmax;
 
     let mut finish = vec![0.0f64; m];
     let mut memsize = vec![0.0f64; m];
@@ -206,13 +214,18 @@ pub fn uniform_rls(
     let schedule = TimedSchedule::new(proc_of, start, m)?;
     let cmax = finish.iter().cloned().fold(0.0, f64::max);
     let mmax = memsize.iter().cloned().fold(0.0, f64::max);
+    let stats = SolveStats {
+        backend: BackendId::UniformRls,
+        rounds: inst.n(),
+        workspace_reused: false,
+        bounds,
+    };
     Ok(UniformRlsResult {
         schedule,
-        lb_memory,
         memory_cap: cap,
-        lb_cmax: machines.cmax_lower_bound(inst),
         point: ObjectivePoint::new(cmax, mmax),
         delta,
+        stats,
     })
 }
 
@@ -279,10 +292,10 @@ mod tests {
             let machines = UniformMachines::new(speeds).unwrap();
             for &delta in &[2.25, 3.0, 5.0] {
                 let result = uniform_rls_lpt(&inst, &machines, delta).unwrap();
-                assert!(result.point.mmax <= delta * result.lb_memory + 1e-9);
+                assert!(result.point.mmax <= delta * result.lb_memory() + 1e-9);
                 let asg = result.schedule.assignment();
                 check_memory(inst.tasks(), &asg, result.memory_cap).unwrap();
-                assert!(result.point.cmax + 1e-9 >= result.lb_cmax);
+                assert!(result.point.cmax + 1e-9 >= result.lb_cmax());
             }
         }
     }

@@ -63,6 +63,7 @@ pub mod constrained;
 pub mod heterogeneous;
 pub mod pareto_sweep;
 pub mod pipeline;
+pub mod portfolio;
 pub mod rls;
 pub mod sbo;
 pub mod tri;
@@ -73,6 +74,7 @@ pub use constrained::{solve_dag_with_memory_budget, solve_with_memory_budget};
 pub use pareto_sweep::{
     rls_sweep, rls_sweep_cold, sbo_sweep, sbo_sweep_cold, SweepEngine, SweepProvenance,
 };
+pub use portfolio::{Portfolio, Solver};
 pub use rls::{
     rls, rls_guarantee, rls_in, rls_independent, rls_independent_in, PriorityOrder, RlsConfig,
     RlsEngine, RlsResult,
@@ -100,6 +102,7 @@ pub mod prelude {
     pub use crate::pipeline::{
         evaluate_rls, evaluate_rls_result, evaluate_sbo, evaluate_sbo_result, EvaluationReport,
     };
+    pub use crate::portfolio::{Portfolio, Solver};
     pub use crate::rls::{
         rls, rls_guarantee, rls_in, rls_independent, rls_independent_in, PriorityOrder, RlsConfig,
         RlsEngine, RlsResult,

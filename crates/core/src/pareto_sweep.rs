@@ -30,6 +30,13 @@
 //! from-scratch loop — the retained [`rls_sweep_cold`]/[`sbo_sweep_cold`]
 //! oracles, which the differential suite checks point for point.
 //!
+//! Relation to the portfolio layer (`crate::portfolio`): a sweep is a
+//! *chain* of bi-objective solves sharing warm state, so it deliberately
+//! stays on the engines instead of issuing one `SolveRequest` per grid
+//! point — per-request routing would forfeit the checkpoint/resume
+//! speedups. One-shot callers should go through the portfolio; sweep
+//! callers come here.
+//!
 //! **Front merge policy:** points are merged through
 //! [`ParetoFront::offer_with`] with the tie-break "prefer the smaller ∆"
 //! — among runs achieving the same objective point (up to tolerance) the

@@ -44,6 +44,7 @@ use sws_model::bounds::mmax_lower_bound;
 use sws_model::error::ModelError;
 use sws_model::objectives::ObjectivePoint;
 use sws_model::schedule::TimedSchedule;
+use sws_model::solve::{BackendId, BoundReport, Guarantee, Solution, SolveStats};
 use sws_model::task::TaskSet;
 use sws_model::Instance;
 
@@ -170,6 +171,35 @@ impl RlsResult {
     /// `⌊m/(∆−1)⌋`.
     pub fn marked_bound(&self) -> usize {
         lemma4_marked_bound(self.schedule.m(), self.config.delta)
+    }
+
+    /// Packages the run in the unified solver vocabulary
+    /// (`sws_model::solve`): schedule, achieved point, the Corollary 3
+    /// guarantee and the solve provenance. Consumes the result so the
+    /// schedule moves instead of cloning — the portfolio backends build
+    /// their `Solution` from a local temporary, and the batch serving
+    /// path must stay free of per-item copies.
+    pub fn into_solution(
+        self,
+        tasks: &TaskSet,
+        backend: BackendId,
+        bounds: BoundReport,
+        workspace_reused: bool,
+    ) -> Solution {
+        let point = self.objective(tasks);
+        Solution {
+            point,
+            sum_ci: None,
+            achieved: Guarantee::PaperRatio,
+            ratio_bound: Some(self.guarantee),
+            stats: SolveStats {
+                backend,
+                rounds: self.schedule.n(),
+                workspace_reused,
+                bounds,
+            },
+            schedule: self.schedule,
+        }
     }
 }
 

@@ -21,6 +21,7 @@
 use sws_model::error::ModelError;
 use sws_model::objectives::{cmax_of_assignment, mmax_of_assignment};
 use sws_model::schedule::Assignment;
+use sws_model::solve::{BackendId, BoundReport, Guarantee, Solution, SolveStats};
 use sws_model::Instance;
 
 /// The single-objective scheduler used for the two inner schedules.
@@ -140,6 +141,27 @@ impl SboResult {
     /// Number of tasks routed to the memory schedule.
     pub fn memory_routed_count(&self) -> usize {
         self.routed_to_memory.iter().filter(|&&b| b).count()
+    }
+
+    /// Packages the run in the unified solver vocabulary
+    /// (`sws_model::solve`): the combined assignment packed into start
+    /// times, the achieved point, the Properties 1–2 guarantee and the
+    /// solve provenance (`rounds` counts the two inner schedules).
+    /// Consumes the result, mirroring the other backends' conversions.
+    pub fn into_solution(self, inst: &Instance) -> Solution {
+        Solution {
+            schedule: self.assignment.into_timed(inst.tasks()),
+            point: self.objective(inst),
+            sum_ci: None,
+            achieved: Guarantee::PaperRatio,
+            ratio_bound: Some(self.guarantee),
+            stats: SolveStats {
+                backend: BackendId::Sbo,
+                rounds: 2,
+                workspace_reused: false,
+                bounds: BoundReport::identical(inst.tasks(), inst.m()),
+            },
+        }
     }
 }
 

@@ -18,6 +18,7 @@ use sws_model::bounds::LowerBounds;
 use sws_model::error::ModelError;
 use sws_model::objectives::TriObjectivePoint;
 use sws_model::ratio::{Reference, TriRatioReport};
+use sws_model::solve::{BackendId, BoundReport, Guarantee, Solution, SolveStats};
 use sws_model::Instance;
 
 use sws_listsched::KernelWorkspace;
@@ -49,6 +50,27 @@ impl TriObjectiveResult {
             Reference::LowerBound,
             Some(self.guarantee),
         )
+    }
+
+    /// Packages the run in the unified solver vocabulary
+    /// (`sws_model::solve`); `ΣC_i` travels in [`Solution::sum_ci`] and
+    /// the Corollary 4 `(Cmax, Mmax)` factors in the ratio bound.
+    /// Consumes the result so the schedule moves instead of cloning
+    /// (see [`crate::rls::RlsResult::into_solution`]).
+    pub fn into_solution(self, inst: &Instance, workspace_reused: bool) -> Solution {
+        Solution {
+            point: self.point.bi(),
+            sum_ci: Some(self.point.sum_ci),
+            achieved: Guarantee::PaperRatio,
+            ratio_bound: Some((self.guarantee.0, self.guarantee.1)),
+            stats: SolveStats {
+                backend: BackendId::KernelTriRls,
+                rounds: self.rls.schedule.n(),
+                workspace_reused,
+                bounds: BoundReport::identical(inst.tasks(), inst.m()),
+            },
+            schedule: self.rls.schedule,
+        }
     }
 }
 

@@ -304,6 +304,28 @@ impl DagInstance {
     }
 }
 
+/// The solver-layer view of a precedence-constrained instance: lets a
+/// [`DagInstance`] travel inside `sws_model::solve::SolveRequest`.
+/// DAG-aware backends recover the concrete type through `as_any` and
+/// reuse the instance's CSR mirror without rebuilding the graph.
+impl sws_model::solve::PrecedenceInstance for DagInstance {
+    fn tasks(&self) -> &TaskSet {
+        self.graph.tasks()
+    }
+
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn preds(&self) -> &[Vec<usize>] {
+        self.graph.all_preds()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

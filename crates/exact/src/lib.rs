@@ -27,6 +27,6 @@ pub mod brute;
 pub mod dp;
 pub mod pareto_enum;
 
-pub use branch_bound::{optimal_cmax, optimal_mmax, optimal_point};
+pub use branch_bound::{optimal_cmax, optimal_mmax, optimal_partition, optimal_point};
 pub use brute::{brute_optimal_cmax, brute_pareto_front};
-pub use pareto_enum::pareto_front;
+pub use pareto_enum::{best_assignment_under_memory_budget, best_in_front, pareto_front};

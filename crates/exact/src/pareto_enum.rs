@@ -89,12 +89,32 @@ pub fn pareto_front(inst: &Instance) -> ParetoFront<Assignment> {
 /// Returns `None` when no schedule satisfies the budget (which cannot
 /// happen for `budget ≥ Σ s_i`).
 pub fn best_cmax_under_memory_budget(inst: &Instance, budget: f64) -> Option<f64> {
-    let front = pareto_front(inst);
+    best_assignment_under_memory_budget(inst, budget).map(|(pt, _)| pt.cmax)
+}
+
+/// Like [`best_cmax_under_memory_budget`], but also returns an assignment
+/// achieving the constrained optimum — the witness the portfolio layer's
+/// exact backend hands back as a schedule.
+pub fn best_assignment_under_memory_budget(
+    inst: &Instance,
+    budget: f64,
+) -> Option<(ObjectivePoint, Assignment)> {
+    best_in_front(&pareto_front(inst), budget)
+}
+
+/// The budget query over an **already-computed** front: the point
+/// minimizing `Cmax` among those with `Mmax ≤ budget` (one shared
+/// tolerance and tie-break for every caller that holds the front —
+/// callers needing several queries enumerate once and ask many times).
+pub fn best_in_front(
+    front: &ParetoFront<Assignment>,
+    budget: f64,
+) -> Option<(ObjectivePoint, Assignment)> {
     front
         .iter()
         .filter(|(pt, _)| pt.mmax <= budget + 1e-12)
-        .map(|(pt, _)| pt.cmax)
-        .min_by(|a, b| sws_model::numeric::total_cmp(*a, *b))
+        .min_by(|(a, _), (b, _)| sws_model::numeric::total_cmp(a.cmax, b.cmax))
+        .map(|(pt, asg)| (*pt, asg.clone()))
 }
 
 #[cfg(test)]

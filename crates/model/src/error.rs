@@ -43,6 +43,18 @@ pub enum ModelError {
         value: f64,
         constraint: &'static str,
     },
+    /// No registered solver backend can serve a request at the required
+    /// guarantee level (see `sws_model::solve` and the portfolio layer).
+    NoQualifiedBackend {
+        objective: &'static str,
+        guarantee: &'static str,
+        n: usize,
+        m: usize,
+    },
+    /// A memory-budget request could not be met: every evaluated schedule
+    /// exceeded the budget (deciding feasibility exactly is NP-complete,
+    /// so "not found" is the strongest honest answer — see Section 7).
+    BudgetNotMet { best_mmax: f64, budget: f64 },
 }
 
 impl fmt::Display for ModelError {
@@ -109,6 +121,24 @@ impl fmt::Display for ModelError {
                 write!(
                     f,
                     "parameter {name} = {value} violates constraint {constraint}"
+                )
+            }
+            ModelError::NoQualifiedBackend {
+                objective,
+                guarantee,
+                n,
+                m,
+            } => {
+                write!(
+                    f,
+                    "no backend serves a {objective} request at guarantee '{guarantee}' \
+                     for n = {n}, m = {m}"
+                )
+            }
+            ModelError::BudgetNotMet { best_mmax, budget } => {
+                write!(
+                    f,
+                    "no evaluated schedule met the memory budget {budget} (best Mmax: {best_mmax})"
                 )
             }
         }

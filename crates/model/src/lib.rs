@@ -51,6 +51,7 @@ pub mod objectives;
 pub mod pareto;
 pub mod ratio;
 pub mod schedule;
+pub mod solve;
 pub mod task;
 pub mod validate;
 
@@ -59,6 +60,7 @@ pub use instance::Instance;
 pub use objectives::{ObjectivePoint, TriObjectivePoint};
 pub use pareto::ParetoFront;
 pub use schedule::{Assignment, TimedSchedule};
+pub use solve::{Guarantee, ObjectiveMode, Solution, SolveRequest, SolveStats};
 pub use task::{Task, TaskId};
 
 /// Convenient glob import of the most frequently used items.
@@ -71,6 +73,10 @@ pub mod prelude {
     pub use crate::pareto::{dominates, ParetoFront};
     pub use crate::ratio::{RatioReport, TriRatioReport};
     pub use crate::schedule::{Assignment, TimedSchedule};
+    pub use crate::solve::{
+        BackendId, BoundReport, BoundSource, Guarantee, ObjectiveMode, Solution, SolveRequest,
+        SolveStats,
+    };
     pub use crate::task::{Task, TaskId};
     pub use crate::validate::{validate_assignment, validate_timed};
 }

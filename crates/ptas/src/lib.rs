@@ -37,4 +37,5 @@ pub mod dual;
 pub mod rounding;
 pub mod search;
 
-pub use search::{ptas_cmax, ptas_mmax, ptas_schedule, PtasOutcome};
+pub use dual::DP_WORK_LIMIT;
+pub use search::{dp_work_affordable, ptas_cmax, ptas_mmax, ptas_schedule, PtasOutcome};

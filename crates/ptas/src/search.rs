@@ -34,6 +34,29 @@ impl PtasOutcome {
     }
 }
 
+/// Whether a PTAS run at accuracy `eps` on these weights can afford the
+/// exact configuration DP — the gate the portfolio layer uses before
+/// promising an `ε`-optimal schedule.
+///
+/// The rounding (and hence the DP work) depends on the deadline under
+/// test; the deadline search stays within `[LB, 2·LB]` and the work
+/// estimate is largest at the *smallest* deadline (smaller `d` makes more
+/// jobs "large"), so the estimate at `d = LB` bounds every dual test of
+/// the search. When it exceeds [`crate::dual::DP_WORK_LIMIT`] the packing
+/// would fall back to FFD and the strict `(1 + ε)` guarantee would be
+/// lost, so a guarantee-demanding caller must not route here.
+pub fn dp_work_affordable(weights: &[f64], m: usize, eps: f64) -> bool {
+    assert!(m > 0, "need at least one machine");
+    let total: f64 = weights.iter().sum();
+    let max_w = weights.iter().copied().fold(0.0, f64::max);
+    let lb = (total / m as f64).max(max_w);
+    if weights.is_empty() || lb == 0.0 {
+        return true;
+    }
+    crate::rounding::Rounding::new(weights, lb, eps).dp_work_estimate()
+        <= crate::dual::DP_WORK_LIMIT
+}
+
 /// Runs the Hochbaum–Shmoys PTAS on arbitrary weights: returns an
 /// assignment whose maximum per-machine weight is at most
 /// `(1 + ε)·OPT` (up to the bisection residual).

@@ -3,7 +3,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p sws-core --example grid_workflow
+//! cargo run --release --example grid_workflow
 //! ```
 //!
 //! Part 1 schedules a precedence-constrained workflow (a layered random
@@ -17,7 +17,8 @@ use sws_core::pipeline::{evaluate_rls, evaluate_sbo};
 use sws_core::prelude::*;
 use sws_core::rls::{PriorityOrder, RlsConfig};
 use sws_core::sbo::{InnerAlgorithm, SboConfig};
-use sws_core::tri::tri_objective_rls;
+use sws_core::tri::corollary4_guarantee;
+use sws_model::solve::{ObjectiveMode, SolveRequest};
 use sws_workloads::dagsets::{dag_workload, DagFamily};
 use sws_workloads::grid::grid_workload;
 use sws_workloads::rng::seeded_rng;
@@ -79,21 +80,27 @@ fn main() {
         sbo_report.tri.map(|t| t.sum_ci).unwrap_or(0.0)
     );
 
-    // ...while the tri-objective algorithm also guarantees ΣCi.
+    // ...while the tri-objective algorithm also guarantees ΣCi. The
+    // requests go through the unified portfolio, which routes them to
+    // the SPT-tie RLS∆ kernel backend.
+    let portfolio = Portfolio::standard();
     for &delta in &[2.5, 4.0] {
-        let tri = tri_objective_rls(&batch, delta).expect("∆ > 2 is valid");
-        let report = tri.ratio_report(&batch);
+        let req = SolveRequest::independent(&batch, ObjectiveMode::TriObjective { delta })
+            .with_guarantee(Guarantee::PaperRatio);
+        let solution = portfolio.solve(&req).expect("∆ > 2 is valid");
+        let sum_ci = solution.sum_ci.expect("tri backends report ΣCi");
+        let guarantee = corollary4_guarantee(delta, batch.m());
         println!(
             "  tri-RLS ∆={delta:<4}:      Cmax = {:.1}, Mmax = {:.1}, ΣCi = {:.1}  (ratios {:.3}, {:.3}, {:.3}; guarantees {:.2}, {:.2}, {:.2})",
-            tri.point.cmax,
-            tri.point.mmax,
-            tri.point.sum_ci,
-            report.ratios.0,
-            report.ratios.1,
-            report.ratios.2,
-            tri.guarantee.0,
-            tri.guarantee.1,
-            tri.guarantee.2,
+            solution.point.cmax,
+            solution.point.mmax,
+            sum_ci,
+            solution.cmax_over_lb(),
+            solution.mmax_over_lb(),
+            if lb.sum_ci > 0.0 { sum_ci / lb.sum_ci } else { 1.0 },
+            guarantee.0,
+            guarantee.1,
+            guarantee.2,
         );
     }
 }

@@ -3,33 +3,37 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p sws-core --example memory_budget
+//! cargo run --release --example memory_budget
 //! ```
 //!
 //! Deciding whether *any* schedule fits the budget is NP-complete, so no
 //! approximation algorithm exists for the constrained problem. The paper's
 //! way out is the bi-objective machinery: derive (or binary-search) the
-//! trade-off parameter from the budget. This example walks through both
-//! the independent-task and the precedence-constrained procedures, and on
-//! a small instance compares the heuristic with the exact constrained
-//! optimum computed by exhaustive enumeration.
+//! trade-off parameter from the budget. This example drives everything
+//! through the unified [`Portfolio`] layer: a `MemoryBudget` request
+//! auto-routes to the exact enumerator on tiny instances and to the
+//! Section 7 procedures everywhere else, and infeasibility comes back as
+//! typed errors instead of ad-hoc enums.
 
-use sws_core::constrained::{
-    solve_dag_with_memory_budget, solve_with_memory_budget, ConstrainedOutcome,
-    DagConstrainedOutcome,
-};
 use sws_core::prelude::*;
-use sws_core::sbo::InnerAlgorithm;
-use sws_exact::pareto_enum::best_cmax_under_memory_budget;
+use sws_model::solve::{BackendId, ObjectiveMode, SolveRequest};
 use sws_workloads::dagsets::{dag_workload, DagFamily};
 use sws_workloads::random::random_instance;
 use sws_workloads::rng::seeded_rng;
 use sws_workloads::TaskDistribution;
 
 fn main() {
+    let portfolio = Portfolio::standard();
+
     // ----- Small instance: heuristic vs exact ---------------------------
+    // Auto-selection routes this tiny instance straight to the exact
+    // enumerator; pinning the constrained-search backend recovers the
+    // Section 7 heuristic for comparison.
     let mut rng = seeded_rng(4);
     let small = random_instance(10, 2, TaskDistribution::AntiCorrelated, &mut rng);
+    let heuristic = portfolio
+        .backend(BackendId::ConstrainedSearch)
+        .expect("registered");
     let lb = LowerBounds::of_instance(&small);
     println!(
         "Small instance (n = 10, m = 2), memory lower bound LB = {:.1}:",
@@ -41,24 +45,23 @@ fn main() {
     );
     for beta in [1.1, 1.3, 1.6, 2.0] {
         let budget = beta * lb.mmax;
-        let outcome = solve_with_memory_budget(&small, budget, InnerAlgorithm::Lpt)
-            .expect("valid parameters");
-        let exact = best_cmax_under_memory_budget(&small, budget);
-        match (outcome, exact) {
-            (ConstrainedOutcome::Feasible { point, .. }, Some(opt)) => println!(
+        let req = SolveRequest::independent(&small, ObjectiveMode::MemoryBudget { budget });
+        let auto = portfolio.solve(&req);
+        if let Ok(exact) = &auto {
+            assert_eq!(exact.stats.backend, BackendId::ExactParetoEnum);
+        }
+        match (heuristic.solve(&req), auto) {
+            (Ok(h), Ok(exact)) => println!(
                 "  {beta:>6.2}  {:>12.2}  {:>12.2}  {:>9.1}%",
-                point.cmax,
-                opt,
-                (point.cmax / opt - 1.0) * 100.0
+                h.point.cmax,
+                exact.point.cmax,
+                (h.point.cmax / exact.point.cmax - 1.0) * 100.0
             ),
-            (ConstrainedOutcome::NotFound { .. }, Some(opt)) => {
-                println!(
-                    "  {beta:>6.2}  {:>12}  {opt:>12.2}  {:>10}",
-                    "not found", "-"
-                )
-            }
-            (_, None) => println!("  {beta:>6.2}  infeasible for every schedule"),
-            (outcome, Some(_)) => println!("  {beta:>6.2}  unexpected outcome: {outcome:?}"),
+            (Err(_), Ok(exact)) => println!(
+                "  {beta:>6.2}  {:>12}  {:>12.2}  {:>10}",
+                "not found", exact.point.cmax, "-"
+            ),
+            (_, Err(_)) => println!("  {beta:>6.2}  infeasible for every schedule"),
         }
     }
     println!();
@@ -72,18 +75,22 @@ fn main() {
     );
     for beta in [1.05, 1.25, 1.5, 2.0] {
         let budget = beta * lb.mmax;
-        match solve_with_memory_budget(&large, budget, InnerAlgorithm::Lpt).unwrap() {
-            ConstrainedOutcome::Feasible { point, delta, .. } => println!(
-                "  β = {beta:.2}: feasible, Cmax = {:.1} ({:.3}× LB), using ∆ = {delta:.3}",
-                point.cmax,
-                point.cmax / lb.cmax
+        let req = SolveRequest::independent(&large, ObjectiveMode::MemoryBudget { budget });
+        match portfolio.solve(&req) {
+            Ok(solution) => println!(
+                "  β = {beta:.2}: feasible via {}, Cmax = {:.1} ({:.3}× LB), {} SBO evaluations",
+                solution.stats.backend,
+                solution.point.cmax,
+                solution.cmax_over_lb(),
+                solution.stats.rounds
             ),
-            ConstrainedOutcome::NotFound { best_mmax, .. } => println!(
+            Err(ModelError::BudgetNotMet { best_mmax, budget }) => println!(
                 "  β = {beta:.2}: not found (closest memory reached {best_mmax:.1} > {budget:.1})"
             ),
-            ConstrainedOutcome::ProvablyInfeasible { max_storage } => println!(
-                "  β = {beta:.2}: provably infeasible (a single task needs {max_storage:.1})"
-            ),
+            Err(ModelError::MemoryExceeded { used, .. }) => {
+                println!("  β = {beta:.2}: provably infeasible (a single task needs {used:.1})")
+            }
+            Err(e) => println!("  β = {beta:.2}: {e}"),
         }
     }
     println!();
@@ -105,17 +112,24 @@ fn main() {
     );
     for beta in [1.5, 2.0, 2.5, 3.0, 4.0] {
         let budget = beta * dag_lb;
-        match solve_dag_with_memory_budget(&dag, budget).unwrap() {
-            DagConstrainedOutcome::Feasible { point, delta, makespan_guarantee, .. } => println!(
-                "  β = {beta:.2}: RLS∆ with ∆ = {delta:.2} -> Cmax = {:.1}, Mmax = {:.1} ≤ {budget:.1}; proven Cmax ratio ≤ {makespan_guarantee:.3}",
-                point.cmax, point.mmax
+        let req = SolveRequest::precedence(&dag, ObjectiveMode::MemoryBudget { budget });
+        match portfolio.solve(&req) {
+            Ok(solution) => {
+                let (gc, delta) = solution
+                    .ratio_bound
+                    .expect("the DAG budget procedure proves a makespan factor");
+                println!(
+                    "  β = {beta:.2}: RLS∆ with ∆ = {delta:.2} -> Cmax = {:.1}, Mmax = {:.1} ≤ {budget:.1}; proven Cmax ratio ≤ {gc:.3}",
+                    solution.point.cmax, solution.point.mmax
+                );
+            }
+            Err(ModelError::BudgetNotMet { .. }) => println!(
+                "  β = {beta:.2}: budget/LB = {beta:.2} ≤ 2 — RLS∆ cannot run, no guarantee possible (the \"hard to fit\" regime)"
             ),
-            DagConstrainedOutcome::NoGuarantee { delta } => println!(
-                "  β = {beta:.2}: budget/LB = {delta:.2} ≤ 2 — RLS∆ cannot run, no guarantee possible (the \"hard to fit\" regime)"
+            Err(ModelError::MemoryExceeded { used, .. }) => println!(
+                "  β = {beta:.2}: provably infeasible (a single task needs {used:.1})"
             ),
-            DagConstrainedOutcome::ProvablyInfeasible { max_storage } => println!(
-                "  β = {beta:.2}: provably infeasible (a single task needs {max_storage:.1})"
-            ),
+            Err(e) => println!("  β = {beta:.2}: {e}"),
         }
     }
 }

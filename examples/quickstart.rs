@@ -2,7 +2,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p sws-core --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 //!
 //! The example builds a small independent-task instance whose processing
@@ -76,5 +76,46 @@ fn main() {
         "  guarantee ({gc:.3}, {gm:.3}); marked processors: {} (bound {})",
         result.marked_count(),
         result.marked_bound()
+    );
+    println!();
+
+    // The unified entry point: a `SolveRequest` names the instance, the
+    // objective mode and the required guarantee; the portfolio picks the
+    // cheapest backend that satisfies it. At n = 8, m = 3 the instance
+    // sits just above the auto-exact threshold (3^8 > 2^12), so best
+    // effort routes to the cheap heuristics and exactness must be asked
+    // for explicitly — see docs/ALGORITHMS.md for the full policy.
+    let portfolio = Portfolio::standard();
+    println!("Portfolio routing for the same 8-task instance:");
+    for (label, request) in [
+        (
+            "Cmax, best effort     ",
+            SolveRequest::independent(&inst, ObjectiveMode::CmaxOnly),
+        ),
+        (
+            "Cmax, exact           ",
+            SolveRequest::independent(&inst, ObjectiveMode::CmaxOnly)
+                .with_guarantee(Guarantee::Exact),
+        ),
+        (
+            "bi-objective ∆ = 1    ",
+            SolveRequest::independent(&inst, ObjectiveMode::BiObjective { delta: 1.0 }),
+        ),
+    ] {
+        let solution = portfolio.solve(&request).expect("a backend qualifies");
+        println!(
+            "  {label} -> {:<18} {}   (achieved guarantee: {})",
+            solution.stats.backend.label(),
+            solution.point,
+            solution.achieved.label()
+        );
+    }
+    let dag_request = SolveRequest::precedence(&dag, ObjectiveMode::BiObjective { delta: 3.0 });
+    let solution = portfolio.solve(&dag_request).expect("∆ > 2 is valid");
+    println!(
+        "  DAG, bi-objective ∆ = 3 -> {:<14} {}   (same schedule as rls(): {})",
+        solution.stats.backend.label(),
+        solution.point,
+        solution.schedule == result.schedule
     );
 }

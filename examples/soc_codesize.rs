@@ -3,19 +3,18 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p sws-core --example soc_codesize
+//! cargo run --release --example soc_codesize
 //! ```
 //!
 //! Every SoC processor stores the instruction code of the tasks mapped to
 //! it, so the cumulative memory per processor is the binary footprint.
 //! The example generates a SoC-like workload (many small kernels, a few
 //! large ones), asks for a schedule whose per-processor code size stays
-//! below a hardware budget, and shows how the Section 7 procedure derives
-//! the RLS∆/SBO∆ parameter from that budget.
+//! below a hardware budget, and lets the unified [`Portfolio`] route the
+//! `MemoryBudget` requests to the Section 7 procedure.
 
-use sws_core::constrained::{solve_with_memory_budget, ConstrainedOutcome};
 use sws_core::prelude::*;
-use sws_core::sbo::InnerAlgorithm;
+use sws_model::solve::{ObjectiveMode, SolveRequest};
 use sws_simulator::gantt::GanttOptions;
 use sws_simulator::render_gantt;
 use sws_workloads::rng::seeded_rng;
@@ -37,52 +36,50 @@ fn main() {
         lb.mmax, lb.cmax
     );
 
-    // Sweep hardware budgets from barely-above-LB to comfortable.
+    // Sweep hardware budgets from barely-above-LB to comfortable. Each
+    // budget is one `MemoryBudget` request; the portfolio routes it to
+    // the Section 7 binary search at this size.
+    let portfolio = Portfolio::standard();
     for beta in [1.05, 1.2, 1.5, 2.0, 3.0] {
         let budget = beta * lb.mmax;
-        let outcome =
-            solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt).expect("valid parameters");
-        match outcome {
-            ConstrainedOutcome::Feasible {
-                point,
-                delta,
-                evaluations,
-                ..
-            } => {
+        let req = SolveRequest::independent(&inst, ObjectiveMode::MemoryBudget { budget });
+        match portfolio.solve(&req) {
+            Ok(solution) => {
                 println!(
-                    "budget {budget:7.1} KiB (β = {beta:.2}) -> feasible: Cmax = {:.1} ({:.3}× the lower bound), ∆ = {delta:.3}, {evaluations} evaluations",
-                    point.cmax,
-                    point.cmax / lb.cmax
+                    "budget {budget:7.1} KiB (β = {beta:.2}) -> feasible via {}: Cmax = {:.1} ({:.3}× the lower bound), {} evaluations",
+                    solution.stats.backend,
+                    solution.point.cmax,
+                    solution.cmax_over_lb(),
+                    solution.stats.rounds
                 );
             }
-            ConstrainedOutcome::NotFound { best_mmax, .. } => {
+            Err(ModelError::BudgetNotMet { best_mmax, .. }) => {
                 println!(
                     "budget {budget:7.1} KiB (β = {beta:.2}) -> no schedule found (best code size reached {best_mmax:.1} KiB)"
                 );
             }
-            ConstrainedOutcome::ProvablyInfeasible { max_storage } => {
+            Err(ModelError::MemoryExceeded { used, .. }) => {
                 println!(
-                    "budget {budget:7.1} KiB (β = {beta:.2}) -> provably infeasible: one kernel alone needs {max_storage:.1} KiB"
+                    "budget {budget:7.1} KiB (β = {beta:.2}) -> provably infeasible: one kernel alone needs {used:.1} KiB"
                 );
             }
+            Err(e) => println!("budget {budget:7.1} KiB (β = {beta:.2}) -> {e}"),
         }
     }
     println!();
 
-    // Show the schedule obtained for the tightest comfortable budget.
+    // Show the schedule obtained for the tightest comfortable budget —
+    // the unified `Solution` already carries a timed schedule.
     let budget = 1.5 * lb.mmax;
-    if let ConstrainedOutcome::Feasible {
-        assignment, point, ..
-    } = solve_with_memory_budget(&inst, budget, InnerAlgorithm::Lpt).expect("valid parameters")
-    {
+    let req = SolveRequest::independent(&inst, ObjectiveMode::MemoryBudget { budget });
+    if let Ok(solution) = portfolio.solve(&req) {
         println!(
             "Schedule for budget {:.1} KiB — achieved (Cmax = {:.1}, code size = {:.1} KiB):",
-            budget, point.cmax, point.mmax
+            budget, solution.point.cmax, solution.point.mmax
         );
-        let timed = assignment.into_timed(inst.tasks());
         let gantt = render_gantt(
             inst.tasks(),
-            &timed,
+            &solution.schedule,
             &GanttOptions {
                 width: 76,
                 totals: true,

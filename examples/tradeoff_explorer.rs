@@ -3,7 +3,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p sws-core --release --example tradeoff_explorer
+//! cargo run --release --example tradeoff_explorer
 //! ```
 //!
 //! The paper argues for absolute approximation ("the ∆ parameter tunes
@@ -89,5 +89,14 @@ fn main() {
         result.cmax_ratio(),
         result.point.mmax,
         result.mmax_ratio()
+    );
+    // The ratios above are reported through the shared bound vocabulary,
+    // so heterogeneous runs carry the same provenance tags as the
+    // identical-machine backends.
+    println!(
+        "  lower-bound provenance: {} (Cmax ≥ {:.1}, Mmax ≥ {:.1})",
+        result.stats.bounds.source.label(),
+        result.stats.bounds.cmax,
+        result.stats.bounds.mmax
     );
 }
