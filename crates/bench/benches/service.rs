@@ -1,0 +1,157 @@
+//! Service throughput and latency: requests per second through the
+//! `sws_service` queue-fed runtime, measured against the same fleet
+//! shape as the batch baseline so queueing overhead is directly
+//! visible.
+//!
+//! Each benchmark pre-builds a fleet of layered-random DAG instances
+//! (shared behind `Arc`s) and a running service with one worker — the
+//! single-core configuration the committed `BENCH_batch.json` numbers
+//! use — then measures one `run_all` pass: submit every request through
+//! admission, wait for every completion. The measured work therefore
+//! includes admission planning (backend selection + cost estimate),
+//! queue traffic, per-request completion channels and the solve itself.
+//!
+//! Ids:
+//!
+//! * `service_throughput/serve_rls/<count>x<n>x<m>` — RLS∆ (∆ = 3)
+//!   request streams over DAGs, the service-side analogue of
+//!   `batch_throughput/rls_many`; `schedules/sec = elements /
+//!   (median_ns / 1e9)` must stay within 10% of the batch baseline
+//!   (queueing overhead bounded — see docs/PERFORMANCE.md);
+//! * `service_latency/round_trip/<n>x<m>` — one request's full
+//!   submit→wait round trip on an idle service (the per-request floor).
+//!
+//! Regenerate the committed baseline with:
+//!
+//! ```text
+//! SWS_BENCH_JSON=$(pwd)/BENCH_service.json cargo bench --bench service
+//! ```
+//!
+//! CI runs quick mode (`SWS_BENCH_QUICK=1`): smaller fleet, fewer
+//! samples, fleet shape encoded in the ids (comparable across pushes,
+//! not to the committed full-size rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use sws_dag::DagInstance;
+use sws_model::policy::{OverflowPolicy, TenantPolicy};
+use sws_model::solve::{Guarantee, ObjectiveMode};
+use sws_service::{SchedulingService, ServiceRequest};
+use sws_workloads::dagsets::{dag_workload, DagFamily};
+use sws_workloads::rng::{derive_seed, seeded_rng};
+use sws_workloads::TaskDistribution;
+
+/// Quick mode shrinks fleet sizes and sample counts for CI.
+fn quick() -> bool {
+    std::env::var("SWS_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// The same fleet construction as the batch throughput bench (same
+/// seeds, same families), shared behind `Arc`s for the service.
+fn fleet(count: usize, n: usize, m: usize, seed: u64) -> Vec<Arc<DagInstance>> {
+    (0..count)
+        .map(|k| {
+            Arc::new(dag_workload(
+                DagFamily::LayeredRandom,
+                n,
+                m,
+                TaskDistribution::Uncorrelated,
+                &mut seeded_rng(derive_seed(seed, k as u64)),
+            ))
+        })
+        .collect()
+}
+
+/// A single-worker service with one unlimited tenant — the single-core
+/// serving configuration.
+fn single_worker_service(capacity: usize) -> SchedulingService {
+    SchedulingService::builder()
+        .workers(1)
+        .queue_capacity(capacity)
+        .tenant(
+            "bench",
+            TenantPolicy::unlimited().with_overflow(OverflowPolicy::Queue),
+        )
+        .build()
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(if quick() { 3 } else { 10 });
+
+    let shapes: &[(usize, usize, usize)] = if quick() {
+        &[(64, 250, 8)]
+    } else {
+        &[(512, 250, 8), (128, 1_000, 8)]
+    };
+
+    for &(count, n, m) in shapes {
+        // Same seed family as batch_throughput so the scheduled
+        // instances are identical.
+        let instances = fleet(count, n, m, 0xBA7C + n as u64);
+        group.throughput(Throughput::Elements(count as u64));
+        let service = single_worker_service(count.max(16));
+        group.bench_with_input(
+            BenchmarkId::new("serve_rls", format!("{count}x{n}x{m}")),
+            &instances,
+            |b, instances| {
+                b.iter(|| {
+                    let requests: Vec<ServiceRequest> = instances
+                        .iter()
+                        .map(|inst| {
+                            ServiceRequest::dag(
+                                "bench",
+                                Arc::clone(inst),
+                                ObjectiveMode::BiObjective { delta: 3.0 },
+                            )
+                            .with_guarantee(Guarantee::PaperRatio)
+                        })
+                        .collect();
+                    let outcomes = service.run_all(requests);
+                    assert!(outcomes.iter().all(Result::is_ok));
+                    black_box(outcomes)
+                })
+            },
+        );
+        drop(service);
+    }
+    group.finish();
+
+    // Per-request round-trip latency on an idle service: submit one
+    // request, wait for it — the floor every queued request pays on
+    // top of its position in line.
+    let mut group = c.benchmark_group("service_latency");
+    group.sample_size(if quick() { 5 } else { 20 });
+    let (n, m) = (250usize, 8usize);
+    let inst = fleet(1, n, m, 0x5E41).pop().unwrap();
+    let service = single_worker_service(16);
+    let handle = service.handle();
+    group.throughput(Throughput::Elements(1));
+    group.bench_with_input(
+        BenchmarkId::new("round_trip", format!("{n}x{m}")),
+        &inst,
+        |b, inst| {
+            b.iter(|| {
+                let ticket = handle
+                    .submit(
+                        ServiceRequest::dag(
+                            "bench",
+                            Arc::clone(inst),
+                            ObjectiveMode::BiObjective { delta: 3.0 },
+                        )
+                        .with_guarantee(Guarantee::PaperRatio),
+                    )
+                    .expect("admissible");
+                black_box(ticket.wait().expect("servable"))
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -12,6 +12,13 @@
 //! Ids:
 //!
 //! * `batch_throughput/rls_many/<count>x<n>x<m>` — RLS∆ (∆ = 3) batches;
+//! * `batch_throughput/rls_requests/<count>x<n>x<m>` — the same fleet
+//!   served as portfolio `SolveRequest`s through
+//!   `BatchScheduler::run_requests` (per-item selection, cost stamping,
+//!   `Solution` packaging): the request-serving baseline the
+//!   `sws_service` bench (`BENCH_service.json`) compares against —
+//!   the delta to `rls_many` is the portfolio-vocabulary cost, the
+//!   delta from here to `service_throughput/serve_rls` is the queue;
 //! * `batch_throughput/dag_list_many/<count>x<n>x<m>` — unrestricted DAG
 //!   list scheduling batches;
 //! * `batch_throughput/rls_steady/<n>x<m>` — steady-state single-instance
@@ -36,8 +43,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use sws_core::batch::{BatchScheduler, BatchSpec};
+use sws_core::portfolio::Portfolio;
 use sws_core::rls::{PriorityOrder, RlsEngine};
 use sws_dag::DagInstance;
+use sws_model::solve::{Guarantee, ObjectiveMode, SolveRequest};
 use sws_workloads::dagsets::{dag_workload, DagFamily};
 use sws_workloads::rng::{derive_seed, seeded_rng};
 use sws_workloads::TaskDistribution;
@@ -84,6 +93,21 @@ fn bench_batch(c: &mut Criterion) {
             |b, instances| {
                 let spec = BatchSpec::rls(3.0, PriorityOrder::Index);
                 b.iter(|| black_box(scheduler.run_many(instances, &spec).unwrap()))
+            },
+        );
+        let portfolio = Portfolio::standard();
+        group.bench_with_input(
+            BenchmarkId::new("rls_requests", format!("{count}x{n}x{m}")),
+            &instances,
+            |b, instances| {
+                let items: Vec<SolveRequest> = instances
+                    .iter()
+                    .map(|inst| {
+                        SolveRequest::precedence(inst, ObjectiveMode::BiObjective { delta: 3.0 })
+                            .with_guarantee(Guarantee::PaperRatio)
+                    })
+                    .collect();
+                b.iter(|| black_box(scheduler.run_requests(&portfolio, &items).unwrap()))
             },
         );
         group.bench_with_input(

@@ -31,6 +31,7 @@ use sws_listsched::kernel::{
 use sws_model::error::ModelError;
 use sws_model::solve::{Solution, SolveRequest};
 
+use crate::dispatch::DispatchWorker;
 use crate::pareto_sweep::run_chunks;
 use crate::portfolio::Portfolio;
 use crate::rls::PriorityOrder;
@@ -182,9 +183,10 @@ impl BatchScheduler {
     /// exact for the tiny instances in the stream, kernel RLS∆ for the
     /// big ones, a refusal (`Err` in that slot) where nothing qualifies.
     /// The stream is split into contiguous chunks exactly like
-    /// [`BatchScheduler::run_many`], with one reusable
-    /// [`KernelWorkspace`] per worker threaded into every kernel-backed
-    /// solve; results come back in input order.
+    /// [`BatchScheduler::run_many`]; each chunk is served by one
+    /// [`DispatchWorker`] (the per-worker selection + workspace routine
+    /// shared with the `sws_service` queue runtime), so the batch and
+    /// service paths cannot drift; results come back in input order.
     ///
     /// Kernel-backed items are bit-identical to calling the one-shot
     /// entry points (`rls`, `tri_objective_rls`, …) on each instance
@@ -202,11 +204,8 @@ impl BatchScheduler {
         let chunks: Vec<&[SolveRequest]> = items.chunks(chunk_len).collect();
         let run_chunk =
             |chunk: &[SolveRequest]| -> Result<Vec<Result<Solution, ModelError>>, ModelError> {
-                let mut ws = KernelWorkspace::new();
-                Ok(chunk
-                    .iter()
-                    .map(|req| portfolio.solve_in(req, &mut ws))
-                    .collect())
+                let mut worker = DispatchWorker::new(portfolio);
+                Ok(chunk.iter().map(|req| worker.solve(req)).collect())
             };
         run_chunks(chunks, run_chunk)
     }
@@ -226,7 +225,7 @@ fn run_one(
     match spec.algorithm {
         BatchAlgorithm::DagList => event_driven_schedule_csr(&csr, m, &rank, &mut Unrestricted, ws),
         BatchAlgorithm::Rls { delta } => {
-            let lb = crate::rls::memory_lb(inst.tasks(), m);
+            let lb = inst.mmax_lower_bound();
             admission.reset(m, delta * lb);
             event_driven_schedule_csr(&csr, m, &rank, admission, ws)
         }

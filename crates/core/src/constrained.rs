@@ -35,7 +35,7 @@ use crate::rls::{rls_guarantee, rls_in, RlsConfig};
 use crate::sbo::{sbo, InnerAlgorithm, SboConfig};
 
 /// Number of refinement steps of the binary search on `∆`.
-const BINARY_SEARCH_STEPS: usize = 40;
+pub(crate) const BINARY_SEARCH_STEPS: usize = 40;
 
 /// Outcome of the constrained procedure on independent tasks.
 #[derive(Debug, Clone)]
@@ -414,8 +414,8 @@ mod tests {
                 } => {
                     assert!((delta - 3.0).abs() < 1e-9);
                     assert!(point.mmax <= budget + 1e-9);
-                    let lb_c = cmax_lower_bound(inst.tasks(), inst.m())
-                        .max(inst.graph().critical_path_length());
+                    let lb_c =
+                        cmax_lower_bound(inst.tasks(), inst.m()).max(inst.critical_path_length());
                     assert!(point.cmax <= makespan_guarantee * lb_c + 1e-9);
                 }
                 other => panic!("expected Feasible, got {other:?}"),

@@ -1,0 +1,114 @@
+//! The shared per-worker dispatch core of the serving paths.
+//!
+//! Two layers serve [`SolveRequest`] streams through the portfolio: the
+//! batch path ([`crate::batch::BatchScheduler::run_requests`], one
+//! contiguous chunk per rayon worker) and the queue-fed service runtime
+//! (the `sws_service` crate, one long-lived worker thread per core).
+//! Before this module existed each re-implemented the same discipline —
+//! per-item backend selection through [`Portfolio::solve_in`] with one
+//! reusable [`KernelWorkspace`] per worker — and the two copies could
+//! drift. [`DispatchWorker`] is that discipline in one place:
+//!
+//! * construct one per worker ([`DispatchWorker::new`]);
+//! * feed it requests ([`DispatchWorker::solve`]); selection happens per
+//!   request, kernel-backed backends draw their buffers from the
+//!   worker's workspace, everything else ignores it;
+//! * results are **bit-identical** to one-shot [`Portfolio::solve`]
+//!   calls (`tests/differential_portfolio.rs` and the service suite
+//!   both enforce routed ≡ direct).
+
+use sws_listsched::kernel::KernelWorkspace;
+use sws_model::error::ModelError;
+use sws_model::solve::{Solution, SolveRequest};
+
+use crate::portfolio::{Portfolio, SolvePlan};
+
+/// One serving worker's dispatch state: a borrowed portfolio and the
+/// worker's reusable kernel workspace. See the module docs.
+pub struct DispatchWorker<'p> {
+    portfolio: &'p Portfolio,
+    ws: KernelWorkspace,
+}
+
+impl<'p> DispatchWorker<'p> {
+    /// A worker over the given portfolio with a fresh workspace.
+    pub fn new(portfolio: &'p Portfolio) -> Self {
+        DispatchWorker {
+            portfolio,
+            ws: KernelWorkspace::new(),
+        }
+    }
+
+    /// The portfolio this worker dispatches into.
+    pub fn portfolio(&self) -> &'p Portfolio {
+        self.portfolio
+    }
+
+    /// Resolves the backend and pre-dispatch cost for a request without
+    /// solving it (delegates to [`Portfolio::plan`]).
+    pub fn plan(&self, req: &SolveRequest) -> Result<SolvePlan, ModelError> {
+        self.portfolio.plan(req)
+    }
+
+    /// Serves one request: per-item backend selection, kernel buffers
+    /// drawn from this worker's reusable workspace. Bit-identical to
+    /// [`Portfolio::solve`] on the same request (modulo the
+    /// `workspace_reused` stats flag).
+    pub fn solve(&mut self, req: &SolveRequest) -> Result<Solution, ModelError> {
+        self.portfolio.solve_in(req, &mut self.ws)
+    }
+
+    /// Serves one request whose backend was already planned (at
+    /// admission): dispatches straight to `plan.backend` through this
+    /// worker's workspace. Bit-identical to [`DispatchWorker::solve`]
+    /// when `plan` came from [`Portfolio::plan`] on the same request —
+    /// see [`Portfolio::solve_planned_in`].
+    pub fn solve_planned(
+        &mut self,
+        req: &SolveRequest,
+        plan: &SolvePlan,
+    ) -> Result<Solution, ModelError> {
+        self.portfolio.solve_planned_in(req, plan, &mut self.ws)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_model::solve::{Guarantee, ObjectiveMode};
+    use sws_workloads::random::random_instance;
+    use sws_workloads::rng::seeded_rng;
+    use sws_workloads::TaskDistribution;
+
+    #[test]
+    fn dispatch_worker_is_bit_identical_to_direct_portfolio_solves() {
+        let portfolio = Portfolio::standard();
+        let mut worker = DispatchWorker::new(&portfolio);
+        for seed in 0..6u64 {
+            let inst = random_instance(
+                30 + seed as usize,
+                3,
+                TaskDistribution::AntiCorrelated,
+                &mut seeded_rng(seed),
+            );
+            for objective in [
+                ObjectiveMode::CmaxOnly,
+                ObjectiveMode::BiObjective { delta: 2.5 },
+                ObjectiveMode::TriObjective { delta: 3.0 },
+            ] {
+                let req = sws_model::solve::SolveRequest::independent(&inst, objective)
+                    .with_guarantee(Guarantee::None);
+                let routed = worker.solve(&req).unwrap();
+                let direct = portfolio.solve(&req).unwrap();
+                assert_eq!(routed.schedule, direct.schedule);
+                assert_eq!(routed.point, direct.point);
+                assert_eq!(routed.stats.backend, direct.stats.backend);
+                assert_eq!(routed.stats.cost, direct.stats.cost);
+                // The worker's plan names the backend that actually ran.
+                let plan = worker.plan(&req).unwrap();
+                assert_eq!(plan.backend, routed.stats.backend);
+                assert_eq!(Some(plan.cost), routed.stats.cost);
+            }
+        }
+    }
+}

@@ -219,6 +219,7 @@ pub fn uniform_rls(
         rounds: inst.n(),
         workspace_reused: false,
         bounds,
+        cost: None,
     };
     Ok(UniformRlsResult {
         schedule,

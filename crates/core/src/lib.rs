@@ -60,6 +60,7 @@
 pub mod batch;
 pub mod bounds;
 pub mod constrained;
+pub mod dispatch;
 pub mod heterogeneous;
 pub mod pareto_sweep;
 pub mod pipeline;
@@ -71,10 +72,11 @@ pub mod tri;
 pub use batch::{BatchAlgorithm, BatchReport, BatchScheduler, BatchSpec};
 pub use bounds::{impossibility_frontier, lemma3_point, sbo_tradeoff_curve};
 pub use constrained::{solve_dag_with_memory_budget, solve_with_memory_budget};
+pub use dispatch::DispatchWorker;
 pub use pareto_sweep::{
     rls_sweep, rls_sweep_cold, sbo_sweep, sbo_sweep_cold, SweepEngine, SweepProvenance,
 };
-pub use portfolio::{Portfolio, Solver};
+pub use portfolio::{Portfolio, SolvePlan, Solver};
 pub use rls::{
     rls, rls_guarantee, rls_in, rls_independent, rls_independent_in, PriorityOrder, RlsConfig,
     RlsEngine, RlsResult,
@@ -94,15 +96,17 @@ pub mod prelude {
     pub use crate::constrained::{
         solve_dag_with_memory_budget, solve_with_memory_budget, ConstrainedOutcome,
     };
+    pub use crate::dispatch::DispatchWorker;
     pub use crate::heterogeneous::{uniform_rls, uniform_rls_lpt, UniformMachines};
     pub use crate::pareto_sweep::{
         delta_grid, rls_sweep, rls_sweep_cold, sbo_sweep, sbo_sweep_cold, SweepEngine, SweepPoint,
         SweepProvenance,
     };
     pub use crate::pipeline::{
-        evaluate_rls, evaluate_rls_result, evaluate_sbo, evaluate_sbo_result, EvaluationReport,
+        evaluate_request, evaluate_rls, evaluate_rls_result, evaluate_routed, evaluate_sbo,
+        evaluate_sbo_result, evaluate_solution, EvaluationReport,
     };
-    pub use crate::portfolio::{Portfolio, Solver};
+    pub use crate::portfolio::{Portfolio, SolvePlan, Solver};
     pub use crate::rls::{
         rls, rls_guarantee, rls_in, rls_independent, rls_independent_in, PriorityOrder, RlsConfig,
         RlsEngine, RlsResult,

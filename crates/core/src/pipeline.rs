@@ -7,6 +7,17 @@
 //! exact optimum when the instance is small enough for the exhaustive
 //! solvers, Graham lower bounds otherwise — and packages everything into
 //! an [`EvaluationReport`] with achieved-versus-guaranteed ratios.
+//!
+//! Since PR 4 every scheduler is also a portfolio [`Solver`], so the
+//! pipeline no longer needs one hardcoded entry point per algorithm:
+//! [`evaluate_request`] evaluates *any* backend (or the auto-selecting
+//! [`Portfolio`](crate::portfolio::Portfolio) itself, via
+//! [`evaluate_routed`]) on a [`SolveRequest`], producing the same
+//! [`EvaluationReport`] the fixed-algorithm runners build. The
+//! `evaluate_sbo`/`evaluate_rls` conveniences are kept for callers that
+//! also want the algorithm-specific result types; their reports are
+//! bit-identical to what they produced before the solver-generic path
+//! existed.
 
 use sws_dag::DagInstance;
 use sws_exact::branch_bound::optimal_point;
@@ -14,9 +25,11 @@ use sws_model::bounds::LowerBounds;
 use sws_model::error::ModelError;
 use sws_model::objectives::{ObjectivePoint, TriObjectivePoint};
 use sws_model::ratio::{RatioReport, Reference};
+use sws_model::solve::{RequestInstance, Solution, SolveRequest};
 use sws_model::Instance;
-use sws_simulator::{simulate_assignment, simulate_dag_schedule};
+use sws_simulator::{simulate_assignment, simulate_dag_schedule, simulate_timed};
 
+use crate::portfolio::{resolve_dag, Portfolio, Solver};
 use crate::rls::{rls, RlsConfig, RlsResult};
 use crate::sbo::{sbo, SboConfig, SboResult};
 
@@ -89,6 +102,99 @@ pub fn reference_point(inst: &Instance) -> (ObjectivePoint, Reference) {
     }
 }
 
+/// Evaluates a [`Solution`] produced by any portfolio [`Solver`] for
+/// `req`: replays the schedule through the discrete-event simulator
+/// (re-checking feasibility — and precedence, for DAG requests),
+/// computes the reference point the same way the fixed-algorithm
+/// runners do (independent tasks: exact optimum when affordable, Graham
+/// lower bounds otherwise; DAGs: critical-path-aware lower bounds) and
+/// packages everything into an [`EvaluationReport`] whose ratio
+/// guarantee is the solution's proven [`Solution::ratio_bound`].
+pub fn evaluate_solution(
+    req: &SolveRequest,
+    solution: &Solution,
+) -> Result<EvaluationReport, ModelError> {
+    let algorithm = format!(
+        "{}({})",
+        solution.stats.backend.label(),
+        req.objective.label()
+    );
+    match req.instance {
+        RequestInstance::Independent(inst) => {
+            let sim = simulate_timed(inst, &solution.schedule, None)?;
+            let (reference, kind) = reference_point(inst);
+            let ratio = RatioReport::new(solution.point, reference, kind, solution.ratio_bound);
+            Ok(EvaluationReport {
+                algorithm,
+                point: solution.point,
+                tri: Some(TriObjectivePoint::new(
+                    solution.point.cmax,
+                    solution.point.mmax,
+                    sim.sum_completion,
+                )),
+                lower_bounds: LowerBounds::of_instance(inst),
+                ratio,
+                utilization: sim.utilization,
+                simulated_peak_memory: sim.peak_memory,
+                n: inst.n(),
+                m: inst.m(),
+            })
+        }
+        RequestInstance::Precedence(p) => {
+            let dag = resolve_dag(p)?;
+            let sim = simulate_dag_schedule(&dag, &solution.schedule, None)?;
+            let cp = dag.critical_path_length();
+            let lower_bounds = LowerBounds::with_critical_path(dag.tasks(), dag.m(), cp);
+            let reference = ObjectivePoint::new(lower_bounds.cmax, lower_bounds.mmax);
+            let ratio = RatioReport::new(
+                solution.point,
+                reference,
+                Reference::LowerBound,
+                solution.ratio_bound,
+            );
+            Ok(EvaluationReport {
+                algorithm,
+                point: solution.point,
+                tri: Some(TriObjectivePoint::new(
+                    solution.point.cmax,
+                    solution.point.mmax,
+                    sim.sum_completion,
+                )),
+                lower_bounds,
+                ratio,
+                utilization: sim.utilization,
+                simulated_peak_memory: sim.peak_memory,
+                n: dag.n(),
+                m: dag.m(),
+            })
+        }
+    }
+}
+
+/// Runs any portfolio [`Solver`] on a [`SolveRequest`] and evaluates the
+/// outcome end to end — the solver-generic replacement for the
+/// per-algorithm `evaluate_*` entry points.
+pub fn evaluate_request(
+    solver: &dyn Solver,
+    req: &SolveRequest,
+) -> Result<(EvaluationReport, Solution), ModelError> {
+    let solution = solver.solve(req)?;
+    let report = evaluate_solution(req, &solution)?;
+    Ok((report, solution))
+}
+
+/// [`evaluate_request`] through the portfolio's auto-selection: the
+/// evaluated backend is whatever [`Portfolio::select`] resolves for the
+/// request.
+pub fn evaluate_routed(
+    portfolio: &Portfolio,
+    req: &SolveRequest,
+) -> Result<(EvaluationReport, Solution), ModelError> {
+    let solution = portfolio.solve(req)?;
+    let report = evaluate_solution(req, &solution)?;
+    Ok((report, solution))
+}
+
 /// Runs SBO∆, simulates the resulting assignment and reports
 /// achieved-versus-guaranteed ratios.
 pub fn evaluate_sbo(
@@ -154,7 +260,7 @@ pub fn evaluate_rls_result(
         Some(result.memory_cap.max(result.lb)),
     )?;
     let point = result.objective(inst.tasks());
-    let cp = inst.graph().critical_path_length();
+    let cp = inst.critical_path_length();
     let lower_bounds = LowerBounds::with_critical_path(inst.tasks(), inst.m(), cp);
     let reference = ObjectivePoint::new(lower_bounds.cmax, lower_bounds.mmax);
     let ratio = RatioReport::new(
@@ -267,6 +373,69 @@ mod tests {
                 report.summary_line()
             );
         }
+    }
+
+    #[test]
+    fn solver_generic_path_matches_the_fixed_sbo_runner() {
+        use sws_model::solve::{Guarantee, ObjectiveMode};
+
+        let portfolio = crate::portfolio::Portfolio::standard();
+        // Large enough that the reference point is the lower bound on
+        // both paths (the fixed runner would otherwise switch to the
+        // exact reference at n ≤ 14, as would the generic path).
+        let inst = random_instance(40, 3, TaskDistribution::AntiCorrelated, &mut seeded_rng(9));
+        let delta = 1.5;
+        let req = sws_model::solve::SolveRequest::independent(
+            &inst,
+            ObjectiveMode::BiObjective { delta },
+        )
+        .with_guarantee(Guarantee::PaperRatio);
+        let solver = portfolio
+            .backend(sws_model::solve::BackendId::Sbo)
+            .expect("sbo registered");
+        let (generic, solution) = evaluate_request(solver, &req).unwrap();
+        let (fixed, _) = evaluate_sbo(&inst, &SboConfig::new(delta, InnerAlgorithm::Lpt)).unwrap();
+        assert_eq!(generic.point, fixed.point);
+        assert_eq!(generic.ratio.cmax_ratio, fixed.ratio.cmax_ratio);
+        assert_eq!(generic.ratio.mmax_ratio, fixed.ratio.mmax_ratio);
+        assert_eq!(generic.ratio.guarantee, fixed.ratio.guarantee);
+        assert_eq!(generic.simulated_peak_memory, fixed.simulated_peak_memory);
+        assert_eq!(generic.utilization, fixed.utilization);
+        assert_eq!(generic.tri.unwrap().sum_ci, fixed.tri.unwrap().sum_ci);
+        assert_eq!(solution.stats.backend, sws_model::solve::BackendId::Sbo);
+    }
+
+    #[test]
+    fn solver_generic_path_matches_the_fixed_rls_runner() {
+        use sws_model::solve::{Guarantee, ObjectiveMode};
+
+        let portfolio = crate::portfolio::Portfolio::standard();
+        let mut rng = seeded_rng(10);
+        let dag = dag_workload(
+            DagFamily::LayeredRandom,
+            70,
+            4,
+            TaskDistribution::AntiCorrelated,
+            &mut rng,
+        );
+        let delta = 3.0;
+        let req =
+            sws_model::solve::SolveRequest::precedence(&dag, ObjectiveMode::BiObjective { delta })
+                .with_guarantee(Guarantee::PaperRatio);
+        let (generic, solution) = evaluate_routed(&portfolio, &req).unwrap();
+        assert_eq!(
+            solution.stats.backend,
+            sws_model::solve::BackendId::KernelRls
+        );
+        let (fixed, _) = evaluate_rls(&dag, &RlsConfig::new(delta)).unwrap();
+        assert_eq!(generic.point, fixed.point);
+        assert_eq!(generic.ratio.cmax_ratio, fixed.ratio.cmax_ratio);
+        assert_eq!(generic.ratio.mmax_ratio, fixed.ratio.mmax_ratio);
+        assert_eq!(generic.ratio.guarantee, fixed.ratio.guarantee);
+        assert_eq!(generic.lower_bounds.cmax, fixed.lower_bounds.cmax);
+        assert_eq!(generic.simulated_peak_memory, fixed.simulated_peak_memory);
+        assert_eq!(generic.utilization, fixed.utilization);
+        assert!(generic.within_guarantee());
     }
 
     #[test]

@@ -64,8 +64,8 @@ use sws_model::error::ModelError;
 use sws_model::objectives::ObjectivePoint;
 use sws_model::schedule::Assignment;
 use sws_model::solve::{
-    BackendId, BoundReport, BoundSource, Guarantee, ObjectiveMode, PrecedenceInstance,
-    RequestInstance, Solution, SolveRequest, SolveStats,
+    BackendId, BoundReport, BoundSource, CostEstimate, CostModel, Guarantee, ObjectiveMode,
+    PrecedenceInstance, RequestInstance, Solution, SolveRequest, SolveStats,
 };
 use sws_model::Instance;
 
@@ -124,6 +124,20 @@ pub trait Solver: Send + Sync {
     /// (e.g. a negative ∆) is not checked here — the solve reports it.
     fn bid(&self, req: &SolveRequest) -> Option<u32>;
 
+    /// The backend's pre-dispatch work estimate for this request, in the
+    /// shared abstract work units of [`CostEstimate`] — the same scale
+    /// the documented feasibility gates use (`m^n` for the exact
+    /// solvers, `states × configs` for the PTAS configuration DP,
+    /// `(n + e)·log n` for the kernel). Admission layers gate and rank
+    /// on this *before* dispatch ([`Portfolio::plan`]); the estimate is
+    /// meaningful whether or not the backend bid on the request.
+    ///
+    /// The default is linearithmic in `n` — the honest guess for a
+    /// foreign backend that did not override it.
+    fn estimate_cost(&self, req: &SolveRequest) -> CostEstimate {
+        CostEstimate::linearithmic(req.n())
+    }
+
     /// Solves the request, drawing kernel buffers from `ws`.
     fn solve_in(
         &self,
@@ -153,7 +167,7 @@ fn enum_work(n: usize, m: usize) -> u64 {
 /// A resolved precedence instance: borrowed when the request carried a
 /// `DagInstance` (the common case — zero copies), rebuilt from the
 /// predecessor lists for foreign [`PrecedenceInstance`] implementations.
-enum DagRef<'a> {
+pub(crate) enum DagRef<'a> {
     Borrowed(&'a DagInstance),
     Owned(Box<DagInstance>),
 }
@@ -214,9 +228,19 @@ fn independent_view<'a>(req: &SolveRequest<'a>) -> Option<IndependentRef<'a>> {
     }
 }
 
+/// Number of precedence edges the request carries (`0` for independent
+/// instances). `O(n)` — predecessor lists expose their lengths.
+fn edge_count(req: &SolveRequest) -> usize {
+    match req.instance {
+        RequestInstance::Independent(_) => 0,
+        RequestInstance::Precedence(p) => p.preds().iter().map(Vec::len).sum(),
+    }
+}
+
 /// Recovers a concrete [`DagInstance`] from the model-layer trait object
-/// (downcast first, rebuild as a fallback).
-fn resolve_dag<'a>(p: &'a dyn PrecedenceInstance) -> Result<DagRef<'a>, ModelError> {
+/// (downcast first, rebuild as a fallback). Shared with the pipeline's
+/// solver-generic evaluation path.
+pub(crate) fn resolve_dag<'a>(p: &'a dyn PrecedenceInstance) -> Result<DagRef<'a>, ModelError> {
     if let Some(dag) = p.as_any().downcast_ref::<DagInstance>() {
         return Ok(DagRef::Borrowed(dag));
     }
@@ -236,7 +260,7 @@ fn resolve_dag<'a>(p: &'a dyn PrecedenceInstance) -> Result<DagRef<'a>, ModelErr
 /// bound provenance in the returned stats; the committed kernel/batch
 /// baselines do not route through here.
 fn dag_bounds(dag: &DagInstance) -> BoundReport {
-    BoundReport::with_critical_path(dag.tasks(), dag.m(), dag.graph().critical_path_length())
+    BoundReport::with_critical_path(dag.tasks(), dag.m(), dag.critical_path_length())
 }
 
 /// Packages an assignment-producing backend's output as a [`Solution`].
@@ -290,6 +314,10 @@ impl Solver for KernelRlsBackend {
         })
     }
 
+    fn estimate_cost(&self, req: &SolveRequest) -> CostEstimate {
+        CostEstimate::kernel(req.n(), edge_count(req))
+    }
+
     fn solve_in(
         &self,
         req: &SolveRequest,
@@ -338,6 +366,14 @@ impl Solver for NaiveRlsBackend {
             return None;
         }
         Some(RANK_ORACLE)
+    }
+
+    fn estimate_cost(&self, req: &SolveRequest) -> CostEstimate {
+        let n = req.n() as f64;
+        CostEstimate {
+            work: n * n * req.m() as f64,
+            model: CostModel::Quadratic,
+        }
     }
 
     fn solve_in(
@@ -401,6 +437,16 @@ impl Solver for SboBackend {
         Some(RANK_KERNEL)
     }
 
+    fn estimate_cost(&self, req: &SolveRequest) -> CostEstimate {
+        // Two inner single-objective schedules plus the O(n) threshold
+        // routing.
+        let inner = CostEstimate::linearithmic(req.n());
+        CostEstimate {
+            work: 2.0 * inner.work + req.n() as f64,
+            model: CostModel::Linearithmic,
+        }
+    }
+
     fn solve_in(
         &self,
         req: &SolveRequest,
@@ -437,6 +483,10 @@ impl Solver for KernelTriBackend {
         Some(RANK_KERNEL)
     }
 
+    fn estimate_cost(&self, req: &SolveRequest) -> CostEstimate {
+        CostEstimate::kernel(req.n(), edge_count(req))
+    }
+
     fn solve_in(
         &self,
         req: &SolveRequest,
@@ -471,6 +521,10 @@ impl Solver for KernelDagListBackend {
         Some(RANK_KERNEL)
     }
 
+    fn estimate_cost(&self, req: &SolveRequest) -> CostEstimate {
+        CostEstimate::kernel(req.n(), edge_count(req))
+    }
+
     fn solve_in(
         &self,
         req: &SolveRequest,
@@ -495,6 +549,7 @@ impl Solver for KernelDagListBackend {
                 rounds: outcome.schedule.n(),
                 workspace_reused: true,
                 bounds: dag_bounds(&dag),
+                cost: None,
             },
             schedule: outcome.schedule,
         })
@@ -556,6 +611,10 @@ impl Solver for ClassicBackend {
             return None;
         }
         Some(rank)
+    }
+
+    fn estimate_cost(&self, req: &SolveRequest) -> CostEstimate {
+        CostEstimate::linearithmic(req.n())
     }
 
     fn solve_in(
@@ -653,6 +712,20 @@ impl Solver for PtasBackend {
         }
     }
 
+    fn estimate_cost(&self, req: &SolveRequest) -> CostEstimate {
+        // The same states × configs × classes estimate the feasibility
+        // gate uses (at the most conservative deadline d = LB), plus the
+        // n log n sort-and-bisection scaffolding around the DP.
+        let eps = Self::eps_for(req);
+        let tasks = req.tasks();
+        let weights: Vec<f64> = tasks.as_slice().iter().map(|t| t.p).collect();
+        let dp = sws_ptas::dp_work_estimate_for(&weights, req.m().max(1), eps) as f64;
+        CostEstimate {
+            work: dp + CostEstimate::linearithmic(req.n()).work,
+            model: CostModel::ConfigDp,
+        }
+    }
+
     fn solve_in(
         &self,
         req: &SolveRequest,
@@ -715,6 +788,10 @@ impl Solver for ExactBnbBackend {
         Some(exact_rank(enum_work(req.n(), req.m())))
     }
 
+    fn estimate_cost(&self, req: &SolveRequest) -> CostEstimate {
+        CostEstimate::enumeration(enum_work(req.n(), req.m()))
+    }
+
     fn solve_in(
         &self,
         req: &SolveRequest,
@@ -747,6 +824,7 @@ impl Solver for ExactBnbBackend {
                 rounds: enum_work(inst.n(), inst.m()).min(usize::MAX as u64) as usize,
                 workspace_reused: false,
                 bounds,
+                cost: None,
             },
         ))
     }
@@ -781,6 +859,10 @@ impl Solver for ExactEnumBackend {
         Some(exact_rank(work))
     }
 
+    fn estimate_cost(&self, req: &SolveRequest) -> CostEstimate {
+        CostEstimate::enumeration(enum_work(req.n(), req.m()))
+    }
+
     fn solve_in(
         &self,
         req: &SolveRequest,
@@ -804,6 +886,7 @@ impl Solver for ExactEnumBackend {
             rounds: enum_work(inst.n(), inst.m()).min(usize::MAX as u64) as usize,
             workspace_reused: false,
             bounds,
+            cost: None,
         };
         match req.objective {
             ObjectiveMode::BiObjective { delta } => {
@@ -909,6 +992,21 @@ impl Solver for ConstrainedBackend {
         Some(RANK_KERNEL)
     }
 
+    fn estimate_cost(&self, req: &SolveRequest) -> CostEstimate {
+        match req.instance {
+            // The ∆ binary search evaluates one SBO∆ run per step.
+            RequestInstance::Independent(_) => {
+                let per_eval = 2.0 * CostEstimate::linearithmic(req.n()).work;
+                CostEstimate {
+                    work: (1 + crate::constrained::BINARY_SEARCH_STEPS) as f64 * per_eval,
+                    model: CostModel::InnerSearch,
+                }
+            }
+            // The DAG procedure derives ∆ = budget/LB and runs RLS∆ once.
+            RequestInstance::Precedence(_) => CostEstimate::kernel(req.n(), edge_count(req)),
+        }
+    }
+
     fn solve_in(
         &self,
         req: &SolveRequest,
@@ -934,6 +1032,7 @@ impl Solver for ConstrainedBackend {
                             rounds: evaluations,
                             workspace_reused: false,
                             bounds: BoundReport::identical(inst.tasks(), inst.m()),
+                            cost: None,
                         },
                     )),
                     ConstrainedOutcome::ProvablyInfeasible { max_storage } => {
@@ -966,6 +1065,7 @@ impl Solver for ConstrainedBackend {
                             rounds: schedule.n(),
                             workspace_reused: true,
                             bounds: dag_bounds(&dag),
+                            cost: None,
                         },
                         schedule,
                     }),
@@ -991,6 +1091,20 @@ impl Solver for ConstrainedBackend {
 // ---------------------------------------------------------------------------
 // The portfolio
 // ---------------------------------------------------------------------------
+
+/// The routing layer's resolved plan for one request: which backend will
+/// serve it, at what selection rank, and at what estimated pre-dispatch
+/// cost. This is what admission layers gate on *before* any scheduling
+/// work is spent (see `sws_model::policy` and the `sws_service` crate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolvePlan {
+    /// The backend [`Portfolio::select`] resolves for the request.
+    pub backend: BackendId,
+    /// Its selection rank (the documented cost-ladder position).
+    pub rank: u32,
+    /// Its pre-dispatch work estimate ([`Solver::estimate_cost`]).
+    pub cost: CostEstimate,
+}
 
 /// A registry of [`Solver`] backends with guarantee-aware auto-selection
 /// (see the module docs for the policy).
@@ -1054,6 +1168,11 @@ impl Portfolio {
     /// qualifying bid, ties broken by registration order. Errors with
     /// [`ModelError::NoQualifiedBackend`] when nothing qualifies.
     pub fn select(&self, req: &SolveRequest) -> Result<&dyn Solver, ModelError> {
+        self.select_with_rank(req).map(|(_, b)| b)
+    }
+
+    /// [`Portfolio::select`] plus the winning rank.
+    fn select_with_rank(&self, req: &SolveRequest) -> Result<(u32, &dyn Solver), ModelError> {
         let mut best: Option<(u32, &dyn Solver)> = None;
         for backend in &self.backends {
             if let Some(rank) = backend.bid(req) {
@@ -1066,7 +1185,7 @@ impl Portfolio {
                 }
             }
         }
-        best.map(|(_, b)| b).ok_or_else(|| req.no_backend_error())
+        best.ok_or_else(|| req.no_backend_error())
     }
 
     /// The id of the backend [`Portfolio::select`] would pick.
@@ -1074,21 +1193,98 @@ impl Portfolio {
         self.select(req).map(|b| b.id())
     }
 
+    /// Resolves the request **without solving it**: the selected backend
+    /// plus its pre-dispatch cost estimate. This is the admission hook —
+    /// a serving front calls it to gate or degrade a request before any
+    /// scheduling work is spent, and the estimate is later echoed in the
+    /// routed solution's [`SolveStats::cost`].
+    pub fn plan(&self, req: &SolveRequest) -> Result<SolvePlan, ModelError> {
+        let (rank, solver) = self.select_with_rank(req)?;
+        Ok(SolvePlan {
+            backend: solver.id(),
+            rank,
+            cost: solver.estimate_cost(req),
+        })
+    }
+
+    /// Every qualifying backend for the request, sorted by estimated
+    /// cost (ties: selection rank, then registration order). The head of
+    /// the list is the cheapest way to serve the request at its required
+    /// guarantee — which may differ from [`Portfolio::select`]'s pick,
+    /// whose ranks also encode solution *quality* preferences (e.g. tiny
+    /// instances prefer exact answers over a marginally cheaper
+    /// heuristic). Empty when nothing qualifies.
+    pub fn cost_ranking(&self, req: &SolveRequest) -> Vec<SolvePlan> {
+        let mut plans: Vec<SolvePlan> = self
+            .backends
+            .iter()
+            .filter_map(|b| {
+                b.bid(req).map(|rank| SolvePlan {
+                    backend: b.id(),
+                    rank,
+                    cost: b.estimate_cost(req),
+                })
+            })
+            .collect();
+        plans.sort_by(|a, b| {
+            a.cost
+                .work
+                .total_cmp(&b.cost.work)
+                .then(a.rank.cmp(&b.rank))
+        });
+        plans
+    }
+
     /// Routes the request to the selected backend (one-shot workspace).
-    /// Bit-identical to `self.select(req)?.solve(req)`.
+    /// The schedule is bit-identical to `self.select(req)?.solve(req)`;
+    /// the routed path additionally stamps the pre-dispatch
+    /// [`SolvePlan::cost`] into [`SolveStats::cost`].
     pub fn solve(&self, req: &SolveRequest) -> Result<Solution, ModelError> {
-        self.select(req)?.solve(req)
+        let (_, solver) = self.select_with_rank(req)?;
+        let cost = solver.estimate_cost(req);
+        let mut solution = solver.solve(req)?;
+        solution.stats.cost = Some(cost);
+        Ok(solution)
     }
 
     /// Routes the request to the selected backend, threading a reusable
-    /// kernel workspace — the allocation-free serving path.
-    /// Bit-identical to `self.select(req)?.solve_in(req, ws)`.
+    /// kernel workspace — the allocation-free serving path. The schedule
+    /// is bit-identical to `self.select(req)?.solve_in(req, ws)`; the
+    /// routed path additionally stamps the pre-dispatch
+    /// [`SolvePlan::cost`] into [`SolveStats::cost`].
     pub fn solve_in(
         &self,
         req: &SolveRequest,
         ws: &mut KernelWorkspace,
     ) -> Result<Solution, ModelError> {
-        self.select(req)?.solve_in(req, ws)
+        let (_, solver) = self.select_with_rank(req)?;
+        let cost = solver.estimate_cost(req);
+        let mut solution = solver.solve_in(req, ws)?;
+        solution.stats.cost = Some(cost);
+        Ok(solution)
+    }
+
+    /// [`Portfolio::solve_in`] with the selection already resolved:
+    /// dispatches straight to `plan.backend` and stamps `plan.cost`,
+    /// skipping the bid and estimate passes. For a `plan` produced by
+    /// [`Portfolio::plan`] on the *same* request this is bit-identical
+    /// to [`Portfolio::solve_in`] (selection is deterministic) — it is
+    /// the admission-then-dispatch path of the service runtime, which
+    /// plans every request once at admission and must not pay selection
+    /// twice. Errors with the request's `NoQualifiedBackend` when the
+    /// planned backend is not registered.
+    pub fn solve_planned_in(
+        &self,
+        req: &SolveRequest,
+        plan: &SolvePlan,
+        ws: &mut KernelWorkspace,
+    ) -> Result<Solution, ModelError> {
+        let solver = self
+            .backend(plan.backend)
+            .ok_or_else(|| req.no_backend_error())?;
+        let mut solution = solver.solve_in(req, ws)?;
+        solution.stats.cost = Some(plan.cost);
+        Ok(solution)
     }
 }
 

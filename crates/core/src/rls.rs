@@ -197,6 +197,7 @@ impl RlsResult {
                 rounds: self.schedule.n(),
                 workspace_reused,
                 bounds,
+                cost: None,
             },
             schedule: self.schedule,
         }
@@ -264,9 +265,13 @@ fn delta_lb_cap(tasks: &TaskSet, m: usize, config: &RlsConfig) -> Result<(f64, f
 /// candidate, so the kernel's marked set is a subset of the oracle's and
 /// both satisfy the Lemma 4 bound.
 pub fn rls(inst: &DagInstance, config: &RlsConfig) -> Result<RlsResult, ModelError> {
-    let tasks = inst.tasks();
     let m = inst.m();
-    let (lb, cap) = delta_lb_cap(tasks, m, config)?;
+    validate_rls_delta(config.delta)?;
+    // The instance caches its Graham memory bound (serving paths must
+    // not pay the task-set pass per request); `delta_lb_cap` computes
+    // the same value for callers without a `DagInstance`.
+    let lb = inst.mmax_lower_bound();
+    let cap = config.delta * lb;
     let rank = config.order.rank(inst.graph());
     let mut admission = MemoryCapAdmission::new(m, cap);
     let outcome = event_driven_schedule(inst, &rank, &mut admission)?;
@@ -293,9 +298,10 @@ pub fn rls_in(
     config: &RlsConfig,
     ws: &mut KernelWorkspace,
 ) -> Result<RlsResult, ModelError> {
-    let tasks = inst.tasks();
     let m = inst.m();
-    let (lb, cap) = delta_lb_cap(tasks, m, config)?;
+    validate_rls_delta(config.delta)?;
+    let lb = inst.mmax_lower_bound();
+    let cap = config.delta * lb;
     let rank = config.order.rank(inst.graph());
     let csr = inst.csr();
     let mut admission = MemoryCapAdmission::new(m, cap);
@@ -398,7 +404,7 @@ impl<'a> RlsEngine<'a> {
             order,
             rank,
             csr,
-            lb: memory_lb(inst.tasks(), m),
+            lb: inst.mmax_lower_bound(),
             ws: KernelWorkspace::with_capacity(inst.n(), m),
             admission: MemoryCapAdmission::new(m, f64::INFINITY),
             last: None,
@@ -669,7 +675,7 @@ mod tests {
                 let inst = dag_workload(family, 120, m, TaskDistribution::Uncorrelated, &mut rng);
                 for &delta in &[2.5, 3.0, 5.0] {
                     let result = rls(&inst, &RlsConfig::new(delta)).unwrap();
-                    let cp = inst.graph().critical_path_length();
+                    let cp = inst.critical_path_length();
                     let lb_c = cmax_lower_bound_prec(inst.tasks(), m, cp);
                     let cmax = result.schedule.cmax(inst.tasks());
                     let (gc, _gm) = result.guarantee;

@@ -160,6 +160,7 @@ impl SboResult {
                 rounds: 2,
                 workspace_reused: false,
                 bounds: BoundReport::identical(inst.tasks(), inst.m()),
+                cost: None,
             },
         }
     }

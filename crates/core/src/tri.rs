@@ -68,6 +68,7 @@ impl TriObjectiveResult {
                 rounds: self.rls.schedule.n(),
                 workspace_reused,
                 bounds: BoundReport::identical(inst.tasks(), inst.m()),
+                cost: None,
             },
             schedule: self.rls.schedule,
         }

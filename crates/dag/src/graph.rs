@@ -248,6 +248,18 @@ impl TaskGraph {
 pub struct DagInstance {
     graph: TaskGraph,
     m: usize,
+    /// The critical-path length, computed once at construction (the
+    /// cycle check already produces the topological order it needs).
+    /// Serving paths report the `Cmax ≥ |CP|` bound on every solve, so
+    /// this must not cost a graph traversal per request.
+    critical_path: f64,
+    /// The critical-path-aware Graham makespan lower bound
+    /// `max(|CP|, max_i p_i, Σp_i/m)`, cached for the same reason.
+    cmax_lb: f64,
+    /// The Graham memory lower bound `max(max_i s_i, Σs_i/m)` — the
+    /// `LB` whose `∆·LB` cap RLS∆ enforces — cached for the same
+    /// reason.
+    mmax_lb: f64,
 }
 
 impl DagInstance {
@@ -256,8 +268,51 @@ impl DagInstance {
         if m == 0 {
             return Err(ModelError::NoProcessors);
         }
-        crate::topo::topological_order(&graph)?;
-        Ok(DagInstance { graph, m })
+        let order = crate::topo::topological_order(&graph)?;
+        let critical_path = crate::levels::bottom_levels_with_order(&graph, &order)
+            .into_iter()
+            .fold(0.0, f64::max);
+        let tasks = graph.tasks();
+        let (cmax_lb, mmax_lb) = if tasks.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (
+                sws_model::bounds::cmax_lower_bound_prec(tasks, m, critical_path),
+                sws_model::bounds::mmax_lower_bound(tasks, m),
+            )
+        };
+        Ok(DagInstance {
+            graph,
+            m,
+            critical_path,
+            cmax_lb,
+            mmax_lb,
+        })
+    }
+
+    /// The critical-path length of the instance's graph, cached at
+    /// construction. Equal to `self.graph().critical_path_length()`
+    /// without the per-call traversal.
+    #[inline]
+    pub fn critical_path_length(&self) -> f64 {
+        self.critical_path
+    }
+
+    /// The critical-path-aware Graham makespan lower bound, cached at
+    /// construction. Equal to
+    /// `cmax_lower_bound_prec(tasks, m, critical_path)` (`0` for an
+    /// empty task set).
+    #[inline]
+    pub fn cmax_lower_bound(&self) -> f64 {
+        self.cmax_lb
+    }
+
+    /// The Graham memory lower bound `LB`, cached at construction.
+    /// Equal to `mmax_lower_bound(tasks, m)` (`0` for an empty task
+    /// set) — the value RLS∆ derives its `∆·LB` cap from.
+    #[inline]
+    pub fn mmax_lower_bound(&self) -> f64 {
+        self.mmax_lb
     }
 
     /// Number of tasks.

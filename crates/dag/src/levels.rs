@@ -32,6 +32,13 @@ pub fn bottom_levels(graph: &TaskGraph) -> Vec<f64> {
     let order = graph
         .topological_order()
         .expect("bottom levels require an acyclic graph");
+    bottom_levels_with_order(graph, &order)
+}
+
+/// [`bottom_levels`] over an already-computed topological order — lets
+/// callers that validated acyclicity (and therefore hold an order)
+/// avoid a second graph traversal.
+pub fn bottom_levels_with_order(graph: &TaskGraph, order: &[usize]) -> Vec<f64> {
     let mut bottom = vec![0.0f64; graph.n()];
     for &u in order.iter().rev() {
         let best_succ = graph

@@ -24,7 +24,11 @@
 //! * [`pareto`] — Pareto dominance and front maintenance,
 //! * [`validate`] — feasibility checks,
 //! * [`ratio`] — approximation-ratio accounting,
-//! * [`numeric`] — tolerant floating-point comparisons.
+//! * [`numeric`] — tolerant floating-point comparisons,
+//! * [`solve`] — the unified solver vocabulary (requests, solutions,
+//!   guarantees, cost estimates),
+//! * [`policy`] — tenant policies and the admission vocabulary used by
+//!   serving fronts.
 //!
 //! # Quick example
 //!
@@ -49,6 +53,7 @@ pub mod instance;
 pub mod numeric;
 pub mod objectives;
 pub mod pareto;
+pub mod policy;
 pub mod ratio;
 pub mod schedule;
 pub mod solve;
@@ -59,8 +64,9 @@ pub use error::ModelError;
 pub use instance::Instance;
 pub use objectives::{ObjectivePoint, TriObjectivePoint};
 pub use pareto::ParetoFront;
+pub use policy::{AdmissionVerdict, OverflowPolicy, QuotaError, TenantPolicy};
 pub use schedule::{Assignment, TimedSchedule};
-pub use solve::{Guarantee, ObjectiveMode, Solution, SolveRequest, SolveStats};
+pub use solve::{CostEstimate, Guarantee, ObjectiveMode, Solution, SolveRequest, SolveStats};
 pub use task::{Task, TaskId};
 
 /// Convenient glob import of the most frequently used items.
@@ -71,11 +77,12 @@ pub mod prelude {
     pub use crate::numeric::{approx_eq, approx_ge, approx_le, better_candidate, REL_TOL};
     pub use crate::objectives::{ObjectivePoint, TriObjectivePoint};
     pub use crate::pareto::{dominates, ParetoFront};
+    pub use crate::policy::{AdmissionVerdict, OverflowPolicy, QuotaError, TenantPolicy};
     pub use crate::ratio::{RatioReport, TriRatioReport};
     pub use crate::schedule::{Assignment, TimedSchedule};
     pub use crate::solve::{
-        BackendId, BoundReport, BoundSource, Guarantee, ObjectiveMode, Solution, SolveRequest,
-        SolveStats,
+        BackendId, BoundReport, BoundSource, CostEstimate, CostModel, Guarantee, ObjectiveMode,
+        Solution, SolveRequest, SolveStats,
     };
     pub use crate::task::{Task, TaskId};
     pub use crate::validate::{validate_assignment, validate_timed};

@@ -1,0 +1,334 @@
+//! Tenant policies and admission vocabulary for serving fronts.
+//!
+//! A scheduling *service* (see the `sws_service` crate) accepts
+//! [`crate::solve::SolveRequest`]s from many tenants and must decide —
+//! **before** spending any scheduling work — whether to admit, degrade
+//! or refuse each request. The decision vocabulary lives here at the
+//! model layer, next to [`Guarantee`](crate::solve::Guarantee) and
+//! [`CostEstimate`](crate::solve::CostEstimate), so every front (the
+//! in-process service, the batch path, future network fronts) speaks the
+//! same admission language and the policy table in `docs/ALGORITHMS.md`
+//! has one source of truth.
+//!
+//! The admission pipeline a front is expected to run per request:
+//!
+//! 1. **Tenant lookup** — unknown tenants are refused
+//!    ([`QuotaError::UnknownTenant`]) unless a default policy is
+//!    configured.
+//! 2. **Guarantee floor** — the request's required guarantee is raised
+//!    to the tenant's [`TenantPolicy::guarantee_floor`] when it asks for
+//!    less (the tenant's SLA class is a *minimum*, not a suggestion).
+//! 3. **Backend planning** — the routing layer resolves the cheapest
+//!    qualifying backend and its [`CostEstimate`]. No backend at the
+//!    required level either degrades (policy permitting) or surfaces the
+//!    typed `NoQualifiedBackend` refusal.
+//! 4. **Work gate** — an estimate above
+//!    [`TenantPolicy::max_estimated_work`] is refused
+//!    ([`QuotaError::WorkExceeded`]) or, under
+//!    [`OverflowPolicy::Degrade`], re-planned at
+//!    [`Guarantee::PaperRatio`](crate::solve::Guarantee::PaperRatio).
+//! 5. **In-flight quota** — a tenant at
+//!    [`TenantPolicy::max_in_flight`] admitted-but-unfinished requests
+//!    is refused ([`QuotaError::InFlightExceeded`]) unless its overflow
+//!    policy is [`OverflowPolicy::Queue`].
+//! 6. **Queue capacity** — a full bounded queue refuses
+//!    ([`QuotaError::QueueFull`]) regardless of policy; backpressure is
+//!    never silent.
+
+use std::fmt;
+
+use crate::solve::{BackendId, CostEstimate, Guarantee};
+
+/// What a tenant's requests do when a gate trips (quota reached, work
+/// estimate over budget, or no backend at the required guarantee).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Refuse immediately with the typed [`QuotaError`].
+    Reject,
+    /// Absorb bursts in the bounded queue: the per-tenant in-flight
+    /// quota is not enforced (only a full queue refuses). Work-estimate
+    /// and guarantee failures still refuse — queueing cannot make a
+    /// request cheaper.
+    Queue,
+    /// Downgrade the required guarantee to
+    /// [`Guarantee::PaperRatio`] (never below
+    /// [`TenantPolicy::guarantee_floor`]) and re-plan; refuse only when
+    /// the degraded request still fails its gates.
+    Degrade,
+}
+
+impl OverflowPolicy {
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OverflowPolicy::Reject => "reject",
+            OverflowPolicy::Queue => "queue",
+            OverflowPolicy::Degrade => "degrade",
+        }
+    }
+}
+
+/// Per-tenant admission policy: quotas, the cost gate and the guarantee
+/// class the tenant is served at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantPolicy {
+    /// Maximum admitted-but-unfinished requests; beyond it, admission
+    /// follows [`TenantPolicy::overflow`].
+    pub max_in_flight: usize,
+    /// Maximum pre-dispatch [`CostEstimate::work`] per request, in the
+    /// shared abstract work units. Requests estimated above it are
+    /// refused or degraded — the same idea as the documented gates on
+    /// the PTAS configuration DP and the exact enumerators, promoted to
+    /// a tenant knob.
+    pub max_estimated_work: f64,
+    /// The minimum guarantee class this tenant is served at: requests
+    /// demanding less are raised to it, and degradation never goes
+    /// below it.
+    pub guarantee_floor: Guarantee,
+    /// What to do when a gate trips.
+    pub overflow: OverflowPolicy,
+}
+
+impl TenantPolicy {
+    /// A policy with no effective limits: unbounded in-flight, unbounded
+    /// work, no guarantee floor, reject on overflow (which can then only
+    /// mean a full queue).
+    pub fn unlimited() -> Self {
+        TenantPolicy {
+            max_in_flight: usize::MAX,
+            max_estimated_work: f64::INFINITY,
+            guarantee_floor: Guarantee::None,
+            overflow: OverflowPolicy::Reject,
+        }
+    }
+
+    /// Replaces the in-flight quota.
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Replaces the per-request work gate.
+    pub fn with_max_estimated_work(mut self, max_estimated_work: f64) -> Self {
+        self.max_estimated_work = max_estimated_work;
+        self
+    }
+
+    /// Replaces the guarantee floor.
+    pub fn with_guarantee_floor(mut self, floor: Guarantee) -> Self {
+        self.guarantee_floor = floor;
+        self
+    }
+
+    /// Replaces the overflow behavior.
+    pub fn with_overflow(mut self, overflow: OverflowPolicy) -> Self {
+        self.overflow = overflow;
+        self
+    }
+
+    /// The guarantee a request demanding `requested` is actually served
+    /// at under this policy: raised to the floor when the floor is
+    /// stronger.
+    pub fn effective_guarantee(&self, requested: Guarantee) -> Guarantee {
+        if requested.satisfies(&self.guarantee_floor) {
+            requested
+        } else {
+            self.guarantee_floor
+        }
+    }
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// Why a request was refused at admission — the typed quota/backpressure
+/// half of the refusal space (the other half is the routing layer's
+/// `ModelError::NoQualifiedBackend`, reported when no backend serves the
+/// request at its required guarantee).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuotaError {
+    /// The tenant is not registered and no default policy exists.
+    UnknownTenant {
+        /// The unregistered tenant id.
+        tenant: String,
+    },
+    /// The tenant is at its in-flight quota.
+    InFlightExceeded {
+        /// The tenant id.
+        tenant: String,
+        /// Admitted-but-unfinished requests at submission time.
+        in_flight: usize,
+        /// The policy's quota.
+        limit: usize,
+    },
+    /// The pre-dispatch work estimate exceeds the tenant's gate.
+    WorkExceeded {
+        /// Estimated work units for the cheapest qualifying backend.
+        estimated: f64,
+        /// The policy's [`TenantPolicy::max_estimated_work`].
+        limit: f64,
+    },
+    /// The bounded request queue is full.
+    QueueFull {
+        /// The queue's capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for QuotaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuotaError::UnknownTenant { tenant } => {
+                write!(f, "tenant '{tenant}' is not registered")
+            }
+            QuotaError::InFlightExceeded {
+                tenant,
+                in_flight,
+                limit,
+            } => write!(
+                f,
+                "tenant '{tenant}' has {in_flight} requests in flight, quota is {limit}"
+            ),
+            QuotaError::WorkExceeded { estimated, limit } => write!(
+                f,
+                "estimated work {estimated:.0} exceeds the tenant gate {limit:.0}"
+            ),
+            QuotaError::QueueFull { capacity } => {
+                write!(f, "request queue is full (capacity {capacity})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuotaError {}
+
+/// The admission decision for one request, carrying enough provenance
+/// to audit it: the planned backend and its pre-dispatch cost for
+/// admitted work, the from/to guarantee pair for degradations, the
+/// typed reason for refusals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionVerdict {
+    /// Admitted at the (floor-adjusted) required guarantee.
+    Admitted {
+        /// The backend the routing layer planned.
+        backend: BackendId,
+        /// Its pre-dispatch work estimate.
+        cost: CostEstimate,
+    },
+    /// Admitted after a policy-driven downgrade of the required
+    /// guarantee.
+    Degraded {
+        /// The guarantee the request originally required (after the
+        /// floor adjustment).
+        from: Guarantee,
+        /// The guarantee it was admitted at.
+        to: Guarantee,
+        /// The backend planned for the degraded request.
+        backend: BackendId,
+        /// Its pre-dispatch work estimate.
+        cost: CostEstimate,
+    },
+    /// Refused outright.
+    Refused {
+        /// The typed refusal reason.
+        reason: QuotaError,
+    },
+}
+
+impl AdmissionVerdict {
+    /// Whether the verdict admits the request (possibly degraded).
+    pub fn is_admitted(&self) -> bool {
+        !matches!(self, AdmissionVerdict::Refused { .. })
+    }
+
+    /// The planned backend, for admitted verdicts.
+    pub fn backend(&self) -> Option<BackendId> {
+        match self {
+            AdmissionVerdict::Admitted { backend, .. }
+            | AdmissionVerdict::Degraded { backend, .. } => Some(*backend),
+            AdmissionVerdict::Refused { .. } => None,
+        }
+    }
+
+    /// The pre-dispatch cost estimate, for admitted verdicts.
+    pub fn cost(&self) -> Option<CostEstimate> {
+        match self {
+            AdmissionVerdict::Admitted { cost, .. } | AdmissionVerdict::Degraded { cost, .. } => {
+                Some(*cost)
+            }
+            AdmissionVerdict::Refused { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_guarantee_raises_to_the_floor() {
+        let policy = TenantPolicy::unlimited().with_guarantee_floor(Guarantee::PaperRatio);
+        assert_eq!(
+            policy.effective_guarantee(Guarantee::None),
+            Guarantee::PaperRatio
+        );
+        assert_eq!(
+            policy.effective_guarantee(Guarantee::PaperRatio),
+            Guarantee::PaperRatio
+        );
+        // Stronger demands pass through untouched.
+        assert_eq!(
+            policy.effective_guarantee(Guarantee::Exact),
+            Guarantee::Exact
+        );
+        let eps = Guarantee::EpsilonOptimal(0.1);
+        assert_eq!(policy.effective_guarantee(eps), eps);
+    }
+
+    #[test]
+    fn unlimited_policy_gates_nothing() {
+        let policy = TenantPolicy::unlimited();
+        assert_eq!(policy.max_in_flight, usize::MAX);
+        assert!(policy.max_estimated_work.is_infinite());
+        assert_eq!(policy.effective_guarantee(Guarantee::None), Guarantee::None);
+    }
+
+    #[test]
+    fn quota_errors_display_their_context() {
+        let e = QuotaError::InFlightExceeded {
+            tenant: "acme".into(),
+            in_flight: 9,
+            limit: 8,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("acme") && msg.contains('9') && msg.contains('8'));
+        assert!(QuotaError::QueueFull { capacity: 4 }
+            .to_string()
+            .contains('4'));
+    }
+
+    #[test]
+    fn verdict_accessors_expose_the_plan() {
+        use crate::solve::CostModel;
+        let cost = CostEstimate {
+            work: 128.0,
+            model: CostModel::Linearithmic,
+        };
+        let admitted = AdmissionVerdict::Admitted {
+            backend: BackendId::Lpt,
+            cost,
+        };
+        assert!(admitted.is_admitted());
+        assert_eq!(admitted.backend(), Some(BackendId::Lpt));
+        assert_eq!(admitted.cost(), Some(cost));
+        let refused = AdmissionVerdict::Refused {
+            reason: QuotaError::QueueFull { capacity: 1 },
+        };
+        assert!(!refused.is_admitted());
+        assert_eq!(refused.backend(), None);
+        assert_eq!(refused.cost(), None);
+    }
+}

@@ -435,6 +435,88 @@ impl BoundReport {
     }
 }
 
+/// The asymptotic cost model behind a [`CostEstimate`], tagged so
+/// admission logs can explain *why* a request was considered cheap or
+/// expensive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostModel {
+    /// `O(n log n)` sort-and-place heuristics (LPT, MULTIFIT, Graham,
+    /// SPT) and the default for foreign backends.
+    Linearithmic,
+    /// The event-driven kernel's `O((n + e) log n)` loop.
+    KernelEventDriven,
+    /// Exhaustive assignment enumeration, `m^n` states (the exact
+    /// backends' gate).
+    Enumeration,
+    /// The Hochbaum–Shmoys configuration DP, `states × configs`
+    /// (`sws_ptas::Rounding::dp_work_estimate`).
+    ConfigDp,
+    /// An outer search multiplying an inner schedule cost (the SBO∆
+    /// binary search of Section 7).
+    InnerSearch,
+    /// The retained `O(n²m)` naive oracle.
+    Quadratic,
+}
+
+impl CostModel {
+    /// A short label for reports and admission logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CostModel::Linearithmic => "linearithmic",
+            CostModel::KernelEventDriven => "kernel-event-driven",
+            CostModel::Enumeration => "enumeration",
+            CostModel::ConfigDp => "config-dp",
+            CostModel::InnerSearch => "inner-search",
+            CostModel::Quadratic => "quadratic",
+        }
+    }
+}
+
+/// A backend's pre-dispatch work estimate for one request, in abstract
+/// *work units* (roughly: elementary scheduling operations). Estimates
+/// are comparable **across backends** — the same scale the documented
+/// feasibility gates already use (`m^n` for the exact solvers,
+/// `states × configs` for the PTAS configuration DP, `(n + e)·log n` for
+/// the kernel) — which is what lets a service front rank backends by
+/// cost and refuse or degrade a request *before* dispatching it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated work units.
+    pub work: f64,
+    /// The asymptotic model the estimate comes from.
+    pub model: CostModel,
+}
+
+impl CostEstimate {
+    /// An `n log n` estimate (the classic heuristics and the default for
+    /// foreign backends).
+    pub fn linearithmic(n: usize) -> Self {
+        let n = n as f64;
+        CostEstimate {
+            work: n * (n.max(2.0)).log2(),
+            model: CostModel::Linearithmic,
+        }
+    }
+
+    /// The kernel's `(n + e)·log n` estimate.
+    pub fn kernel(n: usize, edges: usize) -> Self {
+        let size = (n + edges) as f64;
+        CostEstimate {
+            work: size * ((n as f64).max(2.0)).log2(),
+            model: CostModel::KernelEventDriven,
+        }
+    }
+
+    /// An `m^n` enumeration estimate (saturating, as the exact gates
+    /// compute it).
+    pub fn enumeration(states: u64) -> Self {
+        CostEstimate {
+            work: states as f64,
+            model: CostModel::Enumeration,
+        }
+    }
+}
+
 /// Provenance of one solve: which backend ran and how.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveStats {
@@ -451,6 +533,10 @@ pub struct SolveStats {
     /// The lower bounds (and their provenance) ratios are reported
     /// against.
     pub bounds: BoundReport,
+    /// The pre-dispatch work estimate the routing layer gated this solve
+    /// on (`None` when the backend was called directly, outside any
+    /// routed path).
+    pub cost: Option<CostEstimate>,
 }
 
 impl SolveStats {
@@ -462,6 +548,7 @@ impl SolveStats {
             rounds,
             workspace_reused: false,
             bounds: BoundReport::identical(tasks, m),
+            cost: None,
         }
     }
 }

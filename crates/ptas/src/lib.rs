@@ -38,4 +38,6 @@ pub mod rounding;
 pub mod search;
 
 pub use dual::DP_WORK_LIMIT;
-pub use search::{dp_work_affordable, ptas_cmax, ptas_mmax, ptas_schedule, PtasOutcome};
+pub use search::{
+    dp_work_affordable, dp_work_estimate_for, ptas_cmax, ptas_mmax, ptas_schedule, PtasOutcome,
+};

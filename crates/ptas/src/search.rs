@@ -46,15 +46,24 @@ impl PtasOutcome {
 /// would fall back to FFD and the strict `(1 + ε)` guarantee would be
 /// lost, so a guarantee-demanding caller must not route here.
 pub fn dp_work_affordable(weights: &[f64], m: usize, eps: f64) -> bool {
+    dp_work_estimate_for(weights, m, eps) <= crate::dual::DP_WORK_LIMIT
+}
+
+/// The configuration-DP work estimate [`dp_work_affordable`] gates on:
+/// `states × configs × classes` at the most conservative deadline
+/// `d = LB` (see [`dp_work_affordable`] for why that deadline bounds
+/// every dual test of the search). Exposed so admission layers can use
+/// the *value* — not just the gate's verdict — as the pre-dispatch cost
+/// estimate of an ε-optimal request. `0` for empty or zero-work inputs.
+pub fn dp_work_estimate_for(weights: &[f64], m: usize, eps: f64) -> usize {
     assert!(m > 0, "need at least one machine");
     let total: f64 = weights.iter().sum();
     let max_w = weights.iter().copied().fold(0.0, f64::max);
     let lb = (total / m as f64).max(max_w);
     if weights.is_empty() || lb == 0.0 {
-        return true;
+        return 0;
     }
     crate::rounding::Rounding::new(weights, lb, eps).dp_work_estimate()
-        <= crate::dual::DP_WORK_LIMIT
 }
 
 /// Runs the Hochbaum–Shmoys PTAS on arbitrary weights: returns an

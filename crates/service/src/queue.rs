@@ -1,0 +1,212 @@
+//! A bounded, blocking priority queue over `Mutex` + `Condvar`.
+//!
+//! `std::sync::mpsc` has no priorities and no bounded non-blocking
+//! push, so the service's request queue is built directly on the
+//! primitives: a [`std::collections::BinaryHeap`] ordered by
+//! `(priority desc, submission order asc)` behind a mutex, a condvar
+//! for the consumer side, and a hard capacity on the producer side —
+//! a full queue *refuses* instead of blocking, because admission
+//! control wants backpressure to be a typed, observable event
+//! (`QuotaError::QueueFull`), never a silently stalled caller.
+//!
+//! Closing the queue ([`JobQueue::close`]) stops producers immediately
+//! but lets consumers drain every item already queued before
+//! [`JobQueue::pop`] starts returning `None` — the graceful-shutdown
+//! half of the service contract.
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue is at capacity.
+    Full,
+    /// The queue was closed ([`JobQueue::close`]).
+    Closed,
+}
+
+/// One queued item, ordered by `(priority desc, seq asc)` — higher
+/// priorities first, FIFO within a priority level.
+struct Entry<T> {
+    priority: u8,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: higher priority wins; within a
+        // priority, the *lower* sequence number (earlier submission)
+        // must surface first, hence the reversed comparison.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner<T> {
+    heap: BinaryHeap<Entry<T>>,
+    closed: bool,
+    next_seq: u64,
+}
+
+/// The bounded blocking priority queue. See the module docs.
+pub(crate) struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// An open queue holding at most `capacity` items.
+    pub(crate) fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::new(),
+                closed: false,
+                next_seq: 0,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The queue's capacity.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued items.
+    pub(crate) fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").heap.len()
+    }
+
+    /// Enqueues `item` at `priority`. Never blocks: a full or closed
+    /// queue returns the item to the caller with the typed reason.
+    pub(crate) fn push(&self, priority: u8, item: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return Err((item, PushError::Closed));
+        }
+        if inner.heap.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.heap.push(Entry {
+            priority,
+            seq,
+            item,
+        });
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the highest-priority item, blocking while the queue is
+    /// empty and open. Returns `None` only once the queue is closed
+    /// **and** fully drained.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(entry) = inner.heap.pop() {
+                return Some(entry.item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Dequeues without blocking: `None` when the queue is currently
+    /// empty (used by the shutdown path to drain leftovers when the
+    /// service runs without workers).
+    pub(crate) fn try_pop(&self) -> Option<T> {
+        self.inner
+            .lock()
+            .expect("queue lock poisoned")
+            .heap
+            .pop()
+            .map(|e| e.item)
+    }
+
+    /// Closes the queue: pushes start failing with
+    /// [`PushError::Closed`]; pops drain the remaining items and then
+    /// return `None`. Idempotent.
+    pub(crate) fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_priority_then_fifo() {
+        let q: JobQueue<&'static str> = JobQueue::new(8);
+        q.push(1, "low-a").unwrap();
+        q.push(5, "high-a").unwrap();
+        q.push(1, "low-b").unwrap();
+        q.push(5, "high-b").unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some("high-a"));
+        assert_eq!(q.pop(), Some("high-b"));
+        assert_eq!(q.pop(), Some("low-a"));
+        assert_eq!(q.pop(), Some("low-b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_and_closed_pushes_return_the_item() {
+        let q: JobQueue<u32> = JobQueue::new(2);
+        q.push(0, 1).unwrap();
+        q.push(0, 2).unwrap();
+        let (item, reason) = q.push(0, 3).unwrap_err();
+        assert_eq!((item, reason), (3, PushError::Full));
+        q.close();
+        let (item, reason) = q.push(0, 4).unwrap_err();
+        assert_eq!((item, reason), (4, PushError::Closed));
+        // The queued items remain drainable after close.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push_and_on_close() {
+        use std::sync::Arc;
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        q.push(0, 7).unwrap();
+        q.push(0, 8).unwrap();
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, vec![7, 8]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Owned, tenant-tagged requests — the wire format of the service.
+//!
+//! The portfolio's [`SolveRequest`] *borrows* its instance, which is
+//! the right shape for batch calls but not for a queue crossed by
+//! worker threads. A [`ServiceRequest`] therefore owns its instance
+//! behind an [`Arc`] (submitting the same instance many times shares
+//! one allocation) and adds the service envelope: tenant id, queue
+//! priority, and an optional deadline. Workers rebuild the borrowed
+//! [`SolveRequest`] view on their side of the queue, so the dispatch
+//! core sees exactly the vocabulary the batch path uses.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sws_dag::DagInstance;
+use sws_model::solve::{Guarantee, ObjectiveMode, SolveRequest};
+use sws_model::Instance;
+
+/// The instance a service request schedules, owned and shareable
+/// across threads.
+#[derive(Clone)]
+pub enum ServiceInstance {
+    /// Independent tasks on identical processors.
+    Independent(Arc<Instance>),
+    /// A precedence-constrained task DAG.
+    Dag(Arc<DagInstance>),
+}
+
+impl ServiceInstance {
+    /// Number of tasks.
+    pub fn n(&self) -> usize {
+        match self {
+            ServiceInstance::Independent(inst) => inst.n(),
+            ServiceInstance::Dag(dag) => dag.n(),
+        }
+    }
+
+    /// Number of processors.
+    pub fn m(&self) -> usize {
+        match self {
+            ServiceInstance::Independent(inst) => inst.m(),
+            ServiceInstance::Dag(dag) => dag.m(),
+        }
+    }
+
+    /// The borrowed portfolio view of this instance at the given
+    /// objective and (effective) guarantee.
+    pub fn as_request(&self, objective: ObjectiveMode, guarantee: Guarantee) -> SolveRequest<'_> {
+        match self {
+            ServiceInstance::Independent(inst) => {
+                SolveRequest::independent(inst, objective).with_guarantee(guarantee)
+            }
+            ServiceInstance::Dag(dag) => {
+                SolveRequest::precedence(&**dag, objective).with_guarantee(guarantee)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ServiceInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceInstance::Independent(inst) => f
+                .debug_struct("Independent")
+                .field("n", &inst.n())
+                .field("m", &inst.m())
+                .finish(),
+            ServiceInstance::Dag(dag) => f
+                .debug_struct("Dag")
+                .field("n", &dag.n())
+                .field("m", &dag.m())
+                .finish(),
+        }
+    }
+}
+
+/// One tenant-tagged solve request, as submitted to the service.
+#[derive(Debug, Clone)]
+pub struct ServiceRequest {
+    /// The tenant submitting the request (admission is governed by the
+    /// tenant's registered `TenantPolicy`).
+    pub tenant: String,
+    /// The instance to schedule.
+    pub instance: ServiceInstance,
+    /// Which objectives to optimize.
+    pub objective: ObjectiveMode,
+    /// The required guarantee (possibly raised to the tenant's floor or
+    /// degraded per policy at admission).
+    pub guarantee: Guarantee,
+    /// Queue priority: higher values are dequeued first; FIFO within a
+    /// level.
+    pub priority: u8,
+    /// Give-up budget measured from submission: a request still queued
+    /// when the deadline passes resolves to `DeadlineExpired` instead
+    /// of being dispatched.
+    pub deadline: Option<Duration>,
+}
+
+impl ServiceRequest {
+    /// A request with default envelope: no guarantee demanded, priority
+    /// 0, no deadline.
+    pub fn new(
+        tenant: impl Into<String>,
+        instance: ServiceInstance,
+        objective: ObjectiveMode,
+    ) -> Self {
+        ServiceRequest {
+            tenant: tenant.into(),
+            instance,
+            objective,
+            guarantee: Guarantee::None,
+            priority: 0,
+            deadline: None,
+        }
+    }
+
+    /// A request over independent tasks.
+    pub fn independent(
+        tenant: impl Into<String>,
+        inst: Arc<Instance>,
+        objective: ObjectiveMode,
+    ) -> Self {
+        Self::new(tenant, ServiceInstance::Independent(inst), objective)
+    }
+
+    /// A request over a task DAG.
+    pub fn dag(tenant: impl Into<String>, dag: Arc<DagInstance>, objective: ObjectiveMode) -> Self {
+        Self::new(tenant, ServiceInstance::Dag(dag), objective)
+    }
+
+    /// Replaces the required guarantee.
+    pub fn with_guarantee(mut self, guarantee: Guarantee) -> Self {
+        self.guarantee = guarantee;
+        self
+    }
+
+    /// Replaces the queue priority.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets a deadline measured from submission.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}

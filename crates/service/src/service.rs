@@ -1,0 +1,741 @@
+//! The service runtime: admission, the worker pool, tickets and
+//! shutdown.
+//!
+//! # Life of a request
+//!
+//! 1. [`ServiceHandle::submit`] runs the admission pipeline documented
+//!    in `sws_model::policy` **on the caller's thread**: tenant lookup,
+//!    guarantee-floor adjustment, backend planning
+//!    ([`Portfolio::plan`]) and the cost/quota/queue gates. Refusals
+//!    return immediately — no scheduling work was spent on them.
+//! 2. Admitted requests enter the bounded priority queue with a
+//!    one-shot completion channel; the caller holds the [`Ticket`].
+//! 3. A worker thread dequeues the job, re-resolves the backend through
+//!    the shared [`DispatchWorker`] (the same per-worker
+//!    selection-plus-workspace routine the batch path uses — selection
+//!    is deterministic, so the dispatched backend is exactly the
+//!    planned one) and sends the terminal outcome through the channel.
+//!    Cancelled and deadline-expired jobs are resolved without
+//!    dispatching.
+//! 4. [`Ticket::wait`] yields the outcome. Every admitted request gets
+//!    **exactly one** terminal outcome, including through shutdown.
+//!
+//! # Shutdown
+//!
+//! [`SchedulingService::shutdown`] stops new submissions, lets the
+//! workers drain everything already queued, joins them and returns the
+//! final stats. Dropping the service without calling it performs the
+//! same graceful drain.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use sws_core::dispatch::DispatchWorker;
+use sws_core::portfolio::{Portfolio, SolvePlan};
+use sws_model::error::ModelError;
+use sws_model::policy::{AdmissionVerdict, OverflowPolicy, QuotaError, TenantPolicy};
+use sws_model::solve::{Guarantee, Solution};
+
+use crate::queue::{JobQueue, PushError};
+use crate::request::ServiceRequest;
+use crate::stats::{Counters, ScopeStats, ServiceStats};
+
+/// How a request failed to produce a solution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Refused at admission with a typed quota/backpressure reason.
+    Refused(QuotaError),
+    /// The solve itself returned a typed model error — at admission
+    /// (`NoQualifiedBackend` with no degradation available) or at
+    /// dispatch (e.g. `BudgetNotMet`).
+    Solve(ModelError),
+    /// The deadline passed before a worker picked the request up.
+    DeadlineExpired,
+    /// The caller cancelled the request before dispatch.
+    Cancelled,
+    /// The service is shutting down (submission refused, or — only for
+    /// a service running without workers — an undrained job).
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Refused(reason) => write!(f, "refused at admission: {reason}"),
+            ServiceError::Solve(err) => write!(f, "solve failed: {err}"),
+            ServiceError::DeadlineExpired => write!(f, "deadline expired before dispatch"),
+            ServiceError::Cancelled => write!(f, "cancelled before dispatch"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One admitted request's terminal outcome.
+pub type ServiceOutcome = Result<Solution, ServiceError>;
+
+/// A queued job: the owned request payload plus its completion channel.
+struct Job {
+    tenant_idx: usize,
+    request: ServiceRequest,
+    /// The guarantee the request was admitted at (floor-adjusted,
+    /// possibly degraded).
+    effective: Guarantee,
+    /// The admission-time backend plan: workers dispatch straight to it
+    /// (selection is deterministic, so this is exactly what a fresh
+    /// selection would resolve) instead of paying the bid pass twice.
+    plan: SolvePlan,
+    deadline: Option<Instant>,
+    cancel: Arc<AtomicBool>,
+    submitted: Instant,
+    tx: mpsc::Sender<ServiceOutcome>,
+}
+
+/// One registered tenant: id, policy, counters.
+struct TenantEntry {
+    id: String,
+    policy: TenantPolicy,
+    counters: Counters,
+}
+
+/// The outcome of the policy half of admission (steps 2–5 of the
+/// documented pipeline: floor, planning, work gate, in-flight quota) —
+/// everything except the queue push, shared by [`ServiceHandle::submit`]
+/// and [`ServiceHandle::probe`].
+enum AdmissionDecision {
+    /// Admit at `effective` (degraded from `degraded_from` when set),
+    /// dispatching per `plan`.
+    Admit {
+        effective: Guarantee,
+        degraded_from: Option<Guarantee>,
+        plan: SolvePlan,
+    },
+    /// Refuse with a typed quota reason.
+    Refuse(QuotaError),
+    /// No qualifying backend (and no permitted degradation).
+    NoBackend(ModelError),
+}
+
+/// State shared between the handle(s) and the workers.
+struct Shared {
+    portfolio: Portfolio,
+    /// Jobs are boxed so the priority heap sifts pointers, not
+    /// ~200-byte payloads.
+    queue: JobQueue<Box<Job>>,
+    tenants: Vec<TenantEntry>,
+    tenant_index: HashMap<String, usize>,
+    /// Index of the aggregate entry unknown tenants map to when a
+    /// default policy is configured.
+    default_tenant: Option<usize>,
+    global: Counters,
+    accepting: AtomicBool,
+}
+
+impl Shared {
+    fn stats(&self) -> ServiceStats {
+        let tenants: Vec<ScopeStats> = self
+            .tenants
+            .iter()
+            .map(|t| t.counters.snapshot(t.id.clone()))
+            .collect();
+        let mut global = self.global.snapshot("global".into());
+        // The in-flight gauge lives on the tenant counters (the quota
+        // reservation must be a single per-tenant atomic step); the
+        // global gauge is their sum at snapshot time.
+        global.in_flight = tenants.iter().map(|t| t.in_flight).sum();
+        ServiceStats {
+            global,
+            tenants,
+            queue_depth: self.queue.depth(),
+            queue_capacity: self.queue.capacity(),
+        }
+    }
+
+    /// Resolves the tenant entry index for a request's tenant id.
+    fn tenant_idx(&self, tenant: &str) -> Option<usize> {
+        self.tenant_index
+            .get(tenant)
+            .copied()
+            .or(self.default_tenant)
+    }
+
+    /// The policy half of admission — see [`AdmissionDecision`].
+    fn decide(&self, tenant_idx: usize, request: &ServiceRequest) -> AdmissionDecision {
+        let entry = &self.tenants[tenant_idx];
+        let policy = entry.policy;
+        let mut effective = policy.effective_guarantee(request.guarantee);
+        let mut degraded_from = None;
+        let can_degrade = policy.overflow == OverflowPolicy::Degrade
+            && Guarantee::PaperRatio.satisfies(&policy.guarantee_floor);
+        let stronger_than_paper =
+            |g: Guarantee| matches!(g, Guarantee::Exact | Guarantee::EpsilonOptimal(_));
+        let plan_at = |g: Guarantee| {
+            self.portfolio
+                .plan(&request.instance.as_request(request.objective, g))
+        };
+
+        // Backend planning, degrading on `NoQualifiedBackend` when the
+        // policy allows it.
+        let mut plan = match plan_at(effective) {
+            Ok(plan) => plan,
+            Err(err) => {
+                if can_degrade && stronger_than_paper(effective) {
+                    match plan_at(Guarantee::PaperRatio) {
+                        Ok(plan) => {
+                            degraded_from = Some(effective);
+                            effective = Guarantee::PaperRatio;
+                            plan
+                        }
+                        Err(_) => return AdmissionDecision::NoBackend(err),
+                    }
+                } else {
+                    return AdmissionDecision::NoBackend(err);
+                }
+            }
+        };
+
+        // Work gate, degrading once when the policy allows it.
+        if plan.cost.work > policy.max_estimated_work {
+            let mut resolved = false;
+            if can_degrade && degraded_from.is_none() && stronger_than_paper(effective) {
+                if let Ok(cheaper) = plan_at(Guarantee::PaperRatio) {
+                    if cheaper.cost.work <= policy.max_estimated_work {
+                        degraded_from = Some(effective);
+                        effective = Guarantee::PaperRatio;
+                        plan = cheaper;
+                        resolved = true;
+                    }
+                }
+            }
+            if !resolved {
+                return AdmissionDecision::Refuse(QuotaError::WorkExceeded {
+                    estimated: plan.cost.work,
+                    limit: policy.max_estimated_work,
+                });
+            }
+        }
+
+        // In-flight quota (`OverflowPolicy::Queue` absorbs bursts in
+        // the bounded queue instead). This read is the advisory view
+        // `probe` reports; `submit` re-enforces the quota atomically in
+        // [`Shared::reserve_in_flight`], where concurrent submits
+        // cannot race past it.
+        let in_flight = entry.counters.in_flight.load(Ordering::Relaxed);
+        if in_flight >= policy.max_in_flight && policy.overflow != OverflowPolicy::Queue {
+            return AdmissionDecision::Refuse(QuotaError::InFlightExceeded {
+                tenant: entry.id.clone(),
+                in_flight,
+                limit: policy.max_in_flight,
+            });
+        }
+
+        AdmissionDecision::Admit {
+            effective,
+            degraded_from,
+            plan,
+        }
+    }
+
+    /// Atomically reserves one in-flight slot for the tenant: the quota
+    /// comparison and the increment are a single compare-and-swap, so
+    /// concurrent submits on the same tenant cannot all slip past a
+    /// nearly-full quota. `Queue`-overflow tenants always reserve (the
+    /// bounded queue is their only limit).
+    fn reserve_in_flight(&self, tenant_idx: usize) -> Result<(), QuotaError> {
+        let entry = &self.tenants[tenant_idx];
+        let counter = &entry.counters.in_flight;
+        let mut current = counter.load(Ordering::Relaxed);
+        loop {
+            if current >= entry.policy.max_in_flight
+                && entry.policy.overflow != OverflowPolicy::Queue
+            {
+                return Err(QuotaError::InFlightExceeded {
+                    tenant: entry.id.clone(),
+                    in_flight: current,
+                    limit: entry.policy.max_in_flight,
+                });
+            }
+            match counter.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Counts a refusal against a tenant (when known) and globally.
+    fn count_refusal(&self, tenant_idx: Option<usize>) {
+        if let Some(idx) = tenant_idx {
+            Counters::bump(&self.tenants[idx].counters.refused);
+        }
+        Counters::bump(&self.global.refused);
+    }
+}
+
+/// The caller's side of one admitted request: the admission verdict and
+/// the completion receiver.
+pub struct Ticket {
+    verdict: AdmissionVerdict,
+    effective: Guarantee,
+    cancel: Arc<AtomicBool>,
+    rx: mpsc::Receiver<ServiceOutcome>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("verdict", &self.verdict)
+            .field("effective", &self.effective)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Ticket {
+    /// The admission verdict (admitted or degraded; refusals never
+    /// produce a ticket).
+    pub fn verdict(&self) -> &AdmissionVerdict {
+        &self.verdict
+    }
+
+    /// The guarantee the request was admitted at — the level the
+    /// delivered solution satisfies, and the level to use when
+    /// reproducing the result with a direct `Portfolio::solve` call.
+    pub fn effective_guarantee(&self) -> Guarantee {
+        self.effective
+    }
+
+    /// Requests cancellation. Best effort: a job already dispatched (or
+    /// racing with a worker) completes normally; a job still queued
+    /// resolves to [`ServiceError::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the terminal outcome arrives. Every admitted
+    /// request gets exactly one.
+    pub fn wait(self) -> ServiceOutcome {
+        self.rx.recv().unwrap_or(Err(ServiceError::ShuttingDown))
+    }
+
+    /// Non-blocking poll: `Ok(outcome)` when resolved, `Err(self)` (the
+    /// ticket back) when still pending.
+    pub fn try_wait(self) -> Result<ServiceOutcome, Ticket> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Ok(outcome),
+            Err(mpsc::TryRecvError::Empty) => Err(self),
+            Err(mpsc::TryRecvError::Disconnected) => Ok(Err(ServiceError::ShuttingDown)),
+        }
+    }
+}
+
+/// A cloneable submission handle onto a running service.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServiceHandle {
+    /// Submits a request through the admission pipeline. `Ok` returns a
+    /// [`Ticket`] whose verdict is `Admitted` or `Degraded`; `Err` *is*
+    /// the request's terminal outcome (refusal, no qualifying backend,
+    /// or shutdown) — no ticket exists for it.
+    pub fn submit(&self, request: ServiceRequest) -> Result<Ticket, ServiceError> {
+        let shared = &*self.shared;
+        if !shared.accepting.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+
+        let Some(tenant_idx) = shared.tenant_idx(&request.tenant) else {
+            shared.count_refusal(None);
+            return Err(ServiceError::Refused(QuotaError::UnknownTenant {
+                tenant: request.tenant.clone(),
+            }));
+        };
+        let (effective, degraded_from, plan) = match shared.decide(tenant_idx, &request) {
+            AdmissionDecision::Admit {
+                effective,
+                degraded_from,
+                plan,
+            } => (effective, degraded_from, plan),
+            AdmissionDecision::Refuse(reason) => {
+                shared.count_refusal(Some(tenant_idx));
+                return Err(ServiceError::Refused(reason));
+            }
+            AdmissionDecision::NoBackend(err) => {
+                shared.count_refusal(Some(tenant_idx));
+                return Err(ServiceError::Solve(err));
+            }
+        };
+
+        // Enqueue with the completion channel.
+        let entry = &shared.tenants[tenant_idx];
+        let (tx, rx) = mpsc::channel();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let submitted = Instant::now();
+        let priority = request.priority;
+        let job = Job {
+            tenant_idx,
+            deadline: request.deadline.map(|d| submitted + d),
+            effective,
+            plan,
+            cancel: Arc::clone(&cancel),
+            submitted,
+            tx,
+            request,
+        };
+        if let Err(reason) = shared.reserve_in_flight(tenant_idx) {
+            shared.count_refusal(Some(tenant_idx));
+            return Err(ServiceError::Refused(reason));
+        }
+        if let Err((_job, reason)) = shared.queue.push(priority, Box::new(job)) {
+            entry.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+            return match reason {
+                PushError::Full => {
+                    shared.count_refusal(Some(tenant_idx));
+                    Err(ServiceError::Refused(QuotaError::QueueFull {
+                        capacity: shared.queue.capacity(),
+                    }))
+                }
+                PushError::Closed => Err(ServiceError::ShuttingDown),
+            };
+        }
+        Counters::bump(&entry.counters.admitted);
+        Counters::bump(&shared.global.admitted);
+        let verdict = match degraded_from {
+            Some(from) => {
+                Counters::bump(&entry.counters.degraded);
+                Counters::bump(&shared.global.degraded);
+                AdmissionVerdict::Degraded {
+                    from,
+                    to: effective,
+                    backend: plan.backend,
+                    cost: plan.cost,
+                }
+            }
+            None => AdmissionVerdict::Admitted {
+                backend: plan.backend,
+                cost: plan.cost,
+            },
+        };
+        Ok(Ticket {
+            verdict,
+            effective,
+            cancel,
+            rx,
+        })
+    }
+
+    /// Runs the admission pipeline **without** enqueuing: the verdict a
+    /// [`ServiceHandle::submit`] call would reach right now (modulo the
+    /// queue-capacity gate, which only an actual push can decide).
+    /// Quota and backend refusals come back as
+    /// [`AdmissionVerdict::Refused`] / [`ServiceError::Solve`]; nothing
+    /// is counted in the stats.
+    pub fn probe(&self, request: &ServiceRequest) -> Result<AdmissionVerdict, ServiceError> {
+        let shared = &*self.shared;
+        let Some(tenant_idx) = shared.tenant_idx(&request.tenant) else {
+            return Ok(AdmissionVerdict::Refused {
+                reason: QuotaError::UnknownTenant {
+                    tenant: request.tenant.clone(),
+                },
+            });
+        };
+        match shared.decide(tenant_idx, request) {
+            AdmissionDecision::Admit {
+                effective,
+                degraded_from,
+                plan,
+            } => Ok(match degraded_from {
+                Some(from) => AdmissionVerdict::Degraded {
+                    from,
+                    to: effective,
+                    backend: plan.backend,
+                    cost: plan.cost,
+                },
+                None => AdmissionVerdict::Admitted {
+                    backend: plan.backend,
+                    cost: plan.cost,
+                },
+            }),
+            AdmissionDecision::Refuse(reason) => Ok(AdmissionVerdict::Refused { reason }),
+            AdmissionDecision::NoBackend(err) => Err(ServiceError::Solve(err)),
+        }
+    }
+
+    /// A point-in-time snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+
+    /// Requests currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+}
+
+/// Builder for a [`SchedulingService`].
+pub struct ServiceBuilder {
+    workers: usize,
+    queue_capacity: usize,
+    tenants: Vec<(String, TenantPolicy)>,
+    default_policy: Option<TenantPolicy>,
+    portfolio: Option<Portfolio>,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceBuilder {
+    /// Defaults: one worker per available core, queue capacity 1024, no
+    /// tenants, no default policy, `Portfolio::standard()`.
+    pub fn new() -> Self {
+        ServiceBuilder {
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            queue_capacity: 1024,
+            tenants: Vec::new(),
+            default_policy: None,
+            portfolio: None,
+        }
+    }
+
+    /// Worker-thread count. `0` is allowed and means "admission only":
+    /// jobs queue but are never dispatched until shutdown resolves them
+    /// with [`ServiceError::ShuttingDown`] — useful for testing
+    /// admission behavior deterministically.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Bounded queue capacity (≥ 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Registers a tenant with its admission policy.
+    pub fn tenant(mut self, id: impl Into<String>, policy: TenantPolicy) -> Self {
+        self.tenants.push((id.into(), policy));
+        self
+    }
+
+    /// Accepts unknown tenants under this policy, tracked under the
+    /// reserved aggregate scope `"*"` (registering a tenant literally
+    /// named `"*"` together with a default policy is rejected at
+    /// [`ServiceBuilder::build`]). Without it, unknown tenants are
+    /// refused.
+    pub fn default_policy(mut self, policy: TenantPolicy) -> Self {
+        self.default_policy = Some(policy);
+        self
+    }
+
+    /// Replaces the default `Portfolio::standard()` backend registry.
+    pub fn portfolio(mut self, portfolio: Portfolio) -> Self {
+        self.portfolio = Some(portfolio);
+        self
+    }
+
+    /// Starts the service: spawns the worker pool and returns the
+    /// running service.
+    pub fn build(self) -> SchedulingService {
+        let mut tenants: Vec<TenantEntry> = self
+            .tenants
+            .into_iter()
+            .map(|(id, policy)| TenantEntry {
+                id,
+                policy,
+                counters: Counters::new(),
+            })
+            .collect();
+        let default_tenant = self.default_policy.map(|policy| {
+            assert!(
+                tenants.iter().all(|t| t.id != "*"),
+                "tenant id \"*\" is reserved for the default policy's aggregate scope"
+            );
+            tenants.push(TenantEntry {
+                id: "*".to_string(),
+                policy,
+                counters: Counters::new(),
+            });
+            tenants.len() - 1
+        });
+        let tenant_index: HashMap<String, usize> = tenants
+            .iter()
+            .enumerate()
+            .map(|(idx, t)| (t.id.clone(), idx))
+            .collect();
+        let shared = Arc::new(Shared {
+            portfolio: self.portfolio.unwrap_or_default(),
+            queue: JobQueue::new(self.queue_capacity),
+            tenants,
+            tenant_index,
+            default_tenant,
+            global: Counters::new(),
+            accepting: AtomicBool::new(true),
+        });
+        let workers = (0..self.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        SchedulingService { shared, workers }
+    }
+}
+
+/// One worker thread: drain the queue through the shared dispatch core
+/// until the queue is closed and empty.
+fn worker_loop(shared: &Shared) {
+    let mut dispatcher = DispatchWorker::new(&shared.portfolio);
+    while let Some(job) = shared.queue.pop() {
+        resolve_job(shared, &mut dispatcher, job);
+    }
+}
+
+/// Resolves one dequeued job to its terminal outcome. Takes the job
+/// boxed — exactly as it leaves the queue — so the worker loop never
+/// unboxes the ~200-byte payload onto its stack.
+#[allow(clippy::boxed_local)]
+fn resolve_job(shared: &Shared, dispatcher: &mut DispatchWorker<'_>, job: Box<Job>) {
+    let counters = &shared.tenants[job.tenant_idx].counters;
+    let outcome: ServiceOutcome = if job.cancel.load(Ordering::Relaxed) {
+        Counters::bump(&counters.cancelled);
+        Counters::bump(&shared.global.cancelled);
+        Err(ServiceError::Cancelled)
+    } else if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        Counters::bump(&counters.expired);
+        Counters::bump(&shared.global.expired);
+        Err(ServiceError::DeadlineExpired)
+    } else {
+        let req = job
+            .request
+            .instance
+            .as_request(job.request.objective, job.effective);
+        match dispatcher.solve_planned(&req, &job.plan) {
+            Ok(solution) => {
+                let latency = job.submitted.elapsed();
+                counters.latency.record(latency);
+                shared.global.latency.record(latency);
+                Counters::bump(&counters.completed);
+                Counters::bump(&shared.global.completed);
+                Ok(solution)
+            }
+            Err(err) => {
+                Counters::bump(&counters.failed);
+                Counters::bump(&shared.global.failed);
+                Err(ServiceError::Solve(err))
+            }
+        }
+    };
+    counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+    // The caller may have dropped the ticket; the outcome is then
+    // discarded, which is its terminal state.
+    let _ = job.tx.send(outcome);
+}
+
+/// The running service: worker pool + shared state. Submission happens
+/// through [`SchedulingService::handle`] clones; the service object
+/// itself owns shutdown.
+pub struct SchedulingService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SchedulingService {
+    /// A builder with the documented defaults.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::new()
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, let the workers drain the
+    /// queue, join them, resolve anything left (possible only when the
+    /// service runs with zero workers) and return the final stats.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.shutdown_in_place();
+        self.shared.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.accepting.store(false, Ordering::Release);
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // With zero workers nothing drains the queue: resolve leftovers
+        // so the exactly-one-outcome contract holds unconditionally.
+        // Cancelled jobs report their cancellation; the rest see the
+        // shutdown.
+        while let Some(job) = self.shared.queue.try_pop() {
+            let counters = &self.shared.tenants[job.tenant_idx].counters;
+            let outcome = if job.cancel.load(Ordering::Relaxed) {
+                Counters::bump(&counters.cancelled);
+                Counters::bump(&self.shared.global.cancelled);
+                Err(ServiceError::Cancelled)
+            } else {
+                Err(ServiceError::ShuttingDown)
+            };
+            counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+            let _ = job.tx.send(outcome);
+        }
+    }
+
+    /// Wall-clock helper: submits a whole batch of requests from this
+    /// thread and waits for every outcome, preserving submission order
+    /// (refusals land in their slot as `Err`). The service-side
+    /// analogue of `BatchScheduler::run_requests`, and the shape the
+    /// throughput bench measures. The queue capacity must cover the
+    /// batch size, or the tail sees `QueueFull` refusals — that is the
+    /// bounded queue working as specified.
+    pub fn run_all(&self, requests: Vec<ServiceRequest>) -> Vec<ServiceOutcome> {
+        let handle = self.handle();
+        let tickets: Vec<Result<Ticket, ServiceError>> =
+            requests.into_iter().map(|r| handle.submit(r)).collect();
+        // Wait back to front: equal-priority FIFO dispatch resolves the
+        // last submission last, so the caller blocks (and wakes) once
+        // instead of once per outcome — on a single shared core the
+        // per-completion wakeups would otherwise cost a context switch
+        // per request. The returned order is submission order either
+        // way.
+        let mut outcomes: Vec<Option<ServiceOutcome>> = tickets.iter().map(|_| None).collect();
+        for (idx, ticket) in tickets.into_iter().enumerate().rev() {
+            outcomes[idx] = Some(match ticket {
+                Ok(ticket) => ticket.wait(),
+                Err(err) => Err(err),
+            });
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every slot resolved"))
+            .collect()
+    }
+}
+
+impl Drop for SchedulingService {
+    fn drop(&mut self) {
+        // Unconditional and idempotent: even a zero-worker service with
+        // an empty queue must stop accepting, or a surviving handle
+        // could enqueue a job nothing will ever resolve.
+        self.shutdown_in_place();
+    }
+}

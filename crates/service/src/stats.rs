@@ -1,0 +1,239 @@
+//! Lock-free service counters and latency quantiles.
+//!
+//! Every counter is a relaxed atomic — the stats path must never
+//! contend with the dispatch path. Latencies go into a fixed
+//! quarter-log2 histogram (256 buckets covering sub-nanosecond to
+//! centuries at ≤ ~19% bucket width), so recording is an index
+//! computation plus one atomic increment and quantile queries are a
+//! 256-entry scan; nothing ever allocates or takes a lock.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: 64 octaves × 4 sub-buckets.
+const BUCKETS: usize = 256;
+
+/// A fixed quarter-log2 latency histogram. See the module docs.
+pub(crate) struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    pub(crate) fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Bucket index of a nanosecond value: octave (floor log2) times 4
+    /// plus the next two mantissa bits.
+    fn index(ns: u64) -> usize {
+        let ns = ns.max(1);
+        let exp = 63 - ns.leading_zeros() as usize;
+        let sub = if exp >= 2 {
+            ((ns >> (exp - 2)) & 0b11) as usize
+        } else {
+            0
+        };
+        (exp * 4 + sub).min(BUCKETS - 1)
+    }
+
+    /// Representative (upper-edge) nanosecond value of a bucket.
+    fn value(index: usize) -> u64 {
+        let exp = index / 4;
+        let sub = (index % 4) as u64;
+        if exp < 2 {
+            // Octaves without sub-bucket resolution: the whole octave
+            // is one bucket, upper edge 2^(exp+1).
+            return 1u64 << (exp + 1);
+        }
+        // Upper edge of the sub-bucket: 2^exp · (1 + (sub+1)/4).
+        let base = 1u64 << exp;
+        base.saturating_add((base >> 2).saturating_mul(sub + 1))
+    }
+
+    pub(crate) fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[Self::index(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as a duration, `None` while the
+    /// histogram is empty. Resolution is the bucket width (≤ ~19%).
+    pub(crate) fn quantile(&self, q: f64) -> Option<Duration> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Duration::from_nanos(Self::value(i)));
+            }
+        }
+        None
+    }
+}
+
+/// One scope's worth of counters (a tenant, or the global aggregate).
+pub(crate) struct Counters {
+    pub(crate) admitted: AtomicU64,
+    pub(crate) degraded: AtomicU64,
+    pub(crate) refused: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) cancelled: AtomicU64,
+    pub(crate) expired: AtomicU64,
+    pub(crate) in_flight: AtomicUsize,
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl Counters {
+    pub(crate) fn new() -> Self {
+        Counters {
+            admitted: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, scope: String) -> ScopeStats {
+        ScopeStats {
+            scope,
+            admitted: self.admitted.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            p50_latency: self.latency.quantile(0.50),
+            p99_latency: self.latency.quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one scope's counters (a tenant, or the
+/// service-wide aggregate under the scope name `"global"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopeStats {
+    /// Tenant id, or `"global"`.
+    pub scope: String,
+    /// Requests admitted (including degraded admissions).
+    pub admitted: u64,
+    /// Admissions that went through a policy-driven guarantee downgrade.
+    pub degraded: u64,
+    /// Requests refused at admission (quota, work gate, queue full,
+    /// unknown tenant, or no qualifying backend).
+    pub refused: u64,
+    /// Requests that completed with a solution.
+    pub completed: u64,
+    /// Requests whose solve returned a typed error (e.g. `BudgetNotMet`).
+    pub failed: u64,
+    /// Requests cancelled before dispatch.
+    pub cancelled: u64,
+    /// Requests whose deadline passed before dispatch.
+    pub expired: u64,
+    /// Admitted requests not yet resolved (queued or running).
+    pub in_flight: usize,
+    /// Median submit→completion latency of completed requests.
+    pub p50_latency: Option<Duration>,
+    /// 99th-percentile submit→completion latency.
+    pub p99_latency: Option<Duration>,
+}
+
+impl ScopeStats {
+    /// Total terminal outcomes delivered for admitted requests.
+    pub fn terminal_outcomes(&self) -> u64 {
+        self.completed + self.failed + self.cancelled + self.expired
+    }
+}
+
+/// A point-in-time snapshot of the whole service: the global aggregate,
+/// one entry per registered tenant, and the queue gauge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Service-wide aggregate.
+    pub global: ScopeStats,
+    /// Per-tenant scopes, in registration order.
+    pub tenants: Vec<ScopeStats>,
+    /// Requests currently queued (admitted, not yet picked up).
+    pub queue_depth: usize,
+    /// The bounded queue's capacity.
+    pub queue_capacity: usize,
+}
+
+impl ServiceStats {
+    /// The snapshot of a tenant by id, if registered.
+    pub fn tenant(&self, id: &str) -> Option<&ScopeStats> {
+        self.tenants.iter().find(|t| t.scope == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_recorded_values() {
+        let h = LatencyHistogram::new();
+        for us in [100u64, 200, 300, 400, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        // Median of the five values is 300µs; the bucket upper edge is
+        // within ~25% above it.
+        assert!(p50 >= Duration::from_micros(280) && p50 <= Duration::from_micros(400));
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= Duration::from_micros(900));
+        assert!(h.quantile(0.5).unwrap() <= h.quantile(0.99).unwrap());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut last = 0usize;
+        for ns in [1u64, 2, 3, 5, 16, 17, 1000, 1_000_000, u64::MAX / 2] {
+            let idx = LatencyHistogram::index(ns);
+            assert!(idx >= last, "index must not decrease at {ns}");
+            last = idx;
+            // The representative value is at or above the recorded one
+            // (upper bucket edge), within one bucket width.
+            assert!(LatencyHistogram::value(idx) >= ns || idx == BUCKETS - 1);
+        }
+    }
+
+    #[test]
+    fn scope_snapshot_counts_terminal_outcomes() {
+        let c = Counters::new();
+        Counters::bump(&c.admitted);
+        Counters::bump(&c.admitted);
+        Counters::bump(&c.completed);
+        Counters::bump(&c.cancelled);
+        let snap = c.snapshot("t".into());
+        assert_eq!(snap.admitted, 2);
+        assert_eq!(snap.terminal_outcomes(), 2);
+    }
+}

@@ -1,0 +1,239 @@
+//! Scheduling-as-a-service demo: mixed-tenant traffic through the
+//! in-process service runtime.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example service_demo
+//! ```
+//!
+//! Four tenants with different admission policies share one service:
+//!
+//! * `pipeline` — a bulk tenant with a permissive Queue policy feeding
+//!   DAG scheduling work (RLS∆ on layered task graphs);
+//! * `premium` — an SLA tenant whose requests are always served at
+//!   paper-ratio level or better, with policy-driven degradation when
+//!   it demands guarantees no backend can prove at its instance sizes;
+//! * `explorer` — a tenant probing exact answers under a work-estimate
+//!   gate: affordable enumerations pass, expensive ones are refused;
+//! * `urgent` — a low-volume tenant whose requests carry a high queue
+//!   priority and a deadline.
+//!
+//! The demo submits a few hundred requests from all four tenants,
+//! prints a sample of the admission verdicts, waits for every outcome
+//! and ends with the per-tenant service statistics.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sws_model::policy::{AdmissionVerdict, OverflowPolicy, TenantPolicy};
+use sws_model::solve::{Guarantee, ObjectiveMode};
+use sws_service::{SchedulingService, ServiceError, ServiceRequest, Ticket};
+use sws_workloads::dagsets::{dag_workload, DagFamily};
+use sws_workloads::random::random_instance;
+use sws_workloads::rng::{derive_seed, seeded_rng};
+use sws_workloads::TaskDistribution;
+
+fn main() {
+    let service = SchedulingService::builder()
+        .workers(2)
+        .queue_capacity(2048)
+        .tenant(
+            "pipeline",
+            TenantPolicy::unlimited().with_overflow(OverflowPolicy::Queue),
+        )
+        .tenant(
+            "premium",
+            TenantPolicy::unlimited()
+                .with_guarantee_floor(Guarantee::PaperRatio)
+                .with_overflow(OverflowPolicy::Degrade),
+        )
+        .tenant(
+            "explorer",
+            TenantPolicy::unlimited()
+                .with_max_estimated_work(1e7)
+                .with_overflow(OverflowPolicy::Reject),
+        )
+        .tenant(
+            "urgent",
+            TenantPolicy::unlimited().with_guarantee_floor(Guarantee::PaperRatio),
+        )
+        .build();
+    let handle = service.handle();
+
+    // The shared instance pool.
+    let mut rng = seeded_rng(0xDE30);
+    let dags: Vec<_> = [
+        DagFamily::LayeredRandom,
+        DagFamily::ForkJoin,
+        DagFamily::GaussianElimination,
+    ]
+    .into_iter()
+    .map(|family| {
+        Arc::new(dag_workload(
+            family,
+            120,
+            8,
+            TaskDistribution::Uncorrelated,
+            &mut rng,
+        ))
+    })
+    .collect();
+    let mids: Vec<_> = (0..4)
+        .map(|k| {
+            Arc::new(random_instance(
+                50,
+                4,
+                TaskDistribution::AntiCorrelated,
+                &mut seeded_rng(derive_seed(0xDE31, k)),
+            ))
+        })
+        .collect();
+    let tiny = Arc::new(random_instance(
+        10,
+        2,
+        TaskDistribution::AntiCorrelated,
+        &mut seeded_rng(0xDE32),
+    ));
+    let gate_buster = Arc::new(random_instance(
+        18,
+        3,
+        TaskDistribution::Correlated,
+        &mut seeded_rng(0xDE33),
+    ));
+
+    // Build the traffic: 64 rounds of four-tenant submissions.
+    let mut tickets: Vec<(String, Ticket)> = Vec::new();
+    let mut refusals = 0usize;
+    let mut sampled = 0usize;
+    for round in 0..64usize {
+        let batch: Vec<ServiceRequest> = vec![
+            ServiceRequest::dag(
+                "pipeline",
+                Arc::clone(&dags[round % dags.len()]),
+                ObjectiveMode::BiObjective { delta: 3.0 },
+            )
+            .with_guarantee(Guarantee::PaperRatio),
+            ServiceRequest::independent(
+                "premium",
+                Arc::clone(&mids[round % mids.len()]),
+                ObjectiveMode::CmaxOnly,
+            )
+            // No backend proves Exact at n = 50: the Degrade policy
+            // downgrades to the paper-ratio floor instead of refusing.
+            .with_guarantee(if round % 4 == 0 {
+                Guarantee::Exact
+            } else {
+                Guarantee::PaperRatio
+            }),
+            ServiceRequest::independent(
+                "explorer",
+                if round % 8 == 0 {
+                    // 3^18 ≈ 3.9e8 estimated work: over the 1e7 gate,
+                    // refused by policy.
+                    Arc::clone(&gate_buster)
+                } else {
+                    // 2^10 = 1024: the exact answer is cheaper than the
+                    // heuristics' ratio arguments.
+                    Arc::clone(&tiny)
+                },
+                ObjectiveMode::CmaxOnly,
+            )
+            .with_guarantee(Guarantee::Exact),
+            ServiceRequest::independent(
+                "urgent",
+                Arc::clone(&mids[(round + 1) % mids.len()]),
+                ObjectiveMode::BiObjective { delta: 1.0 },
+            )
+            .with_priority(9)
+            .with_deadline(Duration::from_secs(30)),
+        ];
+        for request in batch {
+            let tenant = request.tenant.clone();
+            match handle.submit(request) {
+                Ok(ticket) => {
+                    if sampled < 6 && round % 8 == 0 {
+                        match ticket.verdict() {
+                            AdmissionVerdict::Admitted { backend, cost } => println!(
+                                "[admit]   {tenant:<9} → {backend} (estimated work {:.0}, {})",
+                                cost.work,
+                                cost.model.label()
+                            ),
+                            AdmissionVerdict::Degraded {
+                                from,
+                                to,
+                                backend,
+                                cost,
+                            } => println!(
+                                "[degrade] {tenant:<9} → {backend} ({} → {}, estimated work {:.0})",
+                                from.label(),
+                                to.label(),
+                                cost.work
+                            ),
+                            AdmissionVerdict::Refused { .. } => unreachable!(),
+                        }
+                        sampled += 1;
+                    }
+                    tickets.push((tenant, ticket));
+                }
+                Err(ServiceError::Refused(reason)) => {
+                    if refusals == 0 {
+                        println!("[refuse]  {tenant:<9} → {reason}");
+                    }
+                    refusals += 1;
+                }
+                Err(err) => println!("[error]   {tenant:<9} → {err}"),
+            }
+        }
+    }
+
+    // Wait for every outcome.
+    let mut completed = 0usize;
+    let mut best_ratio: f64 = f64::INFINITY;
+    let mut worst_ratio: f64 = 0.0;
+    for (_tenant, ticket) in tickets {
+        match ticket.wait() {
+            Ok(solution) => {
+                completed += 1;
+                let ratio = solution.cmax_over_lb();
+                best_ratio = best_ratio.min(ratio);
+                worst_ratio = worst_ratio.max(ratio);
+            }
+            Err(err) => println!("[outcome] {err}"),
+        }
+    }
+    println!(
+        "\n{completed} requests completed ({refusals} refused at admission); \
+         Cmax/LB across completions: best {best_ratio:.3}, worst {worst_ratio:.3}"
+    );
+
+    let stats = service.shutdown();
+    println!(
+        "\n{:<10} {:>8} {:>9} {:>8} {:>10} {:>7} {:>12} {:>12}",
+        "tenant",
+        "admitted",
+        "degraded",
+        "refused",
+        "completed",
+        "failed",
+        "p50 latency",
+        "p99 latency"
+    );
+    for scope in std::iter::once(&stats.global).chain(stats.tenants.iter()) {
+        println!(
+            "{:<10} {:>8} {:>9} {:>8} {:>10} {:>7} {:>12} {:>12}",
+            scope.scope,
+            scope.admitted,
+            scope.degraded,
+            scope.refused,
+            scope.completed,
+            scope.failed,
+            scope
+                .p50_latency
+                .map_or("-".to_string(), |d| format!("{:.2?}", d)),
+            scope
+                .p99_latency
+                .map_or("-".to_string(), |d| format!("{:.2?}", d)),
+        );
+    }
+    assert_eq!(stats.global.in_flight, 0, "clean drain");
+}

@@ -1,0 +1,383 @@
+//! End-to-end acceptance test of the scheduling service: ≥ 512
+//! mixed-guarantee requests from 4 tenants submitted **concurrently**
+//! through [`ServiceHandle`], proving
+//!
+//! (a) every served result is bit-identical to a direct
+//!     `Portfolio::solve` call at the ticket's effective guarantee,
+//! (b) tenant quotas and admission verdicts are enforced — the run
+//!     observes at least one typed refusal and at least one
+//!     policy-driven degradation,
+//! (c) shutdown drains cleanly: every request got exactly one terminal
+//!     outcome, nothing lost, nothing duplicated, nothing in flight.
+
+use std::sync::Arc;
+
+use sws_core::portfolio::Portfolio;
+use sws_dag::DagInstance;
+use sws_model::policy::{AdmissionVerdict, OverflowPolicy, TenantPolicy};
+use sws_model::solve::{Guarantee, ObjectiveMode, SolveRequest};
+use sws_model::{Instance, ModelError};
+use sws_service::{SchedulingService, ServiceError, ServiceRequest};
+use sws_workloads::dagsets::{dag_workload, DagFamily};
+use sws_workloads::random::random_instance;
+use sws_workloads::rng::{derive_seed, seeded_rng};
+use sws_workloads::TaskDistribution;
+
+/// Requests per tenant; 4 tenants ⇒ 512 total.
+const PER_TENANT: usize = 128;
+
+/// The shared instance pool: independent instances of three sizes plus
+/// DAGs from several families.
+struct Fleet {
+    tiny: Vec<Arc<Instance>>,
+    mid: Vec<Arc<Instance>>,
+    big: Vec<Arc<Instance>>,
+    dags: Vec<Arc<DagInstance>>,
+    /// n = 16, m = 3: the branch-and-bound *qualifies* (n ≤ 18) but its
+    /// 3^16 ≈ 4.3e7 work estimate exceeds the 1e7 tenant gates below —
+    /// the shape that distinguishes a work-gate refusal from a
+    /// no-backend refusal.
+    gate: Arc<Instance>,
+}
+
+fn fleet() -> Fleet {
+    let mut rng = seeded_rng(0xE2E);
+    let tiny = (0..4)
+        .map(|k| {
+            Arc::new(random_instance(
+                8,
+                2,
+                TaskDistribution::AntiCorrelated,
+                &mut seeded_rng(derive_seed(1, k)),
+            ))
+        })
+        .collect();
+    let mid = (0..4)
+        .map(|k| {
+            Arc::new(random_instance(
+                40,
+                4,
+                TaskDistribution::Uncorrelated,
+                &mut seeded_rng(derive_seed(2, k)),
+            ))
+        })
+        .collect();
+    let big = (0..4)
+        .map(|k| {
+            Arc::new(random_instance(
+                300,
+                8,
+                TaskDistribution::Bimodal,
+                &mut seeded_rng(derive_seed(3, k)),
+            ))
+        })
+        .collect();
+    let dags = [
+        DagFamily::LayeredRandom,
+        DagFamily::ForkJoin,
+        DagFamily::Diamond,
+        DagFamily::GaussianElimination,
+    ]
+    .into_iter()
+    .map(|family| {
+        Arc::new(dag_workload(
+            family,
+            60,
+            4,
+            TaskDistribution::AntiCorrelated,
+            &mut rng,
+        ))
+    })
+    .collect();
+    Fleet {
+        tiny,
+        mid,
+        big,
+        dags,
+        gate: Arc::new(random_instance(
+            16,
+            3,
+            TaskDistribution::Correlated,
+            &mut seeded_rng(derive_seed(4, 0)),
+        )),
+    }
+}
+
+/// The request mix of one tenant: deterministic round-robin over the
+/// pool, with per-tenant twists that exercise the admission paths.
+fn tenant_requests(tenant: &str, fleet: &Fleet) -> Vec<ServiceRequest> {
+    (0..PER_TENANT)
+        .map(|i| {
+            let pick = i % 8;
+            match (tenant, pick) {
+                // Every tenant serves a baseline of DAG and independent
+                // work at mixed guarantees.
+                (_, 0) => ServiceRequest::dag(
+                    tenant,
+                    Arc::clone(&fleet.dags[i % fleet.dags.len()]),
+                    ObjectiveMode::BiObjective { delta: 3.0 },
+                )
+                .with_guarantee(Guarantee::PaperRatio),
+                (_, 1) => ServiceRequest::independent(
+                    tenant,
+                    Arc::clone(&fleet.mid[i % fleet.mid.len()]),
+                    ObjectiveMode::CmaxOnly,
+                ),
+                (_, 2) => ServiceRequest::independent(
+                    tenant,
+                    Arc::clone(&fleet.big[i % fleet.big.len()]),
+                    ObjectiveMode::BiObjective { delta: 1.0 },
+                )
+                .with_guarantee(Guarantee::PaperRatio),
+                (_, 3) => ServiceRequest::independent(
+                    tenant,
+                    Arc::clone(&fleet.tiny[i % fleet.tiny.len()]),
+                    ObjectiveMode::CmaxOnly,
+                )
+                .with_guarantee(Guarantee::Exact),
+                (_, 4) => ServiceRequest::dag(
+                    tenant,
+                    Arc::clone(&fleet.dags[(i + 1) % fleet.dags.len()]),
+                    ObjectiveMode::CmaxOnly,
+                )
+                .with_priority(3),
+                (_, 5) => ServiceRequest::independent(
+                    tenant,
+                    Arc::clone(&fleet.mid[(i + 1) % fleet.mid.len()]),
+                    ObjectiveMode::TriObjective { delta: 3.0 },
+                ),
+                // Tenant-specific slots: the premium tenant demands the
+                // impossible (Exact on 300 tasks) and is degraded per
+                // policy; the capped tenant demands work over its gate
+                // and is refused; everyone else re-runs a cheap mode.
+                ("premium", 6) => ServiceRequest::independent(
+                    tenant,
+                    Arc::clone(&fleet.big[i % fleet.big.len()]),
+                    ObjectiveMode::CmaxOnly,
+                )
+                .with_guarantee(Guarantee::Exact),
+                ("capped", 6) => ServiceRequest::independent(
+                    tenant,
+                    Arc::clone(&fleet.mid[i % fleet.mid.len()]),
+                    ObjectiveMode::CmaxOnly,
+                )
+                .with_guarantee(Guarantee::EpsilonOptimal(0.3)),
+                (_, 6) => ServiceRequest::independent(
+                    tenant,
+                    Arc::clone(&fleet.mid[i % fleet.mid.len()]),
+                    ObjectiveMode::CmaxOnly,
+                )
+                .with_guarantee(Guarantee::EpsilonOptimal(0.3)),
+                (_, _) => ServiceRequest::independent(
+                    tenant,
+                    Arc::clone(&fleet.mid[i % fleet.mid.len()]),
+                    ObjectiveMode::BiObjective { delta: 2.5 },
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Rebuilds the direct (borrowed) portfolio request for a service
+/// request at the given effective guarantee.
+fn direct_request<'a>(sr: &'a ServiceRequest, effective: Guarantee) -> SolveRequest<'a> {
+    match &sr.instance {
+        sws_service::ServiceInstance::Independent(inst) => {
+            SolveRequest::independent(inst, sr.objective).with_guarantee(effective)
+        }
+        sws_service::ServiceInstance::Dag(dag) => {
+            SolveRequest::precedence(&**dag, sr.objective).with_guarantee(effective)
+        }
+    }
+}
+
+#[test]
+fn service_e2e_512_requests_4_tenants() {
+    let fleet = fleet();
+    // ε-optimal work on n = 40 costs well under this gate; Exact on
+    // n = 40 (4^40 saturates) is far over it — the capped tenant's
+    // ε requests pass while the work gate still has teeth.
+    let service = SchedulingService::builder()
+        .workers(2)
+        .queue_capacity(1024)
+        .tenant(
+            "batch",
+            TenantPolicy::unlimited().with_overflow(OverflowPolicy::Queue),
+        )
+        .tenant(
+            "premium",
+            TenantPolicy::unlimited()
+                .with_guarantee_floor(Guarantee::PaperRatio)
+                .with_overflow(OverflowPolicy::Degrade),
+        )
+        .tenant(
+            "capped",
+            TenantPolicy::unlimited()
+                .with_max_estimated_work(1e7)
+                .with_max_in_flight(512)
+                .with_overflow(OverflowPolicy::Reject),
+        )
+        .tenant(
+            "eco",
+            TenantPolicy::unlimited()
+                .with_max_estimated_work(1e7)
+                .with_overflow(OverflowPolicy::Degrade),
+        )
+        .build();
+    // The "capped" tenant's over-gate demand must exist: one
+    // deterministic WorkExceeded refusal via an Exact demand whose
+    // branch-and-bound plan (3^16 work) exceeds the 1e7 gate.
+    let mut capped_requests = tenant_requests("capped", &fleet);
+    capped_requests[7] =
+        ServiceRequest::independent("capped", Arc::clone(&fleet.gate), ObjectiveMode::CmaxOnly)
+            .with_guarantee(Guarantee::Exact);
+    // The "eco" tenant sends the same over-gate demand but degrades.
+    let mut eco_requests = tenant_requests("eco", &fleet);
+    eco_requests[7] =
+        ServiceRequest::independent("eco", Arc::clone(&fleet.gate), ObjectiveMode::CmaxOnly)
+            .with_guarantee(Guarantee::Exact);
+
+    let per_tenant: Vec<(String, Vec<ServiceRequest>)> = vec![
+        ("batch".into(), tenant_requests("batch", &fleet)),
+        ("premium".into(), tenant_requests("premium", &fleet)),
+        ("capped".into(), capped_requests),
+        ("eco".into(), eco_requests),
+    ];
+    let total_submitted: usize = per_tenant.iter().map(|(_, r)| r.len()).sum();
+    assert!(total_submitted >= 512);
+
+    // One submitter thread per tenant, all running concurrently; each
+    // records (request, terminal outcome, effective guarantee).
+    struct Record {
+        request: ServiceRequest,
+        effective: Option<Guarantee>,
+        degraded: bool,
+        outcome: Result<sws_model::Solution, ServiceError>,
+    }
+    let handle = service.handle();
+    let records: Vec<Record> = std::thread::scope(|scope| {
+        let threads: Vec<_> = per_tenant
+            .into_iter()
+            .map(|(_, requests)| {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    let submitted: Vec<(
+                        ServiceRequest,
+                        Result<sws_service::Ticket, ServiceError>,
+                    )> = requests
+                        .into_iter()
+                        .map(|r| (r.clone(), handle.submit(r)))
+                        .collect();
+                    submitted
+                        .into_iter()
+                        .map(|(request, ticket)| match ticket {
+                            Ok(t) => {
+                                let effective = t.effective_guarantee();
+                                let degraded =
+                                    matches!(t.verdict(), AdmissionVerdict::Degraded { .. });
+                                Record {
+                                    request,
+                                    effective: Some(effective),
+                                    degraded,
+                                    outcome: t.wait(),
+                                }
+                            }
+                            Err(err) => Record {
+                                request,
+                                effective: None,
+                                degraded: false,
+                                outcome: Err(err),
+                            },
+                        })
+                        .collect::<Vec<Record>>()
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("submitter panicked"))
+            .collect()
+    });
+
+    // (c) one terminal outcome per request: every record holds exactly
+    // one outcome by construction; counts must add up exactly.
+    assert_eq!(records.len(), total_submitted);
+    let stats = service.shutdown();
+    assert_eq!(stats.queue_depth, 0, "drained queue");
+    assert_eq!(stats.global.in_flight, 0, "nothing left in flight");
+    assert_eq!(
+        stats.global.admitted,
+        stats.global.terminal_outcomes(),
+        "every admitted request resolved exactly once"
+    );
+    let refused_records = records
+        .iter()
+        .filter(|r| matches!(r.outcome, Err(ServiceError::Refused(_))))
+        .count() as u64;
+    let nobackend_records = records
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.outcome,
+                Err(ServiceError::Solve(ModelError::NoQualifiedBackend { .. }))
+            ) && r.effective.is_none()
+        })
+        .count() as u64;
+    assert_eq!(
+        stats.global.refused,
+        refused_records + nobackend_records,
+        "refusal counter matches observed refusals"
+    );
+    assert_eq!(
+        stats.global.admitted as usize + refused_records as usize + nobackend_records as usize,
+        total_submitted,
+        "no request lost between admission and refusal"
+    );
+
+    // (b) quotas and verdicts: the capped tenant's Exact demands were
+    // refused on the work gate; the premium and eco tenants saw
+    // policy-driven degradations.
+    assert!(refused_records >= 1, "expected at least one typed refusal");
+    let degraded_count = records.iter().filter(|r| r.degraded).count();
+    assert!(
+        degraded_count >= 1,
+        "expected at least one policy-driven degradation"
+    );
+    assert!(stats.tenant("capped").unwrap().refused >= 1);
+    assert!(stats.tenant("premium").unwrap().degraded >= 1);
+    assert!(stats.tenant("eco").unwrap().degraded >= 1);
+    // Latency quantiles exist once work completed.
+    assert!(stats.global.p50_latency.is_some());
+    assert!(stats.global.p50_latency <= stats.global.p99_latency);
+
+    // (a) bit-identity against direct portfolio solves at the effective
+    // guarantee.
+    let portfolio = Portfolio::standard();
+    let mut compared = 0usize;
+    for record in &records {
+        let Some(effective) = record.effective else {
+            continue;
+        };
+        let direct = portfolio.solve(&direct_request(&record.request, effective));
+        match (&record.outcome, direct) {
+            (Ok(served), Ok(direct)) => {
+                assert_eq!(served.schedule, direct.schedule, "schedule must match");
+                assert_eq!(served.point, direct.point);
+                assert_eq!(served.stats.backend, direct.stats.backend);
+                assert_eq!(served.stats.cost, direct.stats.cost);
+                assert!(served.achieved.satisfies(&effective));
+                compared += 1;
+            }
+            (Err(ServiceError::Solve(served_err)), Err(direct_err)) => {
+                assert_eq!(served_err, &direct_err);
+            }
+            (served, direct) => {
+                panic!("service and direct outcomes diverge: {served:?} vs {direct:?}")
+            }
+        }
+    }
+    assert!(
+        compared >= 400,
+        "expected most requests served and compared, got {compared}"
+    );
+}

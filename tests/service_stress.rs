@@ -1,0 +1,172 @@
+//! Concurrent stress test of the scheduling service: many tenants,
+//! mixed guarantees, mid-stream cancellation — asserting that every
+//! request reaches **exactly one** terminal outcome and that every
+//! delivered solution is bit-identical to a direct `Portfolio::solve`
+//! call.
+//!
+//! CI runs this under the repository's quick-mode env gate
+//! (`SWS_BENCH_QUICK=1`), which shrinks the request volume; the full
+//! tier-1 run uses the default sizes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sws_core::portfolio::Portfolio;
+use sws_model::policy::{OverflowPolicy, TenantPolicy};
+use sws_model::solve::{Guarantee, ObjectiveMode, SolveRequest};
+use sws_model::Instance;
+use sws_service::{SchedulingService, ServiceError, ServiceRequest, Ticket};
+use sws_workloads::random::random_instance;
+use sws_workloads::rng::{derive_seed, seeded_rng};
+use sws_workloads::TaskDistribution;
+
+/// Quick mode (the CI env gate shared with the benches) shrinks the
+/// stream.
+fn quick() -> bool {
+    std::env::var("SWS_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+#[test]
+fn stress_many_tenants_with_midstream_cancellation() {
+    let tenants = 8usize;
+    let per_tenant = if quick() { 24 } else { 96 };
+    let portfolio = Portfolio::standard();
+
+    let mut builder = SchedulingService::builder()
+        .workers(2)
+        .queue_capacity(tenants * per_tenant);
+    for t in 0..tenants {
+        // Half the tenants run permissive Queue policies, half run
+        // Degrade with a paper-ratio floor — both admission shapes stay
+        // under stress.
+        let policy = if t % 2 == 0 {
+            TenantPolicy::unlimited().with_overflow(OverflowPolicy::Queue)
+        } else {
+            TenantPolicy::unlimited()
+                .with_guarantee_floor(Guarantee::PaperRatio)
+                .with_overflow(OverflowPolicy::Degrade)
+        };
+        builder = builder.tenant(format!("tenant-{t}"), policy);
+    }
+    let service = builder.build();
+    let handle = service.handle();
+
+    // Small instances: the point is churn, not per-solve weight.
+    let instances: Vec<Arc<Instance>> = (0..16)
+        .map(|k| {
+            Arc::new(random_instance(
+                12 + (k % 3) * 9,
+                2 + (k % 3),
+                TaskDistribution::AntiCorrelated,
+                &mut seeded_rng(derive_seed(0x57E55, k as u64)),
+            ))
+        })
+        .collect();
+    let objectives = [
+        ObjectiveMode::CmaxOnly,
+        ObjectiveMode::BiObjective { delta: 2.5 },
+        ObjectiveMode::BiObjective { delta: 4.0 },
+        ObjectiveMode::TriObjective { delta: 3.0 },
+    ];
+
+    let completed = AtomicU64::new(0);
+    let cancelled = AtomicU64::new(0);
+    let outcomes_delivered = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..tenants {
+            let handle = handle.clone();
+            let instances = &instances;
+            let objectives = &objectives;
+            let completed = &completed;
+            let cancelled = &cancelled;
+            let outcomes_delivered = &outcomes_delivered;
+            let portfolio = &portfolio;
+            scope.spawn(move || {
+                let tenant = format!("tenant-{t}");
+                let mut tickets: Vec<(usize, ObjectiveMode, Guarantee, Ticket)> = Vec::new();
+                for i in 0..per_tenant {
+                    let inst_idx = (t * 7 + i * 3) % instances.len();
+                    let objective = objectives[(t + i) % objectives.len()];
+                    let guarantee = match i % 3 {
+                        0 => Guarantee::None,
+                        1 => Guarantee::PaperRatio,
+                        _ => Guarantee::None,
+                    };
+                    let request = ServiceRequest::independent(
+                        tenant.clone(),
+                        Arc::clone(&instances[inst_idx]),
+                        objective,
+                    )
+                    .with_guarantee(guarantee)
+                    .with_priority((i % 4) as u8);
+                    let ticket = handle
+                        .submit(request)
+                        .expect("stress requests are all admissible");
+                    // Mid-stream: cancel every 7th request right after
+                    // a later submission, so cancellations race real
+                    // dispatch.
+                    let effective = ticket.effective_guarantee();
+                    tickets.push((inst_idx, objective, effective, ticket));
+                    if i % 7 == 6 {
+                        let (_, _, _, victim) = &tickets[tickets.len() - 4];
+                        victim.cancel();
+                    }
+                }
+                for (inst_idx, objective, effective, ticket) in tickets {
+                    let outcome = ticket.wait();
+                    outcomes_delivered.fetch_add(1, Ordering::Relaxed);
+                    match outcome {
+                        Ok(served) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            // Bit-identical to the direct solve at the
+                            // admitted guarantee.
+                            let direct = portfolio
+                                .solve(
+                                    &SolveRequest::independent(&instances[inst_idx], objective)
+                                        .with_guarantee(effective),
+                                )
+                                .expect("direct solve must succeed");
+                            assert_eq!(served.schedule, direct.schedule);
+                            assert_eq!(served.point, direct.point);
+                            assert_eq!(served.stats.backend, direct.stats.backend);
+                        }
+                        Err(ServiceError::Cancelled) => {
+                            cancelled.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(err) => {
+                            // Nothing else is expected for these
+                            // requests.
+                            panic!("unexpected terminal outcome: {err:?}");
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let total = (tenants * per_tenant) as u64;
+    assert_eq!(
+        outcomes_delivered.load(Ordering::Relaxed),
+        total,
+        "every request produced exactly one terminal outcome"
+    );
+    assert_eq!(
+        completed.load(Ordering::Relaxed) + cancelled.load(Ordering::Relaxed),
+        total
+    );
+
+    let stats = service.shutdown();
+    assert_eq!(stats.global.admitted, total);
+    assert_eq!(stats.global.terminal_outcomes(), total);
+    assert_eq!(stats.global.completed, completed.load(Ordering::Relaxed));
+    assert_eq!(stats.global.cancelled, cancelled.load(Ordering::Relaxed));
+    assert_eq!(stats.global.refused, 0);
+    assert_eq!(stats.global.in_flight, 0);
+    assert_eq!(stats.queue_depth, 0);
+    // Per-tenant accounting adds up to the global aggregate.
+    let per_tenant_terminal: u64 = stats.tenants.iter().map(|t| t.terminal_outcomes()).sum();
+    assert_eq!(per_tenant_terminal, total);
+}
