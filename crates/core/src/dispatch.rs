@@ -18,6 +18,7 @@
 //!   both enforce routed ≡ direct).
 
 use sws_listsched::kernel::KernelWorkspace;
+use sws_model::cancel::CancelProbe;
 use sws_model::error::ModelError;
 use sws_model::solve::{Solution, SolveRequest};
 
@@ -42,6 +43,27 @@ impl<'p> DispatchWorker<'p> {
     /// The portfolio this worker dispatches into.
     pub fn portfolio(&self) -> &'p Portfolio {
         self.portfolio
+    }
+
+    /// Arms a cooperative cancellation/deadline probe on this worker's
+    /// workspace: subsequent solves poll it at round boundaries and stop
+    /// with `ModelError::Interrupted` once it trips. Clear it with
+    /// [`DispatchWorker::clear_probe`] before serving the next request.
+    pub fn set_probe(&mut self, probe: CancelProbe) {
+        self.ws.set_probe(probe);
+    }
+
+    /// Disarms the cancellation probe.
+    pub fn clear_probe(&mut self) {
+        self.ws.clear_probe();
+    }
+
+    /// Replaces the workspace with a fresh one. The panic-isolation path
+    /// calls this after catching a backend panic: an unwound solve may
+    /// have left the buffers mid-run, and although every run re-inits
+    /// them from scratch, quarantining the state is cheap certainty.
+    pub fn reset_workspace(&mut self) {
+        self.ws = KernelWorkspace::new();
     }
 
     /// Resolves the backend and pre-dispatch cost for a request without

@@ -220,6 +220,7 @@ pub fn uniform_rls(
         workspace_reused: false,
         bounds,
         cost: None,
+        attempts: 1,
     };
     Ok(UniformRlsResult {
         schedule,

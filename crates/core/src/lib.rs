@@ -76,7 +76,7 @@ pub use dispatch::DispatchWorker;
 pub use pareto_sweep::{
     rls_sweep, rls_sweep_cold, sbo_sweep, sbo_sweep_cold, SweepEngine, SweepProvenance,
 };
-pub use portfolio::{Portfolio, SolvePlan, Solver};
+pub use portfolio::{KernelWorkspace, Portfolio, SolvePlan, Solver};
 pub use rls::{
     rls, rls_guarantee, rls_in, rls_independent, rls_independent_in, PriorityOrder, RlsConfig,
     RlsEngine, RlsResult,

@@ -54,7 +54,11 @@
 //! `rls`/`rls_in` directly.
 
 use sws_dag::{DagInstance, TaskGraph};
-use sws_listsched::kernel::{KernelWorkspace, Unrestricted};
+use sws_listsched::kernel::Unrestricted;
+// Re-exported so downstream crates (e.g. the service layer's fault
+// harness) can implement [`Solver`] without depending on the kernel
+// crate directly.
+pub use sws_listsched::kernel::KernelWorkspace;
 use sws_listsched::priority::index_priority;
 use sws_listsched::{
     event_driven_schedule_csr, graham_cmax, lpt_cmax, multifit_cmax, spt_schedule,
@@ -550,6 +554,7 @@ impl Solver for KernelDagListBackend {
                 workspace_reused: true,
                 bounds: dag_bounds(&dag),
                 cost: None,
+                attempts: 1,
             },
             schedule: outcome.schedule,
         })
@@ -729,12 +734,15 @@ impl Solver for PtasBackend {
     fn solve_in(
         &self,
         req: &SolveRequest,
-        _ws: &mut KernelWorkspace,
+        ws: &mut KernelWorkspace,
     ) -> Result<Solution, ModelError> {
         let inst = independent_view(req).ok_or_else(|| req.no_backend_error())?;
         let inst = &*inst;
         let eps = Self::eps_for(req);
-        let outcome = sws_ptas::ptas_cmax(inst, eps);
+        // The workspace carries the cancellation probe even though the
+        // PTAS draws no buffers from it: the search polls before each
+        // dual test.
+        let outcome = sws_ptas::ptas_cmax_probed(inst, eps, ws.probe())?;
         // The deadline search certifies Cmax ≤ (1+ε)·d with d found in
         // [LB, 2·LB]; with exact packing throughout, d converges to (a
         // hair above) the optimum and the ε guarantee holds. An FFD
@@ -795,12 +803,13 @@ impl Solver for ExactBnbBackend {
     fn solve_in(
         &self,
         req: &SolveRequest,
-        _ws: &mut KernelWorkspace,
+        ws: &mut KernelWorkspace,
     ) -> Result<Solution, ModelError> {
         let inst = independent_view(req).ok_or_else(|| req.no_backend_error())?;
         let inst = &*inst;
         let weights: Vec<f64> = (0..inst.n()).map(|i| inst.p(i)).collect();
-        let (value, assignment) = sws_exact::optimal_partition(&weights, inst.m());
+        let (value, assignment) =
+            sws_exact::optimal_partition_probed(&weights, inst.m(), ws.probe())?;
         // The memory optimum is a second branch-and-bound over the
         // storage weights — affordable inside the same n ≤ 18 gate, and
         // it keeps the `ExactOptimum` provenance tag literally true for
@@ -810,7 +819,7 @@ impl Solver for ExactBnbBackend {
             mmax: if inst.n() == 0 {
                 0.0
             } else {
-                sws_exact::optimal_mmax(inst)
+                sws_exact::optimal_mmax_probed(inst, ws.probe())?
             },
             source: BoundSource::ExactOptimum,
         };
@@ -825,6 +834,7 @@ impl Solver for ExactBnbBackend {
                 workspace_reused: false,
                 bounds,
                 cost: None,
+                attempts: 1,
             },
         ))
     }
@@ -866,13 +876,13 @@ impl Solver for ExactEnumBackend {
     fn solve_in(
         &self,
         req: &SolveRequest,
-        _ws: &mut KernelWorkspace,
+        ws: &mut KernelWorkspace,
     ) -> Result<Solution, ModelError> {
         let inst = independent_view(req).ok_or_else(|| req.no_backend_error())?;
         let inst = &*inst;
         // One enumeration serves both the budget query and the bound
         // report below.
-        let front = sws_exact::pareto_front(inst);
+        let front = sws_exact::pareto_front_probed(inst, ws.probe())?;
         // The per-objective exact optima are the extreme points of the
         // front — these are the bounds an exact solution reports, so
         // the `ExactOptimum` provenance tag is literally true.
@@ -887,6 +897,7 @@ impl Solver for ExactEnumBackend {
             workspace_reused: false,
             bounds,
             cost: None,
+            attempts: 1,
         };
         match req.objective {
             ObjectiveMode::BiObjective { delta } => {
@@ -1033,6 +1044,7 @@ impl Solver for ConstrainedBackend {
                             workspace_reused: false,
                             bounds: BoundReport::identical(inst.tasks(), inst.m()),
                             cost: None,
+                            attempts: 1,
                         },
                     )),
                     ConstrainedOutcome::ProvablyInfeasible { max_storage } => {
@@ -1066,6 +1078,7 @@ impl Solver for ConstrainedBackend {
                             workspace_reused: true,
                             bounds: dag_bounds(&dag),
                             cost: None,
+                            attempts: 1,
                         },
                         schedule,
                     }),
@@ -1149,6 +1162,17 @@ impl Portfolio {
     /// Adds a backend to the registry.
     pub fn register(&mut self, backend: Box<dyn Solver>) {
         self.backends.push(backend);
+    }
+
+    /// Rebuilds the portfolio with every backend passed through `f`,
+    /// preserving registration order (selection ties keep breaking the
+    /// same way). This is the instrumentation hook: wrap each backend in
+    /// a decorator — e.g. the fault-injecting `FaultySolver` of the
+    /// service layer's chaos harness — without re-deriving the registry.
+    pub fn map_backends(self, f: impl Fn(Box<dyn Solver>) -> Box<dyn Solver>) -> Portfolio {
+        Portfolio {
+            backends: self.backends.into_iter().map(f).collect(),
+        }
     }
 
     /// The registered backend with the given id, if any.

@@ -198,6 +198,7 @@ impl RlsResult {
                 workspace_reused,
                 bounds,
                 cost: None,
+                attempts: 1,
             },
             schedule: self.schedule,
         }

@@ -161,6 +161,7 @@ impl SboResult {
                 workspace_reused: false,
                 bounds: BoundReport::identical(inst.tasks(), inst.m()),
                 cost: None,
+                attempts: 1,
             },
         }
     }

@@ -69,6 +69,7 @@ impl TriObjectiveResult {
                 workspace_reused,
                 bounds: BoundReport::identical(inst.tasks(), inst.m()),
                 cost: None,
+                attempts: 1,
             },
             schedule: self.rls.schedule,
         }

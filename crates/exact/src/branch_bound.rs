@@ -5,17 +5,36 @@
 //! `P ∥ Cmax` (weights `p_i`) or, by the symmetry of Section 2.1, of the
 //! memory objective (weights `s_i`).
 
+use sws_model::cancel::CancelProbe;
+use sws_model::error::ModelError;
 use sws_model::objectives::ObjectivePoint;
 use sws_model::schedule::Assignment;
 use sws_model::Instance;
 
+/// Search-tree nodes between cancellation-probe polls: node expansion is
+/// a handful of float operations, so polling every 256 nodes bounds
+/// cancellation latency tightly at negligible overhead.
+const PROBE_NODE_STRIDE: u64 = 256;
+
 /// Exact minimum of the maximum per-machine total weight, together with an
 /// optimal assignment.
 pub fn optimal_partition(weights: &[f64], m: usize) -> (f64, Assignment) {
+    optimal_partition_probed(weights, m, &CancelProbe::never())
+        .expect("an unarmed probe cannot interrupt the search")
+}
+
+/// [`optimal_partition`] with a cooperative cancellation probe, polled
+/// every [`PROBE_NODE_STRIDE`] search-tree nodes. A tripped probe stops
+/// the branch and bound with `ModelError::Interrupted`.
+pub fn optimal_partition_probed(
+    weights: &[f64],
+    m: usize,
+    probe: &CancelProbe,
+) -> Result<(f64, Assignment), ModelError> {
     assert!(m > 0, "need at least one machine");
     let n = weights.len();
     if n == 0 {
-        return (0.0, Assignment::zeroed(0, m).expect("m > 0"));
+        return Ok((0.0, Assignment::zeroed(0, m).expect("m > 0")));
     }
 
     // Sort tasks by decreasing weight: large items first dramatically
@@ -25,19 +44,19 @@ pub fn optimal_partition(weights: &[f64], m: usize) -> (f64, Assignment) {
 
     // Initial upper bound: LPT.
     let lpt = sws_listsched::list_schedule(weights, m, &order);
-    let mut best_value = {
+    let best_value = {
         let mut loads = vec![0.0; m];
         for (i, &w) in weights.iter().enumerate() {
             loads[lpt.proc_of(i)] += w;
         }
         loads.iter().copied().fold(0.0, f64::max)
     };
-    let mut best_assignment = lpt;
+    let best_assignment = lpt;
 
     let total: f64 = weights.iter().sum();
     let lower = (total / m as f64).max(weights.iter().copied().fold(0.0, f64::max));
     if best_value <= lower + 1e-12 {
-        return (best_value, best_assignment);
+        return Ok((best_value, best_assignment));
     }
 
     let mut loads = vec![0.0f64; m];
@@ -48,88 +67,91 @@ pub fn optimal_partition(weights: &[f64], m: usize) -> (f64, Assignment) {
         suffix[k] = suffix[k + 1] + weights[order[k]];
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn dfs(
-        k: usize,
-        order: &[usize],
-        weights: &[f64],
-        suffix: &[f64],
+    /// The depth-first search's shared state: inputs, incumbent, and the
+    /// cancellation bookkeeping.
+    struct Search<'a> {
+        order: &'a [usize],
+        weights: &'a [f64],
+        suffix: &'a [f64],
         m: usize,
-        loads: &mut Vec<f64>,
-        current: &mut Vec<usize>,
-        best_value: &mut f64,
-        best_assignment: &mut Assignment,
         lower: f64,
-    ) {
-        if *best_value <= lower + 1e-12 {
-            return; // cannot improve any further
-        }
-        if k == order.len() {
-            let value = loads.iter().copied().fold(0.0, f64::max);
-            if value < *best_value - 1e-12 {
-                *best_value = value;
-                let mut asg = Assignment::zeroed(order.len(), m).expect("m > 0");
-                for (i, &q) in current.iter().enumerate() {
-                    asg.assign(i, q).expect("q < m");
-                }
-                *best_assignment = asg;
+        probe: &'a CancelProbe,
+        nodes: u64,
+        best_value: f64,
+        best_assignment: Assignment,
+    }
+
+    impl Search<'_> {
+        fn dfs(
+            &mut self,
+            k: usize,
+            loads: &mut [f64],
+            current: &mut [usize],
+        ) -> Result<(), ModelError> {
+            self.nodes += 1;
+            if self.nodes.is_multiple_of(PROBE_NODE_STRIDE) {
+                self.probe.poll()?;
             }
-            return;
-        }
-        // Look-ahead bound: even spreading the remaining work perfectly
-        // cannot beat the current best if the current max already does,
-        // nor if (already placed + remaining)/m exceeds it.
-        let placed: f64 = loads.iter().sum();
-        let ideal =
-            ((placed + suffix[k]) / m as f64).max(loads.iter().copied().fold(0.0, f64::max));
-        if ideal >= *best_value - 1e-12 {
-            return;
-        }
-        let task = order[k];
-        let mut tried_empty = false;
-        for q in 0..m {
-            // Symmetry breaking: trying more than one currently empty
-            // machine only permutes machine names.
-            if loads[q] == 0.0 {
-                if tried_empty {
+            if self.best_value <= self.lower + 1e-12 {
+                return Ok(()); // cannot improve any further
+            }
+            if k == self.order.len() {
+                let value = loads.iter().copied().fold(0.0, f64::max);
+                if value < self.best_value - 1e-12 {
+                    self.best_value = value;
+                    let mut asg = Assignment::zeroed(self.order.len(), self.m).expect("m > 0");
+                    for (i, &q) in current.iter().enumerate() {
+                        asg.assign(i, q).expect("q < m");
+                    }
+                    self.best_assignment = asg;
+                }
+                return Ok(());
+            }
+            // Look-ahead bound: even spreading the remaining work perfectly
+            // cannot beat the current best if the current max already does,
+            // nor if (already placed + remaining)/m exceeds it.
+            let placed: f64 = loads.iter().sum();
+            let ideal = ((placed + self.suffix[k]) / self.m as f64)
+                .max(loads.iter().copied().fold(0.0, f64::max));
+            if ideal >= self.best_value - 1e-12 {
+                return Ok(());
+            }
+            let task = self.order[k];
+            let mut tried_empty = false;
+            for q in 0..self.m {
+                // Symmetry breaking: trying more than one currently empty
+                // machine only permutes machine names.
+                if loads[q] == 0.0 {
+                    if tried_empty {
+                        continue;
+                    }
+                    tried_empty = true;
+                }
+                if loads[q] + self.weights[task] >= self.best_value - 1e-12 {
                     continue;
                 }
-                tried_empty = true;
+                loads[q] += self.weights[task];
+                current[task] = q;
+                self.dfs(k + 1, loads, current)?;
+                loads[q] -= self.weights[task];
             }
-            if loads[q] + weights[task] >= *best_value - 1e-12 {
-                continue;
-            }
-            loads[q] += weights[task];
-            current[task] = q;
-            dfs(
-                k + 1,
-                order,
-                weights,
-                suffix,
-                m,
-                loads,
-                current,
-                best_value,
-                best_assignment,
-                lower,
-            );
-            loads[q] -= weights[task];
+            Ok(())
         }
     }
 
-    dfs(
-        0,
-        &order,
+    let mut search = Search {
+        order: &order,
         weights,
-        &suffix,
+        suffix: &suffix,
         m,
-        &mut loads,
-        &mut current,
-        &mut best_value,
-        &mut best_assignment,
         lower,
-    );
-    (best_value, best_assignment)
+        probe,
+        nodes: 0,
+        best_value,
+        best_assignment,
+    };
+    search.dfs(0, &mut loads, &mut current)?;
+    Ok((search.best_value, search.best_assignment))
 }
 
 /// Exact optimal makespan `C*max` of an independent-task instance.
@@ -143,6 +165,12 @@ pub fn optimal_cmax(inst: &Instance) -> f64 {
 pub fn optimal_mmax(inst: &Instance) -> f64 {
     let weights: Vec<f64> = (0..inst.n()).map(|i| inst.s(i)).collect();
     optimal_partition(&weights, inst.m()).0
+}
+
+/// [`optimal_mmax`] with a cooperative cancellation probe.
+pub fn optimal_mmax_probed(inst: &Instance, probe: &CancelProbe) -> Result<f64, ModelError> {
+    let weights: Vec<f64> = (0..inst.n()).map(|i| inst.s(i)).collect();
+    optimal_partition_probed(&weights, inst.m(), probe).map(|(v, _)| v)
 }
 
 /// The "ideal" reference point `(C*max, M*max)` where each objective is

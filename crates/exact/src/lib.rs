@@ -27,6 +27,11 @@ pub mod brute;
 pub mod dp;
 pub mod pareto_enum;
 
-pub use branch_bound::{optimal_cmax, optimal_mmax, optimal_partition, optimal_point};
+pub use branch_bound::{
+    optimal_cmax, optimal_mmax, optimal_mmax_probed, optimal_partition, optimal_partition_probed,
+    optimal_point,
+};
 pub use brute::{brute_optimal_cmax, brute_pareto_front};
-pub use pareto_enum::{best_assignment_under_memory_budget, best_in_front, pareto_front};
+pub use pareto_enum::{
+    best_assignment_under_memory_budget, best_in_front, pareto_front, pareto_front_probed,
+};

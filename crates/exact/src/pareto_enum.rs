@@ -7,6 +7,8 @@
 //! and 2 and to compute true Pareto fronts for the ratio experiments on
 //! small instances.
 
+use sws_model::cancel::CancelProbe;
+use sws_model::error::ModelError;
 use sws_model::objectives::ObjectivePoint;
 use sws_model::pareto::ParetoFront;
 use sws_model::schedule::Assignment;
@@ -16,6 +18,9 @@ use sws_model::Instance;
 /// clearly hopeless inputs instead of hanging.
 const MAX_STATES: f64 = 5e7;
 
+/// Enumeration nodes between cancellation-probe polls.
+const PROBE_NODE_STRIDE: u64 = 256;
+
 /// Enumerates every assignment (up to machine renaming) and returns the
 /// Pareto front of objective points, each tagged with one assignment that
 /// achieves it.
@@ -23,6 +28,20 @@ const MAX_STATES: f64 = 5e7;
 /// # Panics
 /// Panics when `m^n` exceeds an internal safety limit (~5·10⁷ states).
 pub fn pareto_front(inst: &Instance) -> ParetoFront<Assignment> {
+    pareto_front_probed(inst, &CancelProbe::never())
+        .expect("an unarmed probe cannot interrupt the enumeration")
+}
+
+/// [`pareto_front`] with a cooperative cancellation probe, polled every
+/// [`PROBE_NODE_STRIDE`] enumeration nodes. A tripped probe stops the
+/// enumeration with `ModelError::Interrupted`.
+///
+/// # Panics
+/// Panics when `m^n` exceeds an internal safety limit (~5·10⁷ states).
+pub fn pareto_front_probed(
+    inst: &Instance,
+    probe: &CancelProbe,
+) -> Result<ParetoFront<Assignment>, ModelError> {
     let n = inst.n();
     let m = inst.m();
     let states = (m as f64).powi(n as i32);
@@ -35,53 +54,74 @@ pub fn pareto_front(inst: &Instance) -> ParetoFront<Assignment> {
     if n == 0 {
         let asg = Assignment::zeroed(0, m).expect("m > 0");
         front.offer(ObjectivePoint::new(0.0, 0.0), asg);
-        return front;
+        return Ok(front);
     }
 
     let mut current = vec![0usize; n];
     let mut loads = vec![0.0f64; m];
     let mut mems = vec![0.0f64; m];
 
-    fn recurse(
-        inst: &Instance,
-        k: usize,
-        used: usize,
-        current: &mut Vec<usize>,
-        loads: &mut Vec<f64>,
-        mems: &mut Vec<f64>,
-        front: &mut ParetoFront<Assignment>,
-    ) {
-        let n = inst.n();
-        let m = inst.m();
-        if k == n {
-            let point = ObjectivePoint::new(
-                loads.iter().copied().fold(0.0, f64::max),
-                mems.iter().copied().fold(0.0, f64::max),
-            );
-            if !front.covers(&point) {
-                let mut asg = Assignment::zeroed(n, m).expect("m > 0");
-                for (i, &q) in current.iter().enumerate() {
-                    asg.assign(i, q).expect("q < m");
-                }
-                front.offer(point, asg);
+    /// The enumeration's shared state: buffers, the front under
+    /// construction, and the cancellation bookkeeping.
+    struct Enumeration<'a> {
+        inst: &'a Instance,
+        probe: &'a CancelProbe,
+        nodes: u64,
+        front: ParetoFront<Assignment>,
+    }
+
+    impl Enumeration<'_> {
+        fn recurse(
+            &mut self,
+            k: usize,
+            used: usize,
+            current: &mut [usize],
+            loads: &mut [f64],
+            mems: &mut [f64],
+        ) -> Result<(), ModelError> {
+            self.nodes += 1;
+            if self.nodes.is_multiple_of(PROBE_NODE_STRIDE) {
+                self.probe.poll()?;
             }
-            return;
-        }
-        // Symmetry breaking: the next task may go to any machine already
-        // used, or to exactly one fresh machine (machine index `used`).
-        let limit = (used + 1).min(m);
-        for q in 0..limit {
-            current[k] = q;
-            loads[q] += inst.p(k);
-            mems[q] += inst.s(k);
-            recurse(inst, k + 1, used.max(q + 1), current, loads, mems, front);
-            loads[q] -= inst.p(k);
-            mems[q] -= inst.s(k);
+            let n = self.inst.n();
+            let m = self.inst.m();
+            if k == n {
+                let point = ObjectivePoint::new(
+                    loads.iter().copied().fold(0.0, f64::max),
+                    mems.iter().copied().fold(0.0, f64::max),
+                );
+                if !self.front.covers(&point) {
+                    let mut asg = Assignment::zeroed(n, m).expect("m > 0");
+                    for (i, &q) in current.iter().enumerate() {
+                        asg.assign(i, q).expect("q < m");
+                    }
+                    self.front.offer(point, asg);
+                }
+                return Ok(());
+            }
+            // Symmetry breaking: the next task may go to any machine already
+            // used, or to exactly one fresh machine (machine index `used`).
+            let limit = (used + 1).min(m);
+            for q in 0..limit {
+                current[k] = q;
+                loads[q] += self.inst.p(k);
+                mems[q] += self.inst.s(k);
+                self.recurse(k + 1, used.max(q + 1), current, loads, mems)?;
+                loads[q] -= self.inst.p(k);
+                mems[q] -= self.inst.s(k);
+            }
+            Ok(())
         }
     }
 
-    recurse(inst, 0, 0, &mut current, &mut loads, &mut mems, &mut front);
-    front
+    let mut enumeration = Enumeration {
+        inst,
+        probe,
+        nodes: 0,
+        front,
+    };
+    enumeration.recurse(0, 0, &mut current, &mut loads, &mut mems)?;
+    Ok(enumeration.front)
 }
 
 /// The best makespan achievable when the memory consumption is constrained

@@ -85,6 +85,7 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use sws_dag::{CsrDag, DagInstance};
+use sws_model::cancel::CancelProbe;
 use sws_model::error::ModelError;
 use sws_model::numeric::{approx_le, better_candidate};
 use sws_model::schedule::TimedSchedule;
@@ -914,6 +915,7 @@ impl EngineState {
 pub struct KernelWorkspace {
     state: EngineState,
     scratch: StepScratch,
+    probe: CancelProbe,
 }
 
 impl Default for KernelWorkspace {
@@ -928,7 +930,28 @@ impl KernelWorkspace {
         KernelWorkspace {
             state: EngineState::empty(),
             scratch: StepScratch::default(),
+            probe: CancelProbe::never(),
         }
+    }
+
+    /// Arms a cooperative cancellation/deadline probe: runs through this
+    /// workspace poll it every [`PROBE_STRIDE`] rounds and stop with
+    /// `ModelError::Interrupted` once it trips. The workspace stays
+    /// reusable after an interrupted run.
+    pub fn set_probe(&mut self, probe: CancelProbe) {
+        self.probe = probe;
+    }
+
+    /// Disarms the probe (the default).
+    pub fn clear_probe(&mut self) {
+        self.probe = CancelProbe::never();
+    }
+
+    /// The currently armed probe (never-tripping by default). Backends
+    /// that run outside the kernel loop (PTAS, exact enumeration) read
+    /// it here so one workspace carries the signal to every backend.
+    pub fn probe(&self) -> &CancelProbe {
+        &self.probe
     }
 
     /// A workspace pre-sized for instances of up to `n` tasks on up to
@@ -984,10 +1007,18 @@ pub fn event_driven_schedule_csr<A: Admission>(
     ws.state.init(csr, m, rank);
     ws.scratch.clear();
     while ws.state.round < n {
+        if ws.state.round.is_multiple_of(PROBE_STRIDE) {
+            ws.probe.poll()?;
+        }
         ws.state.step(csr, rank, admission, &mut ws.scratch)?;
     }
     ws.state.finish(m)
 }
+
+/// Rounds between cancellation-probe polls: cancellation latency is
+/// bounded by this many rounds, while an unarmed poll every 64 rounds
+/// stays far below the cost of a single scheduling round.
+pub const PROBE_STRIDE: usize = 64;
 
 /// [`MemoryCapAdmission`] wrapper that additionally records, per round,
 /// the smallest inadmissible `memsize[q] + s` value probed. Interior
@@ -1151,6 +1182,9 @@ impl<'a> CheckpointedRun<'a> {
         debug_assert_eq!(reject_min.len(), first);
         ws.scratch.clear();
         while ws.state.round < n {
+            if ws.state.round.is_multiple_of(PROBE_STRIDE) {
+                ws.probe.poll()?;
+            }
             if ws.state.round.is_multiple_of(stride) {
                 checkpoints.push(Arc::new(Checkpoint {
                     round: ws.state.round,

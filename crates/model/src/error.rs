@@ -55,6 +55,13 @@ pub enum ModelError {
     /// exceeded the budget (deciding feasibility exactly is NP-complete,
     /// so "not found" is the strongest honest answer — see Section 7).
     BudgetNotMet { best_mmax: f64, budget: f64 },
+    /// A cooperative [`CancelProbe`](crate::cancel::CancelProbe) tripped
+    /// mid-solve: the caller cancelled the request or its deadline
+    /// passed. The solver stopped at a round boundary and its workspace
+    /// remains reusable.
+    Interrupted {
+        reason: crate::cancel::InterruptReason,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -140,6 +147,9 @@ impl fmt::Display for ModelError {
                     f,
                     "no evaluated schedule met the memory budget {budget} (best Mmax: {best_mmax})"
                 )
+            }
+            ModelError::Interrupted { reason } => {
+                write!(f, "solve interrupted mid-run ({})", reason.label())
             }
         }
     }

@@ -48,6 +48,7 @@
 //! ```
 
 pub mod bounds;
+pub mod cancel;
 pub mod error;
 pub mod instance;
 pub mod numeric;
@@ -60,11 +61,12 @@ pub mod solve;
 pub mod task;
 pub mod validate;
 
+pub use cancel::{CancelProbe, InterruptReason};
 pub use error::ModelError;
 pub use instance::Instance;
 pub use objectives::{ObjectivePoint, TriObjectivePoint};
 pub use pareto::ParetoFront;
-pub use policy::{AdmissionVerdict, OverflowPolicy, QuotaError, TenantPolicy};
+pub use policy::{AdmissionVerdict, OverflowPolicy, QuotaError, RetryPolicy, TenantPolicy};
 pub use schedule::{Assignment, TimedSchedule};
 pub use solve::{CostEstimate, Guarantee, ObjectiveMode, Solution, SolveRequest, SolveStats};
 pub use task::{Task, TaskId};
@@ -72,12 +74,15 @@ pub use task::{Task, TaskId};
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
     pub use crate::bounds::{cmax_lower_bound, mmax_lower_bound, LowerBounds};
+    pub use crate::cancel::{CancelProbe, InterruptReason};
     pub use crate::error::ModelError;
     pub use crate::instance::Instance;
     pub use crate::numeric::{approx_eq, approx_ge, approx_le, better_candidate, REL_TOL};
     pub use crate::objectives::{ObjectivePoint, TriObjectivePoint};
     pub use crate::pareto::{dominates, ParetoFront};
-    pub use crate::policy::{AdmissionVerdict, OverflowPolicy, QuotaError, TenantPolicy};
+    pub use crate::policy::{
+        AdmissionVerdict, OverflowPolicy, QuotaError, RetryPolicy, TenantPolicy,
+    };
     pub use crate::ratio::{RatioReport, TriRatioReport};
     pub use crate::schedule::{Assignment, TimedSchedule};
     pub use crate::solve::{

@@ -36,6 +36,7 @@
 //!    never silent.
 
 use std::fmt;
+use std::time::Duration;
 
 use crate::solve::{BackendId, CostEstimate, Guarantee};
 
@@ -68,6 +69,121 @@ impl OverflowPolicy {
     }
 }
 
+/// How a tenant's requests respond to *transient* failures — a full
+/// queue at submission, or a solver panic mid-dispatch. Typed solve
+/// errors (e.g. `BudgetNotMet`) and cancellations are never retried:
+/// they are answers, not accidents.
+///
+/// Backoff is capped exponential with deterministic jitter: retry `k`
+/// (1-based) sleeps `min(base · 2^(k−1), max) · (1 + jitter · u_k)`
+/// where `u_k ∈ [0, 1)` is drawn from a splitmix64 hash of
+/// `jitter_seed ^ k` — the same seed always produces the same backoff
+/// sequence, which keeps fault-injection tests reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first; `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff (pre-jitter).
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each backoff is stretched by up to
+    /// this fraction of itself.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter sequence.
+    pub jitter_seed: u64,
+    /// On the final failed attempt, step the guarantee down to the
+    /// tenant's [`TenantPolicy::guarantee_floor`] (never below it) and
+    /// try once more at the cheaper class before giving up.
+    pub degrade_on_exhaustion: bool,
+}
+
+impl RetryPolicy {
+    /// No retries: the first failure is final.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: 0.0,
+            jitter_seed: 0,
+            degrade_on_exhaustion: false,
+        }
+    }
+
+    /// Up to `max_attempts` total attempts with a small default backoff
+    /// (1 ms base, 100 ms cap, 10% jitter).
+    pub fn with_attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+            jitter: 0.1,
+            jitter_seed: 0x5157_2e8a_9d1c_f00d,
+            degrade_on_exhaustion: false,
+        }
+    }
+
+    /// Replaces the backoff bracket.
+    pub fn with_backoff(mut self, base: Duration, max: Duration) -> Self {
+        self.base_backoff = base;
+        self.max_backoff = max.max(base);
+        self
+    }
+
+    /// Replaces the jitter fraction and seed.
+    pub fn with_jitter(mut self, jitter: f64, seed: u64) -> Self {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Enables the degradation ladder on exhaustion.
+    pub fn with_degrade_on_exhaustion(mut self, degrade: bool) -> Self {
+        self.degrade_on_exhaustion = degrade;
+        self
+    }
+
+    /// Whether another attempt is allowed after `attempts_made`
+    /// attempts have already failed.
+    pub fn should_retry(&self, attempts_made: u32) -> bool {
+        attempts_made < self.max_attempts
+    }
+
+    /// The backoff before retry `retry` (1-based): capped exponential
+    /// plus deterministic jitter. `retry = 0` returns zero.
+    pub fn backoff_for(&self, retry: u32) -> Duration {
+        if retry == 0 || self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let doublings = (retry - 1).min(32);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << doublings.min(31))
+            .min(self.max_backoff);
+        if self.jitter <= 0.0 {
+            return raw;
+        }
+        let unit = splitmix64(self.jitter_seed ^ u64::from(retry)) as f64 / (u64::MAX as f64 + 1.0);
+        raw.mul_f64(1.0 + self.jitter * unit)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// The splitmix64 mixing function — a tiny, high-quality hash used for
+/// deterministic jitter (and by the service layer's fault harness).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// Per-tenant admission policy: quotas, the cost gate and the guarantee
 /// class the tenant is served at.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,6 +203,8 @@ pub struct TenantPolicy {
     pub guarantee_floor: Guarantee,
     /// What to do when a gate trips.
     pub overflow: OverflowPolicy,
+    /// How transient failures (queue-full, solver panic) are retried.
+    pub retry: RetryPolicy,
 }
 
 impl TenantPolicy {
@@ -99,6 +217,7 @@ impl TenantPolicy {
             max_estimated_work: f64::INFINITY,
             guarantee_floor: Guarantee::None,
             overflow: OverflowPolicy::Reject,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -123,6 +242,12 @@ impl TenantPolicy {
     /// Replaces the overflow behavior.
     pub fn with_overflow(mut self, overflow: OverflowPolicy) -> Self {
         self.overflow = overflow;
+        self
+    }
+
+    /// Replaces the retry policy for transient failures.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -308,6 +433,52 @@ mod tests {
         assert!(QuotaError::QueueFull { capacity: 4 }
             .to_string()
             .contains('4'));
+    }
+
+    #[test]
+    fn retry_backoff_is_capped_exponential() {
+        let policy = RetryPolicy::with_attempts(8)
+            .with_backoff(Duration::from_millis(10), Duration::from_millis(80))
+            .with_jitter(0.0, 0);
+        assert_eq!(policy.backoff_for(0), Duration::ZERO);
+        assert_eq!(policy.backoff_for(1), Duration::from_millis(10));
+        assert_eq!(policy.backoff_for(2), Duration::from_millis(20));
+        assert_eq!(policy.backoff_for(3), Duration::from_millis(40));
+        assert_eq!(policy.backoff_for(4), Duration::from_millis(80));
+        // The cap holds for every later retry, including doubling
+        // counts that would overflow a naive shift.
+        for retry in 5..200 {
+            assert_eq!(policy.backoff_for(retry), Duration::from_millis(80));
+        }
+    }
+
+    #[test]
+    fn retry_jitter_is_deterministic_under_the_seed() {
+        let a = RetryPolicy::with_attempts(4)
+            .with_backoff(Duration::from_millis(5), Duration::from_secs(1))
+            .with_jitter(0.5, 42);
+        let b = a;
+        for retry in 1..10 {
+            let d = a.backoff_for(retry);
+            // Same seed, same sequence.
+            assert_eq!(d, b.backoff_for(retry));
+            // Jitter only ever stretches, bounded by the fraction.
+            let raw = a.with_jitter(0.0, 0).backoff_for(retry);
+            assert!(d >= raw && d <= raw.mul_f64(1.5));
+        }
+        // A different seed perturbs at least one backoff.
+        let c = a.with_jitter(0.5, 43);
+        assert!((1..10).any(|r| c.backoff_for(r) != a.backoff_for(r)));
+    }
+
+    #[test]
+    fn retry_budget_counts_total_attempts() {
+        let none = RetryPolicy::none();
+        assert!(!none.should_retry(1));
+        let three = RetryPolicy::with_attempts(3);
+        assert!(three.should_retry(1));
+        assert!(three.should_retry(2));
+        assert!(!three.should_retry(3));
     }
 
     #[test]

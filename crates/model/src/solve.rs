@@ -537,6 +537,10 @@ pub struct SolveStats {
     /// on (`None` when the backend was called directly, outside any
     /// routed path).
     pub cost: Option<CostEstimate>,
+    /// How many dispatch attempts this solution took, counting the
+    /// first: `1` everywhere except on a service path whose
+    /// `RetryPolicy` recovered from a transient failure.
+    pub attempts: u32,
 }
 
 impl SolveStats {
@@ -549,6 +553,7 @@ impl SolveStats {
             workspace_reused: false,
             bounds: BoundReport::identical(tasks, m),
             cost: None,
+            attempts: 1,
         }
     }
 }

@@ -39,5 +39,6 @@ pub mod search;
 
 pub use dual::DP_WORK_LIMIT;
 pub use search::{
-    dp_work_affordable, dp_work_estimate_for, ptas_cmax, ptas_mmax, ptas_schedule, PtasOutcome,
+    dp_work_affordable, dp_work_estimate_for, ptas_cmax, ptas_cmax_probed, ptas_mmax,
+    ptas_schedule, ptas_schedule_probed, PtasOutcome,
 };

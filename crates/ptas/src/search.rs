@@ -1,5 +1,7 @@
 //! Binary search over the deadline, yielding the `(1 + ε)`-approximation.
 
+use sws_model::cancel::CancelProbe;
+use sws_model::error::ModelError;
 use sws_model::schedule::Assignment;
 use sws_model::Instance;
 
@@ -70,6 +72,19 @@ pub fn dp_work_estimate_for(weights: &[f64], m: usize, eps: f64) -> usize {
 /// assignment whose maximum per-machine weight is at most
 /// `(1 + ε)·OPT` (up to the bisection residual).
 pub fn ptas_schedule(weights: &[f64], m: usize, eps: f64) -> PtasOutcome {
+    ptas_schedule_probed(weights, m, eps, &CancelProbe::never())
+        .expect("an unarmed probe cannot interrupt the search")
+}
+
+/// [`ptas_schedule`] with a cooperative cancellation probe, polled before
+/// every dual test (each bisection step runs exactly one). A tripped
+/// probe stops the search with `ModelError::Interrupted`.
+pub fn ptas_schedule_probed(
+    weights: &[f64],
+    m: usize,
+    eps: f64,
+    probe: &CancelProbe,
+) -> Result<PtasOutcome, ModelError> {
     assert!(m > 0, "need at least one machine");
     assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0, 1)");
     let total: f64 = weights.iter().sum();
@@ -77,12 +92,12 @@ pub fn ptas_schedule(weights: &[f64], m: usize, eps: f64) -> PtasOutcome {
     let lb = (total / m as f64).max(max_w);
 
     if weights.is_empty() || lb == 0.0 {
-        return PtasOutcome {
+        return Ok(PtasOutcome {
             assignment: Assignment::zeroed(weights.len(), m).expect("m > 0"),
             deadline: 0.0,
             eps,
             exact_packing: true,
-        };
+        });
     }
 
     // Graham's bound guarantees a schedule of makespan at most 2·LB
@@ -95,6 +110,7 @@ pub fn ptas_schedule(weights: &[f64], m: usize, eps: f64) -> PtasOutcome {
     let mut best: Option<(f64, DualResult)> = None;
 
     // Make sure the upper end is accepted before bisecting.
+    probe.poll()?;
     match dual_test(weights, m, hi, eps) {
         Some(res) => best = Some((hi, res)),
         None => {
@@ -108,6 +124,7 @@ pub fn ptas_schedule(weights: &[f64], m: usize, eps: f64) -> PtasOutcome {
     }
 
     for _ in 0..BISECTION_STEPS {
+        probe.poll()?;
         let mid = 0.5 * (lo + hi);
         match dual_test(weights, m, mid, eps) {
             Some(res) => {
@@ -118,7 +135,7 @@ pub fn ptas_schedule(weights: &[f64], m: usize, eps: f64) -> PtasOutcome {
         }
     }
 
-    match best {
+    Ok(match best {
         Some((deadline, res)) => PtasOutcome {
             assignment: res.assignment,
             deadline,
@@ -140,7 +157,7 @@ pub fn ptas_schedule(weights: &[f64], m: usize, eps: f64) -> PtasOutcome {
                 exact_packing: false,
             }
         }
-    }
+    })
 }
 
 /// PTAS for the makespan objective of an instance:
@@ -148,6 +165,16 @@ pub fn ptas_schedule(weights: &[f64], m: usize, eps: f64) -> PtasOutcome {
 pub fn ptas_cmax(inst: &Instance, eps: f64) -> PtasOutcome {
     let weights: Vec<f64> = (0..inst.n()).map(|i| inst.p(i)).collect();
     ptas_schedule(&weights, inst.m(), eps)
+}
+
+/// [`ptas_cmax`] with a cooperative cancellation probe.
+pub fn ptas_cmax_probed(
+    inst: &Instance,
+    eps: f64,
+    probe: &CancelProbe,
+) -> Result<PtasOutcome, ModelError> {
+    let weights: Vec<f64> = (0..inst.n()).map(|i| inst.p(i)).collect();
+    ptas_schedule_probed(&weights, inst.m(), eps, probe)
 }
 
 /// PTAS for the memory objective of an instance:

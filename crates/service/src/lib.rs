@@ -28,6 +28,15 @@
 //! is `Mutex` + `Condvar`, completions are `mpsc` one-shots — the
 //! workspace builds fully offline.
 //!
+//! The runtime is **fault-tolerant** (see `docs/RELIABILITY.md`):
+//! backend panics are caught at the worker boundary and resolved as
+//! typed [`ServiceError::SolverPanicked`] outcomes, cancellation and
+//! deadlines are observed *mid-solve* through the cooperative
+//! [`CancelProbe`](sws_model::cancel::CancelProbe), transient failures
+//! retry under the tenant's
+//! [`RetryPolicy`](sws_model::policy::RetryPolicy), and the seeded
+//! chaos harness in [`faults`] drives all of it deterministically.
+//!
 //! # Quick start
 //!
 //! ```
@@ -58,11 +67,13 @@
 //! service.shutdown();
 //! ```
 
+pub mod faults;
 pub mod queue;
 pub mod request;
 pub mod service;
 pub mod stats;
 
+pub use faults::{silence_injected_panics, FaultPlan, FaultySolver, INJECTED_PANIC_MARKER};
 pub use request::{ServiceInstance, ServiceRequest};
 pub use service::{
     SchedulingService, ServiceBuilder, ServiceError, ServiceHandle, ServiceOutcome, Ticket,
@@ -457,6 +468,165 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(ticket.wait().unwrap_err(), ServiceError::Cancelled);
         assert_eq!(stats.global.cancelled, 1);
+    }
+
+    #[test]
+    fn cancellation_after_dispatch_is_observed_mid_solve() {
+        // One worker, every request stalled for far longer than the
+        // test tolerates: only the cooperative probe can resolve the
+        // ticket in time.
+        let plan = Arc::new(faults::FaultPlan::new(1).with_delays(1.0, Duration::from_secs(30)));
+        let service = SchedulingService::builder()
+            .workers(1)
+            .tenant("t", TenantPolicy::unlimited())
+            .portfolio(plan.wrap(Portfolio::standard()))
+            .build();
+        let handle = service.handle();
+        let ticket = handle
+            .submit(ServiceRequest::independent(
+                "t",
+                instance(20, 2, 21),
+                ObjectiveMode::CmaxOnly,
+            ))
+            .unwrap();
+        // Wait until the worker has picked the job up (queue empty,
+        // still in flight) so the cancel races nothing.
+        let started = std::time::Instant::now();
+        loop {
+            let stats = handle.stats();
+            if stats.queue_depth == 0 && stats.global.in_flight == 1 {
+                break;
+            }
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "worker never picked the job up"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        ticket.cancel();
+        let outcome = ticket.wait();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "mid-solve cancellation took {:?}",
+            started.elapsed()
+        );
+        assert_eq!(outcome.unwrap_err(), ServiceError::Cancelled);
+        let stats = service.shutdown();
+        assert_eq!(stats.global.cancelled, 1);
+        assert_eq!(stats.global.completed, 0);
+        assert_eq!(stats.global.in_flight, 0);
+    }
+
+    #[test]
+    fn solver_panics_are_isolated_and_the_pool_survives() {
+        faults::silence_injected_panics();
+        // Every request panics; no retry budget: each must resolve to
+        // SolverPanicked while both workers keep draining.
+        let plan = Arc::new(faults::FaultPlan::new(2).with_panics(1.0));
+        let service = SchedulingService::builder()
+            .workers(2)
+            .tenant("t", TenantPolicy::unlimited())
+            .portfolio(plan.wrap(Portfolio::standard()))
+            .build();
+        let requests = (0..8usize)
+            .map(|i| {
+                ServiceRequest::independent(
+                    "t",
+                    instance(12 + i, 2, 30 + i as u64),
+                    ObjectiveMode::CmaxOnly,
+                )
+            })
+            .collect();
+        let outcomes = service.run_all(requests);
+        assert_eq!(outcomes.len(), 8);
+        for outcome in &outcomes {
+            let err = outcome.as_ref().unwrap_err();
+            assert!(
+                matches!(err, ServiceError::SolverPanicked { message, .. }
+                    if message.contains(faults::INJECTED_PANIC_MARKER)),
+                "expected SolverPanicked, got {err:?}"
+            );
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.global.panicked, 8);
+        assert_eq!(stats.global.completed, 0);
+        assert_eq!(stats.global.terminal_outcomes(), 8);
+        assert_eq!(stats.global.in_flight, 0);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn retry_policy_recovers_a_transient_panic() {
+        faults::silence_injected_panics();
+        use sws_model::policy::RetryPolicy;
+        // Panics are transient (first attempt only); three attempts of
+        // budget: the retry must land a completed solution.
+        let plan = Arc::new(
+            faults::FaultPlan::new(3)
+                .with_panics(1.0)
+                .with_transient_panics(),
+        );
+        let service = SchedulingService::builder()
+            .workers(1)
+            .tenant(
+                "t",
+                TenantPolicy::unlimited().with_retry(RetryPolicy::with_attempts(3)),
+            )
+            .portfolio(plan.wrap(Portfolio::standard()))
+            .build();
+        let inst = instance(24, 3, 40);
+        let ticket = service
+            .handle()
+            .submit(ServiceRequest::independent(
+                "t",
+                Arc::clone(&inst),
+                ObjectiveMode::CmaxOnly,
+            ))
+            .unwrap();
+        let solution = ticket.wait().expect("the retry should recover");
+        assert_eq!(solution.stats.attempts, 2);
+        // The recovered solution matches a direct solve exactly.
+        let direct = Portfolio::standard()
+            .solve(&sws_model::SolveRequest::independent(
+                &inst,
+                ObjectiveMode::CmaxOnly,
+            ))
+            .unwrap();
+        assert_eq!(solution.schedule, direct.schedule);
+        let stats = service.shutdown();
+        assert_eq!(stats.global.retried, 1);
+        assert_eq!(stats.global.completed, 1);
+        assert_eq!(stats.global.panicked, 0);
+        assert_eq!(stats.global.terminal_outcomes(), 1);
+    }
+
+    #[test]
+    fn queue_full_purges_dead_jobs_before_refusing() {
+        // Capacity 2, zero workers. Fill the queue, cancel both queued
+        // jobs, and submit again: the purge must evict the dead jobs
+        // and admit the newcomer instead of refusing.
+        let service = SchedulingService::builder()
+            .workers(0)
+            .queue_capacity(2)
+            .tenant("t", TenantPolicy::unlimited())
+            .build();
+        let handle = service.handle();
+        let inst = instance(10, 2, 50);
+        let request =
+            || ServiceRequest::independent("t", Arc::clone(&inst), ObjectiveMode::CmaxOnly);
+        let a = handle.submit(request()).unwrap();
+        let b = handle.submit(request()).unwrap();
+        a.cancel();
+        b.cancel();
+        let c = handle.submit(request()).expect("purge must free capacity");
+        assert_eq!(a.wait().unwrap_err(), ServiceError::Cancelled);
+        assert_eq!(b.wait().unwrap_err(), ServiceError::Cancelled);
+        let stats = handle.stats();
+        assert_eq!(stats.global.cancelled, 2);
+        assert_eq!(stats.queue_depth, 1);
+        assert_eq!(stats.global.in_flight, 1);
+        drop(c);
+        service.shutdown();
     }
 
     #[test]

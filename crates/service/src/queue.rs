@@ -13,9 +13,19 @@
 //! but lets consumers drain every item already queued before
 //! [`JobQueue::pop`] starts returning `None` — the graceful-shutdown
 //! half of the service contract.
+//!
+//! # Poison recovery
+//!
+//! Every lock acquisition recovers from poisoning instead of
+//! propagating it. The critical sections below only call `BinaryHeap`
+//! operations and field assignments, none of which leave the structure
+//! torn if a caller's panic unwinds *outside* the section — and the
+//! fault-isolation contract of the service (workers catch backend
+//! panics but must keep serving) means a single panicking request must
+//! never wedge the queue for every other tenant.
 
 use std::collections::BinaryHeap;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Why a push was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,15 +98,21 @@ impl<T> JobQueue<T> {
         self.capacity
     }
 
+    /// Locks the queue state, recovering from poisoning (see the module
+    /// docs: the critical sections never leave the heap torn).
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Current number of queued items.
     pub(crate) fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").heap.len()
+        self.lock().heap.len()
     }
 
     /// Enqueues `item` at `priority`. Never blocks: a full or closed
     /// queue returns the item to the caller with the typed reason.
     pub(crate) fn push(&self, priority: u8, item: T) -> Result<(), (T, PushError)> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.lock();
         if inner.closed {
             return Err((item, PushError::Closed));
         }
@@ -119,7 +135,7 @@ impl<T> JobQueue<T> {
     /// empty and open. Returns `None` only once the queue is closed
     /// **and** fully drained.
     pub(crate) fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.lock();
         loop {
             if let Some(entry) = inner.heap.pop() {
                 return Some(entry.item);
@@ -127,7 +143,10 @@ impl<T> JobQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -135,19 +154,33 @@ impl<T> JobQueue<T> {
     /// empty (used by the shutdown path to drain leftovers when the
     /// service runs without workers).
     pub(crate) fn try_pop(&self) -> Option<T> {
-        self.inner
-            .lock()
-            .expect("queue lock poisoned")
-            .heap
-            .pop()
-            .map(|e| e.item)
+        self.lock().heap.pop().map(|e| e.item)
+    }
+
+    /// Removes and returns every queued item matching `pred`, preserving
+    /// the `(priority desc, seq asc)` order among the survivors (their
+    /// original sequence numbers are kept). Used to purge jobs that are
+    /// already cancelled or past their deadline, so dead work can never
+    /// hold capacity against live submissions.
+    pub(crate) fn drain_matching(&self, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut inner = self.lock();
+        let entries = std::mem::take(&mut inner.heap).into_vec();
+        let mut removed = Vec::new();
+        for entry in entries {
+            if pred(&entry.item) {
+                removed.push(entry.item);
+            } else {
+                inner.heap.push(entry);
+            }
+        }
+        removed
     }
 
     /// Closes the queue: pushes start failing with
     /// [`PushError::Closed`]; pops drain the remaining items and then
     /// return `None`. Idempotent.
     pub(crate) fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.lock();
         inner.closed = true;
         drop(inner);
         self.not_empty.notify_all();
@@ -157,6 +190,7 @@ impl<T> JobQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn orders_by_priority_then_fifo() {
@@ -187,6 +221,135 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.try_pop(), Some(2));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drain_matching_removes_matches_and_preserves_order() {
+        let q: JobQueue<u32> = JobQueue::new(8);
+        q.push(1, 10).unwrap();
+        q.push(5, 20).unwrap();
+        q.push(1, 11).unwrap();
+        q.push(5, 21).unwrap();
+        let removed = q.drain_matching(|&v| v % 10 == 1);
+        assert_eq!(removed.len(), 2);
+        assert!(removed.contains(&11) && removed.contains(&21));
+        // Survivors keep (priority desc, seq asc) order.
+        q.close();
+        assert_eq!(q.pop(), Some(20));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn a_panic_inside_the_lock_does_not_wedge_the_queue() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        // The marker keeps this intentional panic out of the test logs
+        // (CI asserts the service suites emit zero unexpected panics).
+        crate::faults::silence_injected_panics();
+        let q: JobQueue<u32> = JobQueue::new(4);
+        q.push(0, 1).unwrap();
+        // `drain_matching` runs the caller predicate while holding the
+        // lock; a panicking predicate poisons the mutex. Every later
+        // acquisition must recover instead of propagating.
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            q.drain_matching(|_| {
+                panic!(
+                    "{} predicate exploded",
+                    crate::faults::INJECTED_PANIC_MARKER
+                )
+            });
+        }));
+        assert!(unwound.is_err());
+        assert!(q.inner.is_poisoned());
+        q.push(0, 2).unwrap();
+        assert!(q.depth() >= 1);
+        q.close();
+        let mut drained = Vec::new();
+        while let Some(v) = q.pop() {
+            drained.push(v);
+        }
+        assert!(drained.contains(&2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Model check: the queue agrees with a naive reference on an
+        /// arbitrary interleaving of pushes, pops and cancellation
+        /// purges, and never exceeds capacity.
+        #[test]
+        fn queue_matches_a_reference_model(ops in proptest::collection::vec(0u32..=40, 1..60)) {
+            const CAP: usize = 8;
+            let q: JobQueue<u64> = JobQueue::new(CAP);
+            // Reference: (priority, seq, value), popped by max priority
+            // then min seq.
+            let mut model: Vec<(u8, u64, u64)> = Vec::new();
+            let mut next_val = 0u64;
+            let mut next_seq = 0u64;
+            for op in ops {
+                match op {
+                    // Push at priority op % 4.
+                    0..=29 => {
+                        let pri = (op % 4) as u8;
+                        let val = next_val;
+                        next_val += 1;
+                        let res = q.push(pri, val);
+                        if model.len() >= CAP {
+                            prop_assert!(matches!(res, Err((_, PushError::Full))));
+                        } else {
+                            prop_assert!(res.is_ok());
+                            model.push((pri, next_seq, val));
+                            next_seq += 1;
+                        }
+                    }
+                    // Pop.
+                    30..=35 => {
+                        let got = q.try_pop();
+                        let want = model
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|(_, &(p, s, _))| (p, std::cmp::Reverse(s)))
+                            .map(|(i, _)| i);
+                        match want {
+                            Some(i) => {
+                                let (_, _, val) = model.remove(i);
+                                prop_assert_eq!(got, Some(val));
+                            }
+                            None => prop_assert_eq!(got, None),
+                        }
+                    }
+                    // Purge even values (stand-in for cancelled jobs).
+                    _ => {
+                        let removed = q.drain_matching(|v| v % 2 == 0);
+                        let expect: Vec<u64> = model
+                            .iter()
+                            .filter(|&&(_, _, v)| v % 2 == 0)
+                            .map(|&(_, _, v)| v)
+                            .collect();
+                        model.retain(|&(_, _, v)| v % 2 != 0);
+                        prop_assert_eq!(removed.len(), expect.len());
+                        for v in expect {
+                            prop_assert!(removed.contains(&v));
+                        }
+                    }
+                }
+                prop_assert!(q.depth() <= CAP);
+                prop_assert_eq!(q.depth(), model.len());
+            }
+            // Drain: the queue empties in exact model order.
+            q.close();
+            while let Some(got) = q.pop() {
+                let i = model
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &(p, s, _))| (p, std::cmp::Reverse(s)))
+                    .map(|(i, _)| i)
+                    .expect("queue had more items than the model");
+                let (_, _, val) = model.remove(i);
+                prop_assert_eq!(got, val);
+            }
+            prop_assert!(model.is_empty());
+        }
     }
 
     #[test]

@@ -16,9 +16,29 @@
 //!    is deterministic, so the dispatched backend is exactly the
 //!    planned one) and sends the terminal outcome through the channel.
 //!    Cancelled and deadline-expired jobs are resolved without
-//!    dispatching.
+//!    dispatching; a job cancelled *mid-solve* trips the cooperative
+//!    [`CancelProbe`] at the next round boundary.
 //! 4. [`Ticket::wait`] yields the outcome. Every admitted request gets
 //!    **exactly one** terminal outcome, including through shutdown.
+//!
+//! # Fault tolerance
+//!
+//! See `docs/RELIABILITY.md` for the full failure-mode table. In short:
+//!
+//! * **Panic isolation.** Each dispatch runs under `catch_unwind`; a
+//!   panicking backend costs that request (it resolves to
+//!   [`ServiceError::SolverPanicked`] once its retry budget is spent),
+//!   never the worker. The worker quarantines its workspace and keeps
+//!   serving; the queue recovers from lock poisoning.
+//! * **Cooperative cancellation.** Workers arm a [`CancelProbe`] with
+//!   the ticket's cancel flag and deadline before dispatching, so
+//!   kernel rounds, enumeration nodes and PTAS dual tests observe
+//!   cancellation mid-solve within a bounded stride.
+//! * **Retry with backoff.** A tenant's
+//!   [`RetryPolicy`](sws_model::policy::RetryPolicy) re-queues
+//!   transiently-failed attempts (backend panics; queue-full submits
+//!   retry on the caller's thread) with capped exponential backoff,
+//!   optionally degrading the guarantee once the budget is exhausted.
 //!
 //! # Shutdown
 //!
@@ -28,6 +48,7 @@
 //! same graceful drain.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -35,9 +56,10 @@ use std::time::Instant;
 
 use sws_core::dispatch::DispatchWorker;
 use sws_core::portfolio::{Portfolio, SolvePlan};
+use sws_model::cancel::{CancelProbe, InterruptReason};
 use sws_model::error::ModelError;
 use sws_model::policy::{AdmissionVerdict, OverflowPolicy, QuotaError, TenantPolicy};
-use sws_model::solve::{Guarantee, Solution};
+use sws_model::solve::{BackendId, Guarantee, Solution};
 
 use crate::queue::{JobQueue, PushError};
 use crate::request::ServiceRequest;
@@ -52,10 +74,23 @@ pub enum ServiceError {
     /// (`NoQualifiedBackend` with no degradation available) or at
     /// dispatch (e.g. `BudgetNotMet`).
     Solve(ModelError),
-    /// The deadline passed before a worker picked the request up.
+    /// The deadline passed before a worker picked the request up, or
+    /// mid-solve via the cooperative deadline probe.
     DeadlineExpired,
-    /// The caller cancelled the request before dispatch.
+    /// The caller cancelled the request — before dispatch, or mid-solve
+    /// via the cooperative cancellation probe.
     Cancelled,
+    /// The backend panicked while solving the request, on every attempt
+    /// the tenant's [`sws_model::policy::RetryPolicy`] allowed. The
+    /// panic was caught at the worker boundary — the worker survives —
+    /// and the payload message is preserved here.
+    SolverPanicked {
+        /// The backend that panicked (the planned dispatch target of
+        /// the final attempt).
+        backend: BackendId,
+        /// The panic payload, when it carried a message.
+        message: String,
+    },
     /// The service is shutting down (submission refused, or — only for
     /// a service running without workers — an undrained job).
     ShuttingDown,
@@ -66,8 +101,11 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Refused(reason) => write!(f, "refused at admission: {reason}"),
             ServiceError::Solve(err) => write!(f, "solve failed: {err}"),
-            ServiceError::DeadlineExpired => write!(f, "deadline expired before dispatch"),
-            ServiceError::Cancelled => write!(f, "cancelled before dispatch"),
+            ServiceError::DeadlineExpired => write!(f, "deadline expired"),
+            ServiceError::Cancelled => write!(f, "cancelled by the caller"),
+            ServiceError::SolverPanicked { backend, message } => {
+                write!(f, "backend {backend:?} panicked while solving: {message}")
+            }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -92,6 +130,10 @@ struct Job {
     deadline: Option<Instant>,
     cancel: Arc<AtomicBool>,
     submitted: Instant,
+    /// Dispatch attempts already spent on this job (0 on first entry;
+    /// bumped each time a panicked attempt is re-queued under the
+    /// tenant's retry policy).
+    attempt: u32,
     tx: mpsc::Sender<ServiceOutcome>,
 }
 
@@ -278,6 +320,33 @@ impl Shared {
         }
         Counters::bump(&self.global.refused);
     }
+
+    /// Eagerly purges queued jobs that can no longer run — cancelled,
+    /// or past their deadline — resolving each to its terminal outcome
+    /// immediately, so dead work never holds queue capacity against a
+    /// live submission. Returns the number purged.
+    fn purge_dead_jobs(&self) -> usize {
+        let now = Instant::now();
+        let dead = self.queue.drain_matching(|job| {
+            job.cancel.load(Ordering::Relaxed) || job.deadline.is_some_and(|d| now >= d)
+        });
+        let purged = dead.len();
+        for job in dead {
+            let counters = &self.tenants[job.tenant_idx].counters;
+            let outcome = if job.cancel.load(Ordering::Relaxed) {
+                Counters::bump(&counters.cancelled);
+                Counters::bump(&self.global.cancelled);
+                Err(ServiceError::Cancelled)
+            } else {
+                Counters::bump(&counters.expired);
+                Counters::bump(&self.global.expired);
+                Err(ServiceError::DeadlineExpired)
+            };
+            counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+            let _ = job.tx.send(outcome);
+        }
+        purged
+    }
 }
 
 /// The caller's side of one admitted request: the admission verdict and
@@ -312,9 +381,14 @@ impl Ticket {
         self.effective
     }
 
-    /// Requests cancellation. Best effort: a job already dispatched (or
-    /// racing with a worker) completes normally; a job still queued
-    /// resolves to [`ServiceError::Cancelled`].
+    /// Requests cancellation. Observed at two points: a job still
+    /// queued resolves to [`ServiceError::Cancelled`] without
+    /// dispatching, and a job already running trips the worker's
+    /// cooperative [`CancelProbe`] at the next round boundary —
+    /// kernel rounds, branch-and-bound/enumeration nodes and PTAS
+    /// dual tests all poll it on a bounded stride. Only a solve in its
+    /// final stretch (or on a backend with no round structure, e.g. the
+    /// `O(n log n)` heuristics) still completes normally.
     pub fn cancel(&self) {
         self.cancel.store(true, Ordering::Relaxed);
     }
@@ -388,6 +462,7 @@ impl ServiceHandle {
             plan,
             cancel: Arc::clone(&cancel),
             submitted,
+            attempt: 0,
             tx,
             request,
         };
@@ -395,17 +470,46 @@ impl ServiceHandle {
             shared.count_refusal(Some(tenant_idx));
             return Err(ServiceError::Refused(reason));
         }
-        if let Err((_job, reason)) = shared.queue.push(priority, Box::new(job)) {
-            entry.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
-            return match reason {
-                PushError::Full => {
-                    shared.count_refusal(Some(tenant_idx));
-                    Err(ServiceError::Refused(QuotaError::QueueFull {
-                        capacity: shared.queue.capacity(),
-                    }))
+        // Push, treating backpressure as transient: a full queue first
+        // gets its dead jobs (cancelled / past-deadline) purged, then
+        // the tenant's retry policy spends its backoff budget before
+        // the submission is refused with `QueueFull`.
+        let retry = entry.policy.retry;
+        let mut job = Box::new(job);
+        let mut purged_free_retry = true;
+        let mut full_attempts = 0u32;
+        loop {
+            match shared.queue.push(priority, job) {
+                Ok(()) => break,
+                Err((_job, PushError::Closed)) => {
+                    entry.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    return Err(ServiceError::ShuttingDown);
                 }
-                PushError::Closed => Err(ServiceError::ShuttingDown),
-            };
+                Err((returned, PushError::Full)) => {
+                    job = returned;
+                    // The purge retry is free exactly once: if it freed
+                    // capacity the push deserves another go before any
+                    // of the retry budget is spent.
+                    if purged_free_retry {
+                        purged_free_retry = false;
+                        if shared.purge_dead_jobs() > 0 {
+                            continue;
+                        }
+                    }
+                    full_attempts += 1;
+                    if !retry.should_retry(full_attempts) {
+                        entry.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+                        shared.count_refusal(Some(tenant_idx));
+                        return Err(ServiceError::Refused(QuotaError::QueueFull {
+                            capacity: shared.queue.capacity(),
+                        }));
+                    }
+                    Counters::bump(&entry.counters.retried);
+                    Counters::bump(&shared.global.retried);
+                    std::thread::sleep(retry.backoff_for(full_attempts));
+                    shared.purge_dead_jobs();
+                }
+            }
         }
         Counters::bump(&entry.counters.admitted);
         Counters::bump(&shared.global.admitted);
@@ -598,52 +702,221 @@ impl ServiceBuilder {
 }
 
 /// One worker thread: drain the queue through the shared dispatch core
-/// until the queue is closed and empty.
+/// until the queue is closed and empty. The loop is self-healing — no
+/// job, however it fails, terminates the thread.
 fn worker_loop(shared: &Shared) {
     let mut dispatcher = DispatchWorker::new(&shared.portfolio);
     while let Some(job) = shared.queue.pop() {
-        resolve_job(shared, &mut dispatcher, job);
+        // `resolve_job` already isolates backend panics; this outer
+        // guard is the worker's last line of defense — a panic anywhere
+        // else in the resolution path must not kill the thread, or the
+        // pool would silently shrink under faults. The job's channel
+        // drops with it, so its ticket still resolves (to
+        // `ShuttingDown` via the disconnect) rather than hanging.
+        if catch_unwind(AssertUnwindSafe(|| {
+            resolve_job(shared, &mut dispatcher, job)
+        }))
+        .is_err()
+        {
+            dispatcher.reset_workspace();
+        }
     }
 }
 
-/// Resolves one dequeued job to its terminal outcome. Takes the job
+/// Resolves one dequeued job: to its terminal outcome, or back into the
+/// queue when a panicked attempt has retry budget left. Takes the job
 /// boxed — exactly as it leaves the queue — so the worker loop never
 /// unboxes the ~200-byte payload onto its stack.
 #[allow(clippy::boxed_local)]
 fn resolve_job(shared: &Shared, dispatcher: &mut DispatchWorker<'_>, job: Box<Job>) {
     let counters = &shared.tenants[job.tenant_idx].counters;
-    let outcome: ServiceOutcome = if job.cancel.load(Ordering::Relaxed) {
+    if job.cancel.load(Ordering::Relaxed) {
         Counters::bump(&counters.cancelled);
         Counters::bump(&shared.global.cancelled);
-        Err(ServiceError::Cancelled)
-    } else if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        return finish_job(shared, job, Err(ServiceError::Cancelled));
+    }
+    if job.deadline.is_some_and(|d| Instant::now() >= d) {
         Counters::bump(&counters.expired);
         Counters::bump(&shared.global.expired);
-        Err(ServiceError::DeadlineExpired)
-    } else {
-        let req = job
-            .request
-            .instance
-            .as_request(job.request.objective, job.effective);
-        match dispatcher.solve_planned(&req, &job.plan) {
-            Ok(solution) => {
-                let latency = job.submitted.elapsed();
-                counters.latency.record(latency);
-                shared.global.latency.record(latency);
-                Counters::bump(&counters.completed);
-                Counters::bump(&shared.global.completed);
-                Ok(solution)
-            }
-            Err(err) => {
-                Counters::bump(&counters.failed);
-                Counters::bump(&shared.global.failed);
-                Err(ServiceError::Solve(err))
-            }
+        return finish_job(shared, job, Err(ServiceError::DeadlineExpired));
+    }
+
+    // Arm the cooperative probe: the solve observes the ticket's cancel
+    // flag and the deadline between kernel rounds / search nodes / dual
+    // tests instead of running to completion regardless.
+    let mut probe = CancelProbe::with_flag(Arc::clone(&job.cancel));
+    if let Some(deadline) = job.deadline {
+        probe = probe.and_deadline(deadline);
+    }
+    dispatcher.set_probe(probe);
+    let req = job
+        .request
+        .instance
+        .as_request(job.request.objective, job.effective);
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        dispatcher.solve_planned(&req, &job.plan)
+    }));
+    dispatcher.clear_probe();
+
+    let outcome: ServiceOutcome = match attempt {
+        Ok(Ok(mut solution)) => {
+            solution.stats.attempts = job.attempt + 1;
+            let latency = job.submitted.elapsed();
+            counters.latency.record(latency);
+            shared.global.latency.record(latency);
+            Counters::bump(&counters.completed);
+            Counters::bump(&shared.global.completed);
+            Ok(solution)
+        }
+        Ok(Err(ModelError::Interrupted {
+            reason: InterruptReason::Cancelled,
+        })) => {
+            Counters::bump(&counters.cancelled);
+            Counters::bump(&shared.global.cancelled);
+            Err(ServiceError::Cancelled)
+        }
+        Ok(Err(ModelError::Interrupted {
+            reason: InterruptReason::DeadlineExpired,
+        })) => {
+            Counters::bump(&counters.expired);
+            Counters::bump(&shared.global.expired);
+            Err(ServiceError::DeadlineExpired)
+        }
+        Ok(Err(err)) => {
+            Counters::bump(&counters.failed);
+            Counters::bump(&shared.global.failed);
+            Err(ServiceError::Solve(err))
+        }
+        Err(payload) => {
+            // The backend panicked. Quarantine the workspace (the
+            // unwound solve may have left its buffers mid-run), then
+            // run the tenant's retry/degradation ladder — the worker
+            // itself never dies.
+            dispatcher.reset_workspace();
+            let message = panic_message(&*payload);
+            return match retry_after_panic(shared, job, message) {
+                None => {}
+                Some((job, outcome)) => finish_job(shared, job, outcome),
+            };
         }
     };
+    finish_job(shared, job, outcome);
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The retry/degradation ladder for a panicked attempt. Returns `None`
+/// when the job went back into the queue for another attempt, or
+/// `Some((job, outcome))` when the failure is terminal.
+///
+/// The ladder, in order:
+/// 1. while the tenant's [`RetryPolicy`](sws_model::policy::RetryPolicy)
+///    has attempts left: sleep the capped exponential backoff (clipped
+///    to the job's deadline) and re-queue;
+/// 2. once exhausted, if the policy degrades on exhaustion and the
+///    guarantee floor admits `PaperRatio`: re-plan at the weaker
+///    guarantee — routing around the panicking backend — and spend one
+///    final attempt there;
+/// 3. otherwise resolve to [`ServiceError::SolverPanicked`].
+#[allow(clippy::boxed_local)]
+fn retry_after_panic(
+    shared: &Shared,
+    mut job: Box<Job>,
+    message: String,
+) -> Option<(Box<Job>, ServiceOutcome)> {
+    let entry = &shared.tenants[job.tenant_idx];
+    let counters = &entry.counters;
+    let retry = entry.policy.retry;
+    let attempts_made = job.attempt + 1;
+
+    let requeue = if retry.should_retry(attempts_made) {
+        let mut backoff = retry.backoff_for(attempts_made);
+        if let Some(deadline) = job.deadline {
+            backoff = backoff.min(deadline.saturating_duration_since(Instant::now()));
+        }
+        std::thread::sleep(backoff);
+        true
+    } else if retry.degrade_on_exhaustion {
+        // One extra attempt at the degraded guarantee; `degrade_plan`
+        // returns `None` once the job already runs at `PaperRatio` or
+        // weaker, so the ladder cannot loop.
+        match degrade_plan(shared, &entry.policy, &job) {
+            Some((effective, plan)) => {
+                Counters::bump(&counters.degraded);
+                Counters::bump(&shared.global.degraded);
+                job.effective = effective;
+                job.plan = plan;
+                true
+            }
+            None => false,
+        }
+    } else {
+        false
+    };
+
+    if requeue {
+        Counters::bump(&counters.retried);
+        Counters::bump(&shared.global.retried);
+        job.attempt = attempts_made;
+        let priority = job.request.priority;
+        match shared.queue.push(priority, job) {
+            Ok(()) => return None,
+            // Queue closed (shutdown) or full: no slot for another
+            // attempt, so the failure is terminal after all.
+            Err((returned, _)) => job = returned,
+        }
+    }
+
+    Counters::bump(&counters.panicked);
+    Counters::bump(&shared.global.panicked);
+    let backend = job.plan.backend;
+    Some((job, Err(ServiceError::SolverPanicked { backend, message })))
+}
+
+/// The degraded `(guarantee, plan)` for a job whose retry budget is
+/// exhausted — `PaperRatio`, when the tenant's floor admits it and the
+/// job was running at something stronger. Mirrors the admission-time
+/// degradation ladder of [`Shared::decide`].
+fn degrade_plan(
+    shared: &Shared,
+    policy: &TenantPolicy,
+    job: &Job,
+) -> Option<(Guarantee, SolvePlan)> {
+    let stronger = matches!(
+        job.effective,
+        Guarantee::Exact | Guarantee::EpsilonOptimal(_)
+    );
+    if !stronger || !Guarantee::PaperRatio.satisfies(&policy.guarantee_floor) {
+        return None;
+    }
+    let req = job
+        .request
+        .instance
+        .as_request(job.request.objective, Guarantee::PaperRatio);
+    shared
+        .portfolio
+        .plan(&req)
+        .ok()
+        .map(|plan| (Guarantee::PaperRatio, plan))
+}
+
+/// Delivers a job's terminal outcome: releases the tenant's in-flight
+/// slot and sends through the completion channel. The caller may have
+/// dropped the ticket; the outcome is then discarded, which is its
+/// terminal state.
+#[allow(clippy::boxed_local)]
+fn finish_job(shared: &Shared, job: Box<Job>, outcome: ServiceOutcome) {
+    let counters = &shared.tenants[job.tenant_idx].counters;
     counters.in_flight.fetch_sub(1, Ordering::Relaxed);
-    // The caller may have dropped the ticket; the outcome is then
-    // discarded, which is its terminal state.
     let _ = job.tx.send(outcome);
 }
 

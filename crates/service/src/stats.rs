@@ -90,6 +90,8 @@ pub(crate) struct Counters {
     pub(crate) failed: AtomicU64,
     pub(crate) cancelled: AtomicU64,
     pub(crate) expired: AtomicU64,
+    pub(crate) panicked: AtomicU64,
+    pub(crate) retried: AtomicU64,
     pub(crate) in_flight: AtomicUsize,
     pub(crate) latency: LatencyHistogram,
 }
@@ -104,6 +106,8 @@ impl Counters {
             failed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             expired: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
             latency: LatencyHistogram::new(),
         }
@@ -123,6 +127,8 @@ impl Counters {
             failed: self.failed.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             p50_latency: self.latency.quantile(0.50),
             p99_latency: self.latency.quantile(0.99),
@@ -149,8 +155,18 @@ pub struct ScopeStats {
     pub failed: u64,
     /// Requests cancelled before dispatch.
     pub cancelled: u64,
-    /// Requests whose deadline passed before dispatch.
+    /// Requests whose deadline passed before dispatch (or mid-solve, via
+    /// the cooperative deadline probe).
     pub expired: u64,
+    /// Requests that ended in [`crate::ServiceError::SolverPanicked`]:
+    /// a backend panicked on every attempt the tenant's retry budget
+    /// allowed. The worker survives; the panic is isolated per request.
+    pub panicked: u64,
+    /// Retry *events*: how many times a transiently-failed attempt was
+    /// re-queued under the tenant's [`sws_model::policy::RetryPolicy`].
+    /// Not a terminal outcome — a request retried twice and then
+    /// completed contributes 2 here and 1 to `completed`.
+    pub retried: u64,
     /// Admitted requests not yet resolved (queued or running).
     pub in_flight: usize,
     /// Median submit→completion latency of completed requests.
@@ -162,7 +178,7 @@ pub struct ScopeStats {
 impl ScopeStats {
     /// Total terminal outcomes delivered for admitted requests.
     pub fn terminal_outcomes(&self) -> u64 {
-        self.completed + self.failed + self.cancelled + self.expired
+        self.completed + self.failed + self.cancelled + self.expired + self.panicked
     }
 }
 
@@ -235,5 +251,20 @@ mod tests {
         let snap = c.snapshot("t".into());
         assert_eq!(snap.admitted, 2);
         assert_eq!(snap.terminal_outcomes(), 2);
+    }
+
+    #[test]
+    fn panicked_is_terminal_but_retried_is_not() {
+        let c = Counters::new();
+        Counters::bump(&c.admitted);
+        Counters::bump(&c.retried);
+        Counters::bump(&c.retried);
+        Counters::bump(&c.panicked);
+        let snap = c.snapshot("t".into());
+        assert_eq!(snap.panicked, 1);
+        assert_eq!(snap.retried, 2);
+        // Retries are events along the way, not resolutions: only the
+        // final panic counts toward the terminal tally.
+        assert_eq!(snap.terminal_outcomes(), 1);
     }
 }

@@ -1,0 +1,289 @@
+//! End-to-end chaos test of the fault-tolerant service core.
+//!
+//! A seeded [`FaultPlan`] injects panics into a deterministic subset
+//! (well over 10%) of a mixed-tenant request stream. The run must:
+//!
+//! * drain cleanly — every ticket resolves exactly once, nothing stays
+//!   queued or in flight;
+//! * account exactly — the per-outcome tallies match the fault plan's
+//!   own prediction of which requests were faulted;
+//! * keep every worker alive — a follow-up batch after the chaos wave
+//!   completes normally;
+//! * leave non-faulted responses **bit-identical** to direct
+//!   `Portfolio::solve` calls;
+//! * resolve a mid-solve cancellation on a stalled large request within
+//!   bounded time, via the cooperative probe.
+//!
+//! `SWS_BENCH_QUICK=1` shrinks the stream for CI smoke runs.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sws_core::portfolio::Portfolio;
+use sws_model::policy::{RetryPolicy, TenantPolicy};
+use sws_model::solve::{Guarantee, ObjectiveMode};
+use sws_model::{Instance, SolveRequest};
+use sws_service::faults::{silence_injected_panics, FaultPlan, INJECTED_PANIC_MARKER};
+use sws_service::{SchedulingService, ServiceError, ServiceRequest};
+use sws_workloads::random::random_instance;
+use sws_workloads::rng::seeded_rng;
+use sws_workloads::TaskDistribution;
+
+const CHAOS_SEED: u64 = 0xC4A0_5EED;
+
+fn request_count() -> usize {
+    if std::env::var("SWS_BENCH_QUICK").is_ok() {
+        96
+    } else {
+        512
+    }
+}
+
+/// One synthetic request: tenant, instance and objective are all a
+/// deterministic function of the index.
+struct Spec {
+    tenant: &'static str,
+    inst: Arc<Instance>,
+    objective: ObjectiveMode,
+}
+
+fn specs(n_requests: usize) -> Vec<Spec> {
+    (0..n_requests)
+        .map(|i| {
+            let tenant = if i % 3 == 0 { "retrying" } else { "basic" };
+            let n = 8 + (i % 28);
+            let m = 2 + (i % 3);
+            let dist = match i % 3 {
+                0 => TaskDistribution::AntiCorrelated,
+                1 => TaskDistribution::Correlated,
+                _ => TaskDistribution::Uncorrelated,
+            };
+            let inst = Arc::new(random_instance(
+                n,
+                m,
+                dist,
+                &mut seeded_rng(1000 + i as u64),
+            ));
+            let objective = match i % 4 {
+                0 => ObjectiveMode::CmaxOnly,
+                1 => ObjectiveMode::BiObjective { delta: 2.5 },
+                2 => ObjectiveMode::TriObjective { delta: 3.0 },
+                _ => ObjectiveMode::BiObjective { delta: 1.0 },
+            };
+            Spec {
+                tenant,
+                inst,
+                objective,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn chaos_wave_drains_cleanly_with_exact_accounting() {
+    silence_injected_panics();
+    let n_requests = request_count();
+    let specs = specs(n_requests);
+
+    // Panics are transient (first attempt only): the "retrying" tenant
+    // recovers them on its second attempt, the "basic" tenant (no retry
+    // budget) surfaces them as SolverPanicked.
+    let plan = Arc::new(
+        FaultPlan::new(CHAOS_SEED)
+            .with_panics(0.2)
+            .with_transient_panics(),
+    );
+
+    // The plan's own prediction of the faulted subset, recomputed the
+    // way the worker builds its dispatch request.
+    let faulted: Vec<bool> = specs
+        .iter()
+        .map(|s| {
+            let req =
+                SolveRequest::independent(&s.inst, s.objective).with_guarantee(Guarantee::None);
+            plan.panics_on(&req)
+        })
+        .collect();
+    let n_faulted = faulted.iter().filter(|&&f| f).count();
+    assert!(
+        n_faulted * 10 >= n_requests,
+        "the chaos plan must fault at least 10% of requests: {n_faulted}/{n_requests}"
+    );
+
+    let service = SchedulingService::builder()
+        .workers(4)
+        .queue_capacity(n_requests)
+        .tenant("basic", TenantPolicy::unlimited())
+        .tenant(
+            "retrying",
+            TenantPolicy::unlimited().with_retry(RetryPolicy::with_attempts(2)),
+        )
+        .portfolio(Arc::clone(&plan).wrap(Portfolio::standard()))
+        .build();
+    let handle = service.handle();
+
+    let tickets: Vec<_> = specs
+        .iter()
+        .map(|s| {
+            handle
+                .submit(ServiceRequest::independent(
+                    s.tenant,
+                    Arc::clone(&s.inst),
+                    s.objective,
+                ))
+                .expect("admission is unconstrained in this test")
+        })
+        .collect();
+
+    let direct = Portfolio::standard();
+    let (mut completed, mut panicked, mut recovered) = (0usize, 0usize, 0usize);
+    for ((spec, ticket), &was_faulted) in specs.iter().zip(tickets).zip(&faulted) {
+        let outcome = ticket.wait();
+        match outcome {
+            Ok(solution) => {
+                completed += 1;
+                // Bit-identity against a direct solve of the same
+                // request on an unfaulted portfolio.
+                let req = SolveRequest::independent(&spec.inst, spec.objective)
+                    .with_guarantee(Guarantee::None);
+                let reference = direct.solve(&req).expect("direct solve succeeds");
+                assert_eq!(solution.schedule, reference.schedule);
+                assert_eq!(solution.point, reference.point);
+                assert_eq!(solution.stats.backend, reference.stats.backend);
+                if was_faulted {
+                    // Only the retrying tenant can complete a faulted
+                    // request, and only on its second attempt.
+                    assert_eq!(spec.tenant, "retrying");
+                    assert_eq!(solution.stats.attempts, 2);
+                    recovered += 1;
+                } else {
+                    assert_eq!(solution.stats.attempts, 1);
+                }
+            }
+            Err(ServiceError::SolverPanicked { message, .. }) => {
+                panicked += 1;
+                assert!(was_faulted, "an unfaulted request must never panic");
+                assert_eq!(spec.tenant, "basic");
+                assert!(message.contains(INJECTED_PANIC_MARKER));
+            }
+            Err(other) => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    // Exact accounting: every ticket resolved to exactly one of the two
+    // expected outcomes, and the counters agree.
+    assert_eq!(completed + panicked, n_requests);
+    let stats = service.shutdown();
+    assert_eq!(stats.global.admitted as usize, n_requests);
+    assert_eq!(stats.global.completed as usize, completed);
+    assert_eq!(stats.global.panicked as usize, panicked);
+    assert_eq!(stats.global.terminal_outcomes() as usize, n_requests);
+    assert_eq!(stats.global.retried as usize, recovered);
+    assert_eq!(stats.global.in_flight, 0);
+    assert_eq!(stats.queue_depth, 0);
+    assert!(recovered > 0, "some faulted requests must have recovered");
+    assert!(panicked > 0, "some faulted requests must have surfaced");
+}
+
+#[test]
+fn workers_survive_a_total_panic_wave() {
+    silence_injected_panics();
+    // Every request of the first wave panics on every attempt. If any
+    // of the 3 workers died, the follow-up wave could not complete on
+    // all of them.
+    let plan = Arc::new(FaultPlan::new(7).with_panics(1.0));
+    let service = SchedulingService::builder()
+        .workers(3)
+        .tenant("t", TenantPolicy::unlimited())
+        .portfolio(Arc::clone(&plan).wrap(Portfolio::standard()))
+        .build();
+
+    let wave = |seed_base: u64| -> Vec<_> {
+        (0..24u64)
+            .map(|i| {
+                let inst = Arc::new(random_instance(
+                    10 + (i as usize % 8),
+                    2,
+                    TaskDistribution::Uncorrelated,
+                    &mut seeded_rng(seed_base + i),
+                ))
+                .clone();
+                ServiceRequest::independent("t", inst, ObjectiveMode::CmaxOnly)
+            })
+            .collect()
+    };
+
+    for outcome in service.run_all(wave(5000)) {
+        assert!(matches!(
+            outcome.unwrap_err(),
+            ServiceError::SolverPanicked { .. }
+        ));
+    }
+
+    // Follow-up wave: different instances (different fingerprints) —
+    // with panic rate 1.0 they all still panic, proving the workers are
+    // alive and still isolating, not just idle.
+    for outcome in service.run_all(wave(6000)) {
+        assert!(matches!(
+            outcome.unwrap_err(),
+            ServiceError::SolverPanicked { .. }
+        ));
+    }
+
+    let stats = service.shutdown();
+    assert_eq!(stats.global.panicked, 48);
+    assert_eq!(stats.global.terminal_outcomes(), 48);
+    assert_eq!(stats.global.in_flight, 0);
+}
+
+#[test]
+fn mid_solve_cancellation_resolves_within_bounded_time() {
+    silence_injected_panics();
+    // A large kernel-bound instance, stalled by the fault plan for far
+    // longer than the test tolerates: only the cooperative probe firing
+    // between rounds can resolve the ticket in time.
+    let plan = Arc::new(FaultPlan::new(11).with_delays(1.0, Duration::from_secs(60)));
+    let service = SchedulingService::builder()
+        .workers(1)
+        .tenant("t", TenantPolicy::unlimited())
+        .portfolio(Arc::clone(&plan).wrap(Portfolio::standard()))
+        .build();
+    let handle = service.handle();
+    let inst = Arc::new(random_instance(
+        4000,
+        8,
+        TaskDistribution::AntiCorrelated,
+        &mut seeded_rng(99),
+    ));
+    let ticket = handle
+        .submit(ServiceRequest::independent(
+            "t",
+            inst,
+            ObjectiveMode::BiObjective { delta: 2.5 },
+        ))
+        .unwrap();
+
+    let started = Instant::now();
+    loop {
+        let stats = handle.stats();
+        if stats.queue_depth == 0 && stats.global.in_flight == 1 {
+            break;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(15),
+            "worker never picked the job up"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    ticket.cancel();
+    let outcome = ticket.wait();
+    assert!(
+        started.elapsed() < Duration::from_secs(15),
+        "mid-solve cancellation took {:?}",
+        started.elapsed()
+    );
+    assert_eq!(outcome.unwrap_err(), ServiceError::Cancelled);
+    let stats = service.shutdown();
+    assert_eq!(stats.global.cancelled, 1);
+    assert_eq!(stats.global.in_flight, 0);
+}
