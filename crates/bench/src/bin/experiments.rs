@@ -9,6 +9,8 @@
 //! of E1. Without arguments every experiment runs on its full grid and CSV
 //! files are written under `results/`.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 

@@ -8,6 +8,8 @@
 //! Without arguments every figure is regenerated and CSV files are written
 //! under `results/`.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 

@@ -27,6 +27,8 @@
 //! optionally writing CSV files. One Criterion bench per experiment lives
 //! under `benches/`.
 
+#![forbid(unsafe_code)]
+
 pub mod e1_sbo;
 pub mod e2_rls;
 pub mod e3_tri;

@@ -10,6 +10,8 @@
 //! over a fixed sample count are robust enough to track order-of-
 //! magnitude perf changes, which is what the baselines are for.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};

@@ -10,6 +10,8 @@
 //! * `prop_assert*!` macros panic (like `assert!`) instead of returning
 //!   `Err`, which is equivalent under this runner.
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod rng;
 pub mod strategy;

@@ -6,6 +6,8 @@
 //! (`u32`/`u64`/`usize`/`f64`/`bool`, half-open and inclusive ranges).
 //! The concrete generator lives in the sibling `rand_chacha` shim.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core entropy source: everything derives from `next_u64`.

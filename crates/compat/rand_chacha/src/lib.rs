@@ -9,6 +9,8 @@
 //! however, fully deterministic and platform-independent, which is what
 //! the experiment harness actually relies on.
 
+#![forbid(unsafe_code)]
+
 use rand::{RngCore, SeedableRng};
 
 const CHACHA_ROUNDS: usize = 8;

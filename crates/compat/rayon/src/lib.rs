@@ -8,6 +8,8 @@
 //! per-item costs parallelize less evenly than under real rayon, but the
 //! ∆-sweep workloads this repo fans out are close to uniform.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 pub mod prelude {

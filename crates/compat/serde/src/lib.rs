@@ -2,6 +2,8 @@
 //! names the real crate exposes, plus empty marker traits so trait bounds
 //! keep compiling if a future change introduces any.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker trait mirroring `serde::ser::Serialize` (no methods — the shim

@@ -5,6 +5,8 @@
 //! figures are rendered by hand in `sws-bench`). Expanding the derives to
 //! nothing keeps every annotation compiling without the real crate.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 #[proc_macro_derive(Serialize, attributes(serde))]

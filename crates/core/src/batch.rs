@@ -29,6 +29,7 @@ use sws_listsched::kernel::{
     event_driven_schedule_csr, KernelOutcome, KernelWorkspace, MemoryCapAdmission, Unrestricted,
 };
 use sws_model::error::ModelError;
+use sws_model::numeric::exceeds;
 use sws_model::solve::{Solution, SolveRequest};
 
 use crate::dispatch::DispatchWorker;
@@ -153,7 +154,7 @@ impl BatchScheduler {
         let outcomes: Vec<KernelOutcome> = run_chunks(self.chunked(instances), run_chunk)?;
         let elapsed = t0.elapsed();
         let secs = elapsed.as_secs_f64();
-        let schedules_per_sec = if secs > 0.0 && !outcomes.is_empty() {
+        let schedules_per_sec = if exceeds(secs, 0.0) && !outcomes.is_empty() {
             outcomes.len() as f64 / secs
         } else {
             0.0

@@ -16,7 +16,7 @@
 //! checker that tells whether a claimed ratio pair falls inside the
 //! impossible region.
 
-use sws_model::numeric::strictly_lt;
+use sws_model::numeric::{at_least, exceeds, strictly_lt};
 
 /// A single impossibility witness: the ratio pair that no algorithm can
 /// beat, together with the instance parameters that prove it.
@@ -76,7 +76,7 @@ pub fn impossibility_frontier(m: usize, k: usize) -> Vec<(f64, f64)> {
 /// values of `∆ ∈ [delta_min, delta_max]`.
 pub fn sbo_tradeoff_curve(delta_min: f64, delta_max: f64, samples: usize) -> Vec<(f64, f64)> {
     assert!(
-        delta_min > 0.0 && delta_max >= delta_min,
+        exceeds(delta_min, 0.0) && at_least(delta_max, delta_min),
         "need 0 < ∆min ≤ ∆max"
     );
     assert!(samples >= 2, "need at least two samples");

@@ -26,7 +26,7 @@
 use sws_dag::DagInstance;
 use sws_model::bounds::mmax_lower_bound;
 use sws_model::error::ModelError;
-use sws_model::numeric::approx_le;
+use sws_model::numeric::{approx_le, at_most, exceeds};
 use sws_model::objectives::ObjectivePoint;
 use sws_model::schedule::{Assignment, TimedSchedule};
 use sws_model::Instance;
@@ -253,8 +253,12 @@ pub fn solve_dag_with_memory_budget_in(
     }
 
     let lb = mmax_lower_bound(inst.tasks(), inst.m());
-    let delta = if lb > 0.0 { budget / lb } else { f64::INFINITY };
-    if delta <= 2.0 {
+    let delta = if exceeds(lb, 0.0) {
+        budget / lb
+    } else {
+        f64::INFINITY
+    };
+    if at_most(delta, 2.0) {
         return Ok(DagConstrainedOutcome::NoGuarantee { delta });
     }
     // Guard against non-finite ∆ for all-zero storage instances: any

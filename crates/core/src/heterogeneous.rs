@@ -25,7 +25,7 @@
 //! reproduction of the paper's own claims.
 
 use sws_model::error::ModelError;
-use sws_model::numeric::approx_le;
+use sws_model::numeric::{approx_le, finite_gt};
 use sws_model::objectives::ObjectivePoint;
 use sws_model::schedule::TimedSchedule;
 use sws_model::solve::{BackendId, BoundReport, SolveStats};
@@ -45,7 +45,7 @@ impl UniformMachines {
             return Err(ModelError::NoProcessors);
         }
         for (q, &v) in speeds.iter().enumerate() {
-            if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !v.is_finite() {
+            if !finite_gt(v, 0.0) {
                 return Err(ModelError::InvalidParameter {
                     name: "speed",
                     value: v,
@@ -157,7 +157,7 @@ pub fn uniform_rls(
     delta: f64,
     order: &[usize],
 ) -> Result<UniformRlsResult, ModelError> {
-    if delta.partial_cmp(&2.0) != Some(std::cmp::Ordering::Greater) || !delta.is_finite() {
+    if !finite_gt(delta, 2.0) {
         return Err(ModelError::InvalidParameter {
             name: "delta",
             value: delta,

@@ -57,6 +57,8 @@
 //! assert!(point.mmax <= gm * result.reference_mmax + 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod bounds;
 pub mod constrained;

@@ -52,6 +52,7 @@ use rayon::prelude::*;
 
 use sws_dag::DagInstance;
 use sws_model::error::ModelError;
+use sws_model::numeric::finite_gt;
 use sws_model::objectives::ObjectivePoint;
 use sws_model::pareto::ParetoFront;
 use sws_model::schedule::{Assignment, TimedSchedule};
@@ -90,7 +91,7 @@ pub struct SweepPoint<S> {
 
 /// Validates that `[delta_min, delta_max]` is a finite positive range.
 fn validate_bounds(delta_min: f64, delta_max: f64) -> Result<(), ModelError> {
-    if !delta_min.is_finite() || delta_min <= 0.0 {
+    if !finite_gt(delta_min, 0.0) {
         return Err(ModelError::InvalidParameter {
             name: "delta_min",
             value: delta_min,
@@ -372,7 +373,7 @@ pub fn sbo_sweep_cold(
 
 /// Validates the RLS-specific lower bound `∆min > 2`.
 fn validate_rls_delta_min(delta_min: f64) -> Result<(), ModelError> {
-    if !delta_min.is_finite() || delta_min.partial_cmp(&2.0) != Some(std::cmp::Ordering::Greater) {
+    if !finite_gt(delta_min, 2.0) {
         return Err(ModelError::InvalidParameter {
             name: "delta_min",
             value: delta_min,

@@ -65,6 +65,7 @@ use sws_listsched::{
 };
 use sws_model::bounds::mmax_lower_bound;
 use sws_model::error::ModelError;
+use sws_model::numeric::{exceeds, finite_gt};
 use sws_model::objectives::ObjectivePoint;
 use sws_model::schedule::Assignment;
 use sws_model::solve::{
@@ -303,7 +304,7 @@ impl Solver for KernelRlsBackend {
         let ObjectiveMode::BiObjective { delta } = req.objective else {
             return None;
         };
-        if delta.partial_cmp(&2.0) != Some(std::cmp::Ordering::Greater) {
+        if !exceeds(delta, 2.0) {
             return None;
         }
         if !Guarantee::PaperRatio.satisfies(&req.guarantee) {
@@ -364,9 +365,7 @@ impl Solver for NaiveRlsBackend {
         let ObjectiveMode::BiObjective { delta } = req.objective else {
             return None;
         };
-        if delta.partial_cmp(&2.0) != Some(std::cmp::Ordering::Greater)
-            || !Guarantee::PaperRatio.satisfies(&req.guarantee)
-        {
+        if !exceeds(delta, 2.0) || !Guarantee::PaperRatio.satisfies(&req.guarantee) {
             return None;
         }
         Some(RANK_ORACLE)
@@ -478,7 +477,7 @@ impl Solver for KernelTriBackend {
         let ObjectiveMode::TriObjective { delta } = req.objective else {
             return None;
         };
-        if delta.partial_cmp(&2.0) != Some(std::cmp::Ordering::Greater)
+        if !exceeds(delta, 2.0)
             || !independent_shaped(req)
             || !Guarantee::PaperRatio.satisfies(&req.guarantee)
         {
@@ -702,7 +701,7 @@ impl Solver for PtasBackend {
         match req.guarantee {
             Guarantee::Exact => None,
             Guarantee::EpsilonOptimal(eps) => {
-                if !(eps > 0.0 && eps < 1.0) {
+                if !(exceeds(eps, 0.0) && exceeds(1.0, eps)) {
                     return None;
                 }
                 let tasks = req.tasks();
@@ -901,9 +900,7 @@ impl Solver for ExactEnumBackend {
         };
         match req.objective {
             ObjectiveMode::BiObjective { delta } => {
-                if delta.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
-                    || !delta.is_finite()
-                {
+                if !finite_gt(delta, 0.0) {
                     return Err(ModelError::InvalidParameter {
                         name: "delta",
                         value: delta,
@@ -989,7 +986,7 @@ impl Solver for ConstrainedBackend {
                 } else {
                     mmax_lower_bound(tasks, p.m())
                 };
-                if budget > 2.0 * lb {
+                if exceeds(budget, 2.0 * lb) {
                     Guarantee::PaperRatio
                 } else {
                     Guarantee::None
@@ -1253,6 +1250,7 @@ impl Portfolio {
         plans.sort_by(|a, b| {
             a.cost
                 .work
+                // sws-lint: allow(float-discipline, reason = "IEEE-754 total order over cost estimates: deterministic ranking that must not panic mid-serve; no schedule tie-break flows through it")
                 .total_cmp(&b.cost.work)
                 .then(a.rank.cmp(&b.rank))
         });

@@ -42,6 +42,7 @@ use sws_listsched::priority::{
 };
 use sws_model::bounds::mmax_lower_bound;
 use sws_model::error::ModelError;
+use sws_model::numeric::{exceeds, finite_gt};
 use sws_model::objectives::ObjectivePoint;
 use sws_model::schedule::TimedSchedule;
 use sws_model::solve::{BackendId, BoundReport, Guarantee, Solution, SolveStats};
@@ -213,7 +214,7 @@ pub fn lemma4_marked_bound(m: usize, delta: f64) -> usize {
 /// The Corollary 3 guarantee of RLS∆ on `m` processors:
 /// `(2 + 1/(∆−2) − (∆−1)/(m(∆−2)), ∆)` for `∆ > 2`.
 pub fn rls_guarantee(delta: f64, m: usize) -> (f64, f64) {
-    assert!(delta > 2.0, "the RLS guarantee requires ∆ > 2");
+    assert!(exceeds(delta, 2.0), "the RLS guarantee requires ∆ > 2");
     let m = m as f64;
     (
         2.0 + 1.0 / (delta - 2.0) - (delta - 1.0) / (m * (delta - 2.0)),
@@ -224,7 +225,7 @@ pub fn rls_guarantee(delta: f64, m: usize) -> (f64, f64) {
 /// Validates the RLS parameter `∆ > 2` (finite). Shared with the batch
 /// serving path so the accepted parameter range can never drift.
 pub(crate) fn validate_rls_delta(delta: f64) -> Result<(), ModelError> {
-    if delta.partial_cmp(&2.0) != Some(std::cmp::Ordering::Greater) || !delta.is_finite() {
+    if !finite_gt(delta, 2.0) {
         return Err(ModelError::InvalidParameter {
             name: "delta",
             value: delta,

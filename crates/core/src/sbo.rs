@@ -19,6 +19,7 @@
 //! `(1 + ∆ + ε, 1 + 1/∆ + ε)` family of Corollary 1.
 
 use sws_model::error::ModelError;
+use sws_model::numeric::{exactly_zero, exceeds, finite_gt};
 use sws_model::objectives::{cmax_of_assignment, mmax_of_assignment};
 use sws_model::schedule::Assignment;
 use sws_model::solve::{BackendId, BoundReport, Guarantee, Solution, SolveStats};
@@ -211,7 +212,7 @@ impl<'a> SboEngine<'a> {
     /// computes the two reference schedules.
     pub fn new(inst: &'a Instance, inner: InnerAlgorithm) -> Result<Self, ModelError> {
         if let InnerAlgorithm::Ptas { eps } = inner {
-            if !(eps > 0.0 && eps < 1.0) {
+            if !(exceeds(eps, 0.0) && exceeds(1.0, eps)) {
                 return Err(ModelError::InvalidParameter {
                     name: "eps",
                     value: eps,
@@ -288,7 +289,8 @@ impl<'a> SboEngine<'a> {
     /// abusing a tiny sentinel ∆ that could collide with a user grid.
     pub fn cmax_limit(&self) -> Result<Assignment, ModelError> {
         let (assignment, _) = self.route(|inst, i| {
-            inst.p(i) * self.reference_mmax == 0.0 && inst.s(i) * self.reference_cmax > 0.0
+            exactly_zero(inst.p(i) * self.reference_mmax)
+                && exceeds(inst.s(i) * self.reference_cmax, 0.0)
         })?;
         Ok(assignment)
     }
@@ -297,7 +299,8 @@ impl<'a> SboEngine<'a> {
     /// `π₂` whenever `s_i·C > 0` (for large enough ∆ the rule routes it
     /// there), and `π₁` otherwise. The π₂-only sweep endpoint.
     pub fn mmax_limit(&self) -> Result<Assignment, ModelError> {
-        let (assignment, _) = self.route(|inst, i| inst.s(i) * self.reference_cmax > 0.0)?;
+        let (assignment, _) =
+            self.route(|inst, i| exceeds(inst.s(i) * self.reference_cmax, 0.0))?;
         Ok(assignment)
     }
 
@@ -327,7 +330,7 @@ impl<'a> SboEngine<'a> {
 
 /// Validates the threshold-rule parameter `∆ > 0` (finite).
 fn validate_delta(delta: f64) -> Result<(), ModelError> {
-    if delta.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !delta.is_finite() {
+    if !finite_gt(delta, 0.0) {
         return Err(ModelError::InvalidParameter {
             name: "delta",
             value: delta,

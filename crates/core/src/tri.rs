@@ -16,6 +16,7 @@
 
 use sws_model::bounds::LowerBounds;
 use sws_model::error::ModelError;
+use sws_model::numeric::{at_most, exceeds};
 use sws_model::objectives::TriObjectivePoint;
 use sws_model::ratio::{Reference, TriRatioReport};
 use sws_model::solve::{BackendId, BoundReport, Guarantee, Solution, SolveStats};
@@ -122,7 +123,10 @@ fn finish_tri(
 /// fraction `ρ ∈ (0, 1]` of the processors is within `1/ρ + 1` of the SPT
 /// value on all processors (and SPT is optimal for `P ∥ ΣC_i`).
 pub fn lemma6_degradation(rho: f64) -> f64 {
-    assert!(rho > 0.0 && rho <= 1.0, "Lemma 6 requires 0 < ρ ≤ 1");
+    assert!(
+        exceeds(rho, 0.0) && at_most(rho, 1.0),
+        "Lemma 6 requires 0 < ρ ≤ 1"
+    );
     1.0 / rho + 1.0
 }
 

@@ -33,6 +33,8 @@
 //! assert_eq!(g.critical_path_length(), 3.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod csr;
 pub mod generators;

@@ -22,6 +22,8 @@
 //! instances of roughly `n ≤ 16`; they assert nothing about larger inputs
 //! but become slow.
 
+#![forbid(unsafe_code)]
+
 pub mod branch_bound;
 pub mod brute;
 pub mod dp;

@@ -1,0 +1,23 @@
+// sws-lint: treat-as crates/service/src/fx_allow.rs
+//! Directive fixture: allows are line-scoped, stale allows and
+//! malformed directives are violations themselves.
+
+fn suppressed_trailing(x: Option<u32>) -> u32 {
+    x.unwrap() // sws-lint: allow(panic-policy, reason = "fixture: trailing allow binds to its own line")
+}
+
+fn suppressed_standalone(x: Option<u32>) -> u32 {
+    // sws-lint: allow(panic-policy, reason = "fixture: standalone allow binds to the next code line")
+    x.unwrap()
+}
+
+fn not_suppressed(x: Option<u32>) -> u32 {
+    // the allows above are line-scoped, so this one still fires
+    x.unwrap()
+}
+
+// sws-lint: allow(panic-policy, reason = "fixture: stale, suppresses nothing")
+fn clean() {}
+
+// sws-lint: allow(panic-policy)
+fn missing_reason() {}

@@ -1,0 +1,22 @@
+// sws-lint: treat-as crates/service/src/fx_cfg.rs
+//! Region fixture: rules are silent inside #[cfg(test)] items and
+//! #[test] functions; live code still fires.
+
+fn live(v: &[u32]) -> u32 {
+    v[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_freely() {
+        let x: Option<u32> = None;
+        x.unwrap();
+        panic!("fine in tests");
+    }
+}
+
+#[test]
+fn item_level_test_fn(oops: Option<u32>) {
+    oops.unwrap();
+}

@@ -1,0 +1,16 @@
+// sws-lint: treat-as crates/service/src/fx_chars.rs
+//! Lexer fixture: lifetimes, loop labels, and char literals (including
+//! escaped quotes) must not desync the stream.
+
+fn soup<'a, 'b: 'a>(x: &'a str, c: char) -> bool {
+    let is_quote = c == '\'' || c == '"';
+    let underscore: &'_ str = x;
+    'outer: for _ in 0..1 {
+        break 'outer;
+    }
+    is_quote && matches!(c, 'a' | 'z') && !underscore.is_empty()
+}
+
+fn after_the_soup(v: Option<u8>) -> u8 {
+    v.expect("lexer stayed in sync")
+}

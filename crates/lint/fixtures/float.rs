@@ -1,0 +1,22 @@
+// sws-lint: treat-as crates/core/src/fx_float.rs
+//! Float fixture: comparisons against float literals / f64 consts and
+//! cmp escapes are flagged; integer comparisons and ranges are not.
+
+fn flagged(delta: f64, x: f64, y: f64) -> bool {
+    let a = delta <= 2.0;
+    let b = x == f64::INFINITY;
+    let c = x.partial_cmp(&y).is_some();
+    let d = x.total_cmp(&y).is_eq();
+    let e = -1.0 < x;
+    a && b && c && d && e
+}
+
+fn not_flagged(n: usize, xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for i in 0..n.min(xs.len()) {
+        if i < n {
+            sum += xs.get(i).copied().unwrap_or(1.0f64.max(0.5));
+        }
+    }
+    sum
+}

@@ -1,0 +1,24 @@
+// sws-lint: treat-as crates/listsched/src/fx_hot.rs
+//! Hot-path fixture: allocation calls are violations only between the
+//! markers; identical calls outside are fine.
+
+fn cold_before(n: usize) -> Vec<u32> {
+    let mut v = Vec::with_capacity(n);
+    v.push(0);
+    v
+}
+
+// sws-lint: hot-path
+fn hot(xs: &[u32], buf: &mut Vec<u32>) -> u32 {
+    let v: Vec<u32> = xs.iter().copied().collect();
+    let w = vec![0u32; 4];
+    let b = Box::new(xs.len() as u32);
+    let s = format!("{}", v.len());
+    buf.push(w[0] + *b + s.len() as u32);
+    buf[0]
+}
+// sws-lint: end-hot-path
+
+fn cold_after() -> String {
+    String::from("fine out here").to_owned()
+}

@@ -1,0 +1,17 @@
+// sws-lint: treat-as crates/service/src/fx_lock.rs
+//! Lock fixture: inconsistent AB/BA ordering across functions is a
+//! potential deadlock; a bare acquisition is a violation on its own.
+
+fn ab(s: &Shared) {
+    let _a = s.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+    let _b = s.beta.lock().unwrap_or_else(PoisonError::into_inner);
+}
+
+fn ba(s: &Shared) {
+    let _b = s.beta.lock().unwrap_or_else(PoisonError::into_inner);
+    let _a = s.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+}
+
+fn bare(s: &Shared) {
+    let _g = s.gamma.lock().unwrap();
+}

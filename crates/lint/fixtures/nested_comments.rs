@@ -1,0 +1,9 @@
+// sws-lint: treat-as crates/service/src/fx_comments.rs
+//! Lexer fixture: nested block comments swallow panic sites at any
+//! depth; code after the comment closes is live again.
+
+/* outer /* inner x.unwrap() */ still commented panic!("no") */
+fn live(z: Option<u32>) -> u32 {
+    /* one level: y.expect("hidden") */
+    z.unwrap()
+}

@@ -1,0 +1,15 @@
+// sws-lint: treat-as crates/service/src/fx_raw.rs
+//! Lexer fixture: panic-like text inside raw strings must not fire;
+//! the delimiter depth must not desync the token stream.
+
+fn emits_docs() -> &'static str {
+    r#"calling x.unwrap() then panic!("boom") inside a raw string"#
+}
+
+fn nested_hash_depth() -> &'static str {
+    r##"outer r#"inner x.expect("no") "# still the same string"##
+}
+
+fn real_violation(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,7 @@
+// sws-lint: treat-as crates/service/src/seeded_ci.rs
+//! Seeded violation: the CI lint job runs the linter over this file and
+//! asserts it FAILS, proving the gate can stop a real regression.
+
+fn seeded(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,133 @@
+//! Diagnostics and the two output renderers (human, `--json`).
+
+use std::fmt::Write as _;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (`panic-policy`, `lock-discipline`,
+    /// `float-discipline`, `hot-path-alloc`, `malformed-directive`,
+    /// `unused-allow`).
+    pub rule: &'static str,
+    /// Path as reported (workspace-relative when walking).
+    pub file: String,
+    /// 1-indexed source line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn render_human(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Full run report.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub violations: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Stable ordering: file, then line, then rule.
+    pub fn sort(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.violations {
+            let _ = writeln!(out, "{}", d.render_human());
+        }
+        let _ = writeln!(
+            out,
+            "sws-lint: {} file(s) scanned, {} violation(s)",
+            self.files_scanned,
+            self.violations.len()
+        );
+        out
+    }
+
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"violation_count\": {},", self.violations.len());
+        out.push_str("  \"violations\": [");
+        for (i, d) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(d.rule),
+                json_str(&d.file),
+                d.line,
+                json_str(&d.message)
+            );
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let mut r = Report {
+            files_scanned: 2,
+            violations: vec![Diagnostic {
+                rule: "panic-policy",
+                file: "b.rs".into(),
+                line: 3,
+                message: "x".into(),
+            }],
+        };
+        r.sort();
+        let j = r.render_json();
+        assert!(j.contains("\"violation_count\": 1"));
+        assert!(j.contains("\"rule\": \"panic-policy\""));
+        assert!(j.contains("\"line\": 3"));
+    }
+}

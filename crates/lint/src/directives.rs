@@ -1,0 +1,217 @@
+//! `// sws-lint: …` directive parsing.
+//!
+//! Supported forms:
+//!
+//! * `// sws-lint: allow(<rule>, reason = "…")` — suppress `<rule>` on
+//!   the directive's own line (trailing form) or, when the directive is
+//!   alone on its line, on the **next line containing code**. Stacked
+//!   directive lines all target the same following code line.
+//! * `// sws-lint: allow-file(<rule>, reason = "…")` — suppress
+//!   `<rule>` for the whole file.
+//! * `// sws-lint: hot-path` / `// sws-lint: end-hot-path` — delimit a
+//!   hot-path region (handled by [`crate::regions`]).
+//! * `// sws-lint: treat-as <path>` — lint this file as if it lived at
+//!   `<path>` (rule scoping is path-based; fixtures use this).
+//!
+//! A reason is mandatory and must be non-empty: an allow-directive is a
+//! reviewed justification, not an off switch. Malformed directives are
+//! themselves diagnostics (`malformed-directive`), and allows that
+//! suppress nothing are reported as `unused-allow` so stale
+//! justifications cannot linger.
+
+use crate::lexer::{Kind, Tok};
+
+/// One parsed `allow` / `allow-file` directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: String,
+    pub reason: String,
+    /// Line the directive comment sits on.
+    pub line: u32,
+    /// Line whose diagnostics it suppresses; `None` = whole file.
+    pub target: Option<u32>,
+}
+
+/// Parse results for one file.
+#[derive(Debug, Default)]
+pub struct Directives {
+    pub allows: Vec<Allow>,
+    /// Overrides the path used for rule scoping (`treat-as`).
+    pub treat_as: Option<String>,
+    /// `(line, explanation)` pairs for unparseable directives.
+    pub malformed: Vec<(u32, String)>,
+}
+
+/// Extract directives from the token stream. `toks` must be the full
+/// file stream so line targeting can see neighbouring code tokens.
+pub fn parse(toks: &[Tok]) -> Directives {
+    let mut out = Directives::default();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != Kind::Comment || !t.text.starts_with("//") {
+            continue;
+        }
+        let body = t.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("sws-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest == "hot-path" || rest == "end-hot-path" {
+            continue; // region markers, handled elsewhere
+        }
+        if let Some(path) = rest.strip_prefix("treat-as") {
+            let path = path.trim();
+            if path.is_empty() {
+                out.malformed
+                    .push((t.line, "treat-as needs a path".to_string()));
+            } else {
+                out.treat_as = Some(path.to_string());
+            }
+            continue;
+        }
+        let (file_scoped, args) = if let Some(a) = rest.strip_prefix("allow-file") {
+            (true, a)
+        } else if let Some(a) = rest.strip_prefix("allow") {
+            (false, a)
+        } else {
+            out.malformed.push((
+                t.line,
+                format!("unknown directive `{rest}` (expected allow, allow-file, hot-path, end-hot-path, or treat-as)"),
+            ));
+            continue;
+        };
+        match parse_allow_args(args) {
+            Ok((rule, reason)) => {
+                let target = if file_scoped {
+                    None
+                } else {
+                    Some(target_line(toks, i))
+                };
+                out.allows.push(Allow {
+                    rule,
+                    reason,
+                    line: t.line,
+                    target,
+                });
+            }
+            Err(why) => out.malformed.push((t.line, why)),
+        }
+    }
+    out
+}
+
+/// Parse `(<rule>, reason = "…")`.
+fn parse_allow_args(args: &str) -> Result<(String, String), String> {
+    let args = args.trim();
+    let inner = args
+        .strip_prefix('(')
+        .and_then(|a| a.strip_suffix(')'))
+        .ok_or_else(|| "allow directive needs (<rule>, reason = \"…\")".to_string())?;
+    let (rule, rest) = inner
+        .split_once(',')
+        .ok_or_else(|| "allow directive needs a reason".to_string())?;
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return Err(format!("bad rule name `{rule}`"));
+    }
+    let rest = rest.trim();
+    let value = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim)
+        .ok_or_else(|| "allow directive needs reason = \"…\"".to_string())?;
+    let reason = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| "reason must be a quoted string".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".to_string());
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+/// The line a non-file allow at token `i` suppresses: its own line when
+/// code precedes it there (trailing form), otherwise the line of the
+/// next non-comment token.
+fn target_line(toks: &[Tok], i: usize) -> u32 {
+    let line = toks[i].line;
+    let trailing = toks[..i]
+        .iter()
+        .rev()
+        .take_while(|t| t.line == line)
+        .any(|t| t.kind != Kind::Comment);
+    if trailing {
+        return line;
+    }
+    toks[i + 1..]
+        .iter()
+        .find(|t| t.kind != Kind::Comment)
+        .map(|t| t.line)
+        .unwrap_or(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let src = "let x = v[0]; // sws-lint: allow(panic-policy, reason = \"bounded above\")";
+        let d = parse(&lex(src));
+        assert_eq!(d.allows.len(), 1);
+        assert_eq!(d.allows[0].rule, "panic-policy");
+        assert_eq!(d.allows[0].target, Some(1));
+    }
+
+    #[test]
+    fn standalone_allow_targets_next_code_line() {
+        let src = "\n// sws-lint: allow(float-discipline, reason = \"exact sentinel\")\n// explanatory comment\nif x == 0.0 {}\n";
+        let d = parse(&lex(src));
+        assert_eq!(d.allows[0].target, Some(4));
+    }
+
+    #[test]
+    fn stacked_allows_share_a_target() {
+        let src = "// sws-lint: allow(panic-policy, reason = \"a\")\n// sws-lint: allow(float-discipline, reason = \"b\")\ncode();";
+        let d = parse(&lex(src));
+        assert_eq!(d.allows[0].target, Some(3));
+        assert_eq!(d.allows[1].target, Some(3));
+    }
+
+    #[test]
+    fn allow_file_has_no_target() {
+        let src = "// sws-lint: allow-file(hot-path-alloc, reason = \"generated\")\nfn f() {}";
+        let d = parse(&lex(src));
+        assert_eq!(d.allows[0].target, None);
+    }
+
+    #[test]
+    fn treat_as_overrides_path() {
+        let src = "// sws-lint: treat-as crates/service/src/x.rs\nfn f() {}";
+        let d = parse(&lex(src));
+        assert_eq!(d.treat_as.as_deref(), Some("crates/service/src/x.rs"));
+    }
+
+    #[test]
+    fn malformed_directives_are_reported() {
+        for bad in [
+            "// sws-lint: allow(panic-policy)",
+            "// sws-lint: allow(panic-policy, reason = \"\")",
+            "// sws-lint: allow(panic policy, reason = \"x\")",
+            "// sws-lint: frobnicate",
+            "// sws-lint: treat-as",
+        ] {
+            let d = parse(&lex(bad));
+            assert_eq!(d.malformed.len(), 1, "should reject: {bad}");
+            assert!(d.allows.is_empty());
+        }
+    }
+
+    #[test]
+    fn a_directive_inside_a_string_is_text() {
+        let src = "let s = \"// sws-lint: allow(panic-policy, reason = \\\"no\\\")\";";
+        let d = parse(&lex(src));
+        assert!(d.allows.is_empty());
+    }
+}

@@ -1,0 +1,307 @@
+//! Orchestration: file discovery, the per-file pass (lex → regions →
+//! directives → rules → allow filtering), and the cross-file
+//! lock-order cycle analysis.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Diagnostic, Report};
+use crate::directives::{self, Allow};
+use crate::lexer;
+use crate::regions;
+use crate::rules::{self, FileCtx, LockEdgeSite};
+
+/// Result of linting one source text.
+pub struct FileResult {
+    pub diags: Vec<Diagnostic>,
+    /// Per-function mutex acquisition sequences (lexical order).
+    pub lock_sequences: Vec<Vec<LockEdgeSite>>,
+}
+
+/// Lint one file's source under a logical path. This is the unit the
+/// fixture tests drive directly; [`run`] wraps it with file walking and
+/// the cycle pass.
+pub fn lint_source(path: &str, src: &str) -> FileResult {
+    let toks = lexer::lex(src);
+    let regs = regions::scan(&toks);
+    let dirs = directives::parse(&toks);
+    let logical = dirs.treat_as.as_deref().unwrap_or(path);
+    let ctx = FileCtx {
+        path: logical,
+        toks: &toks,
+        regions: &regs,
+    };
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    raw.extend(rules::panic_policy(&ctx));
+    let (lock_diags, lock_sequences) = rules::lock_discipline(&ctx);
+    raw.extend(lock_diags);
+    raw.extend(rules::float_discipline(&ctx));
+    raw.extend(rules::hot_path_alloc(&ctx));
+
+    let mut allows: Vec<(Allow, bool)> = dirs.allows.into_iter().map(|a| (a, false)).collect();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for d in raw {
+        if let Some((_, used)) = allows
+            .iter_mut()
+            .find(|(a, _)| a.rule == d.rule && a.target.is_none_or(|t| t == d.line))
+        {
+            *used = true;
+        } else {
+            diags.push(d);
+        }
+    }
+
+    // Directive hygiene: malformed directives, unknown rule names,
+    // unpaired hot-path markers, and allows that suppressed nothing.
+    for (line, why) in dirs.malformed {
+        diags.push(Diagnostic {
+            rule: rules::MALFORMED_DIRECTIVE,
+            file: logical.to_string(),
+            line,
+            message: why,
+        });
+    }
+    for line in &regs.unpaired_hot_markers {
+        diags.push(Diagnostic {
+            rule: rules::MALFORMED_DIRECTIVE,
+            file: logical.to_string(),
+            line: *line,
+            message: "unpaired hot-path marker".to_string(),
+        });
+    }
+    for (a, used) in allows {
+        if !rules::ALLOWABLE_RULES.contains(&a.rule.as_str()) {
+            diags.push(Diagnostic {
+                rule: rules::MALFORMED_DIRECTIVE,
+                file: logical.to_string(),
+                line: a.line,
+                message: format!("allow names unknown rule `{}`", a.rule),
+            });
+        } else if !used {
+            diags.push(Diagnostic {
+                rule: rules::UNUSED_ALLOW,
+                file: logical.to_string(),
+                line: a.line,
+                message: format!(
+                    "allow({}) suppresses nothing; remove it or fix its target",
+                    a.rule
+                ),
+            });
+        }
+    }
+
+    FileResult {
+        diags,
+        lock_sequences,
+    }
+}
+
+/// Build the lock-order graph from every function's acquisition
+/// sequence and report each distinct cycle as a potential deadlock.
+///
+/// The extractor is deliberately conservative and intra-function: an
+/// edge A→B means *some* function acquires A lexically before B;
+/// guard-drop tracking is beyond a lexical tool, so a reported cycle is
+/// a review prompt, not proof. Self-edges (the same lock acquired
+/// twice in one function) are excluded — sequential re-acquisition
+/// with non-overlapping guards is the common benign shape.
+pub fn lock_cycle_diags(sequences: &[Vec<LockEdgeSite>]) -> Vec<Diagnostic> {
+    // edge -> first observed site.
+    let mut edges: BTreeMap<(String, String), LockEdgeSite> = BTreeMap::new();
+    for seq in sequences {
+        for i in 0..seq.len() {
+            for j in i + 1..seq.len() {
+                if seq[i].lock == seq[j].lock {
+                    continue;
+                }
+                edges
+                    .entry((seq[i].lock.clone(), seq[j].lock.clone()))
+                    .or_insert_with(|| seq[j].clone());
+            }
+        }
+    }
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+
+    let mut reported: BTreeSet<BTreeSet<String>> = BTreeSet::new();
+    let mut out = Vec::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut path: Vec<&str> = Vec::new();
+        dfs(start, &adj, &mut path, &mut |cycle: &[&str]| {
+            let key: BTreeSet<String> = cycle.iter().map(|s| s.to_string()).collect();
+            if !reported.insert(key) {
+                return;
+            }
+            let mut ring: Vec<&str> = cycle.to_vec();
+            ring.push(cycle[0]);
+            let sites: Vec<String> = ring
+                .windows(2)
+                .filter_map(|w| edges.get(&(w[0].to_string(), w[1].to_string())))
+                .map(|s| format!("{}:{} in fn {}", s.file, s.line, s.func))
+                .collect();
+            let site = edges
+                .get(&(ring[0].to_string(), ring[1].to_string()))
+                .expect("cycle edges exist");
+            out.push(Diagnostic {
+                rule: rules::LOCK_DISCIPLINE,
+                file: site.file.clone(),
+                line: site.line,
+                message: format!(
+                    "potential deadlock: lock-order cycle {} (acquired at {})",
+                    ring.join(" -> "),
+                    sites.join(", ")
+                ),
+            });
+        });
+    }
+    out
+}
+
+/// Depth-first walk from `node` reporting every cycle that returns to a
+/// node currently on `path`. The path bounds recursion depth by the
+/// number of distinct lock names, which is tiny in practice.
+fn dfs<'g>(
+    node: &'g str,
+    adj: &BTreeMap<&'g str, Vec<&'g str>>,
+    path: &mut Vec<&'g str>,
+    on_cycle: &mut dyn FnMut(&[&str]),
+) {
+    if let Some(pos) = path.iter().position(|&n| n == node) {
+        on_cycle(&path[pos..]);
+        return;
+    }
+    path.push(node);
+    if let Some(nexts) = adj.get(node) {
+        for &next in nexts {
+            dfs(next, adj, path, on_cycle);
+        }
+    }
+    path.pop();
+}
+
+/// Directories never descended into.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name == ".git" || name == "fixtures"
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !skip_dir(name) {
+                collect(&path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run the linter over `root` (or over the explicit `paths` when
+/// non-empty), returning the full report. Paths in diagnostics are
+/// reported relative to `root` with `/` separators.
+pub fn run(root: &Path, paths: &[PathBuf]) -> io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    if paths.is_empty() {
+        collect(root, &mut files)?;
+    } else {
+        for p in paths {
+            let abs = if p.is_absolute() {
+                p.clone()
+            } else {
+                root.join(p)
+            };
+            if abs.is_dir() {
+                collect(&abs, &mut files)?;
+            } else {
+                files.push(abs);
+            }
+        }
+    }
+
+    let mut report = Report::default();
+    let mut sequences: Vec<Vec<LockEdgeSite>> = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(file)?;
+        let result = lint_source(&rel, &src);
+        report.files_scanned += 1;
+        report.violations.extend(result.diags);
+        sequences.extend(result.lock_sequences);
+    }
+    report.violations.extend(lock_cycle_diags(&sequences));
+    report.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_suppresses_and_is_marked_used() {
+        let src =
+            "fn f() {\n // sws-lint: allow(panic-policy, reason = \"bounded\")\n x.unwrap();\n}";
+        let r = lint_source("crates/service/src/a.rs", src);
+        assert!(r.diags.is_empty(), "{:?}", r.diags);
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let src = "// sws-lint: allow(panic-policy, reason = \"stale\")\nfn f() { clean(); }";
+        let r = lint_source("crates/service/src/a.rs", src);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].rule, rules::UNUSED_ALLOW);
+    }
+
+    #[test]
+    fn allow_for_unknown_rule_is_malformed() {
+        let src = "// sws-lint: allow(no-such-rule, reason = \"x\")\nfn f() {}";
+        let r = lint_source("crates/service/src/a.rs", src);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].rule, rules::MALFORMED_DIRECTIVE);
+    }
+
+    #[test]
+    fn treat_as_reroutes_scoping() {
+        let src = "// sws-lint: treat-as crates/service/src/x.rs\nfn f() { y.unwrap(); }";
+        let r = lint_source("crates/lint/fixtures/whatever.rs", src);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].rule, rules::PANIC_POLICY);
+        assert_eq!(r.diags[0].file, "crates/service/src/x.rs");
+    }
+
+    #[test]
+    fn lock_cycle_across_two_functions_is_flagged() {
+        let src = "fn ab() { a.lock().unwrap_or_else(PoisonError::into_inner); b.lock().unwrap_or_else(PoisonError::into_inner); }\nfn ba() { b.lock().unwrap_or_else(PoisonError::into_inner); a.lock().unwrap_or_else(PoisonError::into_inner); }";
+        let r = lint_source("crates/service/src/q.rs", src);
+        assert!(r.diags.is_empty());
+        let cycles = lock_cycle_diags(&r.lock_sequences);
+        assert_eq!(cycles.len(), 1);
+        assert!(cycles[0].message.contains("lock-order cycle"));
+        assert!(cycles[0].message.contains("q::a"));
+    }
+
+    #[test]
+    fn consistent_lock_order_has_no_cycle() {
+        let src = "fn ab() { a.lock().unwrap_or_else(PoisonError::into_inner); b.lock().unwrap_or_else(PoisonError::into_inner); }\nfn ab2() { a.lock().unwrap_or_else(PoisonError::into_inner); b.lock().unwrap_or_else(PoisonError::into_inner); }";
+        let r = lint_source("crates/service/src/q.rs", src);
+        assert!(lock_cycle_diags(&r.lock_sequences).is_empty());
+    }
+}

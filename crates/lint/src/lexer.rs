@@ -1,0 +1,589 @@
+//! A hand-rolled Rust tokenizer.
+//!
+//! The workspace builds offline, so `syn`/`proc-macro2` are not
+//! available; the lint rules only need a faithful *lexical* view of the
+//! source anyway. The tokenizer handles every construct that could make
+//! a naive scanner misreport a rule site:
+//!
+//! * line comments and **nested** block comments (`/* /* */ */`);
+//! * string literals with escapes, byte strings, and **raw strings**
+//!   (`r"…"`, `r#"…"#`, arbitrary `#` depth, `br#"…"#`) — an
+//!   `unwrap()` spelled inside any of these is text, not code;
+//! * the char-literal / lifetime ambiguity (`'a'` vs `<'a>`), including
+//!   escaped chars (`'\''`) and `'_'`;
+//! * raw identifiers (`r#match`);
+//! * numeric literals with a float/integer distinction (`1.0`, `2.`,
+//!   `1e-9`, `3f64` are floats; `1`, `0xff`, `1.max(2)`'s `1`, and
+//!   tuple-index `.0` are not) — the float-discipline rule keys on it.
+//!
+//! Every token records the 1-indexed source line it starts on; that
+//! line is the currency of diagnostics and allow-directives.
+
+/// Lexical class of a [`Tok`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (the lexer does not distinguish; rules
+    /// consult [`is_keyword`] where it matters).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// A char or byte-char literal.
+    CharLit,
+    /// Any string literal: plain, raw, byte, raw byte.
+    StrLit,
+    /// Numeric literal; `float` is true for floating-point literals.
+    Num { float: bool },
+    /// Operator / punctuation (text holds the exact spelling).
+    Punct,
+    /// `(`, `[` or `{` — the byte is in the token text.
+    Open,
+    /// `)`, `]` or `}` — the byte is in the token text.
+    Close,
+    /// Line or block comment, text preserved (directives live here).
+    Comment,
+}
+
+/// One token: kind, exact source text, and the 1-indexed line it
+/// starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == Kind::Ident && self.text == word
+    }
+
+    /// True when this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == Kind::Punct && self.text == p
+    }
+
+    /// True when this token opens the given bracket byte.
+    pub fn opens(&self, b: char) -> bool {
+        self.kind == Kind::Open && self.text.as_bytes()[0] == b as u8
+    }
+
+    /// True when this token closes the given bracket byte.
+    pub fn closes(&self, b: char) -> bool {
+        self.kind == Kind::Close && self.text.as_bytes()[0] == b as u8
+    }
+}
+
+/// Rust keywords that can directly precede a `[` without forming an
+/// index expression (`for x in [1, 2]`, `return [0; 4]`, …). The
+/// panic-policy rule uses this set to tell slice indexing apart from
+/// array literals.
+pub fn is_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "as" | "async"
+            | "await"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+    )
+}
+
+/// Multi-character operators, longest first so greedy matching is
+/// correct (`<<=` before `<<` before `<`).
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "::", "->", "=>", "&&", "||", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Tokenize `src`. The lexer never fails: malformed input degrades to
+/// single-character punctuation tokens rather than aborting, so the
+/// linter stays usable on work-in-progress files.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.char_indices().collect(),
+        src,
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    chars: Vec<(usize, char)>,
+    src: &'s str,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl<'s> Lexer<'s> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_at(&self, idx: usize) -> usize {
+        self.chars
+            .get(idx)
+            .map(|&(b, _)| b)
+            .unwrap_or(self.src.len())
+    }
+
+    /// Advance one char, counting newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn push(&mut self, kind: Kind, start: usize, line: u32) {
+        let text = self.src[self.byte_at(start)..self.byte_at(self.pos)].to_string();
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    while let Some(c) = self.peek(0) {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    self.push(Kind::Comment, start, line);
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    self.block_comment(start, line);
+                }
+                'r' | 'b' => {
+                    if !self.raw_or_byte_literal(start, line) {
+                        self.ident(start, line);
+                    }
+                }
+                '"' => {
+                    self.bump();
+                    self.string_body('"');
+                    self.push(Kind::StrLit, start, line);
+                }
+                '\'' => self.char_or_lifetime(start, line),
+                c if c.is_ascii_digit() => self.number(start, line),
+                c if c == '_' || c.is_alphabetic() => self.ident(start, line),
+                '(' | '[' | '{' => {
+                    self.bump();
+                    self.push(Kind::Open, start, line);
+                }
+                ')' | ']' | '}' => {
+                    self.bump();
+                    self.push(Kind::Close, start, line);
+                }
+                _ => self.punct(start, line),
+            }
+        }
+        self.out
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        // Consume `/*`, then track nesting depth.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.push(Kind::Comment, start, line);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `br#"…"#`, `b'x'`.
+    /// Returns false when the `r`/`b` starts a plain identifier.
+    fn raw_or_byte_literal(&mut self, start: usize, line: u32) -> bool {
+        let c = self.peek(0).unwrap_or('\0');
+        let mut ahead = 1;
+        if c == 'b' && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        match self.peek(ahead) {
+            Some('"') | Some('#') if c == 'r' || ahead == 2 || self.peek(ahead) == Some('"') => {
+                // `b"…"` (ahead=1, next is quote) or raw-string family.
+                if c == 'b' && ahead == 1 && self.peek(1) == Some('"') {
+                    self.bump(); // b
+                    self.bump(); // "
+                    self.string_body('"');
+                    self.push(Kind::StrLit, start, line);
+                    return true;
+                }
+                // Raw string or raw identifier: consume prefix chars.
+                for _ in 0..ahead {
+                    self.bump();
+                }
+                let mut hashes = 0usize;
+                while self.peek(0) == Some('#') {
+                    hashes += 1;
+                    self.bump();
+                }
+                if self.peek(0) == Some('"') {
+                    self.bump();
+                    self.raw_string_body(hashes);
+                    self.push(Kind::StrLit, start, line);
+                } else if hashes == 1 && c == 'r' {
+                    // `r#ident` raw identifier.
+                    self.ident_continue();
+                    self.push(Kind::Ident, start, line);
+                } else {
+                    // Stray `#`s: emit what we have as punct-ish ident.
+                    self.push(Kind::Punct, start, line);
+                }
+                true
+            }
+            Some('\'') if c == 'b' && ahead == 1 => {
+                self.bump(); // b
+                self.bump(); // '
+                self.char_body();
+                self.push(Kind::CharLit, start, line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Body of a non-raw string after the opening quote.
+    fn string_body(&mut self, close: char) {
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == close {
+                break;
+            }
+        }
+    }
+
+    /// Body of a raw string after the opening quote: ends at `"` + the
+    /// same number of `#`s.
+    fn raw_string_body(&mut self, hashes: usize) {
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    /// Body of a char literal after the opening quote.
+    fn char_body(&mut self) {
+        if self.peek(0) == Some('\\') {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump();
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+    }
+
+    /// `'a'` is a char literal, `'a` is a lifetime; `'\n'` is a char,
+    /// `'_` is a lifetime, `'_'` is a char. The discriminator: an
+    /// ident-start char followed by anything but a closing `'` means
+    /// lifetime.
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        let one = self.peek(1);
+        let two = self.peek(2);
+        let is_lifetime = match one {
+            Some(c) if c == '_' || c.is_alphabetic() => two != Some('\''),
+            _ => false,
+        };
+        self.bump(); // '
+        if is_lifetime {
+            self.ident_continue();
+            self.push(Kind::Lifetime, start, line);
+        } else {
+            self.char_body();
+            self.push(Kind::CharLit, start, line);
+        }
+    }
+
+    fn ident_continue(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        self.ident_continue();
+        self.push(Kind::Ident, start, line);
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        let mut float = false;
+        let hex_or_binary = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('X') | Some('b') | Some('o'));
+        if hex_or_binary {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(Kind::Num { float: false }, start, line);
+            return;
+        }
+        while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+        // Fractional part: `.` counts only when followed by a digit, or
+        // by nothing that could continue an expression (`2.` is a float
+        // literal; `1..3` is a range; `1.max(2)` is a method call).
+        if self.peek(0) == Some('.') {
+            match self.peek(1) {
+                Some(c) if c.is_ascii_digit() => {
+                    float = true;
+                    self.bump();
+                    while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+                        self.bump();
+                    }
+                }
+                Some('.') => {}                                // range
+                Some(c) if c == '_' || c.is_alphabetic() => {} // method/field
+                _ => {
+                    float = true; // trailing-dot float `2.`
+                    self.bump();
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e') | Some('E')) {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            let exp = match sign {
+                Some(c) if c.is_ascii_digit() => true,
+                Some('+') | Some('-') => matches!(digit, Some(d) if d.is_ascii_digit()),
+                _ => false,
+            };
+            if exp {
+                float = true;
+                self.bump();
+                if matches!(self.peek(0), Some('+') | Some('-')) {
+                    self.bump();
+                }
+                while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+        }
+        // Suffix (`f64`, `u32`, …).
+        let suffix_start = self.pos;
+        self.ident_continue();
+        let suffix = &self.src[self.byte_at(suffix_start)..self.byte_at(self.pos)];
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            float = true;
+        }
+        self.push(Kind::Num { float }, start, line);
+    }
+
+    fn punct(&mut self, start: usize, line: u32) {
+        let rest: String = self.chars[self.pos..self.chars.len().min(self.pos + 3)]
+            .iter()
+            .map(|&(_, c)| c)
+            .collect();
+        for op in MULTI_PUNCT {
+            if rest.starts_with(op) {
+                for _ in 0..op.chars().count() {
+                    self.bump();
+                }
+                self.push(Kind::Punct, start, line);
+                return;
+            }
+        }
+        self.bump();
+        self.push(Kind::Punct, start, line);
+    }
+}
+
+/// Index of the previous non-comment token before `i`, if any.
+pub fn prev_code(toks: &[Tok], i: usize) -> Option<usize> {
+    (0..i).rev().find(|&j| toks[j].kind != Kind::Comment)
+}
+
+/// Index of the next non-comment token after `i`, if any.
+pub fn next_code(toks: &[Tok], i: usize) -> Option<usize> {
+    (i + 1..toks.len()).find(|&j| toks[j].kind != Kind::Comment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = kinds("a /* x /* unwrap() */ y */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].1, "a");
+        assert_eq!(toks[1].0, Kind::Comment);
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let toks = kinds(r####"let s = r#"x.unwrap() == 1.0"#; done"####);
+        assert!(toks.iter().all(|t| t.0 != Kind::Ident || t.1 != "unwrap"));
+        assert_eq!(toks.last().unwrap().1, "done");
+    }
+
+    #[test]
+    fn raw_string_with_two_hashes_and_embedded_quote_hash() {
+        let src = "r##\"inner \"# quote\"## after";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, Kind::StrLit);
+        assert_eq!(toks[1].1, "after");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"b"bytes" b'x' br#"raw"# tail"##);
+        assert_eq!(toks[0].0, Kind::StrLit);
+        assert_eq!(toks[1].0, Kind::CharLit);
+        assert_eq!(toks[2].0, Kind::StrLit);
+        assert_eq!(toks[3].1, "tail");
+    }
+
+    #[test]
+    fn char_versus_lifetime() {
+        let toks = kinds("<'a> 'a' '\\'' 'static '_ '_'");
+        let k: Vec<Kind> = toks.iter().map(|t| t.0).collect();
+        assert_eq!(
+            k,
+            vec![
+                Kind::Punct,    // <
+                Kind::Lifetime, // 'a
+                Kind::Punct,    // >
+                Kind::CharLit,  // 'a'
+                Kind::CharLit,  // '\''
+                Kind::Lifetime, // 'static
+                Kind::Lifetime, // '_
+                Kind::CharLit,  // '_'
+            ]
+        );
+    }
+
+    #[test]
+    fn float_detection() {
+        let float = |s: &str| matches!(lex(s)[0].kind, Kind::Num { float: true });
+        assert!(float("1.0"));
+        assert!(float("1e-9"));
+        assert!(float("2.5E3"));
+        assert!(float("3f64"));
+        assert!(float("2."));
+        assert!(!float("1"));
+        assert!(!float("0xff"));
+        assert!(!float("1u32"));
+        // `1.max(2)`: the `1` is an integer receiving a method call.
+        let toks = lex("1.max(2)");
+        assert!(matches!(toks[0].kind, Kind::Num { float: false }));
+        assert!(toks[2].is_ident("max"));
+        // Range `1..3` keeps both ends integral.
+        let toks = lex("1..3");
+        assert!(matches!(toks[0].kind, Kind::Num { float: false }));
+        assert!(toks[1].is_punct(".."));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("r#match r#fn plain");
+        assert_eq!(toks[0].0, Kind::Ident);
+        assert_eq!(toks[0].1, "r#match");
+        assert_eq!(toks[1].1, "r#fn");
+        assert_eq!(toks[2].1, "plain");
+    }
+
+    #[test]
+    fn multi_char_operators_are_greedy() {
+        let toks = kinds("a <= b == c != d >= e :: f");
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.0 == Kind::Punct)
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(ops, vec!["<=", "==", "!=", ">=", "::"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb \"str\ning\" c";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 5);
+    }
+}

@@ -1,0 +1,78 @@
+#![forbid(unsafe_code)]
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! sws-lint [--ci] [--json] [--root <dir>] [paths…]
+//! ```
+//!
+//! * no paths: lint every `.rs` file under the root (skipping
+//!   `target/`, `.git/`, and fixture corpora);
+//! * `--ci`: require the root to be a workspace root (a `Cargo.toml`
+//!   must exist) — the mode the CI gate runs;
+//! * `--json`: emit the machine-readable report on stdout instead of
+//!   human diagnostics.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut ci = false;
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ci" => ci = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: sws-lint [--ci] [--json] [--root <dir>] [paths...]");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                return usage(&format!("unknown flag {flag}"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    if ci && !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "sws-lint: --ci requires a workspace root (no Cargo.toml in {}); use --root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    match sws_lint::run(&root, &paths) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(err) => {
+            eprintln!("sws-lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("sws-lint: {msg}");
+    eprintln!("usage: sws-lint [--ci] [--json] [--root <dir>] [paths...]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,321 @@
+//! Region tracking over the token stream: `#[cfg(test)]` items,
+//! function bodies (for the lock-nesting extractor), and
+//! `// sws-lint: hot-path` … `// sws-lint: end-hot-path` spans.
+//!
+//! Everything here is brace-aware but type-blind: regions are resolved
+//! by matching bracket tokens, and membership queries are by source
+//! line — the same currency diagnostics and allow-directives use.
+
+use crate::lexer::{Kind, Tok};
+
+/// An inclusive line range `[start, end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineRange {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl LineRange {
+    pub fn contains(&self, line: u32) -> bool {
+        self.start <= line && line <= self.end
+    }
+}
+
+/// A function item: name, body token range (exclusive of the braces),
+/// and its line span. Closures are not functions; nested `fn` items are
+/// recorded separately (their tokens appear in both bodies, which is
+/// the conservative choice for lock-order extraction).
+#[derive(Debug, Clone)]
+pub struct FnRegion {
+    pub name: String,
+    /// Token indices of the body, `open_brace + 1 .. close_brace`.
+    pub body: (usize, usize),
+    pub lines: LineRange,
+}
+
+/// All regions of one file.
+#[derive(Debug, Default)]
+pub struct Regions {
+    pub test: Vec<LineRange>,
+    pub functions: Vec<FnRegion>,
+    pub hot: Vec<LineRange>,
+    /// Lines of `hot-path` / `end-hot-path` markers that could not be
+    /// paired; the engine reports these as `malformed-directive`.
+    pub unpaired_hot_markers: Vec<u32>,
+}
+
+impl Regions {
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test.iter().any(|r| r.contains(line))
+    }
+
+    pub fn in_hot(&self, line: u32) -> bool {
+        self.hot.iter().any(|r| r.contains(line))
+    }
+
+    /// Innermost function whose body covers token index `i` (the last
+    /// match wins: later-recorded functions are the nested ones).
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnRegion> {
+        self.functions
+            .iter()
+            .filter(|f| f.body.0 <= i && i < f.body.1)
+            .min_by_key(|f| f.body.1 - f.body.0)
+    }
+}
+
+/// Index of the token matching the opening bracket at `open`, or the
+/// last token when unbalanced (EOF recovery).
+pub fn matching_close(toks: &[Tok], open: usize) -> usize {
+    debug_assert!(toks[open].kind == Kind::Open);
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            Kind::Open => depth += 1,
+            Kind::Close => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Compute all regions for one token stream.
+pub fn scan(toks: &[Tok]) -> Regions {
+    let mut out = Regions::default();
+    scan_test_items(toks, &mut out);
+    scan_functions(toks, &mut out);
+    scan_hot_markers(toks, &mut out);
+    out
+}
+
+/// True when the attribute token slice (the tokens between `#[` and the
+/// matching `]`) gates the item to test builds: `#[test]`,
+/// `#[cfg(test)]`, `#[cfg(all(test, …))]`. `cfg(not(test))` and
+/// `cfg_attr` are explicitly *not* test gates.
+fn is_test_attr(attr: &[Tok]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter(|t| t.kind == Kind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    match idents.first() {
+        Some(&"test") => true,
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    }
+}
+
+fn scan_test_items(toks: &[Tok], out: &mut Regions) {
+    let mut i = 0;
+    while i < toks.len() {
+        // Outer attribute: `#` `[` … `]` (skip inner `#![…]`).
+        if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].opens('[') {
+            let close = matching_close(toks, i + 1);
+            let attr_line = toks[i].line;
+            if is_test_attr(&toks[i + 2..close]) {
+                if let Some(range) = item_extent(toks, close + 1, attr_line) {
+                    out.test.push(range);
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// The line extent of the item starting at token `from` (after its
+/// attribute): further attributes are skipped, then everything up to
+/// the matching `}` of the first item-level `{`, or up to a `;` for
+/// brace-less items (`#[cfg(test)] use …;`).
+fn item_extent(toks: &[Tok], mut from: usize, attr_line: u32) -> Option<LineRange> {
+    // Skip stacked attributes and comments.
+    while from < toks.len() {
+        if toks[from].kind == Kind::Comment {
+            from += 1;
+        } else if toks[from].is_punct("#") && from + 1 < toks.len() && toks[from + 1].opens('[') {
+            from = matching_close(toks, from + 1) + 1;
+        } else {
+            break;
+        }
+    }
+    let mut depth = 0usize;
+    let mut i = from;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            Kind::Open if t.opens('{') && depth == 0 => {
+                let close = matching_close(toks, i);
+                return Some(LineRange {
+                    start: attr_line,
+                    end: toks[close].line,
+                });
+            }
+            Kind::Open => depth += 1,
+            Kind::Close => depth = depth.saturating_sub(1),
+            Kind::Punct if t.text == ";" && depth == 0 => {
+                return Some(LineRange {
+                    start: attr_line,
+                    end: t.line,
+                });
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn scan_functions(toks: &[Tok], out: &mut Regions) {
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_idx) = crate::lexer::next_code(toks, i) else {
+            continue;
+        };
+        if toks[name_idx].kind != Kind::Ident {
+            continue; // `fn` in `Fn()` bounds etc.
+        }
+        // Find the body `{` at bracket depth 0, or `;` (trait method
+        // declaration, no body).
+        let mut depth = 0usize;
+        let mut j = name_idx + 1;
+        while j < toks.len() {
+            let t = &toks[j];
+            match t.kind {
+                Kind::Open if t.opens('{') && depth == 0 => {
+                    let close = matching_close(toks, j);
+                    out.functions.push(FnRegion {
+                        name: toks[name_idx].text.clone(),
+                        body: (j + 1, close),
+                        lines: LineRange {
+                            start: toks[i].line,
+                            end: toks[close].line,
+                        },
+                    });
+                    break;
+                }
+                Kind::Open => depth += 1,
+                Kind::Close => depth = depth.saturating_sub(1),
+                Kind::Punct if t.text == ";" && depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+}
+
+fn scan_hot_markers(toks: &[Tok], out: &mut Regions) {
+    let mut open: Option<u32> = None;
+    for t in toks {
+        if t.kind != Kind::Comment {
+            continue;
+        }
+        let body = t.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("sws-lint:") else {
+            continue;
+        };
+        match rest.trim() {
+            "hot-path" => {
+                if let Some(line) = open {
+                    out.unpaired_hot_markers.push(line);
+                }
+                open = Some(t.line);
+            }
+            "end-hot-path" => match open.take() {
+                Some(start) => out.hot.push(LineRange { start, end: t.line }),
+                None => out.unpaired_hot_markers.push(t.line),
+            },
+            _ => {}
+        }
+    }
+    if let Some(line) = open {
+        out.unpaired_hot_markers.push(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_module_is_a_test_region() {
+        let src =
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let r = scan(&lex(src));
+        assert!(!r.in_test(1));
+        assert!(r.in_test(2));
+        assert!(r.in_test(4));
+        assert!(r.in_test(5));
+        assert!(!r.in_test(6));
+    }
+
+    #[test]
+    fn test_attribute_on_fn_is_a_test_region() {
+        let src = "#[test]\nfn check() {\n  body();\n}\nfn prod() {}";
+        let r = scan(&lex(src));
+        assert!(r.in_test(3));
+        assert!(!r.in_test(5));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn prod() { body(); }";
+        let r = scan(&lex(src));
+        assert!(!r.in_test(2));
+    }
+
+    #[test]
+    fn cfg_all_test_counts_and_braceless_items_end_at_semicolon() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nuse helper::*;\nfn prod() {}";
+        let r = scan(&lex(src));
+        assert!(r.in_test(2));
+        assert!(!r.in_test(3));
+    }
+
+    #[test]
+    fn stacked_attributes_cover_the_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t {\n  x\n}";
+        let r = scan(&lex(src));
+        assert!(r.in_test(4));
+    }
+
+    #[test]
+    fn functions_are_recorded_with_bodies() {
+        let src = "fn outer(a: usize) -> usize {\n  inner();\n  fn inner() {}\n  a\n}";
+        let r = scan(&lex(src));
+        let names: Vec<&str> = r.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let src = "trait T {\n  fn decl(&self) -> usize;\n  fn with_default(&self) { x() }\n}";
+        let r = scan(&lex(src));
+        let names: Vec<&str> = r.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["with_default"]);
+    }
+
+    #[test]
+    fn fn_with_where_clause_and_generics() {
+        let src = "fn g<F: Fn() -> Vec<u8>>(f: F) -> bool\nwhere F: Clone {\n  f().is_empty()\n}";
+        let r = scan(&lex(src));
+        assert_eq!(r.functions.len(), 1);
+        assert_eq!(r.functions[0].lines, LineRange { start: 1, end: 4 });
+    }
+
+    #[test]
+    fn hot_markers_pair_up_and_report_stragglers() {
+        let src = "// sws-lint: hot-path\na();\n// sws-lint: end-hot-path\nb();\n// sws-lint: end-hot-path";
+        let r = scan(&lex(src));
+        assert!(r.in_hot(2));
+        assert!(!r.in_hot(4));
+        assert_eq!(r.unpaired_hot_markers, vec![5]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Fixture-corpus tests: every file under `fixtures/` carries a
+//! `treat-as` directive pinning it to a rule scope and has a known,
+//! exact violation set. The assertions are exact — a rule that starts
+//! over- or under-reporting fails here before it reaches the CI gate.
+//!
+//! The workspace walker skips `fixtures/` directories, so these files
+//! are only ever linted explicitly (here, and by the seeded CI step).
+
+use sws_lint::engine::{lint_source, lock_cycle_diags, FileResult};
+
+fn lint_fixture(name: &str) -> FileResult {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    lint_source(&format!("crates/lint/fixtures/{name}"), &src)
+}
+
+/// The violation set as sorted `(rule, line)` pairs.
+fn rule_lines(result: &FileResult) -> Vec<(&'static str, u32)> {
+    let mut v: Vec<(&'static str, u32)> = result.diags.iter().map(|d| (d.rule, d.line)).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn raw_strings_hide_panic_text_but_not_real_violations() {
+    let r = lint_fixture("raw_strings.rs");
+    assert_eq!(rule_lines(&r), vec![("panic-policy", 14)], "{:?}", r.diags);
+}
+
+#[test]
+fn nested_block_comments_swallow_panic_sites() {
+    let r = lint_fixture("nested_comments.rs");
+    assert_eq!(rule_lines(&r), vec![("panic-policy", 8)], "{:?}", r.diags);
+}
+
+#[test]
+fn char_literals_and_lifetimes_do_not_desync_the_lexer() {
+    // If the lexer misread a lifetime as an unterminated char literal it
+    // would swallow the rest of the file and the expect() on line 15
+    // would silently disappear — the exact assertion catches both over-
+    // and under-reporting.
+    let r = lint_fixture("char_lifetime.rs");
+    assert_eq!(rule_lines(&r), vec![("panic-policy", 15)], "{:?}", r.diags);
+}
+
+#[test]
+fn cfg_test_items_and_test_fns_are_exempt() {
+    let r = lint_fixture("cfg_test.rs");
+    assert_eq!(rule_lines(&r), vec![("panic-policy", 6)], "{:?}", r.diags);
+}
+
+#[test]
+fn allow_directives_are_line_scoped_and_audited() {
+    let r = lint_fixture("allow_scoping.rs");
+    assert_eq!(
+        rule_lines(&r),
+        vec![
+            ("malformed-directive", 22),
+            ("panic-policy", 16),
+            ("unused-allow", 19),
+        ],
+        "{:?}",
+        r.diags
+    );
+}
+
+#[test]
+fn inconsistent_lock_order_forms_a_cycle() {
+    let r = lint_fixture("lock_order.rs");
+    // The bare gamma acquisition violates both disciplines on line 16;
+    // the disciplined alpha/beta pairs violate nothing per-file.
+    assert_eq!(
+        rule_lines(&r),
+        vec![("lock-discipline", 16), ("panic-policy", 16)],
+        "{:?}",
+        r.diags
+    );
+    let cycles = lock_cycle_diags(&r.lock_sequences);
+    assert_eq!(cycles.len(), 1, "{cycles:?}");
+    assert!(cycles[0].message.contains("fx_lock::s.alpha"));
+    assert!(cycles[0].message.contains("fx_lock::s.beta"));
+}
+
+#[test]
+fn float_rule_flags_literal_const_and_cmp_escapes_only() {
+    let r = lint_fixture("float.rs");
+    assert_eq!(
+        rule_lines(&r),
+        vec![
+            ("float-discipline", 6),
+            ("float-discipline", 7),
+            ("float-discipline", 8),
+            ("float-discipline", 9),
+            ("float-discipline", 10),
+        ],
+        "{:?}",
+        r.diags
+    );
+}
+
+#[test]
+fn hot_path_alloc_fires_only_between_markers() {
+    let r = lint_fixture("hot_path.rs");
+    assert_eq!(
+        rule_lines(&r),
+        vec![
+            ("hot-path-alloc", 13),
+            ("hot-path-alloc", 14),
+            ("hot-path-alloc", 15),
+            ("hot-path-alloc", 16),
+        ],
+        "{:?}",
+        r.diags
+    );
+}
+
+#[test]
+fn seeded_ci_fixture_always_fails() {
+    // CI runs the binary over this file and asserts a non-zero exit;
+    // this test pins the violation the gate relies on.
+    let r = lint_fixture("seeded_ci.rs");
+    assert_eq!(rule_lines(&r), vec![("panic-policy", 6)], "{:?}", r.diags);
+}
+
+#[test]
+fn diagnostics_carry_the_logical_path() {
+    let r = lint_fixture("seeded_ci.rs");
+    assert_eq!(r.diags[0].file, "crates/service/src/seeded_ci.rs");
+}

@@ -87,7 +87,7 @@ use std::sync::Arc;
 use sws_dag::{CsrDag, DagInstance};
 use sws_model::cancel::CancelProbe;
 use sws_model::error::ModelError;
-use sws_model::numeric::{approx_le, better_candidate};
+use sws_model::numeric::{approx_le, better_candidate, finite_ge};
 use sws_model::schedule::TimedSchedule;
 
 use crate::priority::PriorityRank;
@@ -101,10 +101,7 @@ use crate::priority::PriorityRank;
 /// sift paths.
 #[inline]
 fn time_key(t: f64) -> u64 {
-    debug_assert!(
-        t >= 0.0 && t.is_finite(),
-        "time keys are non-negative finite"
-    );
+    debug_assert!(finite_ge(t, 0.0), "time keys are non-negative finite");
     (t + 0.0).to_bits()
 }
 
@@ -245,6 +242,7 @@ impl ProcHeap {
         a < b
     }
 
+    // sws-lint: hot-path
     /// Raises the load of processor `q` (placements never lower a load).
     pub fn set_load(&mut self, q: usize, new_load: f64) {
         debug_assert!(
@@ -280,6 +278,7 @@ impl ProcHeap {
             at = smallest;
         }
     }
+    // sws-lint: end-hot-path
 
     /// Visits processors in increasing `(load, index)` order until `admit`
     /// accepts one; returns the accepted processor together with the
@@ -294,6 +293,7 @@ impl ProcHeap {
             .map(|q| (q, skipped))
     }
 
+    // sws-lint: hot-path
     /// Allocation-free probe: the traversal frontier lives in `frontier`
     /// (cleared on entry) and skipped processors are **appended** to
     /// `skipped` (the caller records the starting length), so the hot
@@ -338,6 +338,7 @@ impl ProcHeap {
         }
         None
     }
+    // sws-lint: end-hot-path
 }
 
 /// Pluggable admissibility predicate deciding which processors may
@@ -620,6 +621,7 @@ impl EngineState {
         self.round = 0;
     }
 
+    // sws-lint: hot-path
     /// Executes one placement round. Precondition: `rounds_done() < n`.
     fn step<A: Admission>(
         &mut self,
@@ -883,6 +885,7 @@ impl EngineState {
 
         self.round += 1;
     }
+    // sws-lint: end-hot-path
 
     /// Copies a completed state (every round executed) into the kernel's
     /// outcome. Borrows instead of consuming so the state's buffers stay

@@ -26,6 +26,8 @@
 //! * [`naive`] — the original quadratic implementations, retained as
 //!   differential-testing oracles for the kernel.
 
+#![forbid(unsafe_code)]
+
 pub mod dag_list;
 pub mod graham;
 pub mod kernel;

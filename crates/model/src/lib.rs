@@ -47,6 +47,8 @@
 //! assert!((pt.mmax - 2.0).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bounds;
 pub mod cancel;
 pub mod error;

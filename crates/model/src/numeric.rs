@@ -74,6 +74,58 @@ pub fn better_candidate(t_a: f64, rank_a: usize, t_b: f64, rank_b: usize) -> boo
     strictly_lt(t_a, t_b) || (approx_eq(t_a, t_b) && rank_a < rank_b)
 }
 
+// ---------------------------------------------------------------------------
+// Exact comparison vocabulary.
+//
+// Validation guards and sentinel checks must NOT carry the module
+// tolerance: `∆ > 2` is a hard parameter boundary, not a tie-heavy
+// scheduling comparison, and widening it by `slack` would admit
+// out-of-contract inputs. These helpers are deliberately exact IEEE-754
+// comparisons (NaN fails every one), named so the intent survives at
+// the call site. Routing them through this module keeps every f64
+// comparison in the workspace in one place — enforced statically by
+// sws-lint's float-discipline rule.
+// ---------------------------------------------------------------------------
+
+/// Exact `a > b`; NaN operands yield `false`. The helper form of the
+/// `partial_cmp(&b) == Some(Ordering::Greater)` validation idiom.
+#[inline]
+pub fn exceeds(a: f64, b: f64) -> bool {
+    a > b
+}
+
+/// Exact `a <= b`; NaN operands yield `false`.
+#[inline]
+pub fn at_most(a: f64, b: f64) -> bool {
+    a <= b
+}
+
+/// Exact `a >= b`; NaN operands yield `false`.
+#[inline]
+pub fn at_least(a: f64, b: f64) -> bool {
+    a >= b
+}
+
+/// Exact `v == 0.0` (matches `-0.0` too); the zero-sentinel check used
+/// by degenerate-instance routing.
+#[inline]
+pub fn exactly_zero(v: f64) -> bool {
+    v == 0.0
+}
+
+/// `a` is finite **and** exactly greater than `b` — the shared shape of
+/// parameter validation (`∆ > 2 and finite`): NaN and ±∞ both fail.
+#[inline]
+pub fn finite_gt(a: f64, b: f64) -> bool {
+    a.is_finite() && a > b
+}
+
+/// `a` is finite **and** exactly at least `b`.
+#[inline]
+pub fn finite_ge(a: f64, b: f64) -> bool {
+    a.is_finite() && a >= b
+}
+
 /// Total order for finite floats (panics on NaN); used to sort tasks by
 /// processing time or storage requirement.
 #[inline]
@@ -149,6 +201,37 @@ mod tests {
     #[should_panic]
     fn total_cmp_rejects_nan() {
         let _ = total_cmp(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn exact_helpers_reject_nan_and_respect_boundaries() {
+        assert!(exceeds(2.1, 2.0));
+        assert!(!exceeds(2.0, 2.0));
+        assert!(!exceeds(f64::NAN, 2.0));
+        assert!(exceeds(f64::INFINITY, 2.0));
+        assert!(at_most(2.0, 2.0));
+        assert!(!at_most(f64::NAN, 2.0));
+        assert!(at_least(2.0, 2.0));
+        assert!(!at_least(f64::NAN, 2.0));
+        assert!(exactly_zero(0.0));
+        assert!(exactly_zero(-0.0));
+        assert!(!exactly_zero(1e-300));
+    }
+
+    #[test]
+    fn finite_helpers_reject_nan_and_infinity() {
+        assert!(finite_gt(2.5, 2.0));
+        assert!(!finite_gt(2.0, 2.0));
+        assert!(!finite_gt(f64::INFINITY, 2.0));
+        assert!(!finite_gt(f64::NAN, 2.0));
+        assert!(finite_ge(0.0, 0.0));
+        assert!(!finite_ge(f64::INFINITY, 0.0));
+        assert!(!finite_ge(-1.0, 0.0));
+        // The validation idiom it replaces, bit for bit:
+        for v in [2.0, 2.5, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let old = v.partial_cmp(&2.0) == Some(std::cmp::Ordering::Greater) && v.is_finite();
+            assert_eq!(finite_gt(v, 2.0), old, "v = {v}");
+        }
     }
 
     #[test]

@@ -32,6 +32,8 @@
 //! experiment harness) know when the strict `(1+ε)` guarantee is replaced
 //! by the FFD guarantee.
 
+#![forbid(unsafe_code)]
+
 pub mod config_dp;
 pub mod dual;
 pub mod rounding;

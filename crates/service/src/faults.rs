@@ -260,6 +260,7 @@ impl Solver for FaultySolver {
             }
         }
         if self.plan.decides(fp, SALT_PANIC, self.plan.panic_rate) && self.plan.panic_fires(fp) {
+            // sws-lint: allow(panic-policy, reason = "the chaos backend's whole purpose is injecting panics to exercise the catch_unwind isolation; the marker string routes it to the retry ladder")
             panic!(
                 "{INJECTED_PANIC_MARKER} chaos plan {seed:#x} panicked request {fp:#x} in {id}",
                 seed = self.plan.seed,

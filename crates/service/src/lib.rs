@@ -67,6 +67,8 @@
 //! service.shutdown();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod faults;
 pub mod queue;
 pub mod request;

@@ -205,9 +205,19 @@ impl Shared {
             .or(self.default_tenant)
     }
 
+    /// The tenant entry behind a validated index. Every index originates
+    /// in [`Shared::tenant_idx`] — the `tenant_index` map values and
+    /// `default_tenant` both point into `tenants` by construction — and
+    /// travels unmodified inside a [`Job`], so the lookup cannot miss.
+    /// Centralising the access keeps the justification in one place.
+    fn tenant(&self, idx: usize) -> &TenantEntry {
+        // sws-lint: allow(panic-policy, reason = "indices are minted only by tenant_idx() from map values and default_tenant, both in-bounds by construction, and are never arithmetic-derived")
+        &self.tenants[idx]
+    }
+
     /// The policy half of admission — see [`AdmissionDecision`].
     fn decide(&self, tenant_idx: usize, request: &ServiceRequest) -> AdmissionDecision {
-        let entry = &self.tenants[tenant_idx];
+        let entry = self.tenant(tenant_idx);
         let policy = entry.policy;
         let mut effective = policy.effective_guarantee(request.guarantee);
         let mut degraded_from = None;
@@ -288,7 +298,7 @@ impl Shared {
     /// nearly-full quota. `Queue`-overflow tenants always reserve (the
     /// bounded queue is their only limit).
     fn reserve_in_flight(&self, tenant_idx: usize) -> Result<(), QuotaError> {
-        let entry = &self.tenants[tenant_idx];
+        let entry = self.tenant(tenant_idx);
         let counter = &entry.counters.in_flight;
         let mut current = counter.load(Ordering::Relaxed);
         loop {
@@ -316,7 +326,7 @@ impl Shared {
     /// Counts a refusal against a tenant (when known) and globally.
     fn count_refusal(&self, tenant_idx: Option<usize>) {
         if let Some(idx) = tenant_idx {
-            Counters::bump(&self.tenants[idx].counters.refused);
+            Counters::bump(&self.tenant(idx).counters.refused);
         }
         Counters::bump(&self.global.refused);
     }
@@ -332,7 +342,7 @@ impl Shared {
         });
         let purged = dead.len();
         for job in dead {
-            let counters = &self.tenants[job.tenant_idx].counters;
+            let counters = &self.tenant(job.tenant_idx).counters;
             let outcome = if job.cancel.load(Ordering::Relaxed) {
                 Counters::bump(&counters.cancelled);
                 Counters::bump(&self.global.cancelled);
@@ -450,7 +460,7 @@ impl ServiceHandle {
         };
 
         // Enqueue with the completion channel.
-        let entry = &shared.tenants[tenant_idx];
+        let entry = shared.tenant(tenant_idx);
         let (tx, rx) = mpsc::channel();
         let cancel = Arc::new(AtomicBool::new(false));
         let submitted = Instant::now();
@@ -729,7 +739,7 @@ fn worker_loop(shared: &Shared) {
 /// unboxes the ~200-byte payload onto its stack.
 #[allow(clippy::boxed_local)]
 fn resolve_job(shared: &Shared, dispatcher: &mut DispatchWorker<'_>, job: Box<Job>) {
-    let counters = &shared.tenants[job.tenant_idx].counters;
+    let counters = &shared.tenant(job.tenant_idx).counters;
     if job.cancel.load(Ordering::Relaxed) {
         Counters::bump(&counters.cancelled);
         Counters::bump(&shared.global.cancelled);
@@ -833,7 +843,7 @@ fn retry_after_panic(
     mut job: Box<Job>,
     message: String,
 ) -> Option<(Box<Job>, ServiceOutcome)> {
-    let entry = &shared.tenants[job.tenant_idx];
+    let entry = shared.tenant(job.tenant_idx);
     let counters = &entry.counters;
     let retry = entry.policy.retry;
     let attempts_made = job.attempt + 1;
@@ -915,7 +925,7 @@ fn degrade_plan(
 /// terminal state.
 #[allow(clippy::boxed_local)]
 fn finish_job(shared: &Shared, job: Box<Job>, outcome: ServiceOutcome) {
-    let counters = &shared.tenants[job.tenant_idx].counters;
+    let counters = &shared.tenant(job.tenant_idx).counters;
     counters.in_flight.fetch_sub(1, Ordering::Relaxed);
     let _ = job.tx.send(outcome);
 }
@@ -960,7 +970,7 @@ impl SchedulingService {
         // Cancelled jobs report their cancellation; the rest see the
         // shutdown.
         while let Some(job) = self.shared.queue.try_pop() {
-            let counters = &self.shared.tenants[job.tenant_idx].counters;
+            let counters = &self.shared.tenant(job.tenant_idx).counters;
             let outcome = if job.cancel.load(Ordering::Relaxed) {
                 Counters::bump(&counters.cancelled);
                 Counters::bump(&self.shared.global.cancelled);
@@ -988,19 +998,18 @@ impl SchedulingService {
         // last submission last, so the caller blocks (and wakes) once
         // instead of once per outcome — on a single shared core the
         // per-completion wakeups would otherwise cost a context switch
-        // per request. The returned order is submission order either
-        // way.
-        let mut outcomes: Vec<Option<ServiceOutcome>> = tickets.iter().map(|_| None).collect();
-        for (idx, ticket) in tickets.into_iter().enumerate().rev() {
-            outcomes[idx] = Some(match ticket {
+        // per request. Collecting in reverse and flipping once restores
+        // submission order without indexed slots.
+        let mut outcomes: Vec<ServiceOutcome> = tickets
+            .into_iter()
+            .rev()
+            .map(|ticket| match ticket {
                 Ok(ticket) => ticket.wait(),
                 Err(err) => Err(err),
-            });
-        }
+            })
+            .collect();
+        outcomes.reverse();
         outcomes
-            .into_iter()
-            .map(|o| o.expect("every slot resolved"))
-            .collect()
     }
 }
 

@@ -22,6 +22,8 @@
 //! validates its schedules here rather than trusting the algorithms'
 //! internal bookkeeping.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod event;
 pub mod gantt;

@@ -21,6 +21,8 @@
 //! * [`rng`] — deterministic seeding helpers so every experiment is
 //!   reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod adversarial;
 pub mod dagsets;
 pub mod grid;

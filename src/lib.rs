@@ -19,6 +19,8 @@
 //!   constrained procedure, ∆-sweeps);
 //! * [`bench`] — experiment and figure-regeneration harness.
 
+#![forbid(unsafe_code)]
+
 pub use sws_bench as bench;
 pub use sws_core as core;
 pub use sws_dag as dag;
