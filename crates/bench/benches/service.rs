@@ -19,7 +19,15 @@
 //!   (median_ns / 1e9)` must stay within 10% of the batch baseline
 //!   (queueing overhead bounded — see docs/PERFORMANCE.md);
 //! * `service_latency/round_trip/<n>x<m>` — one request's full
-//!   submit→wait round trip on an idle service (the per-request floor).
+//!   submit→wait round trip on an idle service (the per-request floor);
+//! * `service_fairness/flood_p99/<tenant>` — per-tenant p99 latency
+//!   (nanoseconds, read off the `ServiceStats` histograms) from one
+//!   flood run where the `flood` tenant bursts at 10× the `victim`
+//!   tenant's volume ahead of it. Not a timed closure: the rows are
+//!   reported via the shim's `report_duration`, so they ride in the
+//!   same JSON artifact. The deficit-round-robin queue keeps the victim
+//!   row far below the flood row; the `victim` row is the regression
+//!   signal.
 //!
 //! Regenerate the committed baseline with:
 //!
@@ -31,15 +39,18 @@
 //! samples, fleet shape encoded in the ids (comparable across pushes,
 //! not to the committed full-size rows).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{
+    criterion_group, criterion_main, report_duration, BenchmarkId, Criterion, Throughput,
+};
 use std::hint::black_box;
 use std::sync::Arc;
 
 use sws_dag::DagInstance;
 use sws_model::policy::{OverflowPolicy, TenantPolicy};
 use sws_model::solve::{Guarantee, ObjectiveMode};
-use sws_service::{SchedulingService, ServiceRequest};
+use sws_service::{SchedulingService, ServiceRequest, Ticket};
 use sws_workloads::dagsets::{dag_workload, DagFamily};
+use sws_workloads::random::random_instance;
 use sws_workloads::rng::{derive_seed, seeded_rng};
 use sws_workloads::TaskDistribution;
 
@@ -153,5 +164,60 @@ fn bench_service(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_service);
+/// Per-tenant p99 under flood: one run, two reported rows. A `flood`
+/// tenant bursts 10× the `victim` tenant's volume into a single-worker
+/// service *before* the victim submits; the deficit-round-robin queue
+/// still alternates lanes, so the victim's p99 tracks its own share of
+/// the drain while the flood's tail rides the whole backlog. The rows
+/// are the JSON-artifact form of the `service_stress` fairness
+/// assertion — compare `victim` across pushes to catch fairness
+/// regressions without re-deriving a wall-clock bound.
+fn bench_fairness(_c: &mut Criterion) {
+    let victims = if quick() { 8 } else { 32 };
+    let flood_n = 10 * victims;
+
+    let service = SchedulingService::builder()
+        .workers(1)
+        .queue_capacity(flood_n + victims + 8)
+        .tenant("victim", TenantPolicy::unlimited())
+        .tenant(
+            "flood",
+            TenantPolicy::unlimited().with_overflow(OverflowPolicy::Queue),
+        )
+        .build();
+    let handle = service.handle();
+
+    // One shared flat instance: uniform work units, so the rotation
+    // alternates one-for-one between the lanes.
+    let inst = Arc::new(random_instance(
+        16,
+        2,
+        TaskDistribution::Uncorrelated,
+        &mut seeded_rng(derive_seed(0xFA14, 99)),
+    ));
+    let mk = |tenant: &str| {
+        ServiceRequest::independent(tenant, Arc::clone(&inst), ObjectiveMode::CmaxOnly)
+    };
+
+    let flood_tickets: Vec<Ticket> = (0..flood_n)
+        .map(|_| handle.submit(mk("flood")).expect("flood burst queues"))
+        .collect();
+    let victim_tickets: Vec<Ticket> = (0..victims)
+        .map(|_| handle.submit(mk("victim")).expect("victim submits admit"))
+        .collect();
+    for ticket in victim_tickets.into_iter().chain(flood_tickets) {
+        ticket.wait().expect("flood-run requests complete");
+    }
+
+    let stats = service.shutdown();
+    for tenant in ["victim", "flood"] {
+        let p99 = stats
+            .tenant(tenant)
+            .and_then(|scope| scope.p99_latency)
+            .expect("flood run populates both histograms");
+        report_duration(&format!("service_fairness/flood_p99/{tenant}"), p99);
+    }
+}
+
+criterion_group!(benches, bench_service, bench_fairness);
 criterion_main!(benches);

@@ -269,6 +269,24 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     });
 }
 
+/// Records an externally measured duration as a one-sample benchmark
+/// row in the shared report — for derived metrics (e.g. a per-tenant
+/// p99 read off a service run's stats) that belong in the same
+/// `SWS_BENCH_JSON` artifact as the timed benchmarks but are not
+/// themselves re-runnable closures.
+pub fn report_duration(id: &str, d: Duration) {
+    let ns = d.as_nanos();
+    eprintln!("  {id}: reported {}", format_ns(ns));
+    RESULTS.lock().unwrap().push(BenchRecord {
+        id: id.to_string(),
+        samples: 1,
+        min_ns: ns,
+        median_ns: ns,
+        mean_ns: ns,
+        throughput_elements: None,
+    });
+}
+
 fn format_ns(ns: u128) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.3} s", ns as f64 / 1e9)
@@ -355,5 +373,18 @@ mod tests {
         let rec = results.iter().find(|r| r.id == "shim-test/noop").unwrap();
         assert_eq!(rec.samples, 5);
         assert!(results.iter().any(|r| r.id == "shim-test/sum/10"));
+    }
+
+    #[test]
+    fn reported_durations_land_in_the_shared_results() {
+        report_duration("shim-test/reported/p99", Duration::from_micros(42));
+        let results = RESULTS.lock().unwrap();
+        let rec = results
+            .iter()
+            .find(|r| r.id == "shim-test/reported/p99")
+            .unwrap();
+        assert_eq!(rec.samples, 1);
+        assert_eq!(rec.median_ns, 42_000);
+        assert_eq!(rec.min_ns, rec.mean_ns);
     }
 }

@@ -1,0 +1,17 @@
+// sws-lint: treat-as crates/service/src/fx_lanes.rs
+//! Lane-lock fixture: the per-tenant sub-queue locking design the DRR
+//! queue deliberately avoids. Giving each lane its own mutex next to
+//! the shared rotation lock invites an AB/BA inversion the moment one
+//! path charges a deficit under the rotation lock while another drains
+//! a lane before touching the rotation — the cycle below is why the
+//! real `JobQueue` keeps every lane inside ONE `Mutex<Inner>`.
+
+fn push(q: &Queue) {
+    let _rotation = q.inner.lock().unwrap_or_else(PoisonError::into_inner);
+    let _lane = q.lane.lock().unwrap_or_else(PoisonError::into_inner);
+}
+
+fn drain(q: &Queue) {
+    let _lane = q.lane.lock().unwrap_or_else(PoisonError::into_inner);
+    let _rotation = q.inner.lock().unwrap_or_else(PoisonError::into_inner);
+}

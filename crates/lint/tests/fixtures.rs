@@ -82,6 +82,20 @@ fn inconsistent_lock_order_forms_a_cycle() {
 }
 
 #[test]
+fn per_lane_mutexes_would_invert_against_the_rotation_lock() {
+    // Documents the design the DRR queue rejects: a second per-lane
+    // mutex beside the rotation lock. Both acquisitions are poison-
+    // recovering, so the hazard is purely the cross-function ordering
+    // cycle — exactly what the graph pass exists to catch.
+    let r = lint_fixture("lock_lanes.rs");
+    assert_eq!(rule_lines(&r), vec![], "{:?}", r.diags);
+    let cycles = lock_cycle_diags(&r.lock_sequences);
+    assert_eq!(cycles.len(), 1, "{cycles:?}");
+    assert!(cycles[0].message.contains("fx_lanes::q.inner"));
+    assert!(cycles[0].message.contains("fx_lanes::q.lane"));
+}
+
+#[test]
 fn float_rule_flags_literal_const_and_cmp_escapes_only() {
     let r = lint_fixture("float.rs");
     assert_eq!(

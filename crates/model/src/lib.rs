@@ -68,7 +68,9 @@ pub use error::ModelError;
 pub use instance::Instance;
 pub use objectives::{ObjectivePoint, TriObjectivePoint};
 pub use pareto::ParetoFront;
-pub use policy::{AdmissionVerdict, OverflowPolicy, QuotaError, RetryPolicy, TenantPolicy};
+pub use policy::{
+    AdmissionVerdict, OverflowPolicy, QuotaError, RetryPolicy, ShedPolicy, TenantPolicy,
+};
 pub use schedule::{Assignment, TimedSchedule};
 pub use solve::{CostEstimate, Guarantee, ObjectiveMode, Solution, SolveRequest, SolveStats};
 pub use task::{Task, TaskId};
@@ -83,7 +85,7 @@ pub mod prelude {
     pub use crate::objectives::{ObjectivePoint, TriObjectivePoint};
     pub use crate::pareto::{dominates, ParetoFront};
     pub use crate::policy::{
-        AdmissionVerdict, OverflowPolicy, QuotaError, RetryPolicy, TenantPolicy,
+        AdmissionVerdict, OverflowPolicy, QuotaError, RetryPolicy, ShedPolicy, TenantPolicy,
     };
     pub use crate::ratio::{RatioReport, TriRatioReport};
     pub use crate::schedule::{Assignment, TimedSchedule};

@@ -40,6 +40,108 @@ use std::time::Duration;
 
 use crate::solve::{BackendId, CostEstimate, Guarantee};
 
+/// When a serving front should start and stop *shedding* a tenant's
+/// load — the overload half of the admission vocabulary.
+///
+/// A front tracks two pressure signals per tenant: the tenant's queued
+/// backlog (jobs admitted but not yet dispatched) and its recent p99
+/// submit→completion latency over a sliding window. Either signal
+/// crossing its **high** watermark puts the tenant into the *shedding*
+/// state; the tenant leaves it only when **both** signals are back at
+/// or under their **low** watermarks — classic hysteresis, so admission
+/// does not flap at the threshold.
+///
+/// While shedding, the front walks the documented ladder instead of
+/// admitting at full strength: requests above
+/// [`Guarantee::PaperRatio`](crate::solve::Guarantee::PaperRatio) are
+/// degraded toward the tenant's [`TenantPolicy::guarantee_floor`]
+/// (when the floor admits it), and everything else is refused with the
+/// typed [`QuotaError::Overloaded`] — the same refusal vocabulary every
+/// other gate speaks, so edges can map it onto backpressure codes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedPolicy {
+    /// Enter shedding when the tenant's queued backlog reaches this.
+    pub queue_high: usize,
+    /// Leave shedding only once the backlog is back at or under this
+    /// (and the p99 signal, when configured, is also under its low
+    /// watermark). Clamped to `queue_high` at construction.
+    pub queue_low: usize,
+    /// Enter shedding when the tenant's recent p99 latency exceeds
+    /// this. `None` disables the latency signal.
+    pub p99_high: Option<Duration>,
+    /// Leave shedding only once the recent p99 is back at or under
+    /// this. Defaults to `p99_high` when unset.
+    pub p99_low: Option<Duration>,
+}
+
+impl ShedPolicy {
+    /// A policy that never sheds (both signals disabled).
+    pub fn disabled() -> Self {
+        ShedPolicy {
+            queue_high: usize::MAX,
+            queue_low: usize::MAX,
+            p99_high: None,
+            p99_low: None,
+        }
+    }
+
+    /// Sheds on queued backlog: enter at `high`, recover at `low`
+    /// (clamped to `high`).
+    pub fn on_queue_depth(high: usize, low: usize) -> Self {
+        ShedPolicy {
+            queue_high: high.max(1),
+            queue_low: low.min(high),
+            ..Self::disabled()
+        }
+    }
+
+    /// Adds the latency signal: enter when the recent p99 exceeds
+    /// `high`, recover once it is back at or under `low` (clamped to
+    /// `high`).
+    pub fn with_p99(mut self, high: Duration, low: Duration) -> Self {
+        self.p99_high = Some(high);
+        self.p99_low = Some(low.min(high));
+        self
+    }
+
+    /// Whether any pressure signal is configured.
+    pub fn is_enabled(&self) -> bool {
+        self.queue_high != usize::MAX || self.p99_high.is_some()
+    }
+
+    /// Whether `(backlog, recent p99)` is over a high watermark — the
+    /// condition for *entering* the shedding state.
+    pub fn over_high(&self, queued: usize, recent_p99: Option<Duration>) -> bool {
+        if queued >= self.queue_high {
+            return true;
+        }
+        match (recent_p99, self.p99_high) {
+            (Some(p99), Some(high)) => p99 > high,
+            _ => false,
+        }
+    }
+
+    /// Whether `(backlog, recent p99)` is back under every low
+    /// watermark — the condition for *leaving* the shedding state.
+    pub fn under_low(&self, queued: usize, recent_p99: Option<Duration>) -> bool {
+        if self.queue_high != usize::MAX && queued > self.queue_low {
+            return false;
+        }
+        match (recent_p99, self.p99_low.or(self.p99_high)) {
+            (Some(p99), Some(low)) => p99 <= low,
+            // No latency samples in the window (or signal disabled)
+            // counts as recovered pressure.
+            _ => true,
+        }
+    }
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// What a tenant's requests do when a gate trips (quota reached, work
 /// estimate over budget, or no backend at the required guarantee).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,6 +307,15 @@ pub struct TenantPolicy {
     pub overflow: OverflowPolicy,
     /// How transient failures (queue-full, solver panic) are retried.
     pub retry: RetryPolicy,
+    /// The tenant's deficit-round-robin weight: its long-run share of
+    /// scheduler service, in the shared `CostEstimate` work units, is
+    /// `weight / Σ weights` over the backlogged tenants. Clamped to
+    /// ≥ 1; idle tenants lend their share instead of banking it (the
+    /// queue is work-conserving).
+    pub weight: u32,
+    /// When the serving front starts shedding this tenant's load. See
+    /// [`ShedPolicy`]; disabled by default.
+    pub shed: ShedPolicy,
 }
 
 impl TenantPolicy {
@@ -218,6 +329,8 @@ impl TenantPolicy {
             guarantee_floor: Guarantee::None,
             overflow: OverflowPolicy::Reject,
             retry: RetryPolicy::none(),
+            weight: 1,
+            shed: ShedPolicy::disabled(),
         }
     }
 
@@ -248,6 +361,18 @@ impl TenantPolicy {
     /// Replaces the retry policy for transient failures.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Replaces the deficit-round-robin weight (clamped to ≥ 1).
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Replaces the load-shedding policy.
+    pub fn with_shed(mut self, shed: ShedPolicy) -> Self {
+        self.shed = shed;
         self
     }
 
@@ -301,6 +426,20 @@ pub enum QuotaError {
         /// The queue's capacity.
         capacity: usize,
     },
+    /// The tenant is in the shedding state: its backlog or recent p99
+    /// latency crossed the [`ShedPolicy`] high watermark and has not
+    /// yet recovered under the low one. The request could not be
+    /// served by degrading toward the guarantee floor, so it is
+    /// refused to protect the tenants behind it.
+    Overloaded {
+        /// The tenant id.
+        tenant: String,
+        /// The tenant's queued backlog at refusal time.
+        queued: usize,
+        /// The tenant's recent p99 latency, when the window had
+        /// samples.
+        recent_p99: Option<Duration>,
+    },
 }
 
 impl fmt::Display for QuotaError {
@@ -323,6 +462,17 @@ impl fmt::Display for QuotaError {
             ),
             QuotaError::QueueFull { capacity } => {
                 write!(f, "request queue is full (capacity {capacity})")
+            }
+            QuotaError::Overloaded {
+                tenant,
+                queued,
+                recent_p99,
+            } => {
+                write!(f, "tenant '{tenant}' is shedding load ({queued} queued")?;
+                if let Some(p99) = recent_p99 {
+                    write!(f, ", recent p99 {p99:?}")?;
+                }
+                write!(f, ")")
             }
         }
     }
@@ -479,6 +629,66 @@ mod tests {
         assert!(three.should_retry(1));
         assert!(three.should_retry(2));
         assert!(!three.should_retry(3));
+    }
+
+    #[test]
+    fn shed_policy_watermarks_are_hysteretic() {
+        let shed = ShedPolicy::on_queue_depth(10, 4);
+        assert!(shed.is_enabled());
+        // Below high: not over. At or above high: over.
+        assert!(!shed.over_high(9, None));
+        assert!(shed.over_high(10, None));
+        // The low watermark is strictly easier than the high one: the
+        // band between them is where hysteresis lives.
+        assert!(!shed.under_low(5, None));
+        assert!(shed.under_low(4, None));
+
+        let latency =
+            ShedPolicy::disabled().with_p99(Duration::from_millis(50), Duration::from_millis(20));
+        assert!(latency.is_enabled());
+        assert!(!latency.over_high(1_000_000, Some(Duration::from_millis(50))));
+        assert!(latency.over_high(0, Some(Duration::from_millis(51))));
+        assert!(!latency.under_low(0, Some(Duration::from_millis(21))));
+        assert!(latency.under_low(0, Some(Duration::from_millis(20))));
+        // An empty latency window counts as recovered pressure.
+        assert!(latency.under_low(0, None));
+
+        assert!(!ShedPolicy::disabled().is_enabled());
+        assert!(!ShedPolicy::disabled().over_high(usize::MAX - 1, None));
+        assert!(ShedPolicy::disabled().under_low(usize::MAX - 1, None));
+    }
+
+    #[test]
+    fn shed_policy_low_watermarks_clamp_to_high() {
+        let shed = ShedPolicy::on_queue_depth(4, 100);
+        assert_eq!(shed.queue_low, 4);
+        let latency =
+            ShedPolicy::disabled().with_p99(Duration::from_millis(10), Duration::from_millis(90));
+        assert_eq!(latency.p99_low, Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn tenant_weight_clamps_to_at_least_one() {
+        assert_eq!(TenantPolicy::unlimited().weight, 1);
+        assert_eq!(TenantPolicy::unlimited().with_weight(0).weight, 1);
+        assert_eq!(TenantPolicy::unlimited().with_weight(8).weight, 8);
+    }
+
+    #[test]
+    fn overloaded_refusals_display_their_pressure() {
+        let e = QuotaError::Overloaded {
+            tenant: "acme".into(),
+            queued: 42,
+            recent_p99: Some(Duration::from_millis(7)),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("acme") && msg.contains("42") && msg.contains("7ms"));
+        let quiet = QuotaError::Overloaded {
+            tenant: "acme".into(),
+            queued: 3,
+            recent_p99: None,
+        };
+        assert!(quiet.to_string().contains("3 queued"));
     }
 
     #[test]

@@ -61,6 +61,9 @@ pub struct FaultPlan {
     error_rate: f64,
     miscost_rate: f64,
     miscost_factor: f64,
+    /// The flooding tenant and its amplification factor, for
+    /// [`FaultPlan::with_flood`].
+    flood: Option<(String, u32)>,
     /// Fingerprints whose injected panic already fired, for
     /// [`FaultPlan::with_transient_panics`]. A `Mutex<HashSet>` rather
     /// than anything lock-free: faults fire at most once per attempt,
@@ -80,6 +83,7 @@ impl FaultPlan {
             error_rate: 0.0,
             miscost_rate: 0.0,
             miscost_factor: 1.0,
+            flood: None,
             fired: Mutex::new(HashSet::new()),
         }
     }
@@ -124,6 +128,45 @@ impl FaultPlan {
         self.miscost_rate = rate.clamp(0.0, 1.0);
         self.miscost_factor = factor;
         self
+    }
+
+    /// Marks `tenant` as a *flooding* tenant: [`FaultPlan::flood_wave`]
+    /// amplifies its traffic `factor`-fold. Unlike the solver-level
+    /// faults this is an *overload* injection — it attacks the queue's
+    /// fairness discipline and the shed ladder, not a backend — and it
+    /// is just as deterministic: the flooded wave is a pure function of
+    /// the base wave.
+    pub fn with_flood(mut self, tenant: impl Into<String>, factor: u32) -> Self {
+        self.flood = Some((tenant.into(), factor.max(1)));
+        self
+    }
+
+    /// The flooding tenant and amplification factor, when configured.
+    pub fn flood_tenant(&self) -> Option<(&str, u32)> {
+        self.flood
+            .as_ref()
+            .map(|(tenant, factor)| (tenant.as_str(), *factor))
+    }
+
+    /// Expands a base request wave under the flood: every request whose
+    /// tenant is the flooding one appears `factor` times (clones of the
+    /// original, contiguously, so the flood arrives as the burst a
+    /// misbehaving client would send); everyone else's requests pass
+    /// through once, in order. Without a configured flood the wave is
+    /// returned unchanged.
+    pub fn flood_wave(&self, base: Vec<crate::ServiceRequest>) -> Vec<crate::ServiceRequest> {
+        let Some((tenant, factor)) = self.flood_tenant() else {
+            return base;
+        };
+        let mut wave = Vec::with_capacity(base.len());
+        for req in base {
+            let copies = if req.tenant == tenant { factor } else { 1 };
+            for _ in 1..copies {
+                wave.push(req.clone());
+            }
+            wave.push(req);
+        }
+        wave
     }
 
     /// Wraps every backend of a portfolio in a [`FaultySolver`] sharing
@@ -380,6 +423,24 @@ mod tests {
         assert!(first.is_err(), "first attempt must panic");
         let second = wrapped.solve(&req_for(&inst));
         assert!(second.is_ok(), "retry after a transient panic succeeds");
+    }
+
+    #[test]
+    fn flood_wave_amplifies_only_the_flooding_tenant() {
+        let inst = Arc::new(Instance::from_ps(&[3.0, 2.0, 1.0], &[1.0; 3], 2).unwrap());
+        let mk = |tenant: &str| {
+            crate::ServiceRequest::independent(tenant, Arc::clone(&inst), ObjectiveMode::CmaxOnly)
+        };
+        let plan = FaultPlan::new(1).with_flood("noisy", 4);
+        assert_eq!(plan.flood_tenant(), Some(("noisy", 4)));
+        let wave = plan.flood_wave(vec![mk("noisy"), mk("quiet")]);
+        assert_eq!(wave.len(), 5);
+        assert_eq!(wave.iter().filter(|r| r.tenant == "noisy").count(), 4);
+        assert_eq!(wave.iter().filter(|r| r.tenant == "quiet").count(), 1);
+        // Without a flood the wave passes through untouched.
+        let calm = FaultPlan::new(1);
+        assert_eq!(calm.flood_tenant(), None);
+        assert_eq!(calm.flood_wave(vec![mk("noisy")]).len(), 1);
     }
 
     #[test]

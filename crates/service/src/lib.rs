@@ -88,7 +88,9 @@ mod tests {
     use std::time::Duration;
 
     use sws_core::portfolio::Portfolio;
-    use sws_model::policy::{AdmissionVerdict, OverflowPolicy, QuotaError, TenantPolicy};
+    use sws_model::policy::{
+        AdmissionVerdict, OverflowPolicy, QuotaError, ShedPolicy, TenantPolicy,
+    };
     use sws_model::solve::{BackendId, Guarantee, ObjectiveMode};
     use sws_model::{Instance, ModelError};
     use sws_workloads::random::random_instance;
@@ -765,6 +767,148 @@ mod tests {
         let ticket = handle.submit(request).unwrap();
         assert_eq!(ticket.verdict(), &probed);
         ticket.wait().unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn overload_shedding_refuses_with_the_typed_reason() {
+        // Zero workers: the backlog accumulates deterministically.
+        let service = SchedulingService::builder()
+            .workers(0)
+            .queue_capacity(64)
+            .tenant(
+                "t",
+                TenantPolicy::unlimited().with_shed(ShedPolicy::on_queue_depth(2, 0)),
+            )
+            .build();
+        let handle = service.handle();
+        let inst = instance(10, 2, 21);
+        let mk = || ServiceRequest::independent("t", Arc::clone(&inst), ObjectiveMode::CmaxOnly);
+        handle.submit(mk()).unwrap();
+        handle.submit(mk()).unwrap();
+        // The lane sits at the high watermark. `probe` already reports
+        // the overload refusal, without counting anything...
+        let probed = handle.probe(&mk()).unwrap();
+        assert!(
+            matches!(
+                probed,
+                AdmissionVerdict::Refused {
+                    reason: QuotaError::Overloaded { .. }
+                }
+            ),
+            "probe saw {probed:?}"
+        );
+        assert_eq!(handle.stats().tenant("t").unwrap().shed, 0);
+        // ...and the real submit is refused with the typed reason (the
+        // default request carries no strong guarantee to degrade).
+        let err = handle.submit(mk()).unwrap_err();
+        assert!(
+            matches!(err, ServiceError::Refused(QuotaError::Overloaded { .. })),
+            "got {err:?}"
+        );
+        let stats = handle.stats();
+        let t = stats.tenant("t").unwrap();
+        assert_eq!((t.shed, t.refused, t.admitted), (1, 1, 2));
+        assert_eq!(t.queued, 2);
+        assert_eq!(stats.global.shed, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn overload_shedding_degrades_strong_guarantees_before_refusing() {
+        let service = SchedulingService::builder()
+            .workers(0)
+            .queue_capacity(64)
+            .tenant(
+                "t",
+                TenantPolicy::unlimited().with_shed(ShedPolicy::on_queue_depth(1, 0)),
+            )
+            .build();
+        let handle = service.handle();
+        let inst = instance(12, 2, 22);
+        let mk = || {
+            ServiceRequest::independent("t", Arc::clone(&inst), ObjectiveMode::CmaxOnly)
+                .with_guarantee(Guarantee::Exact)
+        };
+        let first = handle.submit(mk()).unwrap();
+        assert!(matches!(first.verdict(), AdmissionVerdict::Admitted { .. }));
+        // Backlog at the watermark: the next Exact request walks the
+        // shed ladder — still admitted, but at the paper tier.
+        let second = handle.submit(mk()).unwrap();
+        assert!(
+            matches!(
+                second.verdict(),
+                AdmissionVerdict::Degraded {
+                    from: Guarantee::Exact,
+                    to: Guarantee::PaperRatio,
+                    ..
+                }
+            ),
+            "got {:?}",
+            second.verdict()
+        );
+        assert_eq!(second.effective_guarantee(), Guarantee::PaperRatio);
+        let stats = handle.stats();
+        let t = stats.tenant("t").unwrap();
+        assert_eq!((t.shed, t.degraded, t.refused, t.admitted), (1, 1, 0, 2));
+        service.shutdown();
+    }
+
+    #[test]
+    fn stats_expose_per_tenant_lane_gauges() {
+        let service = SchedulingService::builder()
+            .workers(0)
+            .queue_capacity(64)
+            .tenant("a", TenantPolicy::unlimited().with_weight(3))
+            .tenant("b", TenantPolicy::unlimited())
+            .build();
+        let handle = service.handle();
+        let inst = instance(10, 2, 23);
+        for _ in 0..3 {
+            handle
+                .submit(ServiceRequest::independent(
+                    "a",
+                    Arc::clone(&inst),
+                    ObjectiveMode::CmaxOnly,
+                ))
+                .unwrap();
+        }
+        handle
+            .submit(ServiceRequest::independent(
+                "b",
+                Arc::clone(&inst),
+                ObjectiveMode::CmaxOnly,
+            ))
+            .unwrap();
+        let stats = handle.stats();
+        assert_eq!(stats.tenant("a").unwrap().queued, 3);
+        assert_eq!(stats.tenant("b").unwrap().queued, 1);
+        assert_eq!(stats.global.queued, 4);
+        assert_eq!(stats.global.queued, stats.queue_depth);
+        assert!(stats.tenant("a").unwrap().head_wait.is_some());
+        // No completions yet: the recent-latency window is empty.
+        assert_eq!(stats.tenant("a").unwrap().recent_p99, None);
+        service.shutdown();
+    }
+
+    #[test]
+    fn completions_populate_the_recent_latency_window() {
+        let service = SchedulingService::builder()
+            .workers(1)
+            .tenant("t", TenantPolicy::unlimited())
+            .build();
+        let handle = service.handle();
+        let ticket = handle
+            .submit(ServiceRequest::independent(
+                "t",
+                instance(20, 2, 24),
+                ObjectiveMode::CmaxOnly,
+            ))
+            .unwrap();
+        ticket.wait().unwrap();
+        let stats = handle.stats();
+        assert!(stats.tenant("t").unwrap().recent_p99.is_some());
+        assert!(stats.tenant("t").unwrap().p99_latency.is_some());
         service.shutdown();
     }
 }

@@ -5,12 +5,32 @@
 //!
 //! 1. [`ServiceHandle::submit`] runs the admission pipeline documented
 //!    in `sws_model::policy` **on the caller's thread**: tenant lookup,
-//!    guarantee-floor adjustment, backend planning
-//!    ([`Portfolio::plan`]) and the cost/quota/queue gates. Refusals
-//!    return immediately — no scheduling work was spent on them.
-//! 2. Admitted requests enter the bounded priority queue with a
-//!    one-shot completion channel; the caller holds the [`Ticket`].
-//! 3. A worker thread dequeues the job, re-resolves the backend through
+//!    overload shedding (below), guarantee-floor adjustment, backend
+//!    planning ([`Portfolio::plan`]) and the cost/quota/queue gates.
+//!    Refusals return immediately — no scheduling work was spent on
+//!    them.
+//! 2. Admitted requests enter the tenant's lane of the bounded
+//!    deficit-round-robin queue (see `queue.rs`) with a one-shot
+//!    completion channel; the caller holds the [`Ticket`]. The lane is
+//!    charged the request's planned `CostEstimate` work units when a
+//!    worker picks it up, so tenants share *work*, weighted by
+//!    [`TenantPolicy::weight`](sws_model::policy::TenantPolicy::weight),
+//!    not request counts — a flooding tenant only ever delays its own
+//!    backlog. Priorities order a tenant's own lane; the aging bound
+//!    ([`ServiceBuilder::age_limit`]) caps how long any queued request
+//!    can be passed over regardless of weights.
+//! 3. **Overload shedding.** A tenant with a configured
+//!    [`ShedPolicy`](sws_model::policy::ShedPolicy) is watched on two
+//!    pressure signals at every submit: its lane depth and its
+//!    *recent* (windowed) p99 latency. Above the high watermarks the
+//!    tenant's shed latch closes and admission walks the policy
+//!    ladder — degrade toward `guarantee_floor` when the floor admits
+//!    `PaperRatio`, refuse with the typed
+//!    [`QuotaError::Overloaded`](sws_model::policy::QuotaError) reason
+//!    otherwise — until pressure falls back under the low watermarks
+//!    (hysteresis; the windowed p99 forgets, so recovery needs no
+//!    manual reset).
+//! 4. A worker thread dequeues the job, re-resolves the backend through
 //!    the shared [`DispatchWorker`] (the same per-worker
 //!    selection-plus-workspace routine the batch path uses — selection
 //!    is deterministic, so the dispatched backend is exactly the
@@ -18,7 +38,7 @@
 //!    Cancelled and deadline-expired jobs are resolved without
 //!    dispatching; a job cancelled *mid-solve* trips the cooperative
 //!    [`CancelProbe`] at the next round boundary.
-//! 4. [`Ticket::wait`] yields the outcome. Every admitted request gets
+//! 5. [`Ticket::wait`] yields the outcome. Every admitted request gets
 //!    **exactly one** terminal outcome, including through shutdown.
 //!
 //! # Fault tolerance
@@ -52,7 +72,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sws_core::dispatch::DispatchWorker;
 use sws_core::portfolio::{Portfolio, SolvePlan};
@@ -127,6 +147,10 @@ struct Job {
     /// (selection is deterministic, so this is exactly what a fresh
     /// selection would resolve) instead of paying the bid pass twice.
     plan: SolvePlan,
+    /// The plan's cost in integer work units (≥ 1) — what the tenant's
+    /// queue lane is charged when the job is served, and what a retry
+    /// re-charges on its way back in.
+    work: u64,
     deadline: Option<Instant>,
     cancel: Arc<AtomicBool>,
     submitted: Instant,
@@ -137,11 +161,16 @@ struct Job {
     tx: mpsc::Sender<ServiceOutcome>,
 }
 
-/// One registered tenant: id, policy, counters.
+/// One registered tenant: id, policy, counters, shed latch.
 struct TenantEntry {
     id: String,
     policy: TenantPolicy,
     counters: Counters,
+    /// The hysteretic overload latch: set when the tenant's pressure
+    /// signals cross [`ShedPolicy`](sws_model::policy::ShedPolicy)
+    /// high watermarks, cleared only once both are back under the low
+    /// ones. Read/written on the submit path only.
+    shedding: AtomicBool,
 }
 
 /// The outcome of the policy half of admission (steps 2–5 of the
@@ -155,6 +184,10 @@ enum AdmissionDecision {
         effective: Guarantee,
         degraded_from: Option<Guarantee>,
         plan: SolvePlan,
+        /// The degradation was forced by the overload shed ladder (not
+        /// by planning failure or the work gate) — counted under the
+        /// `shed` stat on top of `degraded`.
+        shed_degraded: bool,
     },
     /// Refuse with a typed quota reason.
     Refuse(QuotaError),
@@ -165,8 +198,9 @@ enum AdmissionDecision {
 /// State shared between the handle(s) and the workers.
 struct Shared {
     portfolio: Portfolio,
-    /// Jobs are boxed so the priority heap sifts pointers, not
-    /// ~200-byte payloads.
+    /// The deficit-round-robin queue, one lane per `tenants` entry
+    /// (lane index == tenant index). Jobs are boxed so the per-lane
+    /// heaps sift pointers, not ~200-byte payloads.
     queue: JobQueue<Box<Job>>,
     tenants: Vec<TenantEntry>,
     tenant_index: HashMap<String, usize>,
@@ -179,16 +213,27 @@ struct Shared {
 
 impl Shared {
     fn stats(&self) -> ServiceStats {
-        let tenants: Vec<ScopeStats> = self
+        let gauges = self.queue.gauges();
+        let mut tenants: Vec<ScopeStats> = self
             .tenants
             .iter()
             .map(|t| t.counters.snapshot(t.id.clone()))
             .collect();
+        // Lane index == tenant index, so the queue gauges zip straight
+        // onto the tenant scopes.
+        for (snap, gauge) in tenants.iter_mut().zip(gauges.iter()) {
+            snap.queued = gauge.depth;
+            snap.deficit = gauge.deficit;
+            snap.head_wait = gauge.head_wait;
+        }
         let mut global = self.global.snapshot("global".into());
         // The in-flight gauge lives on the tenant counters (the quota
         // reservation must be a single per-tenant atomic step); the
         // global gauge is their sum at snapshot time.
         global.in_flight = tenants.iter().map(|t| t.in_flight).sum();
+        global.queued = gauges.iter().map(|g| g.depth).sum();
+        global.deficit = gauges.iter().map(|g| g.deficit).sum();
+        global.head_wait = gauges.iter().filter_map(|g| g.head_wait).max();
         ServiceStats {
             global,
             tenants,
@@ -215,8 +260,43 @@ impl Shared {
         &self.tenants[idx]
     }
 
+    /// Evaluates the tenant's overload pressure against its
+    /// [`ShedPolicy`](sws_model::policy::ShedPolicy), advancing the
+    /// hysteretic latch when `update` is set (the submit path) and
+    /// only peeking when it is not (the side-effect-free `probe`).
+    /// Returns the pressure readings `(lane depth, recent p99)` while
+    /// the tenant should shed, `None` otherwise.
+    fn shed_pressure(&self, tenant_idx: usize, update: bool) -> Option<(usize, Option<Duration>)> {
+        let entry = self.tenant(tenant_idx);
+        let shed = &entry.policy.shed;
+        if !shed.is_enabled() {
+            return None;
+        }
+        let queued = self.queue.lane_depth(tenant_idx);
+        let recent_p99 = entry.counters.recent.quantile(0.99);
+        let latched = entry.shedding.load(Ordering::Relaxed);
+        let next = if latched {
+            // Leaving shedding needs *both* signals back under their
+            // low watermarks — the hysteresis half of the latch.
+            !shed.under_low(queued, recent_p99)
+        } else {
+            shed.over_high(queued, recent_p99)
+        };
+        if update && next != latched {
+            entry.shedding.store(next, Ordering::Relaxed);
+        }
+        next.then_some((queued, recent_p99))
+    }
+
     /// The policy half of admission — see [`AdmissionDecision`].
-    fn decide(&self, tenant_idx: usize, request: &ServiceRequest) -> AdmissionDecision {
+    /// `shed` carries the tenant's pressure readings when its overload
+    /// latch is closed (see [`Shared::shed_pressure`]).
+    fn decide(
+        &self,
+        tenant_idx: usize,
+        request: &ServiceRequest,
+        shed: Option<(usize, Option<Duration>)>,
+    ) -> AdmissionDecision {
         let entry = self.tenant(tenant_idx);
         let policy = entry.policy;
         let mut effective = policy.effective_guarantee(request.guarantee);
@@ -229,6 +309,28 @@ impl Shared {
             self.portfolio
                 .plan(&request.instance.as_request(request.objective, g))
         };
+
+        // Overload shed ladder, before any planning work is spent:
+        // degrade toward the guarantee floor when the floor admits the
+        // paper-ratio tier (whatever the overflow policy — this is an
+        // overload response, not an overflow one); otherwise refuse
+        // with the typed overload reason.
+        let mut shed_degraded = false;
+        if let Some((queued, recent_p99)) = shed {
+            if stronger_than_paper(effective)
+                && Guarantee::PaperRatio.satisfies(&policy.guarantee_floor)
+            {
+                degraded_from = Some(effective);
+                effective = Guarantee::PaperRatio;
+                shed_degraded = true;
+            } else {
+                return AdmissionDecision::Refuse(QuotaError::Overloaded {
+                    tenant: entry.id.clone(),
+                    queued,
+                    recent_p99,
+                });
+            }
+        }
 
         // Backend planning, degrading on `NoQualifiedBackend` when the
         // policy allows it.
@@ -289,6 +391,7 @@ impl Shared {
             effective,
             degraded_from,
             plan,
+            shed_degraded,
         }
     }
 
@@ -443,13 +546,20 @@ impl ServiceHandle {
                 tenant: request.tenant.clone(),
             }));
         };
-        let (effective, degraded_from, plan) = match shared.decide(tenant_idx, &request) {
+        let shed = shared.shed_pressure(tenant_idx, true);
+        let decision = shared.decide(tenant_idx, &request, shed);
+        let (effective, degraded_from, plan, shed_degraded) = match decision {
             AdmissionDecision::Admit {
                 effective,
                 degraded_from,
                 plan,
-            } => (effective, degraded_from, plan),
+                shed_degraded,
+            } => (effective, degraded_from, plan, shed_degraded),
             AdmissionDecision::Refuse(reason) => {
+                if matches!(reason, QuotaError::Overloaded { .. }) {
+                    Counters::bump(&shared.tenant(tenant_idx).counters.shed);
+                    Counters::bump(&shared.global.shed);
+                }
                 shared.count_refusal(Some(tenant_idx));
                 return Err(ServiceError::Refused(reason));
             }
@@ -465,11 +575,13 @@ impl ServiceHandle {
         let cancel = Arc::new(AtomicBool::new(false));
         let submitted = Instant::now();
         let priority = request.priority;
+        let work = work_units(plan.cost.work);
         let job = Job {
             tenant_idx,
             deadline: request.deadline.map(|d| submitted + d),
             effective,
             plan,
+            work,
             cancel: Arc::clone(&cancel),
             submitted,
             attempt: 0,
@@ -489,9 +601,12 @@ impl ServiceHandle {
         let mut purged_free_retry = true;
         let mut full_attempts = 0u32;
         loop {
-            match shared.queue.push(priority, job) {
+            match shared.queue.push(tenant_idx, priority, work, job) {
                 Ok(()) => break,
-                Err((_job, PushError::Closed)) => {
+                // `NoSuchLane` cannot happen (one lane per tenant entry
+                // by construction); folding it into the shutdown arm
+                // keeps the match total without a panic path.
+                Err((_job, PushError::Closed | PushError::NoSuchLane)) => {
                     entry.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
                     return Err(ServiceError::ShuttingDown);
                 }
@@ -527,6 +642,10 @@ impl ServiceHandle {
             Some(from) => {
                 Counters::bump(&entry.counters.degraded);
                 Counters::bump(&shared.global.degraded);
+                if shed_degraded {
+                    Counters::bump(&entry.counters.shed);
+                    Counters::bump(&shared.global.shed);
+                }
                 AdmissionVerdict::Degraded {
                     from,
                     to: effective,
@@ -562,11 +681,13 @@ impl ServiceHandle {
                 },
             });
         };
-        match shared.decide(tenant_idx, request) {
+        let shed = shared.shed_pressure(tenant_idx, false);
+        match shared.decide(tenant_idx, request, shed) {
             AdmissionDecision::Admit {
                 effective,
                 degraded_from,
                 plan,
+                shed_degraded: _,
             } => Ok(match degraded_from {
                 Some(from) => AdmissionVerdict::Degraded {
                     from,
@@ -595,6 +716,16 @@ impl ServiceHandle {
     }
 }
 
+/// The plan's floating-point work estimate as integer queue work units
+/// (≥ 1; non-finite or sub-unit estimates charge the minimum).
+fn work_units(cost_work: f64) -> u64 {
+    if cost_work.is_finite() && cost_work >= 1.0 {
+        cost_work.min(u64::MAX as f64) as u64
+    } else {
+        1
+    }
+}
+
 /// Builder for a [`SchedulingService`].
 pub struct ServiceBuilder {
     workers: usize,
@@ -602,6 +733,7 @@ pub struct ServiceBuilder {
     tenants: Vec<(String, TenantPolicy)>,
     default_policy: Option<TenantPolicy>,
     portfolio: Option<Portfolio>,
+    age_limit: Option<Duration>,
 }
 
 impl Default for ServiceBuilder {
@@ -611,8 +743,16 @@ impl Default for ServiceBuilder {
 }
 
 impl ServiceBuilder {
+    /// The default aging bound: generous next to the service's
+    /// microsecond-to-millisecond solve times, so it never distorts
+    /// weighted fairness in steady state, yet it caps how long a
+    /// low-weight tenant's head-of-line request can wait under a
+    /// sustained flood.
+    pub const DEFAULT_AGE_LIMIT: Duration = Duration::from_secs(2);
+
     /// Defaults: one worker per available core, queue capacity 1024, no
-    /// tenants, no default policy, `Portfolio::standard()`.
+    /// tenants, no default policy, `Portfolio::standard()`, aging bound
+    /// [`ServiceBuilder::DEFAULT_AGE_LIMIT`].
     pub fn new() -> Self {
         ServiceBuilder {
             workers: std::thread::available_parallelism()
@@ -622,6 +762,7 @@ impl ServiceBuilder {
             tenants: Vec::new(),
             default_policy: None,
             portfolio: None,
+            age_limit: Some(Self::DEFAULT_AGE_LIMIT),
         }
     }
 
@@ -663,6 +804,16 @@ impl ServiceBuilder {
         self
     }
 
+    /// The aging bound: a queued request older than this is served
+    /// next, out of rotation, whatever the tenant weights say — the
+    /// worst-case wait for any tenant's next-in-line request is capped
+    /// at roughly this bound plus one in-flight solve per worker.
+    /// `None` disables aging (pure weighted DRR).
+    pub fn age_limit(mut self, limit: Option<Duration>) -> Self {
+        self.age_limit = limit;
+        self
+    }
+
     /// Starts the service: spawns the worker pool and returns the
     /// running service.
     pub fn build(self) -> SchedulingService {
@@ -673,6 +824,7 @@ impl ServiceBuilder {
                 id,
                 policy,
                 counters: Counters::new(),
+                shedding: AtomicBool::new(false),
             })
             .collect();
         let default_tenant = self.default_policy.map(|policy| {
@@ -684,6 +836,7 @@ impl ServiceBuilder {
                 id: "*".to_string(),
                 policy,
                 counters: Counters::new(),
+                shedding: AtomicBool::new(false),
             });
             tenants.len() - 1
         });
@@ -692,9 +845,10 @@ impl ServiceBuilder {
             .enumerate()
             .map(|(idx, t)| (t.id.clone(), idx))
             .collect();
+        let weights: Vec<u32> = tenants.iter().map(|t| t.policy.weight).collect();
         let shared = Arc::new(Shared {
             portfolio: self.portfolio.unwrap_or_default(),
-            queue: JobQueue::new(self.queue_capacity),
+            queue: JobQueue::new(self.queue_capacity, &weights, self.age_limit),
             tenants,
             tenant_index,
             default_tenant,
@@ -773,7 +927,9 @@ fn resolve_job(shared: &Shared, dispatcher: &mut DispatchWorker<'_>, job: Box<Jo
             solution.stats.attempts = job.attempt + 1;
             let latency = job.submitted.elapsed();
             counters.latency.record(latency);
+            counters.recent.record(latency);
             shared.global.latency.record(latency);
+            shared.global.recent.record(latency);
             Counters::bump(&counters.completed);
             Counters::bump(&shared.global.completed);
             Ok(solution)
@@ -864,6 +1020,7 @@ fn retry_after_panic(
                 Counters::bump(&counters.degraded);
                 Counters::bump(&shared.global.degraded);
                 job.effective = effective;
+                job.work = work_units(plan.cost.work);
                 job.plan = plan;
                 true
             }
@@ -878,7 +1035,8 @@ fn retry_after_panic(
         Counters::bump(&shared.global.retried);
         job.attempt = attempts_made;
         let priority = job.request.priority;
-        match shared.queue.push(priority, job) {
+        let (lane, work) = (job.tenant_idx, job.work);
+        match shared.queue.push(lane, priority, work, job) {
             Ok(()) => return None,
             // Queue closed (shutdown) or full: no slot for another
             // attempt, so the failure is terminal after all.

@@ -8,7 +8,8 @@
 //! 256-entry scan; nothing ever allocates or takes a lock.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// Number of histogram buckets: 64 octaves × 4 sub-buckets.
 const BUCKETS: usize = 256;
@@ -58,6 +59,13 @@ impl LatencyHistogram {
         self.buckets[Self::index(ns)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Zeroes every bucket (epoch rotation in [`RecentLatency`]).
+    fn clear(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// The `q`-quantile (`0 < q ≤ 1`) as a duration, `None` while the
     /// histogram is empty. Resolution is the bucket width (≤ ~19%).
     pub(crate) fn quantile(&self, q: f64) -> Option<Duration> {
@@ -82,6 +90,131 @@ impl LatencyHistogram {
     }
 }
 
+/// A process-wide monotonic origin so epoch timestamps fit in one
+/// atomic `u64` of nanoseconds.
+fn origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    Instant::now()
+        .saturating_duration_since(origin())
+        .as_nanos()
+        .min(u64::MAX as u128) as u64
+}
+
+/// A *windowed* latency view: the p99 over roughly the last one to two
+/// windows, built from two [`LatencyHistogram`] epochs rotated in
+/// place.
+///
+/// The cumulative histograms in [`Counters`] never forget, which is
+/// right for lifetime quantiles but useless as an overload signal — a
+/// p99 poisoned by a past incident would keep a tenant shedding
+/// forever. Here, records land in the *current* epoch; once a window
+/// elapses the stale epoch is cleared and becomes current, and
+/// quantile queries merge both epochs. A quiet scope therefore decays
+/// to "no signal" within two windows, which is what lets the shed
+/// latch in `service.rs` recover hysteretically.
+///
+/// Rotation races are benign: a record landing in an epoch while
+/// another thread clears it is lost from a *statistics window*, not
+/// from an accounting invariant (terminal-outcome counts live in
+/// [`Counters`], never here).
+pub(crate) struct RecentLatency {
+    epochs: [LatencyHistogram; 2],
+    /// Which epoch records land in (0 or 1).
+    current: AtomicUsize,
+    /// Current epoch's start, nanoseconds since [`origin`].
+    epoch_start: AtomicU64,
+    window_ns: u64,
+}
+
+impl RecentLatency {
+    /// The window the service uses when none is configured: long enough
+    /// to accumulate a meaningful p99 under load, short enough that the
+    /// shed latch reopens promptly once pressure drops.
+    pub(crate) const DEFAULT_WINDOW: Duration = Duration::from_secs(1);
+
+    pub(crate) fn new(window: Duration) -> Self {
+        RecentLatency {
+            epochs: [LatencyHistogram::new(), LatencyHistogram::new()],
+            current: AtomicUsize::new(0),
+            epoch_start: AtomicU64::new(now_ns()),
+            window_ns: window.as_nanos().clamp(1, u64::MAX as u128) as u64,
+        }
+    }
+
+    /// Rotates epochs when the window has elapsed. Exactly one racing
+    /// caller wins the CAS and performs the clear-and-flip; both the
+    /// record and the query path call this, so an idle scope still
+    /// decays without traffic.
+    fn rotate(&self) {
+        let now = now_ns();
+        let start = self.epoch_start.load(Ordering::Relaxed);
+        let elapsed = now.saturating_sub(start);
+        if elapsed < self.window_ns {
+            return;
+        }
+        if self
+            .epoch_start
+            .compare_exchange(start, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let current = self.current.load(Ordering::Relaxed) & 1;
+        let next = current ^ 1;
+        if let Some(stale) = self.epochs.get(next) {
+            stale.clear();
+        }
+        if elapsed >= self.window_ns.saturating_mul(2) {
+            // The whole view is stale (no rotation ran for two or more
+            // windows): drop the old current epoch too instead of
+            // reporting ancient latencies as "recent".
+            if let Some(old) = self.epochs.get(current) {
+                old.clear();
+            }
+        }
+        self.current.store(next, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record(&self, latency: Duration) {
+        self.rotate();
+        let idx = self.current.load(Ordering::Relaxed) & 1;
+        if let Some(epoch) = self.epochs.get(idx) {
+            epoch.record(latency);
+        }
+    }
+
+    /// The `q`-quantile over both epochs (the last one to two windows),
+    /// `None` when the window is empty.
+    pub(crate) fn quantile(&self, q: f64) -> Option<Duration> {
+        self.rotate();
+        let counts: Vec<u64> = (0..BUCKETS)
+            .map(|i| {
+                self.epochs
+                    .iter()
+                    .map(|e| e.buckets.get(i).map_or(0, |b| b.load(Ordering::Relaxed)))
+                    .sum()
+            })
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Duration::from_nanos(LatencyHistogram::value(i)));
+            }
+        }
+        None
+    }
+}
+
 /// One scope's worth of counters (a tenant, or the global aggregate).
 pub(crate) struct Counters {
     pub(crate) admitted: AtomicU64,
@@ -93,8 +226,10 @@ pub(crate) struct Counters {
     pub(crate) expired: AtomicU64,
     pub(crate) panicked: AtomicU64,
     pub(crate) retried: AtomicU64,
+    pub(crate) shed: AtomicU64,
     pub(crate) in_flight: AtomicUsize,
     pub(crate) latency: LatencyHistogram,
+    pub(crate) recent: RecentLatency,
 }
 
 impl Counters {
@@ -109,8 +244,10 @@ impl Counters {
             expired: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
             retried: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
             latency: LatencyHistogram::new(),
+            recent: RecentLatency::new(RecentLatency::DEFAULT_WINDOW),
         }
     }
 
@@ -130,9 +267,14 @@ impl Counters {
             expired: self.expired.load(Ordering::Relaxed),
             panicked: self.panicked.load(Ordering::Relaxed),
             retried: self.retried.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             p50_latency: self.latency.quantile(0.50),
             p99_latency: self.latency.quantile(0.99),
+            recent_p99: self.recent.quantile(0.99),
+            queued: 0,
+            deficit: 0,
+            head_wait: None,
         }
     }
 }
@@ -168,12 +310,30 @@ pub struct ScopeStats {
     /// Not a terminal outcome — a request retried twice and then
     /// completed contributes 2 here and 1 to `completed`.
     pub retried: u64,
+    /// Admission decisions altered by overload shedding: requests
+    /// degraded toward the tenant's `guarantee_floor` or refused with
+    /// [`sws_model::policy::QuotaError::Overloaded`] while the shed
+    /// latch was closed. A subset of `degraded + refused`.
+    pub shed: u64,
     /// Admitted requests not yet resolved (queued or running).
     pub in_flight: usize,
     /// Median submit→completion latency of completed requests.
     pub p50_latency: Option<Duration>,
     /// 99th-percentile submit→completion latency.
     pub p99_latency: Option<Duration>,
+    /// 99th-percentile latency over roughly the last one to two
+    /// [`RecentLatency`] windows — the overload-pressure signal, not a
+    /// lifetime statistic. `None` when the window saw no completions.
+    pub recent_p99: Option<Duration>,
+    /// Requests queued in this scope's queue lane right now (for the
+    /// global scope: total queue depth).
+    pub queued: usize,
+    /// The lane's deficit-round-robin counter in work units (global
+    /// scope: sum over lanes).
+    pub deficit: u64,
+    /// How long the lane's next-in-line request has been queued (global
+    /// scope: the maximum over lanes) — the aging gauge.
+    pub head_wait: Option<Duration>,
 }
 
 impl ScopeStats {
@@ -240,6 +400,42 @@ mod tests {
             // (upper bucket edge), within one bucket width.
             assert!(LatencyHistogram::value(idx) >= ns || idx == BUCKETS - 1);
         }
+    }
+
+    #[test]
+    fn recent_latency_reports_then_forgets() {
+        let window = Duration::from_millis(20);
+        let recent = RecentLatency::new(window);
+        recent.record(Duration::from_millis(5));
+        recent.record(Duration::from_millis(7));
+        let p99 = recent.quantile(0.99).expect("fresh records are visible");
+        assert!(p99 >= Duration::from_millis(6));
+        // Within one window the view persists (possibly across one
+        // rotation into the merged pair)...
+        std::thread::sleep(window / 2);
+        assert!(recent.quantile(0.99).is_some());
+        // ...but after several idle windows the signal decays to None —
+        // the property the shed latch needs to reopen.
+        std::thread::sleep(window.saturating_mul(3));
+        assert_eq!(recent.quantile(0.99), None);
+    }
+
+    #[test]
+    fn recent_latency_merges_across_one_rotation() {
+        // Sleep one window (well short of two): the next record rotates
+        // epochs, and the pre-rotation record must stay visible in the
+        // merged view.
+        let window = Duration::from_millis(200);
+        let recent = RecentLatency::new(window);
+        recent.record(Duration::from_micros(100));
+        std::thread::sleep(window + window / 4);
+        recent.record(Duration::from_micros(900));
+        assert!(recent.quantile(0.99).expect("p99") >= Duration::from_micros(800));
+        let p50 = recent.quantile(0.5).expect("merged view is non-empty");
+        assert!(
+            p50 <= Duration::from_micros(400),
+            "pre-rotation record was dropped from the merged view: {p50:?}"
+        );
     }
 
     #[test]

@@ -237,6 +237,86 @@ fn workers_survive_a_total_panic_wave() {
 }
 
 #[test]
+fn a_flooding_tenant_cannot_starve_the_others() {
+    silence_injected_panics();
+    // Overload chaos: one tenant bursts 10× its base wave ahead of a
+    // victim tenant's trickle, onto a single worker so the queue is
+    // the only thing deciding who gets served. Under the old
+    // strict-priority pop the victims (submitted after the burst)
+    // would drain last, their p99 riding the flood's tail; under DRR
+    // each victim request waits only ~one flood request per rotation.
+    let base = if std::env::var("SWS_BENCH_QUICK").is_ok() {
+        10
+    } else {
+        20
+    };
+    let plan = FaultPlan::new(CHAOS_SEED).with_flood("flood", 10);
+    let (flood_tenant, factor) = plan.flood_tenant().expect("flood is configured");
+    assert_eq!((flood_tenant, factor), ("flood", 10));
+
+    let mk_wave = |tenant: &str, seed_base: u64| -> Vec<ServiceRequest> {
+        (0..base)
+            .map(|i| {
+                let inst = Arc::new(random_instance(
+                    12 + (i % 8),
+                    2,
+                    TaskDistribution::Uncorrelated,
+                    &mut seeded_rng(seed_base + i as u64),
+                ));
+                ServiceRequest::independent(tenant, inst, ObjectiveMode::CmaxOnly)
+            })
+            .collect()
+    };
+    let flood_wave = plan.flood_wave(mk_wave("flood", 7000));
+    let victim_wave = mk_wave("victim", 8000);
+    assert_eq!(flood_wave.len(), base * factor as usize);
+
+    let service = SchedulingService::builder()
+        .workers(1)
+        .queue_capacity(flood_wave.len() + victim_wave.len() + 8)
+        .tenant("flood", TenantPolicy::unlimited())
+        .tenant("victim", TenantPolicy::unlimited())
+        .build();
+    let handle = service.handle();
+
+    // The burst lands first, then the victims trickle in behind it.
+    let flood_tickets: Vec<_> = flood_wave
+        .into_iter()
+        .map(|r| handle.submit(r).expect("flood submit admitted"))
+        .collect();
+    let victim_tickets: Vec<_> = victim_wave
+        .into_iter()
+        .map(|r| handle.submit(r).expect("victim submit admitted"))
+        .collect();
+
+    for ticket in victim_tickets {
+        ticket.wait().expect("victim requests complete under flood");
+    }
+    for ticket in flood_tickets {
+        ticket.wait().expect("flood requests complete too");
+    }
+
+    let stats = service.shutdown();
+    let victim = stats.tenant("victim").expect("victim scope");
+    let flood = stats.tenant("flood").expect("flood scope");
+    assert_eq!(victim.completed as usize, base);
+    assert_eq!(flood.completed as usize, base * factor as usize);
+    assert_eq!(stats.global.in_flight, 0);
+    assert_eq!(stats.queue_depth, 0);
+
+    // The fairness signal: the victims' tail latency must sit well
+    // under the flood's own (the flood queues behind itself; the
+    // victims do not queue behind the flood). Strict priority would
+    // put both tails at the same end of the drain.
+    let victim_p99 = victim.p99_latency.expect("victim histogram has data");
+    let flood_p99 = flood.p99_latency.expect("flood histogram has data");
+    assert!(
+        victim_p99 <= flood_p99 / 2,
+        "victim p99 {victim_p99:?} must stay well under the flooding tenant's {flood_p99:?}"
+    );
+}
+
+#[test]
 fn mid_solve_cancellation_resolves_within_bounded_time() {
     silence_injected_panics();
     // A large kernel-bound instance, stalled by the fault plan for far

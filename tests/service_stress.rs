@@ -10,6 +10,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use sws_core::portfolio::Portfolio;
 use sws_model::policy::{OverflowPolicy, TenantPolicy};
@@ -169,4 +170,102 @@ fn stress_many_tenants_with_midstream_cancellation() {
     // Per-tenant accounting adds up to the global aggregate.
     let per_tenant_terminal: u64 = stats.tenants.iter().map(|t| t.terminal_outcomes()).sum();
     assert_eq!(per_tenant_terminal, total);
+}
+
+/// The headline overload-fairness acceptance test: one tenant floods a
+/// single-worker service at **10× its in-flight quota** (absorbed by
+/// its `Queue` overflow policy), ahead of a victim tenant's requests.
+/// Under the deficit-round-robin queue the victim's p99 — read off the
+/// `ServiceStats` histograms — must stay under a stated fraction of the
+/// drain: each victim request waits one rotation (~one flood request),
+/// never the flood's whole backlog. The bound is expressed relative to
+/// the measured drain time, so machine speed and CI noise scale both
+/// sides equally; under the old strict-priority pop the victims (queued
+/// behind the entire burst) would sit at the drain's tail and fail it
+/// by a wide margin.
+#[test]
+fn a_flooding_tenant_cannot_push_another_tenants_p99_past_the_bound() {
+    let victims = if quick() { 16 } else { 48 };
+    let quota = victims;
+    let flood_n = 10 * quota;
+    let total = flood_n + victims;
+
+    let service = SchedulingService::builder()
+        .workers(1)
+        .queue_capacity(total + 8)
+        .tenant("victim", TenantPolicy::unlimited())
+        .tenant(
+            "flood",
+            TenantPolicy::unlimited()
+                .with_max_in_flight(quota)
+                .with_overflow(OverflowPolicy::Queue),
+        )
+        .build();
+    let handle = service.handle();
+
+    // One shared instance: every request costs the same work units, so
+    // the DRR rotation alternates one-for-one between the lanes.
+    let inst = Arc::new(random_instance(
+        16,
+        2,
+        TaskDistribution::Uncorrelated,
+        &mut seeded_rng(derive_seed(0xF100D, 1)),
+    ));
+    let mk = |tenant: &str| {
+        ServiceRequest::independent(tenant, Arc::clone(&inst), ObjectiveMode::CmaxOnly)
+    };
+
+    let started = Instant::now();
+    let flood_tickets: Vec<Ticket> = (0..flood_n)
+        .map(|_| handle.submit(mk("flood")).expect("flood burst queues"))
+        .collect();
+    let mid = handle.stats();
+    let victim_tickets: Vec<Ticket> = (0..victims)
+        .map(|_| handle.submit(mk("victim")).expect("victim submits admit"))
+        .collect();
+
+    // The lane gauges are live while the backlog drains.
+    if let Some(flood_scope) = mid.tenant("flood") {
+        if flood_scope.queued > 0 {
+            assert!(flood_scope.head_wait.is_some());
+        }
+        assert_eq!(mid.global.queued, mid.queue_depth);
+    }
+
+    for ticket in victim_tickets {
+        ticket.wait().expect("victim requests complete");
+    }
+    for ticket in flood_tickets {
+        ticket.wait().expect("flood requests complete");
+    }
+    let drain = started.elapsed();
+
+    let stats = service.shutdown();
+    let victim = stats.tenant("victim").expect("victim scope");
+    let flood = stats.tenant("flood").expect("flood scope");
+    assert_eq!(victim.completed as usize, victims);
+    assert_eq!(flood.completed as usize, flood_n);
+    assert_eq!(stats.global.refused, 0);
+    assert_eq!(stats.global.in_flight, 0);
+    assert_eq!(stats.queue_depth, 0);
+
+    let victim_p99 = victim.p99_latency.expect("victim histogram has data");
+    let flood_p99 = flood.p99_latency.expect("flood histogram has data");
+
+    // The stated bound: the victims' share of the drain is
+    // victims/total of the service rate, and the last victim completes
+    // after ~2·victims rotations; 3× that is generous slack for bucket
+    // width and pickup races, yet ~4× below where strict priority
+    // would put it (the full drain).
+    let bound = drain * 3 * (victims as u32) / (total as u32);
+    assert!(
+        victim_p99 <= bound,
+        "victim p99 {victim_p99:?} exceeds the fairness bound {bound:?} (drain {drain:?})"
+    );
+    // And the flood pays for its own burst: its tail rides the whole
+    // backlog, far behind the victims it failed to starve.
+    assert!(
+        flood_p99 >= victim_p99 * 2,
+        "flood p99 {flood_p99:?} suspiciously close to victim p99 {victim_p99:?}"
+    );
 }
