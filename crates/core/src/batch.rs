@@ -221,7 +221,7 @@ fn run_one(
 ) -> Result<KernelOutcome, ModelError> {
     // Per-instance by nature: the flat mirror and the priority ranks.
     let csr = inst.csr();
-    let rank = spec.order.rank(inst.graph());
+    let rank = spec.order.rank_csr(inst.graph(), &csr);
     let m = inst.m();
     match spec.algorithm {
         BatchAlgorithm::DagList => event_driven_schedule_csr(&csr, m, &rank, &mut Unrestricted, ws),

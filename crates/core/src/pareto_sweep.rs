@@ -222,8 +222,8 @@ impl SweepEngine {
     ) -> Result<Vec<(f64, RlsResult)>, ModelError> {
         // One rank computation and one CSR flattening for the whole
         // sweep, shared by every per-worker chain.
-        let rank = std::sync::Arc::new(order.rank(inst.graph()));
         let csr = std::sync::Arc::new(inst.csr());
+        let rank = std::sync::Arc::new(order.rank_csr(inst.graph(), &csr));
         run_chunks(self.chunked(deltas), |chunk| {
             let mut engine = RlsEngine::with_parts(
                 inst,

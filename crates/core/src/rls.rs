@@ -37,8 +37,8 @@ use sws_listsched::kernel::{
     MemoryCapAdmission,
 };
 use sws_listsched::priority::{
-    hlf_priority, index_priority, largest_storage_priority, lpt_priority, spt_priority,
-    PriorityRank,
+    hlf_priority, index_priority, largest_storage_priority, largest_storage_priority_csr,
+    lpt_priority, lpt_priority_csr, spt_priority, spt_priority_csr, PriorityRank,
 };
 use sws_model::bounds::mmax_lower_bound;
 use sws_model::error::ModelError;
@@ -100,6 +100,22 @@ impl PriorityOrder {
             PriorityOrder::Lpt => lpt_priority(graph),
             PriorityOrder::BottomLevel => hlf_priority(graph),
             PriorityOrder::LargestStorage => largest_storage_priority(graph),
+        }
+    }
+
+    /// [`PriorityOrder::rank`] from a prebuilt CSR mirror: cost-keyed
+    /// orders sort by the instance's quantized `u32` cost ranks instead
+    /// of `f64` comparators (same permutation, cheaper sort — see
+    /// [`sws_listsched::priority::spt_priority_csr`]). Bottom-level
+    /// priorities derive summed levels, which the cost table cannot
+    /// represent, so that arm still walks the nested graph.
+    pub fn rank_csr(&self, graph: &TaskGraph, csr: &CsrDag) -> PriorityRank {
+        match self {
+            PriorityOrder::Index => index_priority(csr.n()),
+            PriorityOrder::Spt => spt_priority_csr(csr),
+            PriorityOrder::Lpt => lpt_priority_csr(csr),
+            PriorityOrder::BottomLevel => hlf_priority(graph),
+            PriorityOrder::LargestStorage => largest_storage_priority_csr(csr),
         }
     }
 }
@@ -304,8 +320,8 @@ pub fn rls_in(
     validate_rls_delta(config.delta)?;
     let lb = inst.mmax_lower_bound();
     let cap = config.delta * lb;
-    let rank = config.order.rank(inst.graph());
     let csr = inst.csr();
+    let rank = config.order.rank_csr(inst.graph(), &csr);
     let mut admission = MemoryCapAdmission::new(m, cap);
     let outcome = event_driven_schedule_csr(&csr, m, &rank, &mut admission, ws)?;
     Ok(RlsResult {
@@ -375,7 +391,9 @@ impl<'a> RlsEngine<'a> {
     /// An engine with no warm state yet; the first [`RlsEngine::run`]
     /// is a cold run.
     pub fn new(inst: &'a DagInstance, order: PriorityOrder) -> Self {
-        Self::with_rank(inst, order, std::sync::Arc::new(order.rank(inst.graph())))
+        let csr = std::sync::Arc::new(inst.csr());
+        let rank = std::sync::Arc::new(order.rank_csr(inst.graph(), &csr));
+        Self::with_parts(inst, order, rank, csr)
     }
 
     /// Like [`RlsEngine::new`], but with a precomputed priority rank for
@@ -515,7 +533,7 @@ pub mod naive {
             // memory stays within ∆·LB, and the earliest start time
             // there. `best` holds (ready time, tie-break rank, task,
             // processor).
-            let mut best: Option<(f64, usize, usize, usize)> = None;
+            let mut best: Option<(f64, u32, usize, usize)> = None;
             for i in 0..n {
                 if scheduled[i] || remaining_preds[i] != 0 {
                     continue;
@@ -552,7 +570,9 @@ pub mod naive {
                 let candidate = (ready, rank[i], i, j);
                 let better = match best {
                     None => true,
-                    Some(cur) => better_candidate(candidate.0, candidate.1, cur.0, cur.1),
+                    Some(cur) => {
+                        better_candidate(candidate.0, candidate.1 as usize, cur.0, cur.1 as usize)
+                    }
                 };
                 if better {
                     best = Some(candidate);

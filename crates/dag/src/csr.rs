@@ -23,6 +23,7 @@
 //! one over the nested-`Vec` form.
 
 use crate::graph::TaskGraph;
+use crate::keys::KeyTable;
 use sws_model::validate::CsrPreds;
 
 /// Flat, read-only mirror of a [`TaskGraph`]: CSR adjacency in both
@@ -40,12 +41,28 @@ pub struct CsrDag {
     proc_time: Vec<f64>,
     /// Storage requirement `s_i` per task.
     mem_size: Vec<f64>,
+    /// Order-preserving rank table over the pooled distinct cost values
+    /// (`p` and `s` together); `None` when the instance has more
+    /// distinct values than fit in `u32` ranks — consumers then fall
+    /// back to the `f64` comparators.
+    cost_keys: Option<KeyTable>,
+    /// `p_rank[i]` = `cost_keys.rank_of(p_i)`; empty when saturated.
+    p_rank: Vec<u32>,
+    /// `s_rank[i]` = `cost_keys.rank_of(s_i)`; empty when saturated.
+    s_rank: Vec<u32>,
 }
 
 impl CsrDag {
     /// Flattens a [`TaskGraph`] into CSR form. Edge order within each
     /// adjacency list is preserved.
     pub fn from_graph(graph: &TaskGraph) -> Self {
+        Self::from_graph_with_key_limit(graph, KeyTable::DEFAULT_LIMIT)
+    }
+
+    /// [`CsrDag::from_graph`] with an explicit distinct-cost-value limit
+    /// for the quantization table — tests lower it to exercise the
+    /// saturated (`cost_keys = None`) fallback without 2³² floats.
+    pub fn from_graph_with_key_limit(graph: &TaskGraph, key_limit: usize) -> Self {
         let n = graph.n();
         assert!(
             n < u32::MAX as usize && graph.edge_count() <= u32::MAX as usize,
@@ -68,6 +85,22 @@ impl CsrDag {
             proc_time.push(t.p);
             mem_size.push(t.s);
         }
+        let cost_keys =
+            KeyTable::build_with_limit(proc_time.iter().chain(mem_size.iter()).copied(), key_limit);
+        let (p_rank, s_rank) = match &cost_keys {
+            Some(table) => {
+                let rank = |v: f64| {
+                    table
+                        .rank_of(v)
+                        .expect("the table was built over exactly these values")
+                };
+                (
+                    proc_time.iter().map(|&p| rank(p)).collect(),
+                    mem_size.iter().map(|&s| rank(s)).collect(),
+                )
+            }
+            None => (Vec::new(), Vec::new()),
+        };
         CsrDag {
             n,
             pred_offsets,
@@ -76,6 +109,9 @@ impl CsrDag {
             succ_edges,
             proc_time,
             mem_size,
+            cost_keys,
+            p_rank,
+            s_rank,
         }
     }
 
@@ -139,6 +175,29 @@ impl CsrDag {
         &self.mem_size
     }
 
+    /// The quantization table over the instance's distinct cost values,
+    /// or `None` when the instance saturated it (more distinct values
+    /// than `u32` ranks — impossible below 2³² tasks in practice, but
+    /// the fallback is kept honest by tests with a lowered limit).
+    #[inline]
+    pub fn cost_keys(&self) -> Option<&KeyTable> {
+        self.cost_keys.as_ref()
+    }
+
+    /// Per-task `u32` ranks of the processing times (`rank order` =
+    /// `f64 order`), or `None` when the table is saturated.
+    #[inline]
+    pub fn p_ranks(&self) -> Option<&[u32]> {
+        self.cost_keys.as_ref().map(|_| self.p_rank.as_slice())
+    }
+
+    /// Per-task `u32` ranks of the storage requirements, or `None` when
+    /// the table is saturated.
+    #[inline]
+    pub fn s_ranks(&self) -> Option<&[u32]> {
+        self.cost_keys.as_ref().map(|_| self.s_rank.as_slice())
+    }
+
     /// The predecessor lists as the borrowed CSR view accepted by
     /// [`sws_model::validate::validate_timed_preds`] — validation without
     /// materializing nested `Vec<Vec<usize>>` lists.
@@ -187,6 +246,40 @@ mod tests {
         let csr = CsrDag::from_graph(&g);
         assert_eq!(csr.n(), 0);
         assert_eq!(csr.edge_count(), 0);
+    }
+
+    #[test]
+    fn cost_ranks_mirror_the_f64_order() {
+        let g = diamond();
+        let csr = CsrDag::from_graph(&g);
+        let table = csr.cost_keys().expect("tiny instance never saturates");
+        let p_rank = csr.p_ranks().unwrap();
+        let s_rank = csr.s_ranks().unwrap();
+        for i in 0..g.n() {
+            assert_eq!(table.value_of(p_rank[i]), csr.p(i));
+            assert_eq!(table.value_of(s_rank[i]), csr.s(i));
+            for j in 0..g.n() {
+                assert_eq!(p_rank[i] < p_rank[j], csr.p(i) < csr.p(j));
+                assert_eq!(s_rank[i] < s_rank[j], csr.s(i) < csr.s(j));
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_key_limit_disables_quantization_only() {
+        let g = diamond();
+        let full = CsrDag::from_graph(&g);
+        let capped = CsrDag::from_graph_with_key_limit(&g, 2);
+        assert!(capped.cost_keys().is_none());
+        assert!(capped.p_ranks().is_none());
+        assert!(capped.s_ranks().is_none());
+        // The structural mirror is untouched by the refusal.
+        for i in 0..g.n() {
+            assert_eq!(capped.preds(i), full.preds(i));
+            assert_eq!(capped.succs(i), full.succs(i));
+            assert_eq!(capped.p(i), full.p(i));
+            assert_eq!(capped.s(i), full.s(i));
+        }
     }
 
     #[test]

@@ -39,11 +39,13 @@ pub mod analysis;
 pub mod csr;
 pub mod generators;
 pub mod graph;
+pub mod keys;
 pub mod levels;
 pub mod topo;
 
 pub use csr::CsrDag;
 pub use graph::{DagInstance, TaskGraph};
+pub use keys::KeyTable;
 
 /// Frequently used items.
 pub mod prelude {

@@ -1,0 +1,97 @@
+//! Property-based tests of the cost-key quantization table
+//! ([`sws_dag::KeyTable`]): on adversarial cost sets — duplicates,
+//! signed zeros, subnormals, wildly mixed magnitudes — the dense `u32`
+//! ranks must order exactly like the `f64` values, round-trip back to
+//! the exact bit pattern, and the distinct-count limit must refuse at
+//! precisely the documented boundary.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sws_dag::KeyTable;
+
+/// Maps a selector into an adversarial cost palette. Small moduli make
+/// duplicates frequent; the branches cover signed zeros, subnormals
+/// (the smallest positive bit patterns), numbers ~1e-300 and ~1e300
+/// apart, and negatives, all in one set.
+fn adversarial_cost(sel: u64) -> f64 {
+    match sel % 8 {
+        0 => (sel % 5) as f64,
+        1 => -((sel % 5) as f64),
+        2 => {
+            if sel.is_multiple_of(2) {
+                0.0
+            } else {
+                -0.0
+            }
+        }
+        // Subnormals: the very bottom of the positive f64 range.
+        3 => f64::from_bits(sel % 7 + 1),
+        4 => 1e-300 * ((sel % 9) as f64 + 1.0),
+        5 => 1e300 * ((sel % 9) as f64 + 1.0),
+        6 => f64::MAX - (sel % 3) as f64 * 1e292,
+        _ => ((sel % 11) as f64 - 5.0) * 1e-9,
+    }
+}
+
+/// Number of distinct values in `costs`, with `-0.0` collapsed into
+/// `0.0` the same way the table does it.
+fn distinct_count(costs: &[f64]) -> usize {
+    let mut bits: Vec<u64> = costs.iter().map(|&v| (v + 0.0).to_bits()).collect();
+    bits.sort_unstable();
+    bits.dedup();
+    bits.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rank order ≡ f64 order, pair for pair, and ranks round-trip to
+    /// the exact (zero-collapsed) bit pattern.
+    #[test]
+    fn ranks_order_exactly_like_the_floats(
+        sels in vec(0u64..10_000, 1..120),
+    ) {
+        let costs: Vec<f64> = sels.iter().map(|&s| adversarial_cost(s)).collect();
+        let table = KeyTable::build(costs.iter().copied())
+            .expect("well under the default distinct limit");
+        for &a in &costs {
+            let ra = table.rank_of(a).expect("every built cost has a rank");
+            prop_assert_eq!(table.value_of(ra).to_bits(), (a + 0.0).to_bits());
+            for &b in &costs {
+                let rb = table.rank_of(b).expect("every built cost has a rank");
+                // a < b ⇔ rank(a) < rank(b); equality (including
+                // 0.0 == -0.0) ⇔ equal ranks.
+                prop_assert_eq!(a < b, ra < rb);
+                prop_assert_eq!(a == b, ra == rb);
+            }
+        }
+    }
+
+    /// The distinct-count limit refuses at exactly the boundary: the
+    /// table builds at `distinct` and refuses at `distinct − 1` —
+    /// no lossy bucketing, total-or-absent.
+    #[test]
+    fn limit_refusal_sits_on_the_distinct_count(
+        sels in vec(0u64..10_000, 2..120),
+    ) {
+        let costs: Vec<f64> = sels.iter().map(|&s| adversarial_cost(s)).collect();
+        let distinct = distinct_count(&costs);
+        prop_assert!(KeyTable::build_with_limit(costs.iter().copied(), distinct).is_some());
+        prop_assert!(KeyTable::build_with_limit(costs.iter().copied(), distinct - 1).is_none());
+    }
+
+    /// Unknown values never get a rank; known values always do, even
+    /// from a saturating mixture probed through a fresh table.
+    #[test]
+    fn rank_of_is_total_on_the_build_set_and_absent_off_it(
+        sels in vec(0u64..10_000, 1..80),
+        probe in 0u64..10_000,
+    ) {
+        let costs: Vec<f64> = sels.iter().map(|&s| adversarial_cost(s)).collect();
+        let table = KeyTable::build(costs.iter().copied()).unwrap();
+        let v = adversarial_cost(probe);
+        let known = costs.contains(&v);
+        prop_assert_eq!(table.rank_of(v).is_some(), known);
+    }
+}

@@ -18,10 +18,12 @@
 //!
 //! * a **ready-task structure** fed by predecessor-completion events
 //!   (tasks enter when their last predecessor is scheduled) split into a
-//!   rank-keyed *runnable* heap (ready time ≤ current minimum load, so
-//!   the earliest start is the minimum load itself) and a ready-time
-//!   keyed *pending* heap;
-//! * an **indexed min-heap over processor loads** ([`ProcHeap`]) whose
+//!   rank-slot *runnable* bitmap (ready time ≤ current minimum load, so
+//!   the earliest start is the minimum load itself and only the
+//!   quantized priority slot orders the task — one bit per task in a
+//!   three-level hierarchical bitmap) and a ready-time keyed 4-ary
+//!   *pending* heap;
+//! * an **indexed 4-ary min-heap over processor loads** ([`ProcHeap`]) whose
 //!   ordered traversal ([`ProcHeap::probe`]) finds the least loaded
 //!   processor satisfying a pluggable **admissibility predicate**
 //!   ([`Admission`]) — plain Graham ([`Unrestricted`]) and RLS∆'s
@@ -79,8 +81,6 @@
 //! still satisfies the Lemma 4 bound.
 
 use std::cell::Cell;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -125,34 +125,52 @@ fn rank_of(pack: u64) -> u32 {
     (pack >> 32) as u32
 }
 
-/// Indexed binary min-heap over processor loads, ordered by
+/// Indexed **4-ary** min-heap over processor loads, ordered by
 /// `(load, processor index)` so ties resolve towards the lowest index —
 /// the same tie-break as the naive `argmin` scans.
 ///
 /// Loads only ever increase (a placement raises one processor's load to
 /// the placed task's completion time), so the heap needs only
-/// `sift_down`. Heap entries carry their key inline as
-/// `(load bit-pattern, processor)` pairs — loads are non-negative, so
-/// the bit pattern orders like the value (see [`time_key`]) and every
-/// sift comparison is a pair of integer compares with **no** indirection
-/// into a separate load array (the `set_load` sift runs once per
-/// scheduling round; the indirection was the kernel's hottest single
-/// memory pattern).
+/// `sift_down`. The layout is structure-of-arrays: one contiguous `key`
+/// stripe of packed `(load bits << 32) | processor` integers (loads are
+/// non-negative, so the bit pattern orders like the value — see
+/// [`time_key`] — and the pack makes every sift comparison a *single*
+/// integer compare with the index tie-break built in), plus the `pos`
+/// index and the `f64` `load` array serving only by-processor lookups.
+/// The 4-ary fanout puts all children of a node in one 64-byte stripe
+/// (4 × 16-byte keys), and the min-of-children is a branchless select
+/// tournament on the integer keys, so the once-per-round `set_load`
+/// sift touches `log₄ m` predictable cache lines instead of `log₂ m`
+/// scattered ones.
 #[derive(Debug)]
 pub struct ProcHeap {
-    /// `heap[pos]` = `(load bits, processor id)`, min-heap ordered.
-    heap: Vec<(u64, u32)>,
-    /// `pos[q]` = position of processor `q` in `heap`.
+    /// `key[pos]` = `(load bits << 32) | processor id`, min-heap ordered
+    /// with 4-ary fanout (children of `i` are `4i+1 ..= 4i+4`).
+    key: Vec<u128>,
+    /// `pos[q]` = position of processor `q` in `key`.
     pos: Vec<u32>,
-    /// Current load of each processor (kept in sync with the inline
+    /// Current load of each processor (kept in sync with the packed
     /// keys; serves the by-processor `load()` lookups).
     load: Vec<f64>,
+}
+
+/// Packs `(load, processor)` into one integer whose unsigned order is
+/// the lexicographic pair order.
+#[inline]
+fn proc_key(load: f64, q: u32) -> u128 {
+    ((time_key(load) as u128) << 32) | q as u128
+}
+
+/// Processor id of a [`proc_key`] pack.
+#[inline]
+fn proc_of_key(k: u128) -> usize {
+    k as u32 as usize
 }
 
 impl Clone for ProcHeap {
     fn clone(&self) -> Self {
         ProcHeap {
-            heap: self.heap.clone(),
+            key: self.key.clone(),
             pos: self.pos.clone(),
             load: self.load.clone(),
         }
@@ -161,7 +179,7 @@ impl Clone for ProcHeap {
     /// Buffer-reusing clone: checkpoint restores go through this so a
     /// resume does not re-allocate the heap arrays.
     fn clone_from(&mut self, source: &Self) {
-        self.heap.clone_from(&source.heap);
+        self.key.clone_from(&source.key);
         self.pos.clone_from(&source.pos);
         self.load.clone_from(&source.load);
     }
@@ -171,7 +189,7 @@ impl ProcHeap {
     /// A heap of `m` processors, all with zero load.
     pub fn new(m: usize) -> Self {
         let mut h = ProcHeap {
-            heap: Vec::new(),
+            key: Vec::new(),
             pos: Vec::new(),
             load: Vec::new(),
         };
@@ -184,7 +202,7 @@ impl ProcHeap {
     /// instance is known.
     pub(crate) fn empty() -> Self {
         ProcHeap {
-            heap: Vec::new(),
+            key: Vec::new(),
             pos: Vec::new(),
             load: Vec::new(),
         }
@@ -195,8 +213,8 @@ impl ProcHeap {
     pub fn reset(&mut self, m: usize) {
         assert!(m >= 1, "need at least one processor");
         assert!(m <= u32::MAX as usize, "processor ids fit in u32");
-        self.heap.clear();
-        self.heap.extend((0..m).map(|q| (0u64, q as u32)));
+        self.key.clear();
+        self.key.extend((0..m).map(|q| q as u128));
         self.pos.clear();
         self.pos.extend(0..m as u32);
         self.load.clear();
@@ -212,13 +230,13 @@ impl ProcHeap {
     /// The least loaded processor (lowest index among ties).
     #[inline]
     pub fn min(&self) -> usize {
-        self.heap[0].1 as usize
+        proc_of_key(self.key[0])
     }
 
     /// The minimum load itself (the load of [`ProcHeap::min`]).
     #[inline]
     pub fn min_load(&self) -> f64 {
-        f64::from_bits(self.heap[0].0)
+        f64::from_bits((self.key[0] >> 32) as u64)
     }
 
     /// Load of processor `q`.
@@ -233,15 +251,6 @@ impl ProcHeap {
         &self.load
     }
 
-    /// `(load, index)` order between two heap entries. The inline keys
-    /// are load bit patterns (see [`time_key`] — loads are non-negative,
-    /// so bit order equals value order) and ties resolve towards the
-    /// lower processor index, exactly like the naive `argmin` scans.
-    #[inline]
-    fn entry_less(a: (u64, u32), b: (u64, u32)) -> bool {
-        a < b
-    }
-
     // sws-lint: hot-path
     /// Raises the load of processor `q` (placements never lower a load).
     pub fn set_load(&mut self, q: usize, new_load: f64) {
@@ -251,31 +260,60 @@ impl ProcHeap {
         );
         self.load[q] = new_load;
         let at = self.pos[q] as usize;
-        self.heap[at].0 = time_key(new_load);
+        self.key[at] = proc_key(new_load, q as u32);
         self.sift_down(at);
+    }
+
+    /// Position of the smallest child of the (full, 4-child) node whose
+    /// first child sits at `first`: a branchless select tournament — two
+    /// leaf minima, then their minimum — with no data-dependent branch
+    /// for the integer comparator to mispredict.
+    #[inline]
+    fn min_child4(&self, first: usize) -> usize {
+        let a = if self.key[first + 1] < self.key[first] {
+            first + 1
+        } else {
+            first
+        };
+        let b = if self.key[first + 3] < self.key[first + 2] {
+            first + 3
+        } else {
+            first + 2
+        };
+        if self.key[b] < self.key[a] {
+            b
+        } else {
+            a
+        }
     }
 
     fn sift_down(&mut self, mut at: usize) {
         loop {
-            let left = 2 * at + 1;
-            if left >= self.heap.len() {
+            let first = 4 * at + 1;
+            if first >= self.key.len() {
                 return;
             }
-            let right = left + 1;
-            let mut smallest = at;
-            if Self::entry_less(self.heap[left], self.heap[smallest]) {
-                smallest = left;
-            }
-            if right < self.heap.len() && Self::entry_less(self.heap[right], self.heap[smallest]) {
-                smallest = right;
-            }
-            if smallest == at {
+            // Full nodes (the common case on every non-last level) take
+            // the branchless tournament; the at-most-one ragged node at
+            // the end falls back to a short scan.
+            let best = if first + 4 <= self.key.len() {
+                self.min_child4(first)
+            } else {
+                let mut b = first;
+                for c in first + 1..self.key.len() {
+                    if self.key[c] < self.key[b] {
+                        b = c;
+                    }
+                }
+                b
+            };
+            if self.key[at] <= self.key[best] {
                 return;
             }
-            self.heap.swap(at, smallest);
-            self.pos[self.heap[at].1 as usize] = at as u32;
-            self.pos[self.heap[smallest].1 as usize] = smallest as u32;
-            at = smallest;
+            self.key.swap(at, best);
+            self.pos[proc_of_key(self.key[at])] = at as u32;
+            self.pos[proc_of_key(self.key[best])] = best as u32;
+            at = best;
         }
     }
     // sws-lint: end-hot-path
@@ -301,7 +339,9 @@ impl ProcHeap {
     /// vectors per probe.
     ///
     /// The traversal expands the heap lazily, so accepting the first
-    /// probe — the overwhelmingly common case — costs `O(1)`.
+    /// probe — the overwhelmingly common case — costs `O(1)`. The visit
+    /// order depends only on the key order, not the heap shape, so the
+    /// 4-ary layout reports the same skipped sets as the old binary one.
     pub fn probe_with<F: FnMut(usize) -> bool>(
         &self,
         mut admit: F,
@@ -310,7 +350,7 @@ impl ProcHeap {
     ) -> Option<usize> {
         // Frontier of heap positions whose parents were all visited; the
         // next processor in sorted order is always the frontier minimum.
-        // Linear scans are fine: the frontier holds ≤ 2·skips + 1 entries
+        // Linear scans are fine: the frontier holds ≤ 4·skips + 1 entries
         // and skips are zero in the unrestricted use and rare in the
         // RLS∆ use (a skip needs a memory-saturated processor below the
         // chosen one's load; unlike marking, skips can recur across
@@ -320,23 +360,262 @@ impl ProcHeap {
         while !frontier.is_empty() {
             let mut best = 0;
             for fi in 1..frontier.len() {
-                if Self::entry_less(self.heap[frontier[fi]], self.heap[frontier[best]]) {
+                if self.key[frontier[fi]] < self.key[frontier[best]] {
                     best = fi;
                 }
             }
             let pos = frontier.swap_remove(best);
-            let q = self.heap[pos].1 as usize;
+            let q = proc_of_key(self.key[pos]);
             if admit(q) {
                 return Some(q);
             }
             skipped.push(q);
-            for child in [2 * pos + 1, 2 * pos + 2] {
-                if child < self.heap.len() {
-                    frontier.push(child);
-                }
+            let first = 4 * pos + 1;
+            for child in first..(first + 4).min(self.key.len()) {
+                frontier.push(child);
             }
         }
         None
+    }
+    // sws-lint: end-hot-path
+}
+
+/// Packs a pending-heap entry: ready time above, `(rank, task)` pack
+/// below, so unsigned `u128` order is the lexicographic
+/// `(ready, rank, task)` order — the exact pop order of the old
+/// `BinaryHeap<Reverse<(u64, u64)>>`, in a single compare per sift
+/// level.
+#[inline]
+fn pend_key(ready: f64, pack: u64) -> u128 {
+    ((time_key(ready) as u128) << 64) | pack as u128
+}
+
+/// Ready time of a [`pend_key`] entry.
+#[inline]
+fn pend_ready(k: u128) -> f64 {
+    f64::from_bits((k >> 64) as u64)
+}
+
+/// `(rank, task)` pack of a [`pend_key`] entry.
+#[inline]
+fn pend_pack(k: u128) -> u64 {
+    k as u64
+}
+
+/// 4-ary implicit min-heap of [`pend_key`] entries — the *pending* side
+/// of the ready structure (tasks whose ready time still exceeds the
+/// minimum load). Entries are unique (the pack carries the task id), so
+/// the pop sequence is determined by the key order alone and swapping
+/// the binary `std` heap for this layout changes nothing observable;
+/// what changes is the constant: half the levels, one integer compare
+/// per level, and all four children of a node in two adjacent cache
+/// lines.
+#[derive(Debug, Default)]
+struct PendingHeap {
+    heap: Vec<u128>,
+}
+
+impl Clone for PendingHeap {
+    fn clone(&self) -> Self {
+        PendingHeap {
+            heap: self.heap.clone(),
+        }
+    }
+
+    /// Buffer-reusing clone for checkpoint restores.
+    fn clone_from(&mut self, source: &Self) {
+        self.heap.clone_from(&source.heap);
+    }
+}
+
+impl PendingHeap {
+    fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    // sws-lint: hot-path
+    #[inline]
+    fn peek(&self) -> Option<u128> {
+        self.heap.first().copied()
+    }
+
+    fn push(&mut self, k: u128) {
+        self.heap.push(k);
+        // Sift up, hole-style: the new key is moved once, parents slide
+        // down past it.
+        let mut at = self.heap.len() - 1;
+        while at > 0 {
+            let parent = (at - 1) / 4;
+            if self.heap[parent] <= k {
+                break;
+            }
+            self.heap[at] = self.heap[parent];
+            at = parent;
+        }
+        self.heap[at] = k;
+    }
+
+    fn pop(&mut self) -> Option<u128> {
+        let top = self.heap.first().copied()?;
+        let last = self.heap.pop().expect("non-empty: peeked above");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn sift_down(&mut self, mut at: usize) {
+        loop {
+            let first = 4 * at + 1;
+            if first >= self.heap.len() {
+                return;
+            }
+            let best = if first + 4 <= self.heap.len() {
+                // Branchless select tournament over the full 4-child
+                // stripe (see [`ProcHeap::min_child4`]).
+                let a = if self.heap[first + 1] < self.heap[first] {
+                    first + 1
+                } else {
+                    first
+                };
+                let b = if self.heap[first + 3] < self.heap[first + 2] {
+                    first + 3
+                } else {
+                    first + 2
+                };
+                if self.heap[b] < self.heap[a] {
+                    b
+                } else {
+                    a
+                }
+            } else {
+                let mut b = first;
+                for c in first + 1..self.heap.len() {
+                    if self.heap[c] < self.heap[b] {
+                        b = c;
+                    }
+                }
+                b
+            };
+            if self.heap[at] <= self.heap[best] {
+                return;
+            }
+            self.heap.swap(at, best);
+            at = best;
+        }
+    }
+    // sws-lint: end-hot-path
+}
+
+/// Hierarchical bitmap over priority *slots* — the *runnable* side of
+/// the ready structure, and the payoff of quantizing the ready-queue
+/// keys all the way down: once a task's key is its dense rank in the
+/// canonical `(rank, task)` order, the "heap" holding runnable tasks
+/// collapses to one bit per slot. Three `u64` levels (each summarizing
+/// 64 words of the one below) give `O(1)` insert, remove and find-min —
+/// a handful of L1 lines for `n = 10⁴` (≈1.3 KB) where the old binary
+/// heap sifted 8-byte packs across `log₂ n ≈ 13` scattered lines.
+#[derive(Debug, Default)]
+struct RankBitmap {
+    /// Bit `s` of `l0[s / 64]` = slot `s` present.
+    l0: Vec<u64>,
+    /// Bit `w` of `l1[w / 64]` = word `l0[w]` non-zero.
+    l1: Vec<u64>,
+    /// Bit `w` of `l2[w / 64]` = word `l1[w]` non-zero.
+    l2: Vec<u64>,
+}
+
+impl Clone for RankBitmap {
+    fn clone(&self) -> Self {
+        RankBitmap {
+            l0: self.l0.clone(),
+            l1: self.l1.clone(),
+            l2: self.l2.clone(),
+        }
+    }
+
+    /// Buffer-reusing clone for checkpoint restores.
+    fn clone_from(&mut self, source: &Self) {
+        self.l0.clone_from(&source.l0);
+        self.l1.clone_from(&source.l1);
+        self.l2.clone_from(&source.l2);
+    }
+}
+
+/// Words needed to hold `n` bits.
+#[inline]
+fn bitmap_words(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+impl RankBitmap {
+    /// Clears and re-sizes for slots `0..n`, reusing the buffers.
+    fn reset(&mut self, n: usize) {
+        let w0 = bitmap_words(n);
+        let w1 = bitmap_words(w0);
+        let w2 = bitmap_words(w1);
+        self.l0.clear();
+        self.l0.resize(w0, 0);
+        self.l1.clear();
+        self.l1.resize(w1, 0);
+        self.l2.clear();
+        self.l2.resize(w2, 0);
+    }
+
+    fn reserve(&mut self, n: usize) {
+        self.l0.reserve(bitmap_words(n));
+    }
+
+    // sws-lint: hot-path
+    /// Marks slot `s` present. Unconditional ORs on all three levels —
+    /// no branches, three L1 lines.
+    #[inline]
+    fn insert(&mut self, s: u32) {
+        let s = s as usize;
+        let w0 = s >> 6;
+        let w1 = w0 >> 6;
+        self.l0[w0] |= 1 << (s & 63);
+        self.l1[w1] |= 1 << (w0 & 63);
+        self.l2[w1 >> 6] |= 1 << (w1 & 63);
+    }
+
+    /// Clears slot `s`; summary bits clear only when a word empties.
+    #[inline]
+    fn remove(&mut self, s: u32) {
+        let s = s as usize;
+        let w0 = s >> 6;
+        self.l0[w0] &= !(1 << (s & 63));
+        if self.l0[w0] == 0 {
+            let w1 = w0 >> 6;
+            self.l1[w1] &= !(1 << (w0 & 63));
+            if self.l1[w1] == 0 {
+                self.l2[w1 >> 6] &= !(1 << (w1 & 63));
+            }
+        }
+    }
+
+    /// The smallest present slot: first set bit, found by descending the
+    /// summary levels (the top level is a single word up to
+    /// `n = 64³ = 262 144`; larger instances scan it linearly).
+    #[inline]
+    fn min(&self) -> Option<u32> {
+        let w2i = self.l2.iter().position(|&w| w != 0)?;
+        let w1i = (w2i << 6) | self.l2[w2i].trailing_zeros() as usize;
+        let w0i = (w1i << 6) | self.l1[w1i].trailing_zeros() as usize;
+        Some(((w0i << 6) | self.l0[w0i].trailing_zeros() as usize) as u32)
+    }
+
+    /// Pops the smallest present slot.
+    #[inline]
+    fn pop_min(&mut self) -> Option<u32> {
+        let s = self.min()?;
+        self.remove(s);
+        Some(s)
     }
     // sws-lint: end-hot-path
 }
@@ -447,7 +726,7 @@ pub struct KernelOutcome {
 }
 
 /// One selection candidate of the current round. Skipped processors are
-/// recorded as a range into the round's shared `StepScratch::skipped`
+/// recorded as a range into the round's shared `ProbeScratch::skipped`
 /// buffer rather than a per-candidate vector.
 #[derive(Debug, Clone)]
 struct Candidate {
@@ -464,18 +743,24 @@ struct Candidate {
     skipped: Range<u32>,
 }
 
-/// Per-round scratch of the scheduling loop: logically dead between
-/// rounds, excluded from checkpoint snapshots, and owned by the
-/// [`KernelWorkspace`] so its allocations are reused across rounds *and*
-/// across runs.
+/// Selection buffers of a *contested* round (more than one candidate in
+/// play): the popped ready entries that may need restoring and the
+/// candidate list the comparator folds over.
 #[derive(Debug, Default)]
-struct StepScratch {
-    /// Runnable tasks popped this round, `(rank, task)`.
+struct SelectScratch {
+    /// Runnable tasks popped this round, `(slot, task)`.
     popped_runnable: Vec<(u32, u32)>,
-    /// Pending tasks popped this round, `(ready, rank, task)`.
-    popped_pending: Vec<(f64, u32, u32)>,
+    /// Pending entries popped this round (their full keys, so losers are
+    /// re-pushed bit-exactly).
+    popped_pending: Vec<u128>,
     /// Selection candidates of the round.
     cands: Vec<Candidate>,
+}
+
+/// Probe buffers, touched only when an *inadmissible* processor sits at
+/// the load minimum (the memory-capped paths' rare case).
+#[derive(Debug, Default)]
+struct ProbeScratch {
     /// Probe traversal frontier ([`ProcHeap::probe_with`]).
     frontier: Vec<usize>,
     /// Processors skipped by this round's probes, shared across
@@ -483,13 +768,38 @@ struct StepScratch {
     skipped: Vec<usize>,
 }
 
+/// Per-round scratch of the scheduling loop: logically dead between
+/// rounds, excluded from checkpoint snapshots, and owned by the
+/// [`KernelWorkspace`] so its allocations are reused across rounds *and*
+/// across runs.
+///
+/// The layout is split along the round-shape axis: the uncontested fast
+/// path (one admissible top candidate, no competition — the
+/// overwhelmingly common round) touches only the leading `newly_ready`
+/// buffer header, one cache line; the contested-round selection buffers
+/// and, behind those, the probe buffers only reachable through an
+/// inadmissible load minimum, sit in separate structs so the fast path
+/// never pulls their lines.
+#[derive(Debug, Default)]
+struct StepScratch {
+    /// Batched-frontier staging of [`EngineState::place`]: tasks whose
+    /// last predecessor the current placement was. The only scratch the
+    /// fast path touches.
+    newly_ready: Vec<u32>,
+    /// Contested rounds only.
+    sel: SelectScratch,
+    /// Contested rounds with inadmissible load minima only.
+    probe: ProbeScratch,
+}
+
 impl StepScratch {
     fn clear(&mut self) {
-        self.popped_runnable.clear();
-        self.popped_pending.clear();
-        self.cands.clear();
-        self.frontier.clear();
-        self.skipped.clear();
+        self.newly_ready.clear();
+        self.sel.popped_runnable.clear();
+        self.sel.popped_pending.clear();
+        self.sel.cands.clear();
+        self.probe.frontier.clear();
+        self.probe.skipped.clear();
     }
 }
 
@@ -515,7 +825,18 @@ struct PredState {
 /// built on.
 ///
 /// Task and rank indices are stored as `u32` (the CSR layer guarantees
-/// `n < u32::MAX`), which halves the ready heaps' memory traffic.
+/// `n < u32::MAX`), which halves the ready structures' memory traffic.
+///
+/// # Slots
+///
+/// The runnable structure is a [`RankBitmap`] indexed by **slot**: the
+/// task's position in the canonical ascending `(rank, task)` order —
+/// exactly the pop order of the [`rank_task`]-packed heap it replaces.
+/// When the priority rank is a permutation of `0..n` (every built-in
+/// constructor), `slot == rank` and the slot tables are a copy and a
+/// scatter; degenerate ranks (duplicates, `u32::MAX` sentinels) fall
+/// back to sorting the packs once per run. Either way the bitmap pops
+/// tasks in the identical sequence, so schedules are bit-identical.
 #[derive(Debug)]
 pub struct EngineState {
     procs: ProcHeap,
@@ -525,12 +846,17 @@ pub struct EngineState {
     proc_of: Vec<u32>,
     start: Vec<f64>,
     /// Ready tasks whose ready time exceeds the current minimum load,
-    /// keyed by ([`time_key`] of the ready time, [`rank_task`] pack).
-    pending: BinaryHeap<Reverse<(u64, u64)>>,
+    /// keyed by the packed `(ready, rank, task)` [`pend_key`].
+    pending: PendingHeap,
     /// Ready tasks whose ready time is (approximately) at or below the
     /// minimum load — their earliest start is the minimum load itself, so
-    /// only the rank orders them. Keyed by the [`rank_task`] pack.
-    runnable: BinaryHeap<Reverse<u64>>,
+    /// only the `(rank, task)` order ranks them: one bit per slot.
+    runnable: RankBitmap,
+    /// `slot_of_task[i]` = position of task `i` in the canonical
+    /// `(rank, task)` order (run-constant after `init`).
+    slot_of_task: Vec<u32>,
+    /// Inverse of `slot_of_task` (run-constant after `init`).
+    task_of_slot: Vec<u32>,
     /// Number of placements made so far.
     round: usize,
 }
@@ -545,6 +871,8 @@ impl Clone for EngineState {
             start: self.start.clone(),
             pending: self.pending.clone(),
             runnable: self.runnable.clone(),
+            slot_of_task: self.slot_of_task.clone(),
+            task_of_slot: self.task_of_slot.clone(),
             round: self.round,
         }
     }
@@ -560,7 +888,22 @@ impl Clone for EngineState {
         self.start.clone_from(&source.start);
         self.pending.clone_from(&source.pending);
         self.runnable.clone_from(&source.runnable);
+        self.slot_of_task.clone_from(&source.slot_of_task);
+        self.task_of_slot.clone_from(&source.task_of_slot);
         self.round = source.round;
+    }
+}
+
+/// Sets `v`'s length to `n` without zeroing a reused prefix: every
+/// element is overwritten before it is read (placement arrays are
+/// written when their task is placed, and read only after all `n`
+/// rounds), so carrying stale values from the previous run is safe and
+/// saves the O(n) clear on every warm re-init.
+fn resize_for_overwrite<T: Copy>(v: &mut Vec<T>, n: usize, fill: T) {
+    if v.len() >= n {
+        v.truncate(n);
+    } else {
+        v.resize(n, fill);
     }
 }
 
@@ -574,15 +917,51 @@ impl EngineState {
             preds: Vec::new(),
             proc_of: Vec::new(),
             start: Vec::new(),
-            pending: BinaryHeap::new(),
-            runnable: BinaryHeap::new(),
+            pending: PendingHeap::default(),
+            runnable: RankBitmap::default(),
+            slot_of_task: Vec::new(),
+            task_of_slot: Vec::new(),
             round: 0,
+        }
+    }
+
+    /// Builds the slot tables for this run's priority rank (see the
+    /// [`EngineState`] slot docs): `slot_of_task` is the rank itself
+    /// when the rank is a permutation of `0..n`, detected in one scatter
+    /// pass; otherwise the `(rank, task)` packs are sorted once.
+    fn build_slots(&mut self, rank: &PriorityRank, n: usize) {
+        resize_for_overwrite(&mut self.slot_of_task, n, 0);
+        resize_for_overwrite(&mut self.task_of_slot, n, 0);
+        // Scatter the inverse, using u32::MAX as the "slot still free"
+        // marker (task ids are < n < u32::MAX, so the marker is safe).
+        self.task_of_slot.iter_mut().for_each(|t| *t = u32::MAX);
+        let mut is_permutation = true;
+        for (i, &r) in rank.iter().enumerate() {
+            if (r as usize) < n && self.task_of_slot[r as usize] == u32::MAX {
+                self.task_of_slot[r as usize] = i as u32;
+            } else {
+                is_permutation = false;
+                break;
+            }
+        }
+        if is_permutation {
+            self.slot_of_task.copy_from_slice(rank);
+            return;
+        }
+        // Degenerate rank (duplicates or out-of-range sentinels): sort
+        // the packs to materialize the canonical order. Cold per-run
+        // cost on a path no built-in priority constructor takes.
+        let mut packs: Vec<u64> = (0..n).map(|i| rank_task(rank[i], i as u32)).collect();
+        packs.sort_unstable();
+        for (slot, &pk) in packs.iter().enumerate() {
+            self.task_of_slot[slot] = task_of(pk);
+            self.slot_of_task[task_of(pk) as usize] = slot as u32;
         }
     }
 
     /// Re-initializes for a run over `csr` on `m` processors, reusing
     /// every buffer: no placements yet, all source tasks ready at 0.
-    /// The ready heaps are reserved to `n` up front, so the cold first
+    /// The pending heap is reserved to `n` up front, so the cold first
     /// run grows its buffers exactly once and behaves like the reuse
     /// path afterwards.
     fn init(&mut self, csr: &CsrDag, m: usize, rank: &PriorityRank) {
@@ -596,26 +975,19 @@ impl EngineState {
             ready: 0.0,
             remaining: csr.in_degree(i) as u32,
         }));
-        self.proc_of.clear();
-        self.proc_of.resize(n, 0);
-        self.start.clear();
-        self.start.resize(n, 0.0);
+        resize_for_overwrite(&mut self.proc_of, n, 0);
+        resize_for_overwrite(&mut self.start, n, 0.0);
         self.pending.clear();
-        self.runnable.clear();
-        // Capacity hints: either heap can hold up to n entries; reserve
-        // once so neither reallocates mid-run (a no-op on reused
-        // workspaces whose buffers already grew).
         self.pending.reserve(n);
-        self.runnable.reserve(n);
+        self.build_slots(rank, n);
+        self.runnable.reset(n);
         // Source tasks are ready at 0 = the initial minimum load, so the
         // first round's migration would move every one of them to the
-        // runnable heap; push them there directly (equivalent, half the
-        // heap traffic).
+        // runnable structure; set their bits directly (equivalent, no
+        // pending round trip).
         for (i, ps) in self.preds.iter().enumerate() {
             if ps.remaining == 0 {
-                debug_assert!(rank[i] < u32::MAX as usize, "rank must fit in u32");
-                self.runnable
-                    .push(Reverse(rank_task(rank[i] as u32, i as u32)));
+                self.runnable.insert(self.slot_of_task[i]);
             }
         }
         self.round = 0;
@@ -635,12 +1007,13 @@ impl EngineState {
 
         // Migration: the minimum load only grows, so once a ready time is
         // (approximately) at or below it the task is runnable forever.
-        while let Some(&Reverse((tk, pack))) = self.pending.peek() {
-            if !approx_le(f64::from_bits(tk), l1) {
+        while let Some(k) = self.pending.peek() {
+            if !approx_le(pend_ready(k), l1) {
                 break;
             }
             self.pending.pop();
-            self.runnable.push(Reverse(pack));
+            self.runnable
+                .insert(self.slot_of_task[task_of(pend_pack(k)) as usize]);
         }
 
         // Fast check for the dominant round shape: the best-ranked
@@ -654,8 +1027,8 @@ impl EngineState {
         // handed to the general path as its first candidate (the scan
         // below would stop there anyway).
         let mut admissible_top: Option<(u32, u32, f64)> = None;
-        if let Some(&Reverse(pack)) = self.runnable.peek() {
-            let (rk, i) = (rank_of(pack), task_of(pack));
+        if let Some(slot) = self.runnable.min() {
+            let i = self.task_of_slot[slot as usize];
             let s_i = csr.s(i as usize);
             if admission.admits(q1, s_i) {
                 let key = self.preds[i as usize].ready.max(l1);
@@ -663,65 +1036,66 @@ impl EngineState {
                 // loop above already established that no pending ready
                 // time reaches it (tolerantly) — skip the re-check.
                 let contested = match self.pending.peek() {
-                    Some(&Reverse((tk, _))) => key > l1 && approx_le(f64::from_bits(tk), key),
+                    Some(k) => key > l1 && approx_le(pend_ready(k), key),
                     None => false,
                 };
                 if !contested {
-                    self.runnable.pop();
-                    self.place(csr, rank, admission, i as usize, q1, key);
+                    self.runnable.remove(slot);
+                    self.place(csr, rank, admission, i as usize, q1, key, scratch);
                     return Ok(());
                 }
-                admissible_top = Some((rk, i, key));
+                admissible_top = Some((slot, i, key));
             }
         }
 
-        scratch.cands.clear();
-        scratch.popped_runnable.clear();
-        scratch.popped_pending.clear();
-        scratch.skipped.clear();
+        scratch.sel.cands.clear();
+        scratch.sel.popped_runnable.clear();
+        scratch.sel.popped_pending.clear();
+        scratch.probe.skipped.clear();
 
-        // Runnable scan: in rank order, stop at the first task admissible
-        // on the least loaded processor — no later-rank runnable task can
-        // beat it (its key is minimal and its rank smaller). Earlier-rank
-        // tasks rejected on q1 stay candidates with their own probe.
-        if let Some((rk, i, key)) = admissible_top {
+        // Runnable scan: in slot (= rank, task) order, stop at the first
+        // task admissible on the least loaded processor — no later-slot
+        // runnable task can beat it (its key is minimal and its rank
+        // smaller or index-tied). Earlier-slot tasks rejected on q1 stay
+        // candidates with their own probe.
+        if let Some((slot, i, key)) = admissible_top {
             // The scan would pop exactly this task and break.
-            self.runnable.pop();
-            scratch.popped_runnable.push((rk, i));
-            scratch.cands.push(Candidate {
+            self.runnable.remove(slot);
+            scratch.sel.popped_runnable.push((slot, i));
+            scratch.sel.cands.push(Candidate {
                 key,
-                rank: rk,
+                rank: rank[i as usize],
                 task: i,
                 proc: q1 as u32,
                 skipped: 0..0,
             });
         } else {
-            while let Some(Reverse(pack)) = self.runnable.pop() {
-                let (rk, i) = (rank_of(pack), task_of(pack));
-                scratch.popped_runnable.push((rk, i));
+            while let Some(slot) = self.runnable.pop_min() {
+                let i = self.task_of_slot[slot as usize];
+                scratch.sel.popped_runnable.push((slot, i));
                 let s_i = csr.s(i as usize);
                 if admission.admits(q1, s_i) {
-                    scratch.cands.push(Candidate {
+                    scratch.sel.cands.push(Candidate {
                         key: self.preds[i as usize].ready.max(l1),
-                        rank: rk,
+                        rank: rank[i as usize],
                         task: i,
                         proc: q1 as u32,
                         skipped: 0..0,
                     });
                     break;
                 }
-                let sk_start = scratch.skipped.len() as u32;
+                let sk_start = scratch.probe.skipped.len() as u32;
                 match self.procs.probe_with(
                     |q| admission.admits(q, s_i),
-                    &mut scratch.frontier,
-                    &mut scratch.skipped,
+                    &mut scratch.probe.frontier,
+                    &mut scratch.probe.skipped,
                 ) {
-                    Some(j) => scratch.cands.push(Candidate {
+                    Some(j) => scratch.sel.cands.push(Candidate {
                         key: self.preds[i as usize].ready.max(self.procs.load(j)),
-                        rank: rk,
+                        rank: rank[i as usize],
                         task: i,
                         proc: j as u32,
-                        skipped: sk_start..scratch.skipped.len() as u32,
+                        skipped: sk_start..scratch.probe.skipped.len() as u32,
                     }),
                     None => return Err(admission.rejection_error(s_i)),
                 }
@@ -732,18 +1106,20 @@ impl EngineState {
         // is approximately at or below the best candidate key (its start
         // is at least its ready time).
         let mut best_key = scratch
+            .sel
             .cands
             .iter()
             .map(|c| c.key)
             .fold(f64::INFINITY, f64::min);
-        while let Some(&Reverse((tk, pack))) = self.pending.peek() {
-            let ready = f64::from_bits(tk);
+        while let Some(k) = self.pending.peek() {
+            let ready = pend_ready(k);
             if !approx_le(ready, best_key) {
                 break;
             }
+            let pack = pend_pack(k);
             let (rk, i) = (rank_of(pack), task_of(pack));
             self.pending.pop();
-            scratch.popped_pending.push((ready, rk, i));
+            scratch.sel.popped_pending.push(k);
             let s_i = csr.s(i as usize);
             // The probe visits the least loaded processor first, so an
             // accept on q1 — the overwhelmingly common case — needs no
@@ -751,7 +1127,7 @@ impl EngineState {
             if admission.admits(q1, s_i) {
                 let key = ready.max(l1);
                 best_key = best_key.min(key);
-                scratch.cands.push(Candidate {
+                scratch.sel.cands.push(Candidate {
                     key,
                     rank: rk,
                     task: i,
@@ -760,21 +1136,21 @@ impl EngineState {
                 });
                 continue;
             }
-            let sk_start = scratch.skipped.len() as u32;
+            let sk_start = scratch.probe.skipped.len() as u32;
             match self.procs.probe_with(
                 |q| admission.admits(q, s_i),
-                &mut scratch.frontier,
-                &mut scratch.skipped,
+                &mut scratch.probe.frontier,
+                &mut scratch.probe.skipped,
             ) {
                 Some(j) => {
                     let key = ready.max(self.procs.load(j));
                     best_key = best_key.min(key);
-                    scratch.cands.push(Candidate {
+                    scratch.sel.cands.push(Candidate {
                         key,
                         rank: rk,
                         task: i,
                         proc: j as u32,
-                        skipped: sk_start..scratch.skipped.len() as u32,
+                        skipped: sk_start..scratch.probe.skipped.len() as u32,
                     });
                 }
                 None => return Err(admission.rejection_error(s_i)),
@@ -785,37 +1161,38 @@ impl EngineState {
         // mirroring the naive oracle's scan. A single candidate — the
         // common case — wins outright.
         assert!(
-            !scratch.cands.is_empty(),
+            !scratch.sel.cands.is_empty(),
             "an acyclic graph always has a ready task while tasks remain"
         );
-        let winner = if scratch.cands.len() == 1 {
-            scratch.cands.pop().expect("len checked above")
+        let winner = if scratch.sel.cands.len() == 1 {
+            scratch.sel.cands.pop().expect("len checked above")
         } else {
-            scratch.cands.sort_unstable_by_key(|c| c.task);
+            scratch.sel.cands.sort_unstable_by_key(|c| c.task);
             let mut w = 0;
-            for ci in 1..scratch.cands.len() {
+            for ci in 1..scratch.sel.cands.len() {
                 if better_candidate(
-                    scratch.cands[ci].key,
-                    scratch.cands[ci].rank as usize,
-                    scratch.cands[w].key,
-                    scratch.cands[w].rank as usize,
+                    scratch.sel.cands[ci].key,
+                    scratch.sel.cands[ci].rank as usize,
+                    scratch.sel.cands[w].key,
+                    scratch.sel.cands[w].rank as usize,
                 ) {
                     w = ci;
                 }
             }
-            scratch.cands.swap_remove(w)
+            scratch.sel.cands.swap_remove(w)
         };
 
         // Restore the candidates that lost.
-        for &(rk, i) in &scratch.popped_runnable {
+        for pi in 0..scratch.sel.popped_runnable.len() {
+            let (slot, i) = scratch.sel.popped_runnable[pi];
             if i != winner.task {
-                self.runnable.push(Reverse(rank_task(rk, i)));
+                self.runnable.insert(slot);
             }
         }
-        for &(ready, rk, i) in &scratch.popped_pending {
-            if i != winner.task {
-                self.pending
-                    .push(Reverse((time_key(ready), rank_task(rk, i))));
+        for pi in 0..scratch.sel.popped_pending.len() {
+            let k = scratch.sel.popped_pending[pi];
+            if task_of(pend_pack(k)) != winner.task {
+                self.pending.push(k);
             }
         }
 
@@ -827,19 +1204,31 @@ impl EngineState {
         let i = winner.task as usize;
         let j = winner.proc as usize;
         let chosen_load = self.procs.load(j);
-        for &q in &scratch.skipped[winner.skipped.start as usize..winner.skipped.end as usize] {
+        for &q in &scratch.probe.skipped[winner.skipped.start as usize..winner.skipped.end as usize]
+        {
             if self.procs.load(q) < chosen_load {
                 self.marked[q] = true;
             }
         }
 
-        self.place(csr, rank, admission, i, j, winner.key);
+        let key = winner.key;
+        self.place(csr, rank, admission, i, j, key, scratch);
         Ok(())
     }
 
     /// Places task `i` on processor `j` starting at `key` and fires its
     /// completion event (shared tail of the fast and general selection
     /// paths).
+    ///
+    /// The completion event is a **batched frontier update**: one
+    /// sequential pass over the CSR successor slice performs the
+    /// readiness decrements and stages the tasks whose last predecessor
+    /// this was in `scratch.newly_ready`; the ready-structure insertions
+    /// then run as a single bulk pass. Splitting the passes keeps the
+    /// decrement loop a pure array walk (no heap/bitmap lines
+    /// interleaved into its stride) and lets the pushes batch against
+    /// one post-placement `min_load` read.
+    #[allow(clippy::too_many_arguments)]
     fn place<A: Admission>(
         &mut self,
         csr: &CsrDag,
@@ -848,6 +1237,7 @@ impl EngineState {
         i: usize,
         j: usize,
         key: f64,
+        scratch: &mut StepScratch,
     ) {
         self.proc_of[i] = j as u32;
         self.start[i] = key;
@@ -855,15 +1245,7 @@ impl EngineState {
         self.procs.set_load(j, completion);
         admission.commit(j, csr.s(i));
 
-        // Completion event: feed successors whose last predecessor was
-        // just scheduled into the ready structure. A successor whose
-        // ready time is already (approximately) at or below the current
-        // minimum load goes straight to the runnable heap: the minimum
-        // load never decreases and `approx_le` is monotone in its second
-        // argument, so the next round's migration would move it there
-        // anyway — skipping the pending round trip halves the heap
-        // traffic on wide ready fronts.
-        let l_min = self.procs.min_load();
+        scratch.newly_ready.clear();
         for &v in csr.succs(i) {
             let v = v as usize;
             let ps = &mut self.preds[v];
@@ -872,14 +1254,26 @@ impl EngineState {
             ps.ready = ps.ready.max(completion);
             ps.remaining -= 1;
             if ps.remaining == 0 {
-                let ready = ps.ready;
-                debug_assert!(rank[v] < u32::MAX as usize, "rank must fit in u32");
-                let pack = rank_task(rank[v] as u32, v as u32);
-                if approx_le(ready, l_min) {
-                    self.runnable.push(Reverse(pack));
-                } else {
-                    self.pending.push(Reverse((time_key(ready), pack)));
-                }
+                scratch.newly_ready.push(v as u32);
+            }
+        }
+
+        // Bulk insertion pass. A successor whose ready time is already
+        // (approximately) at or below the current minimum load goes
+        // straight to the runnable bitmap: the minimum load never
+        // decreases and `approx_le` is monotone in its second argument,
+        // so the next round's migration would move it there anyway —
+        // skipping the pending round trip halves the structure traffic
+        // on wide ready fronts.
+        let l_min = self.procs.min_load();
+        for ni in 0..scratch.newly_ready.len() {
+            let v = scratch.newly_ready[ni] as usize;
+            let ready = self.preds[v].ready;
+            if approx_le(ready, l_min) {
+                self.runnable.insert(self.slot_of_task[v]);
+            } else {
+                self.pending
+                    .push(pend_key(ready, rank_task(rank[v], v as u32)));
             }
         }
 
@@ -968,7 +1362,9 @@ impl KernelWorkspace {
         ws.state.start.reserve(n);
         ws.state.pending.reserve(n);
         ws.state.runnable.reserve(n);
-        ws.state.procs.heap.reserve(m);
+        ws.state.slot_of_task.reserve(n);
+        ws.state.task_of_slot.reserve(n);
+        ws.state.procs.key.reserve(m);
         ws.state.procs.pos.reserve(m);
         ws.state.procs.load.reserve(m);
         ws

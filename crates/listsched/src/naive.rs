@@ -60,7 +60,7 @@ pub fn dag_list_schedule(inst: &DagInstance, priority: &PriorityRank) -> TimedSc
         // Among ready (all predecessors completed, not yet scheduled)
         // tasks, compute the earliest possible start on the least loaded
         // processor and keep the task minimizing it.
-        let mut best: Option<(f64, usize, usize)> = None; // (start, rank, task)
+        let mut best: Option<(f64, u32, usize)> = None; // (start, rank, task)
         for i in 0..n {
             if scheduled[i] || remaining_preds[i] != 0 {
                 continue;
@@ -75,7 +75,9 @@ pub fn dag_list_schedule(inst: &DagInstance, priority: &PriorityRank) -> TimedSc
             let candidate = (ready, priority[i], i);
             let better = match best {
                 None => true,
-                Some(cur) => better_candidate(candidate.0, candidate.1, cur.0, cur.1),
+                Some(cur) => {
+                    better_candidate(candidate.0, candidate.1 as usize, cur.0, cur.1 as usize)
+                }
             };
             if better {
                 best = Some(candidate);

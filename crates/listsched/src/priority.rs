@@ -4,29 +4,44 @@
 //! ties"; this module provides the classical choices so the evaluation can
 //! compare them (and so the Section 5.2 tri-objective variant can plug in
 //! SPT).
+//!
+//! Ranks are `u32` (the CSR layer guarantees `n < u32::MAX`), which
+//! halves the rank-array cache traffic in the kernel's hot loop. The
+//! cost-keyed orders (SPT/LPT/largest-storage) have `*_csr` variants
+//! that sort by the instance's quantized `u32` cost ranks
+//! ([`sws_dag::CsrDag::p_ranks`]) instead of `f64` comparators — the
+//! rank table is order-preserving, so the resulting permutation is
+//! identical, just cheaper to compute (integer sort keys packed with the
+//! tie-break index into one `u64`).
 
-use sws_dag::TaskGraph;
+use sws_dag::{CsrDag, TaskGraph};
 
 /// A total order over tasks, expressed as a rank per task: the task with
 /// the *smallest* rank wins ties.
-pub type PriorityRank = Vec<usize>;
+pub type PriorityRank = Vec<u32>;
 
 /// Converts an explicit order (first = highest priority) into ranks.
+/// Tasks missing from the order get the sentinel `u32::MAX` (lowest
+/// priority).
 pub fn rank_of_order(order: &[usize]) -> PriorityRank {
-    let mut rank = vec![usize::MAX; order.len()];
+    assert!(order.len() < u32::MAX as usize, "ranks fit in u32");
+    let mut rank = vec![u32::MAX; order.len()];
     for (r, &task) in order.iter().enumerate() {
-        rank[task] = r;
+        rank[task] = r as u32;
     }
     rank
 }
 
 /// Index order: task 0 first. This is the "arbitrary" order of the paper.
 pub fn index_priority(n: usize) -> PriorityRank {
-    (0..n).collect()
+    assert!(n < u32::MAX as usize, "ranks fit in u32");
+    (0..n as u32).collect()
 }
 
 /// Highest Level First (critical-path priority): tasks with the largest
 /// bottom level first — the classical DAG list-scheduling heuristic.
+/// (Bottom levels are derived sums, not tabled instance costs, so there
+/// is no quantized variant of this order.)
 pub fn hlf_priority(graph: &TaskGraph) -> PriorityRank {
     let bottom = sws_dag::levels::bottom_levels(graph);
     let mut order: Vec<usize> = (0..graph.n()).collect();
@@ -61,6 +76,71 @@ pub fn largest_storage_priority(graph: &TaskGraph) -> PriorityRank {
         sws_model::numeric::total_cmp(graph.task(b).s, graph.task(a).s).then(a.cmp(&b))
     });
     rank_of_order(&order)
+}
+
+/// Ranks tasks by packed `((key << 32) | task)` integer sort keys: one
+/// `u64` sort, ties broken towards the lower task index.
+fn rank_by_packed_keys(keys: impl Iterator<Item = u32>) -> PriorityRank {
+    let mut packed: Vec<u64> = keys
+        .enumerate()
+        .map(|(i, k)| ((k as u64) << 32) | i as u64)
+        .collect();
+    assert!(packed.len() < u32::MAX as usize, "ranks fit in u32");
+    packed.sort_unstable();
+    let mut rank = vec![u32::MAX; packed.len()];
+    for (r, &pk) in packed.iter().enumerate() {
+        rank[pk as u32 as usize] = r as u32;
+    }
+    rank
+}
+
+/// [`spt_priority`] over the flat instance mirror: sorts by the
+/// quantized `u32` processing-time ranks when the instance has a cost
+/// table, falling back to the `f64` comparator when saturated. Produces
+/// the same permutation either way.
+pub fn spt_priority_csr(csr: &CsrDag) -> PriorityRank {
+    match csr.p_ranks() {
+        Some(pr) => rank_by_packed_keys(pr.iter().copied()),
+        None => {
+            let mut order: Vec<usize> = (0..csr.n()).collect();
+            order.sort_by(|&a, &b| {
+                sws_model::numeric::total_cmp(csr.p(a), csr.p(b)).then(a.cmp(&b))
+            });
+            rank_of_order(&order)
+        }
+    }
+}
+
+/// [`lpt_priority`] over the flat instance mirror (see
+/// [`spt_priority_csr`]). A descending cost order is an ascending order
+/// on the complemented rank — table ranks never reach `u32::MAX`, so
+/// the complement stays order-preserving.
+pub fn lpt_priority_csr(csr: &CsrDag) -> PriorityRank {
+    match csr.p_ranks() {
+        Some(pr) => rank_by_packed_keys(pr.iter().map(|&r| u32::MAX - r)),
+        None => {
+            let mut order: Vec<usize> = (0..csr.n()).collect();
+            order.sort_by(|&a, &b| {
+                sws_model::numeric::total_cmp(csr.p(b), csr.p(a)).then(a.cmp(&b))
+            });
+            rank_of_order(&order)
+        }
+    }
+}
+
+/// [`largest_storage_priority`] over the flat instance mirror (see
+/// [`lpt_priority_csr`] for the descending-order encoding).
+pub fn largest_storage_priority_csr(csr: &CsrDag) -> PriorityRank {
+    match csr.s_ranks() {
+        Some(sr) => rank_by_packed_keys(sr.iter().map(|&r| u32::MAX - r)),
+        None => {
+            let mut order: Vec<usize> = (0..csr.n()).collect();
+            order.sort_by(|&a, &b| {
+                sws_model::numeric::total_cmp(csr.s(b), csr.s(a)).then(a.cmp(&b))
+            });
+            rank_of_order(&order)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -113,5 +193,41 @@ mod tests {
         let g = weighted_chain();
         // s = [5, 1, 3] -> order 0, 2, 1 -> ranks [0, 2, 1].
         assert_eq!(largest_storage_priority(&g), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn csr_priorities_match_the_graph_versions() {
+        let g = weighted_chain();
+        let csr = g.csr();
+        assert_eq!(spt_priority_csr(&csr), spt_priority(&g));
+        assert_eq!(lpt_priority_csr(&csr), lpt_priority(&g));
+        assert_eq!(
+            largest_storage_priority_csr(&csr),
+            largest_storage_priority(&g)
+        );
+    }
+
+    #[test]
+    fn csr_priorities_match_on_duplicate_costs_and_saturated_tables() {
+        // Duplicate p/s values force index tie-breaks through both paths;
+        // a lowered key limit forces the f64 fallback.
+        let tasks = TaskSet::new(
+            (0..16)
+                .map(|i| Task::new_unchecked(1.0 + (i % 3) as f64, 4.0 - (i % 2) as f64))
+                .collect(),
+        )
+        .unwrap();
+        let g = TaskGraph::new(tasks);
+        let full = g.csr();
+        let saturated = sws_dag::CsrDag::from_graph_with_key_limit(&g, 1);
+        assert!(saturated.cost_keys().is_none());
+        for csr in [&full, &saturated] {
+            assert_eq!(spt_priority_csr(csr), spt_priority(&g));
+            assert_eq!(lpt_priority_csr(csr), lpt_priority(&g));
+            assert_eq!(
+                largest_storage_priority_csr(csr),
+                largest_storage_priority(&g)
+            );
+        }
     }
 }

@@ -226,9 +226,9 @@ proptest! {
         prop_assert_eq!(rank.len(), weights.len());
         let mut seen = vec![false; weights.len()];
         for &r in &rank {
-            prop_assert!(r < weights.len());
-            prop_assert!(!seen[r]);
-            seen[r] = true;
+            prop_assert!((r as usize) < weights.len());
+            prop_assert!(!seen[r as usize]);
+            seen[r as usize] = true;
         }
         // The task ranked 0 is the first of the order.
         prop_assert_eq!(rank[order[0]], 0);
@@ -236,7 +236,7 @@ proptest! {
             sws_model::task::TaskSet::from_ps(&weights, &weights).unwrap(),
         );
         let index = index_priority(graph.n());
-        prop_assert_eq!(index, (0..weights.len()).collect::<Vec<_>>());
+        prop_assert_eq!(index, (0..weights.len() as u32).collect::<Vec<_>>());
     }
 }
 

@@ -112,6 +112,70 @@ fn csr_workspace_reuse_matches_the_kernel_on_every_family_order_and_m() {
     }
 }
 
+/// Interleaves instances whose CSR mirrors carry a cost-quantization
+/// table with instances whose tables are saturated (forced absent via a
+/// key limit of 1) through ONE `KernelWorkspace`: the quantized and the
+/// f64-fallback priority paths must produce identical ranks, and the
+/// kernel must produce bit-identical schedules through the shared
+/// buffers regardless of which flavour ran before. Alternating the
+/// order per stream step makes table-dependent state leaks visible.
+#[test]
+fn saturated_and_quantized_tables_interleave_through_one_workspace() {
+    use sws_listsched::kernel::event_driven_schedule_csr;
+    use sws_listsched::kernel::MemoryCapAdmission;
+
+    let mut ws = sws_listsched::KernelWorkspace::new();
+    let mut stream = 900u64;
+    for family in DagFamily::all() {
+        for order in [
+            PriorityOrder::Spt,
+            PriorityOrder::Lpt,
+            PriorityOrder::LargestStorage,
+        ] {
+            stream += 1;
+            let inst = workload(family, 48, 4, stream);
+            let full = inst.csr();
+            let saturated = sws_dag::CsrDag::from_graph_with_key_limit(inst.graph(), 1);
+            assert!(full.cost_keys().is_some(), "real costs must quantize");
+            assert!(saturated.cost_keys().is_none(), "limit 1 must saturate");
+
+            // Quantized integer sort vs f64 comparator: same permutation.
+            let rank = order.rank_csr(inst.graph(), &full);
+            assert_eq!(
+                rank,
+                order.rank_csr(inst.graph(), &saturated),
+                "{}/{}: quantized rank differs from the f64 fallback",
+                family.label(),
+                order.label()
+            );
+
+            let cap = 3.0 * inst.mmax_lower_bound();
+            let run = |csr: &sws_dag::CsrDag, ws: &mut sws_listsched::KernelWorkspace| {
+                let mut admission = MemoryCapAdmission::new(inst.m(), cap);
+                event_driven_schedule_csr(csr, inst.m(), &rank, &mut admission, ws)
+                    .unwrap()
+                    .schedule
+            };
+            // Alternate which flavour touches the shared workspace first.
+            let (a, b) = if stream.is_multiple_of(2) {
+                (run(&full, &mut ws), run(&saturated, &mut ws))
+            } else {
+                let b = run(&saturated, &mut ws);
+                (run(&full, &mut ws), b)
+            };
+            assert_eq!(
+                a,
+                b,
+                "{}/{}: saturated-table schedule differs through the shared workspace",
+                family.label(),
+                order.label()
+            );
+            let config = RlsConfig::new(3.0).with_order(order);
+            assert_eq!(a, rls(&inst, &config).unwrap().schedule);
+        }
+    }
+}
+
 /// The batch serving API vs per-instance one-shot runs: same schedules,
 /// same Lemma-4 marking, in input order, independent of the worker
 /// count.
