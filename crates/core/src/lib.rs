@@ -67,6 +67,7 @@ pub mod heterogeneous;
 pub mod pareto_sweep;
 pub mod pipeline;
 pub mod portfolio;
+pub mod replan;
 pub mod rls;
 pub mod sbo;
 pub mod tri;
@@ -79,6 +80,7 @@ pub use pareto_sweep::{
     rls_sweep, rls_sweep_cold, sbo_sweep, sbo_sweep_cold, SweepEngine, SweepProvenance,
 };
 pub use portfolio::{KernelWorkspace, Portfolio, SolvePlan, Solver};
+pub use replan::{solve_from_scratch, ReplanEngine};
 pub use rls::{
     rls, rls_guarantee, rls_in, rls_independent, rls_independent_in, PriorityOrder, RlsConfig,
     RlsEngine, RlsResult,
@@ -109,6 +111,7 @@ pub mod prelude {
         evaluate_sbo_result, evaluate_solution, EvaluationReport,
     };
     pub use crate::portfolio::{Portfolio, SolvePlan, Solver};
+    pub use crate::replan::{solve_from_scratch, ReplanEngine};
     pub use crate::rls::{
         rls, rls_guarantee, rls_in, rls_independent, rls_independent_in, PriorityOrder, RlsConfig,
         RlsEngine, RlsResult,

@@ -1308,6 +1308,21 @@ impl Portfolio {
         solution.stats.cost = Some(plan.cost);
         Ok(solution)
     }
+
+    /// Opens an incremental replanning session over `csr` (see
+    /// [`crate::replan::ReplanEngine`]): the cold solve happens here,
+    /// and every subsequent `CsrDelta` is served by warm-starting the
+    /// kernel from the first affected round instead of re-routing a
+    /// from-scratch request through the registry. The session's cap is
+    /// fixed at open (`None` = unrestricted Graham list scheduling).
+    pub fn open_replan(
+        &self,
+        csr: sws_dag::CsrDag,
+        m: usize,
+        cap: Option<f64>,
+    ) -> Result<crate::replan::ReplanEngine, ModelError> {
+        crate::replan::ReplanEngine::open(csr, m, cap)
+    }
 }
 
 #[cfg(test)]

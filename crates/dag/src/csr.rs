@@ -205,6 +205,86 @@ impl CsrDag {
     pub fn pred_lists(&self) -> CsrPreds<'_> {
         CsrPreds::new(&self.pred_offsets, &self.pred_edges)
     }
+
+    /// Drops to the saturated exact-`f64` mode: the quantization table
+    /// is discarded whole rather than renumbered (lossy re-bucketing is
+    /// forbidden — see [`crate::keys`]). Consumers fall back to the
+    /// `f64` comparators, which produce bit-identical schedules.
+    fn saturate_keys(&mut self) {
+        self.cost_keys = None;
+        self.p_rank = Vec::new();
+        self.s_rank = Vec::new();
+    }
+
+    /// Re-ranks one mutated cost value through
+    /// [`KeyTable::rank_or_append`], saturating when the value breaks
+    /// the existing rank order. `write` stores the fresh rank (assign
+    /// for recosts, push for arrivals).
+    fn requantize(&mut self, v: f64, write: impl FnOnce(&mut Self, u32)) {
+        let Some(table) = &mut self.cost_keys else {
+            return;
+        };
+        match table.rank_or_append(v) {
+            Some(r) => write(self, r),
+            None => self.saturate_keys(),
+        }
+    }
+
+    /// In-place `Recost` (see [`crate::delta::CsrDelta`]): rewrites the
+    /// cost arrays and maintains the quantized ranks. The key table may
+    /// keep the superseded value — a superset table ranks every live
+    /// value correctly, so nothing is rebuilt.
+    pub(crate) fn recost(&mut self, i: usize, p: Option<f64>, s: Option<f64>) {
+        if let Some(v) = p {
+            self.proc_time[i] = v;
+            self.requantize(v, |d, r| d.p_rank[i] = r);
+        }
+        if let Some(v) = s {
+            self.mem_size[i] = v;
+            self.requantize(v, |d, r| d.s_rank[i] = r);
+        }
+    }
+
+    /// In-place `AddTask` (see [`crate::delta::CsrDelta`]): the new
+    /// task takes index `n`, its predecessor list is appended to the
+    /// pred CSR, and each predecessor's successor list gains the new
+    /// task at its end in one `O(n + E)` splice — exactly where a
+    /// from-scratch build with the edges appended last would put it.
+    pub(crate) fn add_task(&mut self, preds: &[u32], p: f64, s: f64) {
+        let j = self.n;
+        assert!(
+            j + 1 < u32::MAX as usize && self.pred_edges.len() + preds.len() <= u32::MAX as usize,
+            "CSR representation uses u32 indices"
+        );
+        self.pred_edges.extend_from_slice(preds);
+        self.pred_offsets.push(self.pred_edges.len() as u32);
+
+        let mut is_pred = vec![false; j];
+        for &u in preds {
+            is_pred[u as usize] = true;
+        }
+        let mut succ_offsets = Vec::with_capacity(j + 2);
+        let mut succ_edges = Vec::with_capacity(self.succ_edges.len() + preds.len());
+        succ_offsets.push(0u32);
+        for (i, &was_pred) in is_pred.iter().enumerate() {
+            succ_edges.extend_from_slice(
+                &self.succ_edges[self.succ_offsets[i] as usize..self.succ_offsets[i + 1] as usize],
+            );
+            if was_pred {
+                succ_edges.push(j as u32);
+            }
+            succ_offsets.push(succ_edges.len() as u32);
+        }
+        succ_offsets.push(succ_edges.len() as u32); // the arrival has no successors yet
+        self.succ_offsets = succ_offsets;
+        self.succ_edges = succ_edges;
+
+        self.proc_time.push(p);
+        self.mem_size.push(s);
+        self.n = j + 1;
+        self.requantize(p, |d, r| d.p_rank.push(r));
+        self.requantize(s, |d, r| d.s_rank.push(r));
+    }
 }
 
 #[cfg(test)]

@@ -113,6 +113,27 @@ impl KeyTable {
     pub fn value_of(&self, rank: u32) -> f64 {
         key_value(self.keys[rank as usize])
     }
+
+    /// Rank of `v`, **appending** it when it is strictly larger than
+    /// every tabled value — the one mutation that preserves every
+    /// existing rank (the new value takes rank `len()`, nothing shifts).
+    ///
+    /// Returns `None` when `v` is untabled and not a new maximum (or the
+    /// table is full): inserting it would renumber the ranks above it,
+    /// so the caller must drop to the exact-`f64` fallback instead.
+    /// This is the incremental-delta counterpart of
+    /// [`KeyTable::build`] — never lossy, total or absent.
+    pub fn rank_or_append(&mut self, v: f64) -> Option<u32> {
+        let k = order_key(v);
+        match self.keys.binary_search(&k) {
+            Ok(i) => Some(i as u32),
+            Err(i) if i == self.keys.len() && self.keys.len() < Self::DEFAULT_LIMIT => {
+                self.keys.push(k);
+                Some(i as u32)
+            }
+            Err(_) => None,
+        }
+    }
 }
 
 #[cfg(test)]

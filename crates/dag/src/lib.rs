@@ -37,6 +37,7 @@
 
 pub mod analysis;
 pub mod csr;
+pub mod delta;
 pub mod generators;
 pub mod graph;
 pub mod keys;
@@ -44,6 +45,7 @@ pub mod levels;
 pub mod topo;
 
 pub use csr::CsrDag;
+pub use delta::CsrDelta;
 pub use graph::{DagInstance, TaskGraph};
 pub use keys::KeyTable;
 

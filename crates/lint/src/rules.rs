@@ -51,9 +51,13 @@ impl FileCtx<'_> {
 
 /// Paths whose non-test code must not panic: the fault-tolerant service
 /// runtime and the shared dispatch core it relies on (PR 6's "workers
-/// never die" contract).
+/// never die" contract), plus the simulator — it is the differential
+/// oracle replayed against arbitrary (including deserialized) traces,
+/// and an oracle that aborts mid-comparison reports nothing.
 pub fn panic_policy_scope(path: &str) -> bool {
-    path.starts_with("crates/service/src/") || path == "crates/core/src/dispatch.rs"
+    path.starts_with("crates/service/src/")
+        || path.starts_with("crates/simulator/src/")
+        || path == "crates/core/src/dispatch.rs"
 }
 
 /// Paths where every mutex acquisition must be poison-recovering.

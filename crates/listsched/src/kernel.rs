@@ -87,7 +87,7 @@ use std::sync::Arc;
 use sws_dag::{CsrDag, DagInstance};
 use sws_model::cancel::CancelProbe;
 use sws_model::error::ModelError;
-use sws_model::numeric::{approx_le, better_candidate, finite_ge};
+use sws_model::numeric::{approx_le, better_candidate, finite_ge, strictly_lt};
 use sws_model::schedule::TimedSchedule;
 
 use crate::priority::PriorityRank;
@@ -571,6 +571,25 @@ impl RankBitmap {
         self.l0.reserve(bitmap_words(n));
     }
 
+    /// Extends the slot space to `0..n` **without clearing**: appended
+    /// words are zero, so every present bit and all three summary
+    /// levels stay valid verbatim. Used when a replay adapts a restored
+    /// state to an instance that grew by an arrival.
+    fn grow(&mut self, n: usize) {
+        let w0 = bitmap_words(n);
+        let w1 = bitmap_words(w0);
+        let w2 = bitmap_words(w1);
+        if self.l0.len() < w0 {
+            self.l0.resize(w0, 0);
+        }
+        if self.l1.len() < w1 {
+            self.l1.resize(w1, 0);
+        }
+        if self.l2.len() < w2 {
+            self.l2.resize(w2, 0);
+        }
+    }
+
     // sws-lint: hot-path
     /// Marks slot `s` present. Unconditional ORs on all three levels —
     /// no branches, three L1 lines.
@@ -994,14 +1013,16 @@ impl EngineState {
     }
 
     // sws-lint: hot-path
-    /// Executes one placement round. Precondition: `rounds_done() < n`.
+    /// Executes one placement round, reporting the winning task and its
+    /// start key (the replay machinery records them per round; plain
+    /// runs discard them). Precondition: `rounds_done() < n`.
     fn step<A: Admission>(
         &mut self,
         csr: &CsrDag,
         rank: &PriorityRank,
         admission: &mut A,
         scratch: &mut StepScratch,
-    ) -> Result<(), ModelError> {
+    ) -> Result<(u32, f64), ModelError> {
         let q1 = self.procs.min();
         let l1 = self.procs.min_load();
 
@@ -1042,7 +1063,7 @@ impl EngineState {
                 if !contested {
                     self.runnable.remove(slot);
                     self.place(csr, rank, admission, i as usize, q1, key, scratch);
-                    return Ok(());
+                    return Ok((i, key));
                 }
                 admissible_top = Some((slot, i, key));
             }
@@ -1213,7 +1234,7 @@ impl EngineState {
 
         let key = winner.key;
         self.place(csr, rank, admission, i, j, key, scratch);
-        Ok(())
+        Ok((i as u32, key))
     }
 
     /// Places task `i` on processor `j` starting at `key` and fires its
@@ -1423,6 +1444,7 @@ pub const PROBE_STRIDE: usize = 64;
 /// the smallest inadmissible `memsize[q] + s` value probed. Interior
 /// mutability because [`Admission::admits`] takes `&self` (heap probes
 /// borrow the predicate immutably).
+#[derive(Debug)]
 struct RecordingCapAdmission {
     inner: MemoryCapAdmission,
     round_reject_min: Cell<f64>,
@@ -1708,6 +1730,528 @@ impl<'a> CheckpointedRun<'a> {
     }
 }
 
+/// Admission policy of a replanning session, fixed when the session
+/// opens: `None` caps nothing (Graham list scheduling), `Some(cap)`
+/// enforces the paper's memory cap through the recording wrapper so the
+/// per-round rejection thresholds keep feeding the first-affected-round
+/// analysis. A concrete enum (not a generic) so [`ReplanRun`] is a
+/// nameable type the engine layer can store.
+#[derive(Debug)]
+enum ReplanAdmission {
+    Open(Unrestricted),
+    Capped(RecordingCapAdmission),
+}
+
+impl ReplanAdmission {
+    /// Fresh admission state for a session with the given fixed cap.
+    fn fresh(cap: Option<f64>, m: usize) -> Self {
+        match cap {
+            None => ReplanAdmission::Open(Unrestricted),
+            Some(c) => ReplanAdmission::Capped(RecordingCapAdmission::new(vec![0.0; m], c)),
+        }
+    }
+
+    /// Admission state restored from a checkpoint's committed-memory
+    /// snapshot (empty for open sessions).
+    fn restored(cap: Option<f64>, memsize: Vec<f64>) -> Self {
+        match cap {
+            None => ReplanAdmission::Open(Unrestricted),
+            Some(c) => ReplanAdmission::Capped(RecordingCapAdmission::new(memsize, c)),
+        }
+    }
+
+    /// See [`RecordingCapAdmission::take_round_min`]; open sessions
+    /// reject nothing, so every round records ∞.
+    fn take_round_min(&self) -> f64 {
+        match self {
+            ReplanAdmission::Open(_) => f64::INFINITY,
+            ReplanAdmission::Capped(a) => a.take_round_min(),
+        }
+    }
+
+    /// The committed-memory vector to store in a checkpoint (empty for
+    /// open sessions, which have no admission state to restore).
+    fn memsize_snapshot(&self) -> Vec<f64> {
+        match self {
+            ReplanAdmission::Open(_) => Vec::new(),
+            ReplanAdmission::Capped(a) => a.inner.memsize.clone(),
+        }
+    }
+}
+
+impl Admission for ReplanAdmission {
+    #[inline]
+    fn admits(&self, q: usize, s: f64) -> bool {
+        match self {
+            ReplanAdmission::Open(a) => a.admits(q, s),
+            ReplanAdmission::Capped(a) => a.admits(q, s),
+        }
+    }
+
+    #[inline]
+    fn commit(&mut self, q: usize, s: f64) {
+        match self {
+            ReplanAdmission::Open(a) => a.commit(q, s),
+            ReplanAdmission::Capped(a) => a.commit(q, s),
+        }
+    }
+
+    fn rejection_error(&self, s: f64) -> ModelError {
+        match self {
+            ReplanAdmission::Open(a) => a.rejection_error(s),
+            ReplanAdmission::Capped(a) => a.rejection_error(s),
+        }
+    }
+}
+
+/// Direction of a re-estimated storage requirement relative to the
+/// value the previous run was computed under. The kernel only sees the
+/// *mutated* CSR, so the engine layer (which reads the old value before
+/// applying the delta) must tell it the direction — it decides how far
+/// back a capped session has to replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostShift {
+    /// Numerically unchanged (a `-0.0 ↔ 0.0` rewrite counts: admission
+    /// arithmetic cannot distinguish the two zeros).
+    Unchanged,
+    /// Strictly smaller than before: admission verdicts can only flip
+    /// from rejected to admitted.
+    Lowered,
+    /// Strictly larger than before: admission verdicts can only flip
+    /// from admitted to rejected.
+    Raised,
+}
+
+/// A kernel-level description of one already-applied instance mutation,
+/// built by the engine layer from a [`CsrDelta`](sws_dag::CsrDelta)
+/// while applying it. Completions are absent by design: they mutate
+/// neither the instance nor the schedule, so the engine answers them
+/// from the cached run without entering the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplanDelta {
+    /// Task `n - 1` of the (mutated) instance is a new arrival.
+    Arrival,
+    /// An existing task's costs were re-estimated.
+    Recost {
+        /// The re-estimated task.
+        task: u32,
+        /// Whether the processing time changed.
+        p_changed: bool,
+        /// How the storage requirement moved.
+        s_shift: CostShift,
+    },
+}
+
+/// A completed kernel run that can be **warm-resumed across instance
+/// deltas** — the generalization of [`CheckpointedRun`] from "same
+/// instance, new cap" to arrivals and cost re-estimates against a
+/// mutated [`CsrDag`].
+///
+/// Beyond the cap-resume machinery (periodic [`EngineState`] snapshots,
+/// per-round rejection thresholds), a replan run records the per-round
+/// **placement frontier**: which task each round placed, at what start
+/// key, and what the minimum processor load was when the round began.
+/// From those records the first round a delta can affect is computable
+/// without re-running anything:
+///
+/// * A task's costs are invisible to the kernel before its *ready
+///   round* `r₀` (the round after its last predecessor placed): a task
+///   outside the ready structures is never probed and never a
+///   candidate, so every earlier round replays verbatim.
+/// * Its processing time is read exactly once, at its placement round:
+///   a pure `p` re-estimate replays from there.
+/// * In an **open** (uncapped) session an arrival `j` can change a
+///   round `t ≥ r₀` only by *winning* it, and — holding the worst
+///   possible tie-break rank, `n - 1` — only by a strictly earlier
+///   start: its key is at least `max(ρ, min_load[t])` (`ρ` = its
+///   ready time), so the first affected round is the first `t` with
+///   `strictly_lt(max(ρ, min_load[t]), winner_key[t])`. Losing
+///   candidates leave no trace (marking is winner-only), which is what
+///   makes the test exact rather than heuristic.
+/// * In a **capped** session a changed storage requirement can flip
+///   admission verdicts in any round that probed the task, which the
+///   records cannot rule out past `r₀` — except for a *lowered*
+///   requirement, where verdicts only flip rejected→admitted, so
+///   rounds whose recorded rejection threshold is ∞ (nothing rejected)
+///   are untouched and the replay starts at the first finite one.
+///
+/// Degeneration is graceful by construction: when the first affected
+/// round is early (a source arrival, a recost of a root task), the
+/// restore lands on the round-0 snapshot and the "replay" is a full
+/// re-run — never worse than from-scratch by more than the snapshot
+/// overhead.
+///
+/// The run is bound to the priority rank it was recorded under; a
+/// replan whose rank disagrees (or re-ranks the arrival anywhere but
+/// last) falls back to a cold run against the mutated instance. Either
+/// way the produced schedule is **bit-identical** to a from-scratch
+/// solve of the mutated instance, which the differential suite
+/// enforces.
+#[derive(Debug, Clone)]
+pub struct ReplanRun {
+    m: usize,
+    /// Fixed session cap: `None` = unrestricted (Graham), `Some` = the
+    /// paper's memory cap. Sessions never change it — machines don't
+    /// grow RAM mid-run; cap *sweeps* are [`CheckpointedRun`]'s job.
+    cap: Option<f64>,
+    rank: Arc<PriorityRank>,
+    /// `placed[r]`: the task round `r` placed.
+    placed: Vec<u32>,
+    /// `place_round[i]`: the round that placed task `i` (inverse of
+    /// `placed`).
+    place_round: Vec<u32>,
+    /// `winner_key[r]`: start key of round `r`'s winner.
+    winner_key: Vec<f64>,
+    /// `min_load[r]`: minimum processor load when round `r` began.
+    min_load: Vec<f64>,
+    /// `reject_min[r]`: smallest inadmissible `memsize[q] + s` probed in
+    /// round `r` (∞ when nothing was rejected; always ∞ when open).
+    reject_min: Vec<f64>,
+    /// Snapshots at stride boundaries (ascending rounds).
+    checkpoints: Vec<Arc<Checkpoint>>,
+    outcome: KernelOutcome,
+    /// Rounds actually executed to produce this run.
+    replayed: usize,
+}
+
+impl ReplanRun {
+    /// A from-scratch run over `csr` on `m` processors under the
+    /// session's fixed `cap`, recording the replay bookkeeping.
+    pub fn cold(
+        csr: &CsrDag,
+        m: usize,
+        rank: Arc<PriorityRank>,
+        cap: Option<f64>,
+        ws: &mut KernelWorkspace,
+    ) -> Result<Self, ModelError> {
+        ws.state.init(csr, m, &rank);
+        let admission = ReplanAdmission::fresh(cap, m);
+        Self::drive(csr, m, rank, cap, admission, Records::default(), ws)
+    }
+
+    /// Warm-starts against the **already mutated** `csr`, replaying
+    /// only from the first round `delta` can affect (see the type
+    /// docs). `rank` is the priority rank of the mutated instance; when
+    /// it disagrees with the recorded rank the run falls back to
+    /// [`ReplanRun::cold`]. Bit-identical to a cold run either way.
+    pub fn replan(
+        &self,
+        csr: &CsrDag,
+        rank: Arc<PriorityRank>,
+        delta: ReplanDelta,
+        ws: &mut KernelWorkspace,
+    ) -> Result<Self, ModelError> {
+        let n = csr.n();
+        let n_old = self.placed.len();
+        match delta {
+            ReplanDelta::Arrival => {
+                assert_eq!(n, n_old + 1, "arrival replan against an un-mutated CSR");
+                let j = n - 1;
+                if !self.rank_extends(&rank, n) || self.checkpoints.is_empty() {
+                    return Self::cold(csr, self.m, rank, self.cap, ws);
+                }
+                let (rho, r0) = self.ready_info(csr, j);
+                let first = if self.cap.is_some() {
+                    // A capped probe of `j` can reject (even terminally)
+                    // in any round that scans it; the records cannot
+                    // rule that out, so replay its whole ready span.
+                    r0
+                } else {
+                    self.first_beaten_round(r0, n_old, rho).unwrap_or(n_old)
+                };
+                self.resume_from(csr, rank, first, ws)
+            }
+            ReplanDelta::Recost {
+                task,
+                p_changed,
+                s_shift,
+            } => {
+                assert_eq!(n, n_old, "recost replan changed the task count");
+                if !self.rank_matches(&rank) || self.checkpoints.is_empty() {
+                    return Self::cold(csr, self.m, rank, self.cap, ws);
+                }
+                let i = task as usize;
+                let pr = self.place_round[i] as usize;
+                let mut first = if p_changed { pr } else { usize::MAX };
+                if self.cap.is_some() {
+                    match s_shift {
+                        CostShift::Unchanged => {}
+                        // Rejected→admitted flips need a rejection to
+                        // flip: rounds with an ∞ threshold replay
+                        // verbatim.
+                        CostShift::Lowered => {
+                            let (_, r0) = self.ready_info(csr, i);
+                            let t = (r0..pr)
+                                .find(|&t| self.reject_min[t].is_finite())
+                                .unwrap_or(pr);
+                            first = first.min(t);
+                        }
+                        CostShift::Raised => {
+                            let (_, r0) = self.ready_info(csr, i);
+                            first = first.min(r0);
+                        }
+                    }
+                }
+                if first >= n {
+                    // The schedule cannot change (an uncapped storage
+                    // re-estimate, or no change at all): reuse it.
+                    return Ok(self.reuse());
+                }
+                self.resume_from(csr, rank, first, ws)
+            }
+        }
+    }
+
+    /// This run with zero replayed rounds — the answer when a delta
+    /// provably cannot change the schedule (also used by the replan
+    /// engine in `sws-core` when answering completion events from the
+    /// cached run).
+    pub fn reuse(&self) -> Self {
+        let mut run = self.clone();
+        run.replayed = 0;
+        run
+    }
+
+    /// Ready time `ρ` (max predecessor completion) and ready round `r₀`
+    /// (first round the task is visible to scans) of `task` under this
+    /// run's schedule.
+    fn ready_info(&self, csr: &CsrDag, task: usize) -> (f64, usize) {
+        let mut rho = 0.0f64;
+        let mut r0 = 0usize;
+        for &u in csr.preds(task) {
+            let u = u as usize;
+            rho = rho.max(self.outcome.schedule.start(u) + csr.p(u));
+            r0 = r0.max(self.place_round[u] as usize + 1);
+        }
+        (rho, r0)
+    }
+
+    /// First round in `from..until` an open-session candidate with
+    /// ready time `rho` (and a worse tie-break rank than every recorded
+    /// task) would have *won*: its start key is at least
+    /// `max(rho, min_load[t])`, and with the worst rank only a strictly
+    /// earlier start beats the recorded winner.
+    fn first_beaten_round(&self, from: usize, until: usize, rho: f64) -> Option<usize> {
+        (from..until).find(|&t| strictly_lt(rho.max(self.min_load[t]), self.winner_key[t]))
+    }
+
+    /// Whether `rank` is exactly the recorded rank (recost replans keep
+    /// the task set, so the whole rank must agree).
+    fn rank_matches(&self, rank: &Arc<PriorityRank>) -> bool {
+        Arc::ptr_eq(rank, &self.rank) || rank[..] == self.rank[..]
+    }
+
+    /// Whether `rank` extends the recorded rank by ranking the arrival
+    /// last — the one extension under which every recorded slot (and
+    /// thus every record) keeps its meaning.
+    fn rank_extends(&self, rank: &PriorityRank, n: usize) -> bool {
+        rank.len() == n && rank[n - 1] as usize == n - 1 && rank[..n - 1] == self.rank[..]
+    }
+
+    /// Restores the latest snapshot at or before `first` and replays to
+    /// completion against the mutated `csr`, splicing in every task the
+    /// snapshot predates.
+    fn resume_from(
+        &self,
+        csr: &CsrDag,
+        rank: Arc<PriorityRank>,
+        first: usize,
+        ws: &mut KernelWorkspace,
+    ) -> Result<Self, ModelError> {
+        let ci = self
+            .checkpoints
+            .iter()
+            .rposition(|c| c.round <= first)
+            .expect("a non-empty run always snapshots round 0");
+        let ck = &self.checkpoints[ci];
+        ws.state.clone_from(&ck.state);
+        let admission = ReplanAdmission::restored(self.cap, ck.memsize.clone());
+        self.adapt_new_tasks(csr, &rank, ck.round, ws);
+        // The replay re-records from the restored round; keep only the
+        // records strictly before it (identical by construction).
+        let records = Records {
+            placed: self.placed[..ck.round].to_vec(),
+            winner_key: self.winner_key[..ck.round].to_vec(),
+            min_load: self.min_load[..ck.round].to_vec(),
+            reject_min: self.reject_min[..ck.round].to_vec(),
+            checkpoints: self.checkpoints[..ci].to_vec(),
+        };
+        Self::drive(csr, self.m, rank, self.cap, admission, records, ws)
+    }
+
+    /// Splices every task the restored snapshot predates into the
+    /// state. A snapshot taken before round `at` can be older than
+    /// several arrivals — earlier replans keep the snapshots before
+    /// their restore point, and those snapshots keep their pre-arrival
+    /// task count — so all of `state.n .. csr.n()` is (re-)spliced, in
+    /// index order.
+    ///
+    /// For each spliced task: predecessors the restored prefix already
+    /// placed contribute their completions to its ready time; the rest
+    /// will find it on their successor lists during the replay (the CSR
+    /// is mutated in place) and decrement it like any other frontier
+    /// task. A kept snapshot always predates the splice point of every
+    /// task it is missing (`ck.round < place_round[t]`, because each
+    /// arrival's replay restored at or before its ready round), so a
+    /// missing predecessor is never read for its start time — it is
+    /// counted as outstanding instead. A task ready at restore time
+    /// enters the ready structures exactly where a from-scratch run's
+    /// migration would put it: runnable iff its ready time is
+    /// (approximately) at or below the minimum load, pending otherwise.
+    ///
+    /// Every spliced task owns its own slot (`rank[t] == t`, pinned by
+    /// the rank guards of the arrival replans), so the snapshot's slot
+    /// tables extend without renumbering.
+    fn adapt_new_tasks(
+        &self,
+        csr: &CsrDag,
+        rank: &PriorityRank,
+        at: usize,
+        ws: &mut KernelWorkspace,
+    ) {
+        let n = csr.n();
+        let state = &mut ws.state;
+        if state.preds.len() >= n {
+            return;
+        }
+        state.runnable.grow(n);
+        // `rank[t]` is read once at the tail of a mostly-stateful body;
+        // an enumerate over `rank` would obscure the splice semantics.
+        #[allow(clippy::needless_range_loop)]
+        for t in state.preds.len()..n {
+            let mut ready = 0.0f64;
+            let mut remaining = 0u32;
+            for &u in csr.preds(t) {
+                let u = u as usize;
+                if u < self.place_round.len() && (self.place_round[u] as usize) < at {
+                    ready = ready.max(state.start[u] + csr.p(u));
+                } else {
+                    remaining += 1;
+                }
+            }
+            state.preds.push(PredState { ready, remaining });
+            state.proc_of.push(0);
+            state.start.push(0.0);
+            state.slot_of_task.push(t as u32);
+            state.task_of_slot.push(t as u32);
+            if remaining == 0 {
+                if approx_le(ready, state.procs.min_load()) {
+                    state.runnable.insert(t as u32);
+                } else {
+                    state
+                        .pending
+                        .push(pend_key(ready, rank_task(rank[t], t as u32)));
+                }
+            }
+        }
+    }
+
+    /// Runs the workspace's state to completion, snapshotting every
+    /// [`checkpoint_stride`] rounds and extending the per-round records
+    /// (which must already cover the rounds before `state.round`).
+    fn drive(
+        csr: &CsrDag,
+        m: usize,
+        rank: Arc<PriorityRank>,
+        cap: Option<f64>,
+        mut admission: ReplanAdmission,
+        records: Records,
+        ws: &mut KernelWorkspace,
+    ) -> Result<Self, ModelError> {
+        let Records {
+            mut placed,
+            mut winner_key,
+            mut min_load,
+            mut reject_min,
+            mut checkpoints,
+        } = records;
+        let n = csr.n();
+        let stride = checkpoint_stride(n);
+        let first = ws.state.round;
+        debug_assert_eq!(placed.len(), first);
+        ws.scratch.clear();
+        while ws.state.round < n {
+            if ws.state.round.is_multiple_of(PROBE_STRIDE) {
+                ws.probe.poll()?;
+            }
+            if ws.state.round.is_multiple_of(stride) {
+                checkpoints.push(Arc::new(Checkpoint {
+                    round: ws.state.round,
+                    state: ws.state.clone(),
+                    memsize: admission.memsize_snapshot(),
+                }));
+            }
+            min_load.push(ws.state.procs.min_load());
+            let (task, key) = ws.state.step(csr, &rank, &mut admission, &mut ws.scratch)?;
+            placed.push(task);
+            winner_key.push(key);
+            reject_min.push(admission.take_round_min());
+        }
+        let outcome = ws.state.finish(m)?;
+        let mut place_round = vec![0u32; n];
+        for (r, &t) in placed.iter().enumerate() {
+            place_round[t as usize] = r as u32;
+        }
+        Ok(ReplanRun {
+            m,
+            cap,
+            rank,
+            placed,
+            place_round,
+            winner_key,
+            min_load,
+            reject_min,
+            checkpoints,
+            outcome,
+            replayed: n - first,
+        })
+    }
+
+    /// The session's fixed memory cap (`None` = unrestricted).
+    #[inline]
+    pub fn cap(&self) -> Option<f64> {
+        self.cap
+    }
+
+    /// Number of tasks this run scheduled.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.placed.len()
+    }
+
+    /// The produced schedule and Lemma-4 bookkeeping.
+    #[inline]
+    pub fn outcome(&self) -> &KernelOutcome {
+        &self.outcome
+    }
+
+    /// The priority rank the run was recorded under.
+    #[inline]
+    pub fn rank(&self) -> &Arc<PriorityRank> {
+        &self.rank
+    }
+
+    /// Rounds actually executed to produce this run: `n` for a cold
+    /// run, `0` for a provable no-op, the replayed suffix length
+    /// otherwise. The engine layer's incremental-work costing reads
+    /// this.
+    #[inline]
+    pub fn replayed_rounds(&self) -> usize {
+        self.replayed
+    }
+}
+
+/// The per-round record vectors of a [`ReplanRun`], bundled so the
+/// drive loop's signature stays readable.
+#[derive(Debug, Default)]
+struct Records {
+    placed: Vec<u32>,
+    winner_key: Vec<f64>,
+    min_load: Vec<f64>,
+    reject_min: Vec<f64>,
+    checkpoints: Vec<Arc<Checkpoint>>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1991,5 +2535,286 @@ mod tests {
         let cold = CheckpointedRun::cold(&inst, rank, 2.25 * lb).unwrap();
         assert_eq!(back.outcome().schedule, cold.outcome().schedule);
         assert_eq!(back.replayed_rounds(), inst.n());
+    }
+
+    // --- ReplanRun: warm-starting across instance deltas -------------
+
+    /// Tiny deterministic generator for the replan streams (the heavier
+    /// proptest differential suite lives in the workspace-level tests).
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, bound: u64) -> u64 {
+            self.next() % bound.max(1)
+        }
+
+        fn cost(&mut self) -> f64 {
+            1.0 + (self.below(1000) as f64) / 16.0
+        }
+    }
+
+    fn replan_base() -> sws_dag::CsrDag {
+        use sws_workloads::{dagsets, TaskDistribution};
+        let inst = dagsets::dag_workload(
+            dagsets::DagFamily::LayeredRandom,
+            120,
+            4,
+            TaskDistribution::Uncorrelated,
+            &mut sws_workloads::seeded_rng(0x5EED),
+        );
+        inst.csr()
+    }
+
+    /// Asserts a replan result is bit-identical to a cold run of the
+    /// mutated instance (start times compared by bit pattern).
+    fn assert_matches_cold(warm: &ReplanRun, csr: &CsrDag, m: usize, cap: Option<f64>, what: &str) {
+        let mut ws = KernelWorkspace::new();
+        let rank = Arc::new(index_priority(csr.n()));
+        let cold = ReplanRun::cold(csr, m, rank, cap, &mut ws).unwrap();
+        assert_eq!(warm.outcome().schedule, cold.outcome().schedule, "{what}");
+        assert_eq!(warm.outcome().marked, cold.outcome().marked, "{what}");
+        for i in 0..csr.n() {
+            assert_eq!(
+                warm.outcome().schedule.start(i).to_bits(),
+                cold.outcome().schedule.start(i).to_bits(),
+                "{what}: start of task {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn replan_arrival_stream_is_bit_identical_to_cold() {
+        let mut csr = replan_base();
+        let m = 4;
+        let mut ws = KernelWorkspace::new();
+        let mut run =
+            ReplanRun::cold(&csr, m, Arc::new(index_priority(csr.n())), None, &mut ws).unwrap();
+        let mut rng = XorShift(0x9E3779B97F4A7C15);
+        let mut warm_hits = 0usize;
+        for _ in 0..40 {
+            let n = csr.n();
+            let mut preds = Vec::new();
+            for _ in 0..rng.below(4) {
+                let u = rng.below(n as u64) as u32;
+                if !preds.contains(&u) {
+                    preds.push(u);
+                }
+            }
+            csr.apply_delta(&sws_dag::CsrDelta::AddTask {
+                preds,
+                p: rng.cost(),
+                s: rng.cost(),
+            })
+            .unwrap();
+            let rank = Arc::new(index_priority(csr.n()));
+            run = run
+                .replan(&csr, rank, ReplanDelta::Arrival, &mut ws)
+                .unwrap();
+            assert_matches_cold(&run, &csr, m, None, "arrival");
+            if run.replayed_rounds() < csr.n() {
+                warm_hits += 1;
+            }
+        }
+        assert!(
+            warm_hits > 0,
+            "arrival replans never warm-started over 40 events"
+        );
+    }
+
+    #[test]
+    fn replan_recost_p_replays_from_the_placement_round() {
+        let mut csr = replan_base();
+        let m = 4;
+        let mut ws = KernelWorkspace::new();
+        let rank = Arc::new(index_priority(csr.n()));
+        let mut run = ReplanRun::cold(&csr, m, Arc::clone(&rank), None, &mut ws).unwrap();
+        let mut rng = XorShift(0xA5A5A5A5DEADBEEF);
+        for _ in 0..25 {
+            let i = rng.below(csr.n() as u64) as u32;
+            csr.apply_delta(&sws_dag::CsrDelta::Recost {
+                task: i,
+                p: Some(rng.cost()),
+                s: None,
+            })
+            .unwrap();
+            run = run
+                .replan(
+                    &csr,
+                    Arc::clone(&rank),
+                    ReplanDelta::Recost {
+                        task: i,
+                        p_changed: true,
+                        s_shift: CostShift::Unchanged,
+                    },
+                    &mut ws,
+                )
+                .unwrap();
+            assert_matches_cold(&run, &csr, m, None, "recost-p");
+            assert!(
+                run.replayed_rounds() <= csr.n(),
+                "replay longer than the instance"
+            );
+        }
+    }
+
+    #[test]
+    fn uncapped_storage_recost_replays_nothing() {
+        let mut csr = replan_base();
+        let m = 4;
+        let mut ws = KernelWorkspace::new();
+        let rank = Arc::new(index_priority(csr.n()));
+        let run = ReplanRun::cold(&csr, m, Arc::clone(&rank), None, &mut ws).unwrap();
+        csr.apply_delta(&sws_dag::CsrDelta::Recost {
+            task: 17,
+            p: None,
+            s: Some(123.456),
+        })
+        .unwrap();
+        let next = run
+            .replan(
+                &csr,
+                rank,
+                ReplanDelta::Recost {
+                    task: 17,
+                    p_changed: false,
+                    s_shift: CostShift::Raised,
+                },
+                &mut ws,
+            )
+            .unwrap();
+        assert_eq!(next.replayed_rounds(), 0);
+        assert_matches_cold(&next, &csr, m, None, "uncapped recost-s");
+    }
+
+    #[test]
+    fn capped_replan_stream_is_bit_identical_to_cold() {
+        let mut csr = replan_base();
+        let m = 4;
+        let total_s: f64 = (0..csr.n()).map(|i| csr.s(i)).sum();
+        let cap = Some(2.25 * (total_s / m as f64));
+        let mut ws = KernelWorkspace::new();
+        let mut run =
+            ReplanRun::cold(&csr, m, Arc::new(index_priority(csr.n())), cap, &mut ws).unwrap();
+        let mut rng = XorShift(0xC0FFEE0DDF00D);
+        for ev in 0..40 {
+            let n = csr.n() as u64;
+            let (delta, kdelta) = match rng.below(3) {
+                0 => {
+                    let mut preds = Vec::new();
+                    for _ in 0..rng.below(3) {
+                        let u = rng.below(n) as u32;
+                        if !preds.contains(&u) {
+                            preds.push(u);
+                        }
+                    }
+                    (
+                        sws_dag::CsrDelta::AddTask {
+                            preds,
+                            p: rng.cost(),
+                            s: rng.cost(),
+                        },
+                        ReplanDelta::Arrival,
+                    )
+                }
+                1 => {
+                    let i = rng.below(n) as u32;
+                    (
+                        sws_dag::CsrDelta::Recost {
+                            task: i,
+                            p: Some(rng.cost()),
+                            s: None,
+                        },
+                        ReplanDelta::Recost {
+                            task: i,
+                            p_changed: true,
+                            s_shift: CostShift::Unchanged,
+                        },
+                    )
+                }
+                _ => {
+                    let i = rng.below(n) as u32;
+                    let old = csr.s(i as usize);
+                    let new = old * if rng.below(2) == 0 { 0.75 } else { 1.25 };
+                    let shift = if new < old {
+                        CostShift::Lowered
+                    } else {
+                        CostShift::Raised
+                    };
+                    (
+                        sws_dag::CsrDelta::Recost {
+                            task: i,
+                            p: None,
+                            s: Some(new),
+                        },
+                        ReplanDelta::Recost {
+                            task: i,
+                            p_changed: false,
+                            s_shift: shift,
+                        },
+                    )
+                }
+            };
+            csr.apply_delta(&delta).unwrap();
+            let rank = Arc::new(index_priority(csr.n()));
+            match run.replan(&csr, Arc::clone(&rank), kdelta, &mut ws) {
+                Ok(next) => {
+                    assert_matches_cold(&next, &csr, m, cap, &format!("capped event {ev}"));
+                    run = next;
+                }
+                Err(_) => {
+                    // The mutated instance became infeasible at this cap:
+                    // the from-scratch oracle must refuse it too.
+                    let mut cold_ws = KernelWorkspace::new();
+                    assert!(
+                        ReplanRun::cold(&csr, m, rank, cap, &mut cold_ws).is_err(),
+                        "warm run errored where a cold run succeeds (event {ev})"
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replan_with_a_mismatched_rank_falls_back_to_cold() {
+        let mut csr = replan_base();
+        let m = 4;
+        let mut ws = KernelWorkspace::new();
+        let run =
+            ReplanRun::cold(&csr, m, Arc::new(index_priority(csr.n())), None, &mut ws).unwrap();
+        csr.apply_delta(&sws_dag::CsrDelta::Recost {
+            task: 3,
+            p: Some(50.0),
+            s: None,
+        })
+        .unwrap();
+        // A rank the run was not recorded under: reversed indices.
+        let n = csr.n();
+        let reversed: Arc<PriorityRank> = Arc::new((0..n).map(|i| (n - 1 - i) as u32).collect());
+        let next = run
+            .replan(
+                &csr,
+                Arc::clone(&reversed),
+                ReplanDelta::Recost {
+                    task: 3,
+                    p_changed: true,
+                    s_shift: CostShift::Unchanged,
+                },
+                &mut ws,
+            )
+            .unwrap();
+        assert_eq!(next.replayed_rounds(), n, "mismatched rank must run cold");
+        let mut cold_ws = KernelWorkspace::new();
+        let cold = ReplanRun::cold(&csr, m, reversed, None, &mut cold_ws).unwrap();
+        assert_eq!(next.outcome().schedule, cold.outcome().schedule);
     }
 }

@@ -134,6 +134,18 @@ pub fn total_cmp(a: f64, b: f64) -> std::cmp::Ordering {
         .expect("NaN encountered in scheduling data")
 }
 
+/// Non-panicking total order over *all* floats, for `Ord` impls that
+/// must hold unconditionally (e.g. simulation event queues): the
+/// IEEE-754 `totalOrder` predicate, so `-0.0 < +0.0` and NaNs sort
+/// above `+∞` instead of poisoning the comparison. Prefer
+/// [`total_cmp`] where a NaN is a data corruption worth halting on;
+/// use this where the comparison sits under a `BinaryHeap`/sort whose
+/// contract (`Ord`) a panic would break mid-collection.
+#[inline]
+pub fn order_all(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
 /// Returns the maximum of a non-empty iterator of finite floats, or `0.0`
 /// for an empty iterator (the natural identity for makespan-style maxima).
 pub fn max_or_zero<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
@@ -201,6 +213,23 @@ mod tests {
     #[should_panic]
     fn total_cmp_rejects_nan() {
         let _ = total_cmp(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn order_all_is_total_even_over_nan() {
+        use std::cmp::Ordering;
+        assert_eq!(order_all(1.0, 2.0), Ordering::Less);
+        assert_eq!(order_all(2.0, 2.0), Ordering::Equal);
+        // IEEE-754 totalOrder: -0.0 sorts below +0.0, NaN above +∞ —
+        // no input can make the comparison panic.
+        assert_eq!(order_all(-0.0, 0.0), Ordering::Less);
+        assert_eq!(order_all(f64::NAN, f64::INFINITY), Ordering::Greater);
+        assert_eq!(order_all(f64::NAN, f64::NAN), Ordering::Equal);
+        // Agrees with total_cmp wherever total_cmp is defined (finite,
+        // non-signed-zero-distinguished inputs).
+        for (a, b) in [(1.0, 3.0), (3.0, 1.0), (2.0, 2.0), (-1.5, 1.5)] {
+            assert_eq!(order_all(a, b), total_cmp(a, b));
+        }
     }
 
     #[test]

@@ -263,6 +263,9 @@ pub enum BackendId {
     KernelRls,
     /// Event-driven kernel, RLS∆ with SPT ties (Section 5.2).
     KernelTriRls,
+    /// Event-driven kernel warm-started across instance deltas (the
+    /// incremental replanning engine, `sws_core::replan`).
+    KernelReplan,
     /// The retained `O(n²m)` RLS∆ differential oracle.
     NaiveRls,
     /// SBO∆ (Algorithm 1) over single-objective inner schedules.
@@ -296,6 +299,7 @@ impl BackendId {
             BackendId::KernelDagList => "kernel-dag-list",
             BackendId::KernelRls => "kernel-rls",
             BackendId::KernelTriRls => "kernel-tri-rls",
+            BackendId::KernelReplan => "kernel-replan",
             BackendId::NaiveRls => "naive-rls",
             BackendId::Sbo => "sbo",
             BackendId::Lpt => "lpt",

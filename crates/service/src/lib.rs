@@ -73,6 +73,7 @@ pub mod faults;
 pub mod queue;
 pub mod request;
 pub mod service;
+pub mod session;
 pub mod stats;
 
 pub use faults::{silence_injected_panics, FaultPlan, FaultySolver, INJECTED_PANIC_MARKER};
@@ -80,6 +81,7 @@ pub use request::{ServiceInstance, ServiceRequest};
 pub use service::{
     SchedulingService, ServiceBuilder, ServiceError, ServiceHandle, ServiceOutcome, Ticket,
 };
+pub use session::SessionTicket;
 pub use stats::{ScopeStats, ServiceStats};
 
 #[cfg(test)]

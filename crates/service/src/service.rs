@@ -162,10 +162,10 @@ struct Job {
 }
 
 /// One registered tenant: id, policy, counters, shed latch.
-struct TenantEntry {
-    id: String,
-    policy: TenantPolicy,
-    counters: Counters,
+pub(crate) struct TenantEntry {
+    pub(crate) id: String,
+    pub(crate) policy: TenantPolicy,
+    pub(crate) counters: Counters,
     /// The hysteretic overload latch: set when the tenant's pressure
     /// signals cross [`ShedPolicy`](sws_model::policy::ShedPolicy)
     /// high watermarks, cleared only once both are back under the low
@@ -195,8 +195,9 @@ enum AdmissionDecision {
     NoBackend(ModelError),
 }
 
-/// State shared between the handle(s) and the workers.
-struct Shared {
+/// State shared between the handle(s) and the workers (and, read-only,
+/// the replanning sessions of `session.rs`).
+pub(crate) struct Shared {
     portfolio: Portfolio,
     /// The deficit-round-robin queue, one lane per `tenants` entry
     /// (lane index == tenant index). Jobs are boxed so the per-lane
@@ -207,8 +208,8 @@ struct Shared {
     /// Index of the aggregate entry unknown tenants map to when a
     /// default policy is configured.
     default_tenant: Option<usize>,
-    global: Counters,
-    accepting: AtomicBool,
+    pub(crate) global: Counters,
+    pub(crate) accepting: AtomicBool,
 }
 
 impl Shared {
@@ -243,7 +244,7 @@ impl Shared {
     }
 
     /// Resolves the tenant entry index for a request's tenant id.
-    fn tenant_idx(&self, tenant: &str) -> Option<usize> {
+    pub(crate) fn tenant_idx(&self, tenant: &str) -> Option<usize> {
         self.tenant_index
             .get(tenant)
             .copied()
@@ -255,7 +256,7 @@ impl Shared {
     /// `default_tenant` both point into `tenants` by construction — and
     /// travels unmodified inside a [`Job`], so the lookup cannot miss.
     /// Centralising the access keeps the justification in one place.
-    fn tenant(&self, idx: usize) -> &TenantEntry {
+    pub(crate) fn tenant(&self, idx: usize) -> &TenantEntry {
         // sws-lint: allow(panic-policy, reason = "indices are minted only by tenant_idx() from map values and default_tenant, both in-bounds by construction, and are never arithmetic-derived")
         &self.tenants[idx]
     }
@@ -427,7 +428,7 @@ impl Shared {
     }
 
     /// Counts a refusal against a tenant (when known) and globally.
-    fn count_refusal(&self, tenant_idx: Option<usize>) {
+    pub(crate) fn count_refusal(&self, tenant_idx: Option<usize>) {
         if let Some(idx) = tenant_idx {
             Counters::bump(&self.tenant(idx).counters.refused);
         }
@@ -526,7 +527,7 @@ impl Ticket {
 /// A cloneable submission handle onto a running service.
 #[derive(Clone)]
 pub struct ServiceHandle {
-    shared: Arc<Shared>,
+    pub(crate) shared: Arc<Shared>,
 }
 
 impl ServiceHandle {

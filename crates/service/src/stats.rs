@@ -227,6 +227,9 @@ pub(crate) struct Counters {
     pub(crate) panicked: AtomicU64,
     pub(crate) retried: AtomicU64,
     pub(crate) shed: AtomicU64,
+    pub(crate) sessions: AtomicU64,
+    pub(crate) session_events: AtomicU64,
+    pub(crate) session_replayed_rounds: AtomicU64,
     pub(crate) in_flight: AtomicUsize,
     pub(crate) latency: LatencyHistogram,
     pub(crate) recent: RecentLatency,
@@ -245,6 +248,9 @@ impl Counters {
             panicked: AtomicU64::new(0),
             retried: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            sessions: AtomicU64::new(0),
+            session_events: AtomicU64::new(0),
+            session_replayed_rounds: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
             latency: LatencyHistogram::new(),
             recent: RecentLatency::new(RecentLatency::DEFAULT_WINDOW),
@@ -268,6 +274,9 @@ impl Counters {
             panicked: self.panicked.load(Ordering::Relaxed),
             retried: self.retried.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            sessions: self.sessions.load(Ordering::Relaxed),
+            session_events: self.session_events.load(Ordering::Relaxed),
+            session_replayed_rounds: self.session_replayed_rounds.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             p50_latency: self.latency.quantile(0.50),
             p99_latency: self.latency.quantile(0.99),
@@ -315,6 +324,16 @@ pub struct ScopeStats {
     /// [`sws_model::policy::QuotaError::Overloaded`] while the shed
     /// latch was closed. A subset of `degraded + refused`.
     pub shed: u64,
+    /// Incremental replanning sessions opened
+    /// ([`crate::session::SessionTicket`]).
+    pub sessions: u64,
+    /// Replan deltas served across this scope's sessions (admitted
+    /// events only; refusals count under `refused`).
+    pub session_events: u64,
+    /// Kernel rounds actually replayed across those deltas — next to
+    /// `session_events × n` this is the measured work saving of the
+    /// warm-start path.
+    pub session_replayed_rounds: u64,
     /// Admitted requests not yet resolved (queued or running).
     pub in_flight: usize,
     /// Median submit→completion latency of completed requests.

@@ -72,6 +72,12 @@ impl SimulationEngine {
                 m,
             });
         }
+        if preds.len() != tasks.len() {
+            return Err(ModelError::LengthMismatch {
+                left: tasks.len(),
+                right: preds.len(),
+            });
+        }
 
         // Build the event list.
         let mut events = Vec::with_capacity(2 * tasks.len());
@@ -93,19 +99,30 @@ impl SimulationEngine {
         let mut busy = vec![0.0f64; m];
         let mut trace = Trace::new();
 
+        // The loop is panic-free by the validation prologue (task
+        // indices come from `0..tasks.len()`, processors from the
+        // schedule whose `m` was just checked), but every access still
+        // routes through `.get`: the simulator is the differential
+        // oracle, and an oracle that aborts instead of returning a
+        // typed violation reports nothing. An out-of-range predecessor
+        // index in `preds` is thus diagnosed as the precedence
+        // violation it is, not as a crash.
         for ev in &events {
+            let q = ev.proc;
             match ev.kind {
                 EventKind::Start => {
-                    let q = ev.proc;
                     // The processor must be idle.
-                    if let Some(other) = running_task[q] {
+                    if let Some(&Some(other)) = running_task.get(q) {
                         return Err(ModelError::Overlap {
                             proc: q,
                             first: other,
                             second: ev.task,
                         });
                     }
-                    if ev.time + slack(ev.time) < busy_until[q] {
+                    if busy_until
+                        .get(q)
+                        .is_some_and(|&b| ev.time + slack(ev.time) < b)
+                    {
                         // A previous task on q finishes after this start.
                         return Err(ModelError::Overlap {
                             proc: q,
@@ -114,8 +131,10 @@ impl SimulationEngine {
                         });
                     }
                     // All predecessors must have finished.
-                    for &p in &preds[ev.task] {
-                        if !finished[p] || finish_time[p] > ev.time + slack(ev.time) {
+                    for &p in preds.get(ev.task).map(Vec::as_slice).unwrap_or_default() {
+                        let done = finished.get(p).copied().unwrap_or(false);
+                        let ct = finish_time.get(p).copied().unwrap_or(f64::INFINITY);
+                        if !done || ct > ev.time + slack(ev.time) {
                             return Err(ModelError::PrecedenceViolation {
                                 pred: p,
                                 task: ev.task,
@@ -123,7 +142,9 @@ impl SimulationEngine {
                         }
                     }
                     // Claim the processor and account the (cumulative) memory.
-                    running_task[q] = Some(ev.task);
+                    if let Some(slot) = running_task.get_mut(q) {
+                        *slot = Some(ev.task);
+                    }
                     memory.allocate(q, ev.time, tasks.get(ev.task).s);
                     if let Some(cap) = memory_capacity {
                         if memory.current(q) > cap + 1e-9 * cap.abs().max(1.0) {
@@ -137,14 +158,23 @@ impl SimulationEngine {
                     trace.push(*ev);
                 }
                 EventKind::Finish => {
-                    let q = ev.proc;
-                    if running_task[q] == Some(ev.task) {
-                        running_task[q] = None;
+                    if let Some(slot) = running_task.get_mut(q) {
+                        if *slot == Some(ev.task) {
+                            *slot = None;
+                        }
                     }
-                    busy_until[q] = busy_until[q].max(ev.time);
-                    finished[ev.task] = true;
-                    finish_time[ev.task] = ev.time;
-                    busy[q] += tasks.get(ev.task).p;
+                    if let Some(b) = busy_until.get_mut(q) {
+                        *b = b.max(ev.time);
+                    }
+                    if let Some(f) = finished.get_mut(ev.task) {
+                        *f = true;
+                    }
+                    if let Some(ct) = finish_time.get_mut(ev.task) {
+                        *ct = ev.time;
+                    }
+                    if let Some(b) = busy.get_mut(q) {
+                        *b += tasks.get(ev.task).p;
+                    }
                     trace.push(*ev);
                 }
             }

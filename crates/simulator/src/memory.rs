@@ -30,15 +30,24 @@ impl MemoryProfile {
     }
 
     /// Records that `amount` memory units become resident on processor
-    /// `proc` at `time`.
+    /// `proc` at `time`. Out-of-range processors are ignored (the
+    /// profile sits inside the non-panicking replay oracle; the replay
+    /// engine validates processor ranges before it allocates).
     pub fn allocate(&mut self, proc: usize, time: f64, amount: f64) {
-        self.current[proc] += amount;
-        self.steps[proc].push((time, self.current[proc]));
+        let Some(level) = self.current.get_mut(proc) else {
+            return;
+        };
+        *level += amount;
+        let level = *level;
+        if let Some(steps) = self.steps.get_mut(proc) {
+            steps.push((time, level));
+        }
     }
 
-    /// Current occupancy of a processor.
+    /// Current occupancy of a processor (`0.0` for an out-of-range
+    /// processor — an untracked processor holds nothing).
     pub fn current(&self, proc: usize) -> f64 {
-        self.current[proc]
+        self.current.get(proc).copied().unwrap_or(0.0)
     }
 
     /// Final occupancy of every processor.
@@ -56,7 +65,7 @@ impl MemoryProfile {
     /// step at or before `time`).
     pub fn level_at(&self, proc: usize, time: f64) -> f64 {
         let mut level = 0.0;
-        for &(t, l) in &self.steps[proc] {
+        for &(t, l) in self.steps(proc) {
             if t <= time + 1e-12 {
                 level = l;
             } else {
@@ -67,9 +76,9 @@ impl MemoryProfile {
     }
 
     /// The raw steps of a processor, `(time, level)` in chronological
-    /// order.
+    /// order (empty for an out-of-range processor).
     pub fn steps(&self, proc: usize) -> &[(f64, f64)] {
-        &self.steps[proc]
+        self.steps.get(proc).map_or(&[], Vec::as_slice)
     }
 
     /// Samples all processors at `samples` evenly spaced instants in

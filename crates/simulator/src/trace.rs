@@ -36,23 +36,21 @@ impl Trace {
         &self.events
     }
 
-    /// Events concerning one processor.
-    pub fn for_processor(&self, proc: usize) -> Vec<Event> {
-        self.events
-            .iter()
-            .copied()
-            .filter(|e| e.proc == proc)
-            .collect()
+    /// Events concerning one processor, in simulation order. Borrows —
+    /// the differential replan oracle walks per-processor slices of
+    /// every replayed schedule, so the filter must not allocate;
+    /// `.collect()` at the call site where a `Vec` is wanted.
+    // sws-lint: hot-path
+    pub fn for_processor(&self, proc: usize) -> impl Iterator<Item = Event> + '_ {
+        self.events.iter().copied().filter(move |e| e.proc == proc)
     }
 
-    /// Events concerning one task (its start and finish).
-    pub fn for_task(&self, task: usize) -> Vec<Event> {
-        self.events
-            .iter()
-            .copied()
-            .filter(|e| e.task == task)
-            .collect()
+    /// Events concerning one task (its start and finish), in simulation
+    /// order. Borrows, like [`Trace::for_processor`].
+    pub fn for_task(&self, task: usize) -> impl Iterator<Item = Event> + '_ {
+        self.events.iter().copied().filter(move |e| e.task == task)
     }
+    // sws-lint: end-hot-path
 
     /// The number of tasks running at a given time (start inclusive,
     /// finish exclusive).
@@ -108,9 +106,12 @@ mod tests {
     fn filters_by_processor_and_task() {
         let t = sample_trace();
         assert_eq!(t.len(), 6);
-        assert_eq!(t.for_processor(0).len(), 2);
-        assert_eq!(t.for_processor(1).len(), 4);
-        assert_eq!(t.for_task(2).len(), 2);
+        assert_eq!(t.for_processor(0).count(), 2);
+        assert_eq!(t.for_processor(1).count(), 4);
+        assert_eq!(t.for_task(2).count(), 2);
+        // The iterators preserve simulation order.
+        let times: Vec<f64> = t.for_processor(1).map(|e| e.time).collect();
+        assert_eq!(times, vec![0.0, 1.0, 1.0, 3.0]);
     }
 
     #[test]

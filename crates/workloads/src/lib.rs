@@ -25,11 +25,13 @@
 
 pub mod adversarial;
 pub mod dagsets;
+pub mod deltas;
 pub mod grid;
 pub mod random;
 pub mod rng;
 pub mod soc;
 
 pub use adversarial::{lemma1_instance, lemma2_instance, lemma3_instance};
+pub use deltas::{delta_stream, DeltaStreamConfig};
 pub use random::{RandomInstanceConfig, TaskDistribution};
 pub use rng::seeded_rng;
